@@ -1,0 +1,337 @@
+(* Benchmark harness: regenerates every table and figure of the paper's
+   evaluation (§6) on the simulated substrate and prints paper-vs-measured
+   rows. `main.exe` runs everything (except bechamel);
+   `main.exe <experiment>` runs one of: fig5 fig6 fig7 fig8 fig9 fig10
+   table1 rewrite-stats slowdown effort profile sensitivity ablations
+   bechamel. *)
+
+open Twindrivers
+
+let line () = print_endline (String.make 78 '-')
+
+let header title =
+  line ();
+  Printf.printf "%s\n" title;
+  line ()
+
+(* paper numbers for side-by-side printing *)
+let paper_fig5 =
+  [ ("domU", 1619.); ("domU-twin", 3902.); ("dom0", 4683.); ("Linux", 4690.) ]
+
+let paper_fig6 =
+  [ ("domU", 928.); ("domU-twin", 2022.); ("dom0", 2839.); ("Linux", 3010.) ]
+
+let paper_fig7_total =
+  [ ("domU", 21159.); ("domU-twin", 9972.); ("dom0", 8310.); ("Linux", 7126.) ]
+
+let paper_fig8_total =
+  [ ("domU", 35905.); ("domU-twin", 20089.); ("dom0", 14308.); ("Linux", 11166.) ]
+
+let paper_of name table =
+  match List.assoc_opt name table with
+  | Some v -> Printf.sprintf "%8.0f" v
+  | None -> "       -"
+
+let print_throughput ~paper results =
+  Printf.printf "%-10s %12s %12s %12s %8s\n" "config" "measured Mb/s"
+    "cpu-scaled" "paper Mb/s" "util";
+  List.iter
+    (fun (cfg, (r : Measure.result)) ->
+      Printf.printf "%-10s %12.0f %12.0f %12s %7.1f%%\n" (Config.name cfg)
+        r.Measure.throughput_mbps r.Measure.cpu_limited_mbps
+        (paper_of (Config.name cfg) paper)
+        (100. *. r.Measure.cpu_utilisation))
+    results
+
+let ratio results a b =
+  let find c =
+    (List.assoc c (List.map (fun (k, v) -> (Config.name k, v)) results))
+      .Measure.cpu_limited_mbps
+  in
+  find a /. find b
+
+let fig5 () =
+  header "Figure 5: transmit throughput, netperf-like stream over 5 NICs";
+  let results = Experiments.fig5_transmit () in
+  print_throughput ~paper:paper_fig5 results;
+  Printf.printf
+    "\nspeedup domU-twin/domU: %.2fx (paper 2.41x);  twin vs Linux: %.0f%% \
+     (paper 64%%)\n"
+    (ratio results "domU-twin" "domU")
+    (100. *. ratio results "domU-twin" "Linux")
+
+let fig6 () =
+  header "Figure 6: receive throughput, netperf-like stream over 5 NICs";
+  let results = Experiments.fig6_receive () in
+  print_throughput ~paper:paper_fig6 results;
+  Printf.printf
+    "\nspeedup domU-twin/domU: %.2fx (paper 2.17x);  twin vs Linux: %.0f%% \
+     (paper 67%%)\n"
+    (ratio results "domU-twin" "domU")
+    (100. *. ratio results "domU-twin" "Linux")
+
+let print_breakdown ~paper results =
+  Printf.printf "%-10s %8s %8s %8s %8s %9s %12s\n" "config" "dom0" "domU"
+    "Xen" "e1000" "total" "paper total";
+  List.iter
+    (fun (cfg, (r : Measure.result)) ->
+      let get c = List.assoc c r.Measure.breakdown in
+      Printf.printf "%-10s %8.0f %8.0f %8.0f %8.0f %9.0f %12s\n"
+        (Config.name cfg)
+        (get Td_xen.Ledger.Dom0) (get Td_xen.Ledger.DomU)
+        (get Td_xen.Ledger.Xen) (get Td_xen.Ledger.Driver)
+        r.Measure.cycles_per_packet
+        (paper_of (Config.name cfg) paper))
+    results
+
+let fig7 () =
+  header "Figure 7: CPU cycles per packet, transmit (single NIC)";
+  print_breakdown ~paper:paper_fig7_total (Experiments.fig7_tx_breakdown ())
+
+let fig8 () =
+  header "Figure 8: CPU cycles per packet, receive (single NIC)";
+  print_breakdown ~paper:paper_fig8_total (Experiments.fig8_rx_breakdown ())
+
+let fig9 () =
+  header "Figure 9: web server throughput vs request rate (SPECweb99 set)";
+  let results = Experiments.fig9_webserver () in
+  let rates =
+    match results with
+    | (_, pts) :: _ ->
+        List.map (fun (p : Experiments.web_point) -> p.Experiments.rate) pts
+    | [] -> []
+  in
+  Printf.printf "%-10s" "req/s";
+  List.iter (fun r -> Printf.printf "%7.0f" r) rates;
+  print_newline ();
+  List.iter
+    (fun (cfg, pts) ->
+      Printf.printf "%-10s" (Config.name cfg);
+      List.iter
+        (fun (p : Experiments.web_point) ->
+          Printf.printf "%7.0f" p.Experiments.mbps)
+        pts;
+      print_newline ())
+    results;
+  print_newline ();
+  List.iter
+    (fun (cfg, pts) ->
+      let peak =
+        List.fold_left
+          (fun acc (p : Experiments.web_point) ->
+            Float.max acc p.Experiments.mbps)
+          0.0 pts
+      in
+      let paper =
+        List.assoc (Config.name cfg)
+          [ ("Linux", 855.); ("dom0", 712.); ("domU-twin", 572.); ("domU", 269.) ]
+      in
+      Printf.printf "peak %-10s %6.0f Mb/s   (paper %4.0f Mb/s)\n"
+        (Config.name cfg) peak paper)
+    results
+
+let fig10 () =
+  header "Figure 10: transmit throughput vs upcalls per driver invocation";
+  let points = Experiments.fig10_upcall_cost () in
+  Printf.printf "%-44s %9s %12s\n" "demoted routines" "upcalls/op" "Mb/s (cpu)";
+  List.iter
+    (fun (p : Experiments.upcall_point) ->
+      let label =
+        match List.rev p.Experiments.demoted with
+        | [] -> "(none: all ten native, as Figure 5)"
+        | last :: _ ->
+            Printf.sprintf "+%s (%d demoted)" last
+              (List.length p.Experiments.demoted)
+      in
+      Printf.printf "%-44s %9.2f %12.0f\n" label p.Experiments.upcalls_per_invocation
+        p.Experiments.mbps)
+    points;
+  print_endline
+    "\npaper: 3902 Mb/s with 0 upcalls -> 1638 with 1 -> 359 with 9 (steep cliff)"
+
+let table1 () =
+  header "Table 1: support routines on the error-free tx/rx fast path";
+  let t = Experiments.table1_fast_path () in
+  Printf.printf "fast-path routines called (hypervisor context):\n";
+  List.iter (fun n -> Printf.printf "  %s\n" n) t.Experiments.fast_path_called;
+  Printf.printf
+    "\n%d routines on the fast path (paper: 10); %d called across all \
+     operations; registry holds %d routines (paper: 97)\n"
+    (List.length t.Experiments.fast_path_called)
+    (List.length t.Experiments.all_called)
+    t.Experiments.registry_size;
+  let expected = Td_kernel.Support.fast_path_names in
+  let missing =
+    List.filter
+      (fun n -> not (List.mem n t.Experiments.fast_path_called))
+      expected
+  in
+  if missing <> [] then
+    Printf.printf "fast-path routines not exercised this run: %s\n"
+      (String.concat ", " missing)
+
+let rewrite_stats () =
+  header "Static rewrite statistics (S4.1, S5.1)";
+  let r = Experiments.rewrite_report () in
+  Format.printf "%a@." Td_rewriter.Rewrite.pp_stats r.Experiments.stats;
+  Printf.printf
+    "\nfraction of driver instructions referencing memory: %.1f%% (paper: ~25%%)\n"
+    (100. *. r.Experiments.memory_fraction)
+
+let slowdown () =
+  header "Rewritten-driver slowdown (S6.2)";
+  let r = Experiments.rewrite_report () in
+  Printf.printf
+    "driver cycles/packet (tx): native %.0f, rewritten %.0f -> %.2fx slower\n"
+    r.Experiments.native_driver_cpp r.Experiments.rewritten_driver_cpp
+    r.Experiments.slowdown;
+  Printf.printf "paper: 960 vs 2218 cycles/packet -> 2.31x (range 2-3x)\n"
+
+let effort () =
+  header "Engineering effort (S6.5)";
+  let w = World.create ~nics:1 Config.Xen_twin in
+  let sup = World.support w in
+  Printf.printf
+    "hypervisor implements %d of %d support routines; the remaining %d are \
+     upcall stubs generated automatically.\n"
+    (List.length Td_kernel.Support.fast_path_names)
+    (Td_kernel.Support.routine_count sup)
+    (Td_kernel.Support.routine_count sup
+    - List.length Td_kernel.Support.fast_path_names);
+  Printf.printf
+    "paper: 851 lines of commented C for the ten routines, against the full \
+     driver-support interface.\n"
+
+let profile () =
+  header "Per-routine cycle profile of the twin transmit path (S6.2)";
+  let w = World.create ~nics:1 Config.Xen_twin in
+  let prof = Td_cpu.Profiler.attach (World.interp w) in
+  let payload = String.make 1500 'x' in
+  for i = 0 to 299 do
+    ignore (World.transmit w ~nic:0 ~payload);
+    if i mod 8 = 7 then World.pump w
+  done;
+  World.pump w;
+  Format.printf "%a@." Td_cpu.Profiler.pp prof;
+  Printf.printf
+    "(the hypervisor instance 'e1000.hyp' dominates; the VM instance      'e1000.vm' appears only for initialisation/housekeeping)
+"
+
+let sensitivity () =
+  header
+    "Sensitivity: tx speedup (twin/domU) vs world-switch and kernel-path      cost scaling";
+  Printf.printf "%12s %12s %12s
+" "switch scale" "kernel scale" "speedup";
+  List.iter
+    (fun (p : Experiments.sensitivity_point) ->
+      Printf.printf "%12.2f %12.2f %11.2fx
+" p.Experiments.switch_scale
+        p.Experiments.kernel_scale p.Experiments.tx_speedup)
+    (Experiments.sensitivity ());
+  print_endline
+    "
+the speedup grows with switch cost (the overhead TwinDrivers removes)
+     and shrinks as kernel work dominates; it exceeds 1.5x everywhere."
+
+let ablations () =
+  header "Ablations (DESIGN.md S5)";
+  List.iter
+    (fun (a : Experiments.ablation) ->
+      Printf.printf "%-28s %8.0f Mb/s   %s\n" a.Experiments.label
+        a.Experiments.tx_cpu_scaled_mbps a.Experiments.note)
+    (Experiments.ablations ())
+
+(* ---- Bechamel micro-benchmarks: one Test.make per table/figure driver ---- *)
+
+let bechamel () =
+  header "Bechamel micro-benchmarks (wall-clock of the simulator itself)";
+  let open Bechamel in
+  let tx_world = World.create ~nics:1 Config.Xen_twin in
+  let rx_world = World.create ~nics:1 Config.Xen_twin in
+  let payload = String.make 1500 'x' in
+  let mk name f = Test.make ~name (Staged.stage f) in
+  let tests =
+    [
+      mk "fig5/tx-packet" (fun () ->
+          ignore (World.transmit tx_world ~nic:0 ~payload);
+          World.pump tx_world);
+      mk "fig6/rx-packet" (fun () ->
+          World.inject_rx rx_world ~nic:0 ~payload;
+          World.pump rx_world);
+      mk "fig7/derive-twin" (fun () ->
+          ignore (Td_rewriter.Twin.derive (Td_driver.E1000_driver.source ())));
+      mk "fig9/webserver-run" (fun () ->
+          ignore
+            (Td_net.Webserver.run
+               {
+                 Td_net.Webserver.tx_cycles_per_packet = 10_000.;
+                 rx_cycles_per_packet = 17_000.;
+                 app_cycles_per_request = 6000.;
+                 frequency_hz = 3e9;
+                 mss = 1448;
+                 wire_limit_mbps = 940.;
+               }
+               {
+                 Td_net.Webserver.request_rate = 5000.;
+                 requests = 500;
+                 timeout_s = 1.0;
+                 seed = 7;
+               }));
+      mk "table1/stlb-translate" (fun () ->
+          match World.svm tx_world with
+          | Some rt ->
+              ignore (Td_svm.Runtime.translate rt Td_mem.Layout.dom0_heap_base)
+          | None -> ());
+    ]
+  in
+  let instances = [ Toolkit.Instance.monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) () in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  List.iter
+    (fun test ->
+      let raw = Benchmark.all cfg instances test in
+      let stats = Analyze.all ols Toolkit.Instance.monotonic_clock raw in
+      Hashtbl.iter
+        (fun name ols_result ->
+          match Analyze.OLS.estimates ols_result with
+          | Some (est :: _) -> Printf.printf "%-28s %14.0f ns/run\n" name est
+          | Some [] | None -> Printf.printf "%-28s (no estimate)\n" name)
+        stats)
+    tests
+
+let experiments =
+  [
+    ("fig5", fig5);
+    ("fig6", fig6);
+    ("fig7", fig7);
+    ("fig8", fig8);
+    ("fig9", fig9);
+    ("fig10", fig10);
+    ("table1", table1);
+    ("rewrite-stats", rewrite_stats);
+    ("slowdown", slowdown);
+    ("effort", effort);
+    ("profile", profile);
+    ("sensitivity", sensitivity);
+    ("ablations", ablations);
+    ("bechamel", bechamel);
+  ]
+
+let () =
+  match Sys.argv with
+  | [| _ |] ->
+      List.iter
+        (fun (name, f) -> if name <> "bechamel" then f ())
+        experiments
+  | [| _; name |] -> (
+      match List.assoc_opt name experiments with
+      | Some f -> f ()
+      | None ->
+          Printf.eprintf "unknown experiment %s; available: %s\n" name
+            (String.concat " " (List.map fst experiments));
+          exit 1)
+  | _ ->
+      Printf.eprintf "usage: %s [experiment]\n" Sys.argv.(0);
+      exit 1

@@ -1,0 +1,1 @@
+examples/fault_injection.ml: Addr_space Code_registry Format Interp Layout Native Phys_mem Program Reg State Td_cpu Td_mem Td_misa Td_rewriter Td_svm Width

@@ -1,0 +1,1 @@
+examples/housekeeping.ml: Array Config List Printf String Td_driver Td_kernel Twindrivers World

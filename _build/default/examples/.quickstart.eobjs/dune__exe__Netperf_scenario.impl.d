@@ -1,0 +1,1 @@
+examples/netperf_scenario.ml: Array Config Format List Measure Option Sys Twindrivers World

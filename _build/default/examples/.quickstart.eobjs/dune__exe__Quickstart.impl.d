@@ -1,0 +1,1 @@
+examples/quickstart.ml: Addr_space Code_registry Format Interp Layout List Native Phys_mem Program Reg State String Td_cpu Td_mem Td_misa Td_rewriter Td_svm Width

@@ -1,0 +1,1 @@
+examples/tcp_stream.ml: Char Config Format Option Queue String Td_net Td_xen Twindrivers World

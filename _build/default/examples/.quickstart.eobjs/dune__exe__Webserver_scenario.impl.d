@@ -1,0 +1,1 @@
+examples/webserver_scenario.ml: Array Config Format List Measure Sys Td_cpu Td_net Td_nic Twindrivers World

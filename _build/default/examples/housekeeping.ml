@@ -1,0 +1,65 @@
+(* The central design split of §3.1, live: while the HYPERVISOR instance
+   moves packets on the fast path, the VM instance keeps running in dom0
+   for everything else — watchdog timers, statistics collection,
+   ethtool-like reconfiguration — so the hypervisor interface stays just
+   transmit/receive and no user-space tool needs porting.
+
+   Run with: dune exec examples/housekeeping.exe *)
+
+open Twindrivers
+
+let () =
+  let w = World.create ~nics:1 Config.Xen_twin in
+  let sup = World.support w in
+  let payload = String.make 1500 'd' in
+
+  print_endline "== interleaving data path (hypervisor) and housekeeping (dom0) ==";
+  for second = 1 to 3 do
+    (* a burst of traffic through the hypervisor instance *)
+    for i = 1 to 100 do
+      ignore (World.transmit w ~nic:0 ~payload);
+      World.inject_rx w ~nic:0 ~payload;
+      if i mod 8 = 0 then World.pump w
+    done;
+    World.pump w;
+    (* the dom0 kernel's timers fire; the watchdog runs on the VM instance *)
+    for _ = 1 to 10 do
+      World.tick w
+    done;
+    Printf.printf "t=%ds: %d frames out, %d in; watchdog ran %d times\n"
+      second (World.wire_tx_frames w)
+      (World.delivered_rx_frames w)
+      (Td_driver.Adapter.watchdog_runs (World.adapter w ~nic:0))
+  done;
+
+  print_endline "\n== an ethtool-like reconfiguration, mid-traffic ==";
+  World.run_set_mtu w ~nic:0 ~mtu:1200;
+  Printf.printf "MTU now %d (changed by the VM instance in dom0)\n"
+    (Td_kernel.Netdev.mtu (World.netdev w ~nic:0));
+  ignore (World.transmit w ~nic:0 ~payload:(String.make 900 'x'));
+  World.pump w;
+  print_endline "traffic continues through the hypervisor instance";
+
+  print_endline "\n== who called what, where ==";
+  let show name =
+    Printf.printf "  %-24s hypervisor:%6d   dom0:%6d   upcalls:%d\n" name
+      (Td_kernel.Support.hyp_calls sup name)
+      (Td_kernel.Support.dom0_calls sup name)
+      (Td_kernel.Support.upcalls sup name)
+  in
+  List.iter show
+    [ "dma_map_single"; "netif_rx"; "spin_trylock";    (* fast path *)
+      "mod_timer"; "netif_stop_queue"; "msleep" ]      (* housekeeping *)
+  ;
+  Printf.printf
+    "\nfast-path work runs natively in the hypervisor; configuration and \
+     timer work never leaves dom0 — and with all ten Table-1 routines \
+     native, the upcall column stays zero (%d total upcalls).\n"
+    (Td_kernel.Support.total_upcalls sup);
+
+  (* read the statistics the way ethtool would: through the driver *)
+  let stats = World.read_stats w ~nic:0 in
+  Printf.printf
+    "\ndriver statistics (via e1000_get_stats, a rep-movs string copy):\n\
+    \  tx %d packets / %d bytes; rx %d packets / %d bytes\n"
+    stats.(0) stats.(1) stats.(2) stats.(3)

@@ -1,0 +1,52 @@
+(* The paper's netperf-like microbenchmark (§6.2): maximum TCP streaming
+   throughput over five gigabit NICs, in any of the four configurations.
+
+   Run with:
+     dune exec examples/netperf_scenario.exe            # all configurations
+     dune exec examples/netperf_scenario.exe -- twin    # just one
+     dune exec examples/netperf_scenario.exe -- twin rx # receive side *)
+
+open Twindrivers
+
+let run direction cfg =
+  let w = World.create ~nics:5 cfg in
+  let result =
+    match direction with
+    | `Tx -> Measure.run_transmit ~packets:800 w
+    | `Rx -> Measure.run_receive ~packets:800 w
+  in
+  Format.printf "%s %a@."
+    (match direction with `Tx -> "TX" | `Rx -> "RX")
+    Measure.pp_result result;
+  Format.printf "   %a@." Measure.pp_breakdown result;
+  result
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let configs =
+    match List.filter_map Config.of_string args with
+    | [] -> Config.all
+    | picked -> picked
+  in
+  let directions =
+    if List.mem "rx" args then [ `Rx ]
+    else if List.mem "tx" args then [ `Tx ]
+    else [ `Tx; `Rx ]
+  in
+  let results =
+    List.concat_map
+      (fun d -> List.map (fun c -> (d, c, run d c)) configs)
+      directions
+  in
+  (* headline comparison when we have both ends *)
+  let find d c =
+    List.find_opt (fun (d', c', _) -> d = d' && c = c') results
+    |> Option.map (fun (_, _, r) -> r)
+  in
+  match (find `Tx Config.Xen_twin, find `Tx Config.Xen_domU) with
+  | Some twin, Some domu ->
+      Format.printf
+        "@.TwinDrivers transmit speedup over the unoptimised guest: %.2fx \
+         (the paper reports 2.4x)@."
+        (Measure.speedup twin domu)
+  | _ -> ()

@@ -1,0 +1,110 @@
+(* Quickstart: the TwinDrivers pipeline on a toy driver, end to end.
+
+   1. Write a small "driver" in (textual) assembly.
+   2. Derive the hypervisor twin with the binary rewriter.
+   3. Load the twin into the simulated hypervisor and run it from a guest
+      context — its data stays in dom0, reached through SVM.
+   4. Watch the safety net catch a wild pointer.
+
+   Run with: dune exec examples/quickstart.exe *)
+
+open Td_misa
+open Td_mem
+open Td_cpu
+
+let driver_text =
+  {|
+# a toy 'driver': counts invocations and sums a buffer in its device state
+driver_poll:
+    pushl %ebp
+    movl %esp, %ebp
+    movl 8(%ebp), %ebx        # ebx = device state (in dom0 memory)
+    incl 0(%ebx)              # state->invocations++
+    xorl %eax, %eax
+    xorl %ecx, %ecx
+poll_loop:
+    addl 8(%ebx,%ecx,4), %eax # sum state->samples[i]
+    incl %ecx
+    cmpl $8, %ecx
+    jne poll_loop
+    movl %eax, 4(%ebx)        # state->last_sum
+    popl %ebp
+    ret
+|}
+
+let () =
+  print_endline "== 1. the guest OS driver (as the rewriting tool sees it) ==";
+  print_string driver_text;
+
+  (* -- derive the twin -- *)
+  let twin = Td_rewriter.Twin.derive_text ~name:"toy" driver_text in
+  let stats = twin.Td_rewriter.Twin.stats in
+  Format.printf "\n== 2. derived hypervisor driver ==@.%a@.@."
+    Td_rewriter.Rewrite.pp_stats stats;
+  print_endline "first lines of the rewritten assembly (note the stlb probe):";
+  Td_rewriter.Twin.rewritten_text twin
+  |> String.split_on_char '\n'
+  |> List.filteri (fun i _ -> i < 18)
+  |> List.iter print_endline;
+
+  (* -- build a machine: dom0 + hypervisor + a guest -- *)
+  let phys = Phys_mem.create () in
+  let dom0 = Addr_space.create ~name:"dom0" phys in
+  Addr_space.heap_init dom0 ~base:Layout.dom0_heap_base
+    ~limit:Layout.dom0_heap_limit;
+  let xen = Addr_space.create ~name:"xen" phys in
+  Addr_space.alloc_region xen
+    ~vaddr:(Layout.hyp_stack_top - (Layout.hyp_stack_pages * Layout.page_size))
+    ~pages:Layout.hyp_stack_pages;
+  Addr_space.alloc_region xen ~vaddr:Layout.hyp_scratch_base ~pages:1;
+  let guest = Addr_space.create ~name:"guest" phys in
+  let natives = Native.create () in
+  let registry = Code_registry.create () in
+
+  (* driver state lives in dom0, like all TwinDrivers data *)
+  let state_addr = Addr_space.heap_alloc dom0 64 in
+  for i = 0 to 7 do
+    Addr_space.write dom0 (state_addr + 8 + (4 * i)) Width.W32 (10 * (i + 1))
+  done;
+
+  (* SVM runtime + loader, hypervisor instance *)
+  let svm = Td_svm.Runtime.create_hypervisor ~dom0 ~hyp:xen () in
+  Td_svm.Runtime.register_natives svm natives;
+  let symbols =
+    Td_rewriter.Loader.svm_symbols ~runtime:svm ~natives
+      ~stlb_vaddr:Layout.stlb_base ~scratch_vaddr:Layout.hyp_scratch_base
+  in
+  let prog =
+    Td_rewriter.Loader.load ~name:"toy.hyp"
+      ~source:twin.Td_rewriter.Twin.rewritten
+      ~base:Layout.hyp_driver_code_base ~symbols ~registry
+  in
+
+  (* -- run from the guest's context: no domain switch, data via SVM -- *)
+  let cpu = State.create ~hyp_space:xen guest in
+  State.set cpu Reg.ESP Layout.hyp_stack_top;
+  let interp = Interp.create cpu registry natives in
+  let entry = Program.addr_of_label prog "driver_poll" in
+  let sum = Interp.call interp ~entry ~args:[ state_addr ] in
+  Format.printf
+    "\n== 3. ran in the hypervisor from a guest context ==@.\
+     sum of samples: %d (expected %d)@.\
+     invocations recorded in dom0 memory: %d@.\
+     stlb slow-path entries: %d; dom0 pages mapped: %d@.@."
+    sum
+    (10 * 8 * 9 / 2)
+    (Addr_space.read dom0 state_addr Width.W32)
+    (Td_svm.Runtime.misses svm)
+    (Td_svm.Runtime.pages_mapped svm);
+
+  (* -- safety: a wild pointer is caught, the hypervisor survives -- *)
+  print_endline "== 4. safety: calling the driver with a hypervisor address ==";
+  (match Interp.call interp ~entry ~args:[ Layout.stlb_base ] with
+  | exception Td_svm.Runtime.Fault { addr; reason } ->
+      Format.printf
+        "driver aborted: SVM fault at 0x%x (%s) — the hypervisor is intact@."
+        addr reason
+  | _ -> print_endline "UNEXPECTED: the wild access went through!");
+  let sum2 = Interp.call interp ~entry ~args:[ state_addr ] in
+  Format.printf "the (re)loaded driver still works after the abort: sum=%d@."
+    sum2

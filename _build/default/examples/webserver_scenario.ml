@@ -1,0 +1,57 @@
+(* The paper's web-server workload (§6.3): a knot-like server serving the
+   SPECweb99 static file set, loaded by an httperf-like open-loop client.
+
+   Run with:
+     dune exec examples/webserver_scenario.exe
+     dune exec examples/webserver_scenario.exe -- twin 9000   # one config/rate *)
+
+open Twindrivers
+
+let () =
+  let args = Array.to_list Sys.argv in
+  let configs =
+    match List.filter_map Config.of_string args with
+    | [] -> Config.all
+    | picked -> picked
+  in
+  let rates =
+    match List.filter_map int_of_string_opt args with
+    | [] -> [ 2000.; 4000.; 6000.; 8000.; 12000.; 16000. ]
+    | picked -> List.map float_of_int picked
+  in
+  Format.printf
+    "file set: SPECweb99 static classes, mean response %.1f KB@.@."
+    (Td_net.Specweb.mean_bytes /. 1024.);
+  List.iter
+    (fun cfg ->
+      (* per-packet costs measured on this configuration feed the server
+         model, so the web results inherit its network efficiency *)
+      let tx = Measure.run_transmit ~packets:300 (World.create ~nics:5 cfg) in
+      let rx = Measure.run_receive ~packets:300 (World.create ~nics:5 cfg) in
+      let costs =
+        {
+          Td_net.Webserver.tx_cycles_per_packet = tx.Measure.cycles_per_packet;
+          rx_cycles_per_packet = rx.Measure.cycles_per_packet;
+          app_cycles_per_request = Td_net.Webserver.default_app_cycles;
+          frequency_hz = float_of_int Td_cpu.Cost_model.frequency_hz;
+          mss = 1448;
+          wire_limit_mbps = Td_nic.Wire.wire_limit_mbps ~packet_bytes:1514 ~nics:1;
+        }
+      in
+      Format.printf "%-10s" (Config.name cfg);
+      List.iter
+        (fun rate ->
+          let o =
+            Td_net.Webserver.run costs
+              {
+                Td_net.Webserver.request_rate = rate;
+                requests = max 2000 (int_of_float (rate *. 2.5));
+                timeout_s = 1.0;
+                seed = 7;
+              }
+          in
+          Format.printf " %6.0f req/s -> %4.0f Mb/s (%d late)" rate
+            o.Td_net.Webserver.response_mbps o.Td_net.Webserver.timed_out)
+        rates;
+      Format.printf "@.")
+    configs

@@ -1,0 +1,1 @@
+lib/core/experiments.ml: Config List Measure String Td_cpu Td_driver Td_kernel Td_mem Td_net Td_nic Td_rewriter Td_xen World

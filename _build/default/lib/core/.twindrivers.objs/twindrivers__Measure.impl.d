@@ -1,0 +1,1 @@
+lib/core/measure.ml: Char Config Format List Printf String Td_cpu Td_nic Td_xen World

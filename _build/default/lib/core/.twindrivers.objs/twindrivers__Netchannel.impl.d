@@ -1,0 +1,1 @@
+lib/core/netchannel.ml: Option Queue Td_net World

@@ -1,0 +1,1 @@
+lib/core/netchannel.mli: Td_net World

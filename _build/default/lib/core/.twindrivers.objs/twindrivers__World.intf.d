@@ -1,0 +1,1 @@
+lib/core/world.mli: Config Td_cpu Td_driver Td_kernel Td_mem Td_rewriter Td_svm Td_xen

@@ -1,0 +1,16 @@
+type t = Native_linux | Xen_dom0 | Xen_domU | Xen_twin
+
+let name = function
+  | Native_linux -> "Linux"
+  | Xen_dom0 -> "dom0"
+  | Xen_domU -> "domU"
+  | Xen_twin -> "domU-twin"
+
+let all = [ Xen_domU; Xen_twin; Xen_dom0; Native_linux ]
+
+let of_string = function
+  | "linux" | "Linux" -> Some Native_linux
+  | "dom0" -> Some Xen_dom0
+  | "domU" | "domu" -> Some Xen_domU
+  | "domU-twin" | "twin" -> Some Xen_twin
+  | _ -> None

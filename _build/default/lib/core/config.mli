@@ -1,0 +1,11 @@
+(** The four system configurations evaluated in the paper (§6). *)
+
+type t =
+  | Native_linux  (** bare-metal Linux: kernel + original driver *)
+  | Xen_dom0  (** the driver domain itself doing the I/O on Xen *)
+  | Xen_domU  (** unoptimised guest: netfront / netback / bridge *)
+  | Xen_twin  (** guest with the TwinDrivers hypervisor driver *)
+
+val name : t -> string
+val all : t list
+val of_string : string -> t option

@@ -1,0 +1,269 @@
+let run_configs ~packets ~nics f =
+  List.map
+    (fun cfg ->
+      let w = World.create ~nics cfg in
+      (cfg, f w ~packets))
+    Config.all
+
+let fig5_transmit ?(packets = 1000) () =
+  run_configs ~packets ~nics:5 (fun w ~packets ->
+      Measure.run_transmit ~packets w)
+
+let fig6_receive ?(packets = 1000) () =
+  run_configs ~packets ~nics:5 (fun w ~packets ->
+      Measure.run_receive ~packets w)
+
+let fig7_tx_breakdown ?(packets = 600) () =
+  run_configs ~packets ~nics:1 (fun w ~packets ->
+      Measure.run_transmit ~packets w)
+
+let fig8_rx_breakdown ?(packets = 600) () =
+  run_configs ~packets ~nics:1 (fun w ~packets ->
+      Measure.run_receive ~packets w)
+
+(* ---- Figure 9 ---- *)
+
+type web_point = { rate : float; mbps : float; completed : int; timed_out : int }
+
+let default_rates =
+  [ 1000.; 2000.; 3000.; 4000.; 5000.; 6000.; 8000.; 10000.; 12000.; 14000.;
+    16000.; 18000.; 20000. ]
+
+let fig9_webserver ?(rates = default_rates) ?requests () =
+  List.map
+    (fun cfg ->
+      (* calibrate per-packet costs on this configuration *)
+      let wt = World.create ~nics:5 cfg in
+      let tx = Measure.run_transmit ~packets:400 wt in
+      let wr = World.create ~nics:5 cfg in
+      let rx = Measure.run_receive ~packets:400 wr in
+      let costs =
+        {
+          Td_net.Webserver.tx_cycles_per_packet = tx.Measure.cycles_per_packet;
+          rx_cycles_per_packet = rx.Measure.cycles_per_packet;
+          app_cycles_per_request = Td_net.Webserver.default_app_cycles;
+          frequency_hz = float_of_int Td_cpu.Cost_model.frequency_hz;
+          mss = 1448;
+          wire_limit_mbps =
+            Td_nic.Wire.wire_limit_mbps ~packet_bytes:1514 ~nics:1;
+        }
+      in
+      let points =
+        List.map
+          (fun rate ->
+            (* run long enough (several timeouts) for the open-loop queue
+               to reach steady state *)
+            let n =
+              match requests with
+              | Some n -> n
+              | None -> max 2000 (int_of_float (rate *. 2.5))
+            in
+            let o =
+              Td_net.Webserver.run costs
+                {
+                  Td_net.Webserver.request_rate = rate;
+                  requests = n;
+                  timeout_s = 1.0;
+                  seed = 7;
+                }
+            in
+            {
+              rate;
+              mbps = o.Td_net.Webserver.response_mbps;
+              completed = o.Td_net.Webserver.completed;
+              timed_out = o.Td_net.Webserver.timed_out;
+            })
+          rates
+      in
+      (cfg, points))
+    Config.all
+
+(* ---- Figure 10 ---- *)
+
+type upcall_point = {
+  demoted : string list;
+  upcalls_per_invocation : float;
+  mbps : float;
+}
+
+(* demotion order: routines off the transmit path first, then the
+   transmit-path routines in increasing call frequency; netif_rx stays
+   native throughout, as in the paper *)
+let demotion_order =
+  [
+    "dma_map_page"; "dma_unmap_page"; "dma_unmap_single"; "eth_type_trans";
+    "netdev_alloc_skb"; "dev_kfree_skb_any"; "spin_unlock_irqrestore";
+    "spin_trylock"; "dma_map_single";
+  ]
+
+let fig10_upcall_cost ?(packets = 400) () =
+  List.init (List.length demotion_order + 1) (fun k ->
+      let demoted = List.filteri (fun i _ -> i < k) demotion_order in
+      let w = World.create ~nics:5 ~upcall_set:demoted Config.Xen_twin in
+      let r = Measure.run_transmit ~packets w in
+      let invocations = max 1 (World.wire_tx_frames w) in
+      let upcalls = Td_kernel.Support.total_upcalls (World.support w) in
+      {
+        demoted;
+        upcalls_per_invocation = float_of_int upcalls /. float_of_int invocations;
+        mbps = r.Measure.cpu_limited_mbps;
+      })
+
+(* ---- Table 1 ---- *)
+
+type table1 = {
+  fast_path_called : string list;
+  all_called : string list;
+  registry_size : int;
+}
+
+let table1_fast_path () =
+  let w = World.create ~nics:1 Config.Xen_twin in
+  let sup = World.support w in
+  (* error-free fast path: transmit + receive only *)
+  Td_kernel.Support.reset_counts sup;
+  let payload = String.make 1500 'x' in
+  for i = 0 to 63 do
+    ignore (World.transmit w ~nic:0 ~payload);
+    World.inject_rx w ~nic:0 ~payload;
+    if i mod 4 = 3 then World.pump w
+  done;
+  World.pump w;
+  let fast_path_called =
+    List.filter
+      (fun n -> Td_kernel.Support.hyp_calls sup n > 0)
+      (Td_kernel.Support.routine_names sup)
+  in
+  (* all operations: housekeeping and configuration too *)
+  World.run_watchdog w ~nic:0;
+  World.run_set_mtu w ~nic:0 ~mtu:1400;
+  let all_called = Td_kernel.Support.called_routines sup in
+  {
+    fast_path_called;
+    all_called;
+    registry_size = Td_kernel.Support.routine_count sup;
+  }
+
+(* ---- rewrite facts ---- *)
+
+type rewrite_report = {
+  stats : Td_rewriter.Rewrite.stats;
+  memory_fraction : float;
+  native_driver_cpp : float;
+  rewritten_driver_cpp : float;
+  slowdown : float;
+}
+
+let driver_cpp result =
+  List.assoc Td_xen.Ledger.Driver result.Measure.breakdown
+
+let rewrite_report ?(packets = 600) () =
+  let source = Td_driver.E1000_driver.source () in
+  let twin = Td_rewriter.Twin.derive source in
+  let linux = World.create ~nics:1 Config.Native_linux in
+  let native = Measure.run_transmit ~packets linux in
+  let tw = World.create ~nics:1 Config.Xen_twin in
+  let rewritten = Measure.run_transmit ~packets tw in
+  let native_cpp = driver_cpp native and rewritten_cpp = driver_cpp rewritten in
+  {
+    stats = twin.Td_rewriter.Twin.stats;
+    memory_fraction = Td_rewriter.Rewrite.memory_reference_fraction source;
+    native_driver_cpp = native_cpp;
+    rewritten_driver_cpp = rewritten_cpp;
+    slowdown = rewritten_cpp /. native_cpp;
+  }
+
+(* ---- sensitivity ---- *)
+
+type sensitivity_point = {
+  switch_scale : float;
+  kernel_scale : float;
+  tx_speedup : float;
+}
+
+let scale_costs (c : Td_xen.Sys_costs.t) ~switch ~kernel =
+  let s v = int_of_float (float_of_int v *. switch) in
+  let k v = int_of_float (float_of_int v *. kernel) in
+  {
+    c with
+    Td_xen.Sys_costs.domain_switch = s c.Td_xen.Sys_costs.domain_switch;
+    event_channel = s c.Td_xen.Sys_costs.event_channel;
+    hypercall = s c.Td_xen.Sys_costs.hypercall;
+    kernel_tx_path = k c.Td_xen.Sys_costs.kernel_tx_path;
+    kernel_rx_path = k c.Td_xen.Sys_costs.kernel_rx_path;
+    dom0_tx_kernel = k c.Td_xen.Sys_costs.dom0_tx_kernel;
+  }
+
+let sensitivity ?(packets = 300) () =
+  List.concat_map
+    (fun switch_scale ->
+      List.map
+        (fun kernel_scale ->
+          let costs =
+            scale_costs Td_xen.Sys_costs.default ~switch:switch_scale
+              ~kernel:kernel_scale
+          in
+          let twin =
+            Measure.run_transmit ~packets
+              (World.create ~nics:5 ~costs Config.Xen_twin)
+          in
+          let domu =
+            Measure.run_transmit ~packets
+              (World.create ~nics:5 ~costs Config.Xen_domU)
+          in
+          { switch_scale; kernel_scale; tx_speedup = Measure.speedup twin domu })
+        [ 0.75; 1.0; 1.5 ])
+    [ 0.5; 1.0; 2.0; 4.0 ]
+
+(* ---- ablations ---- *)
+
+type ablation = { label : string; tx_cpu_scaled_mbps : float; note : string }
+
+let ablations ?(packets = 400) () =
+  let tx ?spill_everything ?rewrite_style ?cache_probes label note =
+    let w =
+      World.create ~nics:5 ?spill_everything ?rewrite_style ?cache_probes
+        Config.Xen_twin
+    in
+    let r = Measure.run_transmit ~packets w in
+    { label; tx_cpu_scaled_mbps = r.Measure.cpu_limited_mbps; note }
+  in
+  let baseline = tx "inline fast path (paper)" "liveness-allocated scratch" in
+  let cached =
+    tx ~cache_probes:true "probe caching (extension)"
+      "reuses ~10% of probes but pinning the register costs spills: a wash \
+       on this call-heavy driver"
+  in
+  let spill =
+    tx ~spill_everything:true "always-spill" "no liveness analysis (fn. 3)"
+  in
+  let helper =
+    tx ~rewrite_style:Td_rewriter.Rewrite.Shared_helper "shared helper"
+      "call __svm_translate per access instead of inline probe"
+  in
+  let single_page =
+    (* single-page mapping: survives only if no access straddles *)
+    match
+      let w = World.create ~nics:5 ~map_pairs:false Config.Xen_twin in
+      Measure.run_transmit ~packets w
+    with
+    | r ->
+        {
+          label = "single-page mapping";
+          tx_cpu_scaled_mbps = r.Measure.cpu_limited_mbps;
+          note = "no straddling access hit a page boundary this run";
+        }
+    | exception World.Driver_aborted reason ->
+        {
+          label = "single-page mapping";
+          tx_cpu_scaled_mbps = 0.0;
+          note = "driver aborted: " ^ reason;
+        }
+    | exception Td_mem.Addr_space.Page_fault _ ->
+        {
+          label = "single-page mapping";
+          tx_cpu_scaled_mbps = 0.0;
+          note = "unhandled page fault on straddling access";
+        }
+  in
+  [ baseline; cached; spill; helper; single_page ]

@@ -1,0 +1,81 @@
+(** One entry point per table/figure of the paper's evaluation (§6).
+
+    Each function builds fresh worlds, drives the workload, and returns
+    structured results; the bench harness prints them next to the paper's
+    numbers (EXPERIMENTS.md records both). *)
+
+(** Figures 5/6: netperf-like TCP stream over five NICs. *)
+
+val fig5_transmit : ?packets:int -> unit -> (Config.t * Measure.result) list
+val fig6_receive : ?packets:int -> unit -> (Config.t * Measure.result) list
+
+(** Figures 7/8: single-NIC per-packet cycle breakdown. *)
+
+val fig7_tx_breakdown : ?packets:int -> unit -> (Config.t * Measure.result) list
+val fig8_rx_breakdown : ?packets:int -> unit -> (Config.t * Measure.result) list
+
+(** Figure 9: web-server workload, open-loop request sweep. *)
+
+type web_point = { rate : float; mbps : float; completed : int; timed_out : int }
+
+val fig9_webserver :
+  ?rates:float list ->
+  ?requests:int ->
+  unit ->
+  (Config.t * web_point list) list
+(** [requests] defaults to 2.5 seconds' worth at each offered rate. *)
+
+(** Figure 10: transmit throughput as fast-path routines are demoted to
+    upcalls. Returns (routines demoted, measured upcalls per driver
+    invocation, CPU-scaled Mb/s). *)
+
+type upcall_point = {
+  demoted : string list;
+  upcalls_per_invocation : float;
+  mbps : float;
+}
+
+val fig10_upcall_cost : ?packets:int -> unit -> upcall_point list
+
+(** Table 1: trace the support routines invoked on the error-free
+    transmit/receive fast path of the hypervisor instance, and the full
+    set exercised across all driver operations. *)
+
+type table1 = {
+  fast_path_called : string list;  (** called in hypervisor context *)
+  all_called : string list;  (** across init/config/housekeeping too *)
+  registry_size : int;  (** total support routines (paper: 97) *)
+}
+
+val table1_fast_path : unit -> table1
+
+(** §6.5 engineering effort; §4.1/§6.2 static and dynamic rewrite facts. *)
+
+type rewrite_report = {
+  stats : Td_rewriter.Rewrite.stats;
+  memory_fraction : float;  (** paper: ~25% *)
+  native_driver_cpp : float;  (** cycles/packet in the driver, tx path *)
+  rewritten_driver_cpp : float;
+  slowdown : float;  (** paper: 2-3x *)
+}
+
+val rewrite_report : ?packets:int -> unit -> rewrite_report
+
+(** Sensitivity of the headline result to the calibration constants:
+    the transmit speedup (twin over unoptimised guest) re-measured while
+    scaling the world-switch cost and the kernel-path cost. The paper's
+    conclusion should not hinge on any single constant. *)
+
+type sensitivity_point = {
+  switch_scale : float;
+  kernel_scale : float;
+  tx_speedup : float;  (** domU-twin over domU, CPU-scaled *)
+}
+
+val sensitivity : ?packets:int -> unit -> sensitivity_point list
+
+(** Ablations (DESIGN.md §5). *)
+
+type ablation = { label : string; tx_cpu_scaled_mbps : float; note : string }
+
+val ablations : ?packets:int -> unit -> ablation list

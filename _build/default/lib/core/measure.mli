@@ -1,0 +1,32 @@
+(** Packet-level measurement: run a stream of packets through a
+    configuration and derive the paper's metrics — cycles/packet by
+    category (Figures 7/8), aggregate throughput and CPU-scaled
+    throughput (Figures 5/6). *)
+
+type result = {
+  config : Config.t;
+  packets : int;
+  frame_bytes : int;  (** on-wire ethernet frame size *)
+  cycles_per_packet : float;
+  breakdown : (Td_xen.Ledger.category * float) list;  (** per packet *)
+  throughput_mbps : float;
+      (** achievable payload throughput, min(wire-limited, CPU-limited) *)
+  cpu_limited_mbps : float;  (** the CPU-scaled unit of the paper *)
+  cpu_utilisation : float;  (** in [0, 1] *)
+  drops : int;
+}
+
+val mtu_payload : int
+(** Ethernet payload at MTU: 1500 bytes. *)
+
+val run_transmit :
+  ?packets:int -> ?payload_bytes:int -> ?warmup:int -> World.t -> result
+
+val run_receive :
+  ?packets:int -> ?payload_bytes:int -> ?warmup:int -> World.t -> result
+
+val speedup : result -> result -> float
+(** [speedup a b] = throughput(a) / throughput(b), in CPU-scaled units. *)
+
+val pp_result : Format.formatter -> result -> unit
+val pp_breakdown : Format.formatter -> result -> unit

@@ -1,0 +1,66 @@
+type t = {
+  world : World.t;
+  nic : int;
+  server : Td_net.Tcp_lite.t;
+  client : Td_net.Tcp_lite.t;
+  server_out : Td_net.Tcp_lite.segment Queue.t;
+  client_out : Td_net.Tcp_lite.segment Queue.t;
+  mutable frames : int;
+}
+
+let create ?(nic = 0) world =
+  let server_out = Queue.create () and client_out = Queue.create () in
+  let server =
+    Td_net.Tcp_lite.create ~send:(fun seg -> Queue.push seg server_out) ()
+  in
+  let client =
+    Td_net.Tcp_lite.create ~send:(fun seg -> Queue.push seg client_out) ()
+  in
+  { world; nic; server; client; server_out; client_out; frames = 0 }
+
+let server t = t.server
+let client t = t.client
+let frames_carried t = t.frames
+
+let relay_once t =
+  let moved = ref false in
+  (* server -> transmit path -> wire -> client *)
+  while not (Queue.is_empty t.server_out) do
+    moved := true;
+    let seg = Queue.pop t.server_out in
+    ignore
+      (World.transmit t.world ~nic:t.nic
+         ~payload:(Td_net.Tcp_lite.encode_segment seg));
+    t.frames <- t.frames + 1;
+    Td_net.Tcp_lite.on_segment t.client seg
+  done;
+  World.pump t.world;
+  (* client -> wire -> receive path -> guest -> server *)
+  while not (Queue.is_empty t.client_out) do
+    moved := true;
+    World.inject_rx t.world ~nic:t.nic
+      ~payload:(Td_net.Tcp_lite.encode_segment (Queue.pop t.client_out));
+    t.frames <- t.frames + 1;
+    World.pump t.world;
+    match
+      Option.bind
+        (World.rx_last_payload t.world)
+        Td_net.Tcp_lite.decode_segment
+    with
+    | Some seg -> Td_net.Tcp_lite.on_segment t.server seg
+    | None -> ()
+  done;
+  !moved
+
+let run ?(max_rounds = 2000) ?(on_round = fun _ -> ()) t ~until =
+  let rounds = ref 0 in
+  let done_ = ref (until t) in
+  while (not !done_) && !rounds < max_rounds do
+    incr rounds;
+    ignore (relay_once t);
+    on_round t;
+    Td_net.Tcp_lite.tick t.server;
+    Td_net.Tcp_lite.tick t.client;
+    done_ := until t
+  done;
+  !done_

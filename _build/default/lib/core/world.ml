@@ -1,0 +1,768 @@
+open Td_misa
+open Td_mem
+open Td_cpu
+open Td_xen
+open Td_kernel
+
+exception Driver_aborted of string
+
+type driver_image = {
+  prog : Program.t;
+  e_init : int;
+  e_xmit : int;
+  e_intr : int;
+  e_watchdog : int;
+  e_get_stats : int;
+  e_set_mtu : int;
+  e_set_rx_mode : int;
+}
+
+type nic_port = {
+  dev : Td_nic.E1000_dev.t;
+  nd : Netdev.t;
+  mac : string;
+  gmac : string;
+  wire : Td_nic.Wire.counters;
+  mutable pending_irq : int;
+}
+
+type t = {
+  cfg : Config.t;
+  phys : Phys_mem.t;
+  dom0_space : Addr_space.t;
+  xen_space : Addr_space.t;
+  guest_spaces : Addr_space.t array;
+  registry : Code_registry.t;
+  natives : Native.t;
+  km : Kmem.t;
+  sup : Support.t;
+  led : Ledger.t;
+  cpu : State.t;
+  hyp : Hypervisor.t option;
+  dom0 : Domain.t option;
+  guest : Domain.t option;  (** first guest, when any *)
+  guests : Domain.t array;
+  dom0_stack_top : int;
+  costs : Sys_costs.t;
+  nics : nic_port array;
+  dom0_driver : driver_image;
+  hyp_driver : driver_image option;
+  svm_hyp : Td_svm.Runtime.t option;
+  twin : Td_rewriter.Twin.t option;
+  skb_pool : Skb_pool.t option;
+  mutable netios : Xen_netio.t array;  (** one per NIC, Xen_domU only *)
+  gmac_index : (string, int) Hashtbl.t;  (** guest MAC -> guest index *)
+  interp : Interp.t;
+  timers : Timer_wheel.t;  (** dom0 kernel timers (watchdog housekeeping) *)
+  sched : Scheduler.t;  (** orders guest work (packet delivery, §5.3) *)
+  rx_pending : string Queue.t array;  (** demuxed, awaiting guest schedule *)
+  rx_by_guest : int array;
+  mutable rx_frames : int;
+  mutable rx_bytes : int;
+  mutable rx_last : string option;
+  mutable tx_drops : int;
+}
+
+let config t = t.cfg
+let nic_count t = Array.length t.nics
+let ledger t = t.led
+let support t = t.sup
+let kmem t = t.km
+let dom0_space t = t.dom0_space
+let netdev t ~nic = t.nics.(nic).nd
+let adapter t ~nic = Td_driver.Adapter.of_netdev t.nics.(nic).nd
+let nic_mac t ~nic = t.nics.(nic).mac
+
+let guest_mac t ~nic =
+  match t.cfg with
+  | Config.Native_linux | Config.Xen_dom0 -> t.nics.(nic).mac
+  | Config.Xen_domU | Config.Xen_twin -> t.nics.(nic).gmac
+
+let svm t = t.svm_hyp
+let twin_stats t = Option.map (fun tw -> tw.Td_rewriter.Twin.stats) t.twin
+let pool t = t.skb_pool
+let hypervisor t = t.hyp
+let dom0_domain t = t.dom0
+let cpu_state t = t.cpu
+
+(* ---- construction ---- *)
+
+let host_mac i = Printf.sprintf "\x02\x00\x00\x00\x00%c" (Char.chr i)
+let vif_mac g i = Printf.sprintf "\x02\x01%c\x00\x00%c" (Char.chr g) (Char.chr i)
+let client_mac i = Printf.sprintf "\x02\x02\x00\x00\x00%c" (Char.chr i)
+let ethertype_ip = "\x08\x00"
+let eth_header_bytes = 14
+
+let build_frame ~dst ~src ~payload = dst ^ src ^ ethertype_ip ^ payload
+
+let entries_of (prog : Program.t) =
+  {
+    prog;
+    e_init = Program.addr_of_label prog Td_driver.E1000_driver.entry_init;
+    e_xmit = Program.addr_of_label prog Td_driver.E1000_driver.entry_xmit;
+    e_intr = Program.addr_of_label prog Td_driver.E1000_driver.entry_intr;
+    e_watchdog =
+      Program.addr_of_label prog Td_driver.E1000_driver.entry_watchdog;
+    e_get_stats =
+      Program.addr_of_label prog Td_driver.E1000_driver.entry_get_stats;
+    e_set_mtu =
+      Program.addr_of_label prog Td_driver.E1000_driver.entry_set_mtu;
+    e_set_rx_mode =
+      Program.addr_of_label prog Td_driver.E1000_driver.entry_set_rx_mode;
+  }
+
+let needs_xen = function
+  | Config.Native_linux -> false
+  | Config.Xen_dom0 | Config.Xen_domU | Config.Xen_twin -> true
+
+let needs_guest = function
+  | Config.Native_linux | Config.Xen_dom0 -> false
+  | Config.Xen_domU | Config.Xen_twin -> true
+
+let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
+    ?(costs = Sys_costs.default) ?spill_everything ?rewrite_style
+    ?cache_probes ?(map_pairs = true) cfg =
+  if guests < 1 then invalid_arg "World.create: guests must be >= 1";
+  let phys = Phys_mem.create ~frames:200_000 () in
+  let dom0_space = Addr_space.create ~name:"dom0" phys in
+  Addr_space.heap_init dom0_space ~base:Layout.dom0_heap_base
+    ~limit:Layout.dom0_heap_limit;
+  let xen_space = Addr_space.create ~name:"xen" phys in
+  Addr_space.alloc_region xen_space
+    ~vaddr:(Layout.hyp_stack_top - (Layout.hyp_stack_pages * Layout.page_size))
+    ~pages:Layout.hyp_stack_pages;
+  Addr_space.alloc_region xen_space ~vaddr:Layout.hyp_scratch_base ~pages:1;
+  let guest_spaces =
+    if needs_guest cfg then
+      Array.init guests (fun i ->
+          let g =
+            Addr_space.create ~name:(Printf.sprintf "guest%d" i) phys
+          in
+          Addr_space.heap_init g ~base:Layout.guest_heap_base
+            ~limit:Layout.guest_heap_limit;
+          g)
+    else [||]
+  in
+  let registry = Code_registry.create () in
+  let natives = Native.create () in
+  let km = Kmem.create dom0_space in
+  let sup = Support.create ~space:dom0_space ~kmem:km in
+  let led = Ledger.create () in
+  let cpu = State.create ~hyp_space:xen_space dom0_space in
+  let dom0_stack_top =
+    Addr_space.heap_alloc dom0_space (4 * Layout.page_size)
+    + (4 * Layout.page_size)
+  in
+  (* domains & hypervisor *)
+  let hyp, dom0, guest_doms =
+    if needs_xen cfg then begin
+      let h = Hypervisor.create ~costs ~ledger:led ~xen_space ~cpu () in
+      let d0 =
+        Domain.create ~id:0 ~name:"dom0" ~kind:Domain.Driver_domain
+          ~space:dom0_space
+      in
+      Domain.init_vif d0 ~vaddr:(Kmem.alloc km 4);
+      Hypervisor.add_domain h d0;
+      let gs =
+        Array.mapi
+          (fun i space ->
+            let g =
+              Domain.create ~id:(i + 1)
+                ~name:(Printf.sprintf "guest%d" i)
+                ~kind:Domain.Guest ~space
+            in
+            Hypervisor.add_domain h g;
+            g)
+          guest_spaces
+      in
+      (Some h, Some d0, gs)
+    end
+    else (None, None, [||])
+  in
+  let guest = if Array.length guest_doms > 0 then Some guest_doms.(0) else None in
+  (* NICs + netdevs *)
+  let ports =
+    Array.init nics (fun i ->
+        let wire = Td_nic.Wire.fresh_counters () in
+        let mac = host_mac i in
+        let dev =
+          Td_nic.E1000_dev.create ~dma:dom0_space ~mac
+            ~tx_frame:(Td_nic.Wire.sink wire) ()
+        in
+        let mmio = Td_nic.E1000_dev.mmio_vaddr i in
+        Td_nic.E1000_dev.attach dev ~space:dom0_space ~vaddr:mmio;
+        let nd = Netdev.alloc km dom0_space ~mmio_base:mmio ~mac in
+        { dev; nd; mac; gmac = vif_mac 0 i; wire; pending_irq = 0 })
+  in
+  Array.iter
+    (fun p ->
+      Td_nic.E1000_dev.set_irq_handler p.dev (fun () ->
+          p.pending_irq <- p.pending_irq + 1))
+    ports;
+  (* support natives & driver images *)
+  Support.register_dom0_natives sup natives;
+  let dom0_support n = Support.dom0_symtab sup natives n in
+  let twin, dom0_driver, hyp_driver, svm_hyp, skb_pool =
+    match cfg with
+    | Config.Native_linux | Config.Xen_dom0 | Config.Xen_domU ->
+        let prog =
+          Td_rewriter.Loader.load ~name:"e1000"
+            ~source:(Td_driver.E1000_driver.source ())
+            ~base:Layout.vm_driver_code_base ~symbols:dom0_support ~registry
+        in
+        (None, entries_of prog, None, None, None)
+    | Config.Xen_twin ->
+        let twin =
+          Td_rewriter.Twin.derive ?spill_everything ?style:rewrite_style
+            ?cache_probes
+            (Td_driver.E1000_driver.source ())
+        in
+        (* VM instance: identity stlb, dom0-resolved symbols *)
+        let vm_stlb = Addr_space.heap_alloc dom0_space (4096 * 8) in
+        let vm_scratch = Kmem.alloc km 64 in
+        let vm_rt = Td_svm.Runtime.create_identity ~dom0:dom0_space ~stlb_vaddr:vm_stlb in
+        Td_svm.Runtime.register_natives vm_rt natives;
+        ignore
+          (Native.register natives "__svm_call@vm" (fun st ->
+               State.set st Reg.EAX (State.stack_arg st 0)));
+        let vm_syms =
+          Td_rewriter.Loader.overlay
+            (Td_rewriter.Loader.svm_symbols ~runtime:vm_rt ~natives
+               ~stlb_vaddr:vm_stlb ~scratch_vaddr:vm_scratch)
+            (Td_rewriter.Loader.overlay
+               (fun n ->
+                 if n = Td_rewriter.Symbols.svm_call then
+                   Native.address_of natives "__svm_call@vm"
+                 else None)
+               dom0_support)
+        in
+        let vm_prog =
+          Td_rewriter.Loader.load ~name:"e1000.vm"
+            ~source:twin.Td_rewriter.Twin.rewritten
+            ~base:Layout.vm_driver_code_base ~symbols:vm_syms ~registry
+        in
+        (* hypervisor instance *)
+        let h = Option.get hyp and d0 = Option.get dom0 in
+        let hyp_rt =
+          Td_svm.Runtime.create_hypervisor ~map_pairs ~dom0:dom0_space
+            ~hyp:xen_space ()
+        in
+        Td_svm.Runtime.register_natives hyp_rt natives;
+        let pool =
+          Skb_pool.create km dom0_space ~entries:pool_entries
+            ~buf_size:Skb.default_buf_bytes
+        in
+        (* packet buffers (struct, linear area, fragment frame) are
+           persistently mapped into the hypervisor *)
+        Skb_pool.iter pool (fun skb ->
+            ignore (Td_svm.Runtime.persistent_map hyp_rt skb.Skb.addr);
+            ignore (Td_svm.Runtime.persistent_map hyp_rt (Skb.head skb));
+            ignore
+              (Td_svm.Runtime.persistent_map hyp_rt
+                 (Skb_pool.frag_buffer pool skb)));
+        let ctx =
+          {
+            Support.hyp = h;
+            dom0 = d0;
+            svm = hyp_rt;
+            pool;
+            hyp_netif_rx = (fun _ -> ());
+          }
+        in
+        let native_set =
+          List.filter
+            (fun n -> not (List.mem n upcall_set))
+            Support.fast_path_names
+        in
+        Support.register_hyp_natives sup natives ~ctx ~native_set;
+        let ct =
+          Td_svm.Call_table.create ~vm_code_base:Layout.vm_driver_code_base
+            ~vm_code_size:(Program.size_bytes vm_prog)
+            ~resolver:(fun addr ->
+              (* a function pointer to a dom0 kernel routine resolves to
+                 its hypervisor-side binding (native or upcall stub) *)
+              match Native.name_of natives addr with
+              | Some name when Filename.check_suffix name "@dom0" ->
+                  Native.address_of natives
+                    (Filename.chop_suffix name "@dom0" ^ "@hyp")
+              | Some _ | None -> None)
+        in
+        Td_svm.Call_table.register_native ct natives "__svm_call@hyp";
+        let hyp_syms =
+          Td_rewriter.Loader.overlay
+            (Td_rewriter.Loader.svm_symbols ~runtime:hyp_rt ~natives
+               ~stlb_vaddr:Layout.stlb_base
+               ~scratch_vaddr:Layout.hyp_scratch_base)
+            (Td_rewriter.Loader.overlay
+               (fun n ->
+                 if n = Td_rewriter.Symbols.svm_call then
+                   Native.address_of natives "__svm_call@hyp"
+                 else None)
+               (fun n -> Support.hyp_symtab sup natives n))
+        in
+        let hyp_prog =
+          Td_rewriter.Loader.load ~name:"e1000.hyp"
+            ~source:twin.Td_rewriter.Twin.rewritten
+            ~base:Layout.hyp_driver_code_base ~symbols:hyp_syms ~registry
+        in
+        ( Some twin,
+          entries_of vm_prog,
+          Some (entries_of hyp_prog),
+          Some hyp_rt,
+          Some pool )
+  in
+  let w =
+    {
+      cfg;
+      phys;
+      dom0_space;
+      xen_space;
+      guest_spaces;
+      registry;
+      natives;
+      km;
+      sup;
+      led;
+      cpu;
+      hyp;
+      dom0;
+      guest;
+      guests = guest_doms;
+      dom0_stack_top;
+      costs;
+      nics = ports;
+      dom0_driver;
+      hyp_driver;
+      svm_hyp;
+      twin;
+      skb_pool;
+      netios = [||];
+      gmac_index = Hashtbl.create 8;
+      interp = Interp.create cpu registry natives;
+      timers = Timer_wheel.create ();
+      sched =
+        (let sc = Scheduler.create () in
+         Array.iter (Scheduler.add sc) guest_doms;
+         sc);
+      rx_pending = Array.init (max 1 guests) (fun _ -> Queue.create ());
+      rx_by_guest = Array.make (max 1 guests) 0;
+      rx_frames = 0;
+      rx_bytes = 0;
+      rx_last = None;
+      tx_drops = 0;
+    }
+  in
+  (* every (guest, nic) vif MAC demuxes to its guest *)
+  Array.iteri
+    (fun i _ ->
+      for g = 0 to max 0 (Array.length guest_doms - 1) do
+        Hashtbl.replace w.gmac_index (vif_mac g i) g
+      done;
+      ignore i)
+    ports;
+  w
+
+(* ---- driver invocation ---- *)
+
+let interp w = w.interp
+
+let run_driver w ~entry ~args ~stack =
+  State.set w.cpu Reg.ESP stack;
+  let before = w.cpu.State.cycles in
+  let result =
+    try Interp.call (interp w) ~entry ~args with
+    | Td_svm.Runtime.Fault { addr; reason } ->
+        Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
+        raise
+          (Driver_aborted (Printf.sprintf "SVM fault at 0x%x: %s" addr reason))
+    | Interp.Timeout _ ->
+        Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
+        raise (Driver_aborted "watchdog timeout")
+    | Addr_space.Page_fault { space; addr } ->
+        Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
+        raise
+          (Driver_aborted
+             (Printf.sprintf "page fault in %s at 0x%x" space addr))
+  in
+  Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
+  result
+
+let run_dom0_driver w ~entry ~args =
+  match w.hyp with
+  | None -> run_driver w ~entry ~args ~stack:w.dom0_stack_top
+  | Some h ->
+      Hypervisor.run_in h (Option.get w.dom0) (fun () ->
+          run_driver w ~entry ~args ~stack:w.dom0_stack_top)
+
+let run_hyp_driver w ~entry ~args =
+  (* no domain switch: the hypervisor driver runs from any guest context *)
+  run_driver w ~entry ~args ~stack:Layout.hyp_stack_top
+
+(* ---- late initialisation (driver init + hooks) ---- *)
+
+let charge_dom0_cat w n = Ledger.charge w.led Ledger.Dom0 n
+let charge_domU_cat w n = Ledger.charge w.led Ledger.DomU n
+let charge_xen_cat w n = Ledger.charge w.led Ledger.Xen n
+
+let count_rx ?(guest = 0) w payload =
+  w.rx_frames <- w.rx_frames + 1;
+  w.rx_bytes <- w.rx_bytes + String.length payload;
+  if guest < Array.length w.rx_by_guest then
+    w.rx_by_guest.(guest) <- w.rx_by_guest.(guest) + 1;
+  w.rx_last <- Some payload
+
+let free_any_skb w skb =
+  match w.skb_pool with
+  | Some pool when Skb_pool.owns pool skb -> Skb_pool.release pool skb
+  | Some _ | None -> Skb.free w.km skb
+
+let init (w : t) =
+  (* run e1000_init for every NIC using the dom0-side instance (the VM
+     driver "performs the initialization of the NIC and the driver data
+     structures", §3.1) *)
+  Array.iter
+    (fun p ->
+      ignore
+        (run_dom0_driver w ~entry:w.dom0_driver.e_init ~args:[ p.nd.Netdev.addr ]);
+      (* the kernel installs the link-check ops pointer after
+         register_netdev; function pointers in shared data always hold
+         VM-instance code addresses *)
+      let a = Td_driver.Adapter.of_netdev p.nd in
+      Td_driver.Adapter.set_field a Td_driver.Adapter.o_link_fn
+        (Program.addr_of_label w.dom0_driver.prog
+           Td_driver.E1000_driver.entry_check_link))
+    w.nics;
+  (* the driver's mod_timer keeps the watchdog running in dom0 — always on
+     the VM instance, never in the hypervisor (§3.1) *)
+  Array.iteri
+    (fun i p ->
+      Timer_wheel.add w.timers ~period:10
+        ~name:(Printf.sprintf "e1000-watchdog-%d" i)
+        (fun () ->
+          ignore
+            (run_dom0_driver w ~entry:w.dom0_driver.e_watchdog
+               ~args:[ p.nd.Netdev.addr ])))
+    w.nics;
+  (* configuration-specific receive plumbing *)
+  (match w.cfg with
+  | Config.Native_linux ->
+      Support.set_netif_rx w.sup (fun skb ->
+          charge_dom0_cat w w.costs.Sys_costs.kernel_rx_path;
+          count_rx w (Bytes.to_string (Skb.contents skb));
+          free_any_skb w skb)
+  | Config.Xen_dom0 ->
+      Support.set_netif_rx w.sup (fun skb ->
+          charge_dom0_cat w w.costs.Sys_costs.kernel_rx_path;
+          charge_xen_cat w w.costs.Sys_costs.virt_overhead_rx;
+          count_rx w (Bytes.to_string (Skb.contents skb));
+          free_any_skb w skb)
+  | Config.Xen_domU ->
+      let h = Option.get w.hyp
+      and d0 = Option.get w.dom0
+      and g = Option.get w.guest in
+      w.netios <-
+        Array.mapi
+          (fun i p ->
+            let netio =
+              Xen_netio.create ~hyp:h ~dom0:d0 ~guest:g ~kmem:w.km
+                ~driver_tx:(fun skb ->
+                  ignore
+                    (run_driver w ~entry:w.dom0_driver.e_xmit
+                       ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
+                       ~stack:w.dom0_stack_top))
+                ()
+            in
+            Xen_netio.set_guest_rx netio (fun frame ->
+                charge_domU_cat w w.costs.Sys_costs.kernel_rx_path;
+                let payload =
+                  String.sub frame eth_header_bytes
+                    (String.length frame - eth_header_bytes)
+                in
+                count_rx w payload);
+            Xen_netio.post_rx_buffers netio 64;
+            ignore i;
+            netio)
+          w.nics;
+      (* dom0's netif_rx: forward to the guest behind the destination
+         MAC's backend interface *)
+      Support.set_netif_rx w.sup (fun skb ->
+          charge_dom0_cat w w.costs.Sys_costs.dom0_rx_kernel;
+          let hdr =
+            Addr_space.read_block w.dom0_space
+              (Skb.data skb - eth_header_bytes)
+              eth_header_bytes
+          in
+          let dst = Bytes.sub_string hdr 0 6 in
+          match Hashtbl.find_opt w.gmac_index dst with
+          | Some i ->
+              (* netback forwards whole frames: push the MAC header back
+                 (eth_type_trans pulled it) *)
+              Skb.set_data skb (Skb.data skb - eth_header_bytes);
+              Skb.set_len skb (Skb.len skb + eth_header_bytes);
+              Xen_netio.deliver_to_guest w.netios.(i) skb
+          | None ->
+              charge_dom0_cat w w.costs.Sys_costs.kernel_rx_path;
+              free_any_skb w skb);
+      (* the workload runs in the guest *)
+      Hypervisor.switch_to h g
+  | Config.Xen_twin ->
+      let h = Option.get w.hyp and g = Option.get w.guest in
+      (* hypervisor-side netif_rx: demultiplex on destination MAC and queue
+         the packet for its guest; the copy and virtual interrupt happen
+         when the guest is next scheduled (§5.3) *)
+      (match w.skb_pool with
+      | Some _ ->
+          let ctx_rx skb =
+            charge_xen_cat w
+              (w.costs.Sys_costs.twin_demux + w.costs.Sys_costs.twin_rx_queue);
+            let hdr =
+              Addr_space.read_block w.dom0_space
+                (Skb.data skb - eth_header_bytes)
+                eth_header_bytes
+            in
+            let dst = Bytes.sub_string hdr 0 6 in
+            (match Hashtbl.find_opt w.gmac_index dst with
+            | Some gi ->
+                Queue.push (Bytes.to_string (Skb.contents skb)) w.rx_pending.(gi)
+            | None ->
+                (* not for a guest: hand to dom0 like a local packet *)
+                charge_dom0_cat w w.costs.Sys_costs.kernel_rx_path);
+            free_any_skb w skb
+          in
+          (* reach into the support registry's hypervisor context *)
+          Support.set_hyp_netif_rx w.sup ctx_rx
+      | None -> ());
+      Hypervisor.switch_to h g);
+  w
+
+let create ?nics ?guests ?upcall_set ?pool_entries ?costs ?spill_everything
+    ?rewrite_style ?cache_probes ?map_pairs cfg =
+  init
+    (create ?nics ?guests ?upcall_set ?pool_entries ?costs ?spill_everything
+       ?rewrite_style ?cache_probes ?map_pairs cfg)
+
+(* ---- traffic ---- *)
+
+let transmit w ~nic ~payload =
+  let p = w.nics.(nic) in
+  let frame = build_frame ~dst:(client_mac nic) ~src:p.mac ~payload in
+  match w.cfg with
+  | Config.Native_linux | Config.Xen_dom0 ->
+      charge_dom0_cat w w.costs.Sys_costs.kernel_tx_path;
+      if w.cfg = Config.Xen_dom0 then
+        charge_xen_cat w w.costs.Sys_costs.virt_overhead_tx;
+      let skb =
+        Skb.alloc w.km w.dom0_space ~size:(String.length frame + 64)
+      in
+      Skb.put skb (Bytes.of_string frame);
+      let r =
+        run_dom0_driver w ~entry:w.dom0_driver.e_xmit
+          ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
+      in
+      if r <> 0 then w.tx_drops <- w.tx_drops + 1;
+      r = 0
+  | Config.Xen_domU ->
+      charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
+      charge_dom0_cat w w.costs.Sys_costs.dom0_tx_kernel;
+      if Array.length w.netios = 0 then
+        failwith "World: domU configuration without netio";
+      Xen_netio.guest_transmit w.netios.(nic) frame;
+      true
+  | Config.Xen_twin -> (
+      charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
+      let h = Option.get w.hyp in
+      Hypervisor.hypercall h ();
+      charge_xen_cat w w.costs.Sys_costs.twin_skb_acquire;
+      match Skb_pool.alloc (Option.get w.skb_pool) with
+      | None ->
+          w.tx_drops <- w.tx_drops + 1;
+          false
+      | Some skb ->
+          (* header copy (up to 96 bytes) into the sk_buff's linear area;
+             the rest of the guest packet is chained through the page
+             fragment pointer using a preallocated dom0 frame (§5.3) *)
+          let pool = Option.get w.skb_pool in
+          let hdr = min 96 (String.length frame) in
+          charge_xen_cat w
+            (int_of_float (float_of_int hdr *. w.costs.Sys_costs.copy_per_byte));
+          Skb.put skb (Bytes.of_string (String.sub frame 0 hdr));
+          if String.length frame > hdr then begin
+            charge_xen_cat w w.costs.Sys_costs.twin_frag_chain;
+            let rest = String.length frame - hdr in
+            let frag = Skb_pool.frag_buffer pool skb in
+            (* chaining is a remap in the paper, not a copy: the bytes are
+               placed functionally but only the constant chain cost is
+               charged *)
+            Addr_space.write_block w.dom0_space frag
+              (Bytes.of_string (String.sub frame hdr rest));
+            Skb.set_frag skb ~page:frag ~len:rest
+          end;
+          let img = Option.get w.hyp_driver in
+          let r =
+            run_hyp_driver w ~entry:img.e_xmit
+              ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
+          in
+          if r <> 0 then w.tx_drops <- w.tx_drops + 1;
+          r = 0)
+
+let inject_rx ?(guest = 0) w ~nic ~payload =
+  let p = w.nics.(nic) in
+  let dst =
+    match w.cfg with
+    | Config.Native_linux | Config.Xen_dom0 -> p.mac
+    | Config.Xen_domU -> p.gmac
+    | Config.Xen_twin -> vif_mac guest nic
+  in
+  let frame = build_frame ~dst ~src:(client_mac nic) ~payload in
+  Td_nic.E1000_dev.receive_frame p.dev frame
+
+let service_interrupt w (p : nic_port) =
+  match w.cfg with
+  | Config.Native_linux ->
+      charge_dom0_cat w w.costs.Sys_costs.interrupt_dispatch;
+      ignore
+        (run_dom0_driver w ~entry:w.dom0_driver.e_intr ~args:[ p.nd.Netdev.addr ])
+  | Config.Xen_dom0 ->
+      charge_xen_cat w
+        (w.costs.Sys_costs.interrupt_dispatch + w.costs.Sys_costs.event_channel);
+      ignore
+        (run_dom0_driver w ~entry:w.dom0_driver.e_intr ~args:[ p.nd.Netdev.addr ])
+  | Config.Xen_domU ->
+      charge_xen_cat w
+        (w.costs.Sys_costs.interrupt_dispatch + w.costs.Sys_costs.event_channel);
+      ignore
+        (run_dom0_driver w ~entry:w.dom0_driver.e_intr ~args:[ p.nd.Netdev.addr ])
+  | Config.Xen_twin ->
+      charge_xen_cat w
+        (w.costs.Sys_costs.interrupt_dispatch
+        + w.costs.Sys_costs.softirq_schedule);
+      let img = Option.get w.hyp_driver in
+      let invoke () =
+        ignore (run_hyp_driver w ~entry:img.e_intr ~args:[ p.nd.Netdev.addr ])
+      in
+      let d0 = Option.get w.dom0 in
+      (* §4.4: the hypervisor respects dom0's virtual interrupt flag *)
+      if Domain.interrupts_masked d0 then Domain.defer d0 invoke
+      else invoke ()
+
+(* twin receive completion: each queued packet is copied into its guest's
+   buffers and announced with a virtual interrupt once that guest runs *)
+let deliver_pending w =
+  match w.hyp with
+  | None -> ()
+  | Some h ->
+      let guest_index d =
+        let rec go i =
+          if i >= Array.length w.guests then None
+          else if Domain.id w.guests.(i) = Domain.id d then Some i
+          else go (i + 1)
+        in
+        go 0
+      in
+      let has_work d =
+        match guest_index d with
+        | Some gi -> not (Queue.is_empty w.rx_pending.(gi))
+        | None -> false
+      in
+      (* the credit scheduler decides which guest runs (and so receives
+         its queued packets) next *)
+      let continue = ref true in
+      while !continue do
+        match Scheduler.pick w.sched ~runnable:has_work with
+        | None -> continue := false
+        | Some dom ->
+            let gi = Option.get (guest_index dom) in
+            let q = w.rx_pending.(gi) in
+            while not (Queue.is_empty q) do
+              let payload = Queue.pop q in
+              charge_xen_cat w
+                (int_of_float
+                   (float_of_int (String.length payload)
+                   *. w.costs.Sys_costs.copy_per_byte));
+              Hypervisor.send_virq h dom (fun () ->
+                  charge_domU_cat w w.costs.Sys_costs.kernel_rx_path;
+                  count_rx ~guest:gi w payload)
+            done
+      done
+
+let pump w =
+  let progress = ref true in
+  while !progress do
+    progress := false;
+    Array.iter
+      (fun p ->
+        if p.pending_irq > 0 then begin
+          p.pending_irq <- 0;
+          progress := true;
+          service_interrupt w p
+        end)
+      w.nics;
+    deliver_pending w
+  done
+
+(* ---- observation ---- *)
+
+let wire_tx_frames w =
+  Array.fold_left (fun acc p -> acc + p.wire.Td_nic.Wire.frames) 0 w.nics
+
+let wire_tx_bytes w =
+  Array.fold_left (fun acc p -> acc + p.wire.Td_nic.Wire.bytes) 0 w.nics
+
+let delivered_rx_frames w = w.rx_frames
+let delivered_rx_frames_to w ~guest = w.rx_by_guest.(guest)
+let guest_count w = Array.length w.guests
+let delivered_rx_bytes w = w.rx_bytes
+let rx_last_payload w = w.rx_last
+
+let reset_measurement w =
+  Ledger.reset w.led;
+  Support.reset_counts w.sup;
+  Array.iter
+    (fun p ->
+      p.wire.Td_nic.Wire.frames <- 0;
+      p.wire.Td_nic.Wire.bytes <- 0)
+    w.nics;
+  w.rx_frames <- 0;
+  w.rx_bytes <- 0;
+  Array.fill w.rx_by_guest 0 (Array.length w.rx_by_guest) 0;
+  w.rx_last <- None;
+  w.tx_drops <- 0
+
+(* ---- housekeeping ---- *)
+
+let run_watchdog w ~nic =
+  ignore
+    (run_dom0_driver w ~entry:w.dom0_driver.e_watchdog
+       ~args:[ w.nics.(nic).nd.Netdev.addr ])
+
+let read_stats w ~nic =
+  let dest = Kmem.alloc w.km 32 in
+  ignore
+    (run_dom0_driver w ~entry:w.dom0_driver.e_get_stats
+       ~args:[ w.nics.(nic).nd.Netdev.addr; dest ]);
+  let out =
+    Array.init 8 (fun i ->
+        Addr_space.read w.dom0_space (dest + (4 * i)) Width.W32)
+  in
+  Kmem.free w.km dest 32;
+  out
+
+let run_set_rx_mode w ~nic ~promisc =
+  ignore
+    (run_dom0_driver w ~entry:w.dom0_driver.e_set_rx_mode
+       ~args:[ w.nics.(nic).nd.Netdev.addr; (if promisc then 1 else 0) ])
+
+let run_set_mtu w ~nic ~mtu =
+  ignore
+    (run_dom0_driver w ~entry:w.dom0_driver.e_set_mtu
+       ~args:[ w.nics.(nic).nd.Netdev.addr; mtu ])
+
+let tick w =
+  Timer_wheel.tick w.timers
+
+let mask_dom0_interrupts w =
+  Option.iter Domain.mask_interrupts w.dom0
+
+let unmask_dom0_interrupts w =
+  Option.iter Domain.unmask_interrupts w.dom0;
+  deliver_pending w

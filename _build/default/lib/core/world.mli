@@ -1,0 +1,109 @@
+(** A complete simulated machine in one of the four evaluated
+    configurations: physical memory, address spaces, the Xen hypervisor
+    (where applicable), dom0 with its kernel substrate, an optional guest,
+    five (by default) e1000 NICs, and the driver — original or twinned —
+    loaded and initialised.
+
+    The packet-level API ([transmit], [inject_rx], [pump]) moves real
+    bytes through the simulated system while the cycle ledger accumulates
+    per-category costs; benchmarks derive throughput and the Figure 7/8
+    breakdowns from it. *)
+
+type t
+
+val create :
+  ?nics:int ->
+  ?guests:int ->
+  ?upcall_set:string list ->
+  ?pool_entries:int ->
+  ?costs:Td_xen.Sys_costs.t ->
+  ?spill_everything:bool ->
+  ?rewrite_style:Td_rewriter.Rewrite.style ->
+  ?cache_probes:bool ->
+  ?map_pairs:bool ->
+  Config.t ->
+  t
+(** [guests] (default 1) creates that many guest domains (Xen_twin: the
+    hypervisor demultiplexes received packets among them by destination
+    MAC, §5.3). [upcall_set] (Xen_twin only) lists fast-path support
+    routines that are demoted to upcalls — the Figure 10 experiment.
+    [pool_entries] sizes the hypervisor's preallocated sk_buff pool.
+    [spill_everything], [rewrite_style] and [map_pairs] select the
+    DESIGN.md ablations (Xen_twin only). *)
+
+val config : t -> Config.t
+val nic_count : t -> int
+val ledger : t -> Td_xen.Ledger.t
+val support : t -> Td_kernel.Support.t
+val kmem : t -> Td_kernel.Kmem.t
+val dom0_space : t -> Td_mem.Addr_space.t
+val adapter : t -> nic:int -> Td_driver.Adapter.t
+val netdev : t -> nic:int -> Td_kernel.Netdev.t
+val nic_mac : t -> nic:int -> string
+val guest_mac : t -> nic:int -> string
+(** Destination MAC for traffic addressed to the guest behind NIC [i]
+    (equal to {!nic_mac} for host-terminated configurations). *)
+
+val svm : t -> Td_svm.Runtime.t option
+(** The hypervisor instance's SVM runtime (Xen_twin only). *)
+
+val twin_stats : t -> Td_rewriter.Rewrite.stats option
+val pool : t -> Td_kernel.Skb_pool.t option
+val hypervisor : t -> Td_xen.Hypervisor.t option
+val dom0_domain : t -> Td_xen.Domain.t option
+
+(* traffic *)
+
+val transmit : t -> nic:int -> payload:string -> bool
+(** Push one packet down the configuration's full transmit path; [false]
+    when the driver dropped it. The frame on the wire carries an ethernet
+    header around [payload]. *)
+
+val inject_rx : ?guest:int -> t -> nic:int -> payload:string -> unit
+(** A frame arrives from the wire addressed to this configuration's
+    consumer (guest [guest]'s vif MAC for Xen_twin). Processing happens
+    at the next {!pump}. *)
+
+val pump : t -> unit
+(** Service pending NIC interrupts (and anything they cascade into). *)
+
+(* observation *)
+
+val wire_tx_frames : t -> int
+val wire_tx_bytes : t -> int
+val delivered_rx_frames : t -> int
+val delivered_rx_frames_to : t -> guest:int -> int
+val guest_count : t -> int
+val delivered_rx_bytes : t -> int
+val rx_last_payload : t -> string option
+val reset_measurement : t -> unit
+(** Zero the ledger and traffic counters (driver/NIC state persists). *)
+
+(* housekeeping paths (run in dom0 by the VM instance) *)
+
+val tick : t -> unit
+(** Advance the dom0 kernel's timer wheel one tick; every ten ticks the
+    driver watchdog runs for each NIC — in dom0, on the VM instance, as
+    §3.1 prescribes. *)
+
+val run_watchdog : t -> nic:int -> unit
+val read_stats : t -> nic:int -> int array
+(** The driver's statistics block (tx_packets, tx_bytes, rx_packets,
+    rx_bytes, tx_dropped, rx_alloc_fail, watchdog_runs, stats_mpc),
+    copied out by [e1000_get_stats]'s string move. *)
+
+val run_set_mtu : t -> nic:int -> mtu:int -> unit
+val run_set_rx_mode : t -> nic:int -> promisc:bool -> unit
+val mask_dom0_interrupts : t -> unit
+val unmask_dom0_interrupts : t -> unit
+
+val cpu_state : t -> Td_cpu.State.t
+(** The simulated CPU (for diagnostics). *)
+
+val interp : t -> Td_cpu.Interp.t
+(** The interpreter driving all driver executions in this world — attach
+    a {!Td_cpu.Profiler} to it for per-routine cycle profiles. *)
+
+exception Driver_aborted of string
+(** Raised when the hypervisor driver instance faults (SVM violation or
+    watchdog timeout); the hypervisor survives — only the driver dies. *)

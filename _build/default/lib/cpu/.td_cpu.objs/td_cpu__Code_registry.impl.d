@@ -1,0 +1,1 @@
+lib/cpu/code_registry.ml: List Printf Td_misa

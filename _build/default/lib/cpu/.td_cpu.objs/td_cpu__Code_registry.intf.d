@@ -1,0 +1,1 @@
+lib/cpu/code_registry.mli: Td_misa

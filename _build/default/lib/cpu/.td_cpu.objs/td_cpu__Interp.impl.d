@@ -1,0 +1,1 @@
+lib/cpu/interp.ml: Array Cache Code_registry Cond Cost_model Insn List Native Operand Printf Program Reg State Td_mem Td_misa Tlb Width

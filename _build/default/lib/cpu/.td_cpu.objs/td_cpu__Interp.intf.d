@@ -1,0 +1,1 @@
+lib/cpu/interp.mli: Code_registry Native State Td_misa

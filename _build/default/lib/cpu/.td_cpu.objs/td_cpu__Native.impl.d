@@ -1,0 +1,1 @@
+lib/cpu/native.ml: Hashtbl Option State Td_mem

@@ -1,0 +1,1 @@
+lib/cpu/native.mli: State

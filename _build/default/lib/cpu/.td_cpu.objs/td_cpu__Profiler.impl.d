@@ -1,0 +1,1 @@
+lib/cpu/profiler.ml: Array Code_registry Format Hashtbl Interp List State Td_misa

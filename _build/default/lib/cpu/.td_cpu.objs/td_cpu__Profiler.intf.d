@@ -1,0 +1,1 @@
+lib/cpu/profiler.mli: Format Interp

@@ -1,0 +1,1 @@
+lib/cpu/state.ml: Array Cache Cost_model Td_mem Td_misa Tlb

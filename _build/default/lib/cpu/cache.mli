@@ -1,0 +1,18 @@
+(** Data-cache model: direct-mapped, 64-byte lines, physically indexed.
+
+    Physically indexed so that the dom0 data accessed by the hypervisor
+    driver through its SVM mapping hits the same lines as when dom0
+    accesses it — a property the TwinDrivers design depends on (one data
+    instance, shared cache footprint). *)
+
+type t
+
+val create : ?size_bytes:int -> ?line_bytes:int -> unit -> t
+(** Default: 512 KiB (last-level), 64-byte lines. *)
+
+val access : t -> int -> bool
+(** [access cache paddr] returns [true] on a hit. *)
+
+val flush : t -> unit
+val hits : t -> int
+val misses : t -> int

@@ -1,0 +1,25 @@
+type t = { mutable programs : Td_misa.Program.t list }
+
+let create () = { programs = [] }
+
+let overlaps (a : Td_misa.Program.t) (b : Td_misa.Program.t) =
+  let a_end = a.Td_misa.Program.base + Td_misa.Program.size_bytes a in
+  let b_end = b.Td_misa.Program.base + Td_misa.Program.size_bytes b in
+  a.Td_misa.Program.base < b_end && b.Td_misa.Program.base < a_end
+
+let register t p =
+  (match List.find_opt (overlaps p) t.programs with
+  | Some q ->
+      invalid_arg
+        (Printf.sprintf "Code_registry: %s overlaps %s" p.Td_misa.Program.name
+           q.Td_misa.Program.name)
+  | None -> ());
+  t.programs <- p :: t.programs
+
+let find t addr =
+  List.find_opt (fun p -> Td_misa.Program.contains p addr) t.programs
+
+let resolve t addr =
+  match find t addr with
+  | Some p -> (p, Td_misa.Program.index_of_addr p addr)
+  | None -> raise Not_found

@@ -1,0 +1,18 @@
+(** Registry mapping code-address ranges to assembled programs.
+
+    Programs do not live in simulated RAM; a code address identifies
+    [(program, instruction index)] through this registry, which plays the
+    role of the instruction fetch path. *)
+
+type t
+
+val create : unit -> t
+val register : t -> Td_misa.Program.t -> unit
+(** Raises [Invalid_argument] when the program's range overlaps an already
+    registered program. *)
+
+val find : t -> int -> Td_misa.Program.t option
+(** Program containing the given code address. *)
+
+val resolve : t -> int -> Td_misa.Program.t * int
+(** [(program, index)] for a code address. Raises [Not_found]. *)

@@ -1,0 +1,24 @@
+type t = {
+  insn : int;
+  mem_access : int;
+  tlb_miss : int;
+  cache_miss : int;
+  mmio : int;
+  call : int;
+  native_call : int;
+  str_unit : int;
+}
+
+let default =
+  {
+    insn = 1;
+    mem_access = 2;
+    tlb_miss = 20;
+    cache_miss = 40;
+    mmio = 250;
+    call = 2;
+    native_call = 5;
+    str_unit = 1;
+  }
+
+let frequency_hz = 3_000_000_000

@@ -1,0 +1,22 @@
+(** Cycle-cost parameters of the simulated CPU.
+
+    These model the micro-architectural costs the paper measures (3.0 GHz
+    Xeon): instruction issue, memory access, TLB misses, cache misses.
+    Absolute values are calibration constants documented in DESIGN.md;
+    *ratios* between configurations are what the reproduction relies on. *)
+
+type t = {
+  insn : int;  (** base cost of any instruction *)
+  mem_access : int;  (** extra cost of each memory operand access *)
+  tlb_miss : int;  (** page-walk penalty *)
+  cache_miss : int;  (** memory-hierarchy penalty *)
+  mmio : int;  (** uncached device-register access (PCI transaction) *)
+  call : int;  (** extra cost of call/ret control transfer *)
+  native_call : int;  (** cost of entering a native (C-level) routine *)
+  str_unit : int;  (** per-element cost of string operations *)
+}
+
+val default : t
+
+val frequency_hz : int
+(** Simulated CPU frequency (3.0 GHz, as in the paper's testbed). *)

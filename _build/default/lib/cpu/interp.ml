@@ -1,0 +1,388 @@
+exception Fault of string
+exception Timeout of int
+
+type t = {
+  state : State.t;
+  registry : Code_registry.t;
+  natives : Native.t;
+  mutable hook : (State.t -> Td_misa.Insn.t -> unit) option;
+}
+
+let create ?hook state registry natives = { state; registry; natives; hook }
+
+let ret_sentinel = 0xFFFF_FFF0
+let mask32 v = v land 0xFFFFFFFF
+let sign_bit = 0x80000000
+
+open Td_misa
+
+(* --- memory access with cost accounting --- *)
+
+let charge_access t addr w =
+  let st = t.state in
+  let cost = ref st.State.costs.Cost_model.mem_access in
+  if not (Tlb.access st.State.tlb (Td_mem.Layout.page_of addr)) then
+    cost := !cost + st.State.costs.Cost_model.tlb_miss;
+  (let space = State.space_for st addr in
+   match
+     Td_mem.Addr_space.frame_of_vpage space ~vpage:(Td_mem.Layout.page_of addr)
+   with
+   | Some frame ->
+       let paddr = (frame * Td_mem.Layout.page_size) + Td_mem.Layout.offset_of addr in
+       if not (Cache.access st.State.cache paddr) then
+         cost := !cost + st.State.costs.Cost_model.cache_miss
+   | None ->
+       (* device page or unmapped (the access itself will fault if
+          unmapped); MMIO is an uncached PCI transaction *)
+       cost := !cost + st.State.costs.Cost_model.mmio);
+  ignore w;
+  State.add_cycles st !cost
+
+let load t addr w =
+  charge_access t addr w;
+  State.read_mem t.state addr w
+
+let store t addr w v =
+  charge_access t addr w;
+  State.write_mem t.state addr w v
+
+(* --- operand evaluation --- *)
+
+let addr_of_mem st (m : Operand.mem) =
+  let base = match m.Operand.base with Some r -> State.get st r | None -> 0 in
+  let index =
+    match m.Operand.index with
+    | Some (r, s) -> State.get st r * Operand.scale_factor s
+    | None -> 0
+  in
+  (match m.Operand.sym with
+  | Some s -> raise (Fault ("unresolved symbol in operand: " ^ s))
+  | None -> ());
+  mask32 (m.Operand.disp + base + index)
+
+let eval t w = function
+  | Operand.Imm n -> n land Width.mask w
+  | Operand.Reg r -> State.get t.state r land Width.mask w
+  | Operand.Mem m -> load t (addr_of_mem t.state m) w
+
+let assign t w dst v =
+  match dst with
+  | Operand.Imm _ -> raise (Fault "store to immediate")
+  | Operand.Reg r -> State.set_narrow t.state w r v
+  | Operand.Mem m -> store t (addr_of_mem t.state m) w v
+
+(* --- flags --- *)
+
+let set_zs st v =
+  st.State.zf <- mask32 v = 0;
+  st.State.sf <- v land sign_bit <> 0
+
+let flags_logic st v =
+  set_zs st v;
+  st.State.cf <- false;
+  st.State.ovf <- false
+
+let flags_add st a b r =
+  set_zs st r;
+  st.State.cf <- a + b > 0xFFFFFFFF;
+  st.State.ovf <- (a lxor r) land (b lxor r) land sign_bit <> 0
+
+let flags_sub st dst src r =
+  set_zs st r;
+  st.State.cf <- dst < src;
+  st.State.ovf <- (dst lxor src) land (dst lxor r) land sign_bit <> 0
+
+let cond_true st = function
+  | Cond.E -> st.State.zf
+  | Cond.NE -> not st.State.zf
+  | Cond.L -> st.State.sf <> st.State.ovf
+  | Cond.LE -> st.State.zf || st.State.sf <> st.State.ovf
+  | Cond.G -> (not st.State.zf) && st.State.sf = st.State.ovf
+  | Cond.GE -> st.State.sf = st.State.ovf
+  | Cond.B -> st.State.cf
+  | Cond.BE -> st.State.cf || st.State.zf
+  | Cond.A -> (not st.State.cf) && not st.State.zf
+  | Cond.AE -> not st.State.cf
+  | Cond.S -> st.State.sf
+  | Cond.NS -> not st.State.sf
+
+(* --- control transfer --- *)
+
+let target_addr t = function
+  | Insn.Lbl l -> raise (Fault ("unresolved label: " ^ l))
+  | Insn.Abs a -> a
+  | Insn.Ind o -> eval t Width.W32 o
+
+let do_call t dest =
+  let st = t.state in
+  State.add_cycles st st.State.costs.Cost_model.call;
+  if Native.is_native_addr dest then begin
+    match Native.lookup t.natives dest with
+    | Some fn ->
+        State.add_cycles st st.State.costs.Cost_model.native_call;
+        (* Native routines may re-enter the interpreter (upcalls), which
+           clobbers [pc]; resume at the instruction after the call. The
+           return address is pushed so that [State.stack_arg] sees the
+           same frame layout as in a simulated call, and popped here in
+           lieu of the callee's [ret]. *)
+        let resume = st.State.pc + 4 in
+        State.push st resume;
+        fn st;
+        ignore (State.pop st);
+        st.State.pc <- resume
+    | None -> raise (Fault (Printf.sprintf "call to unregistered native 0x%x" dest))
+  end
+  else begin
+    State.push st (st.State.pc + 4);
+    st.State.pc <- dest
+  end
+
+let do_jump t dest =
+  if Native.is_native_addr dest then
+    raise (Fault (Printf.sprintf "jump to native address 0x%x" dest));
+  t.state.State.pc <- dest
+
+(* --- string operations --- *)
+
+let str_step t op w =
+  let st = t.state in
+  let n = Width.bytes w in
+  State.add_cycles st st.State.costs.Cost_model.str_unit;
+  (match op with
+  | Insn.Movs ->
+      let src = State.get st Reg.ESI and dst = State.get st Reg.EDI in
+      let v = load t src w in
+      store t dst w v;
+      State.set st Reg.ESI (src + n);
+      State.set st Reg.EDI (dst + n)
+  | Insn.Stos ->
+      let dst = State.get st Reg.EDI in
+      store t dst w (State.get st Reg.EAX land Width.mask w);
+      State.set st Reg.EDI (dst + n)
+  | Insn.Lods ->
+      let src = State.get st Reg.ESI in
+      let v = load t src w in
+      State.set_narrow st w Reg.EAX v;
+      State.set st Reg.ESI (src + n))
+
+let exec_str t op w rep =
+  let st = t.state in
+  if not rep then str_step t op w
+  else
+    while State.get st Reg.ECX <> 0 do
+      str_step t op w;
+      State.set st Reg.ECX (State.get st Reg.ECX - 1)
+    done
+
+(* --- main dispatch --- *)
+
+(* Dual-issue model: a register-only move/ALU instruction pairs with an
+   immediately preceding simple instruction and issues for free. This is
+   the superscalar effect that keeps the SVM fast path (mostly simple ALU
+   work) cheaper than ten sequential cycles. *)
+let is_simple = function
+  | Insn.Mov (_, (Operand.Imm _ | Operand.Reg _), Operand.Reg _)
+  | Insn.Lea (_, _)
+  | Insn.Alu (_, (Operand.Imm _ | Operand.Reg _), Operand.Reg _)
+  | Insn.Shift (_, (Operand.Imm _ | Operand.Reg _), Operand.Reg _)
+  | Insn.Cmp ((Operand.Imm _ | Operand.Reg _), Operand.Reg _)
+  | Insn.Test ((Operand.Imm _ | Operand.Reg _), Operand.Reg _)
+  | Insn.Inc (Operand.Reg _)
+  | Insn.Dec (Operand.Reg _)
+  | Insn.Nop ->
+      true
+  | _ -> false
+
+let exec_insn t (prog : Program.t) insn =
+  let st = t.state in
+  (if is_simple insn && st.State.pair_slot then
+     (* issues in the previous instruction's empty slot *)
+     st.State.pair_slot <- false
+   else begin
+     State.add_cycles st st.State.costs.Cost_model.insn;
+     st.State.pair_slot <- is_simple insn
+   end);
+  let next () = st.State.pc <- st.State.pc + 4 in
+  match insn with
+  | Insn.Mov (w, src, dst) ->
+      let v = eval t w src in
+      assign t w dst v;
+      next ()
+  | Insn.Movzx (w, src, r) ->
+      let v = eval t w src in
+      State.set st r (v land Width.mask w);
+      next ()
+  | Insn.Lea (m, r) ->
+      State.set st r (addr_of_mem st m);
+      next ()
+  | Insn.Alu (op, src, dst) ->
+      let a = eval t Width.W32 src and b = eval t Width.W32 dst in
+      let r =
+        match op with
+        | Insn.Add ->
+            let r = mask32 (b + a) in
+            flags_add st a b r;
+            r
+        | Insn.Sub ->
+            let r = mask32 (b - a) in
+            flags_sub st b a r;
+            r
+        | Insn.Adc ->
+            let carry = if st.State.cf then 1 else 0 in
+            let r = mask32 (b + a + carry) in
+            set_zs st r;
+            st.State.cf <- b + a + carry > 0xFFFFFFFF;
+            st.State.ovf <- (a lxor r) land (b lxor r) land sign_bit <> 0;
+            r
+        | Insn.Sbb ->
+            let borrow = if st.State.cf then 1 else 0 in
+            let r = mask32 (b - a - borrow) in
+            set_zs st r;
+            st.State.cf <- b < a + borrow;
+            st.State.ovf <- (b lxor a) land (b lxor r) land sign_bit <> 0;
+            r
+        | Insn.And ->
+            let r = b land a in
+            flags_logic st r;
+            r
+        | Insn.Or ->
+            let r = b lor a in
+            flags_logic st r;
+            r
+        | Insn.Xor ->
+            let r = b lxor a in
+            flags_logic st r;
+            r
+      in
+      assign t Width.W32 dst r;
+      next ()
+  | Insn.Shift (op, cnt, dst) ->
+      let c = eval t Width.W32 cnt land 31 in
+      let v = eval t Width.W32 dst in
+      let r =
+        if c = 0 then v
+        else
+          match op with
+          | Insn.Shl ->
+              st.State.cf <- (v lsr (32 - c)) land 1 = 1;
+              mask32 (v lsl c)
+          | Insn.Shr ->
+              st.State.cf <- (v lsr (c - 1)) land 1 = 1;
+              v lsr c
+          | Insn.Sar ->
+              let signed = if v land sign_bit <> 0 then v - 0x1_0000_0000 else v in
+              st.State.cf <- (signed asr (c - 1)) land 1 = 1;
+              mask32 (signed asr c)
+      in
+      if c <> 0 then set_zs st r;
+      assign t Width.W32 dst r;
+      next ()
+  | Insn.Cmp (src, dst) ->
+      let a = eval t Width.W32 src and b = eval t Width.W32 dst in
+      flags_sub st b a (mask32 (b - a));
+      next ()
+  | Insn.Test (src, dst) ->
+      let a = eval t Width.W32 src and b = eval t Width.W32 dst in
+      flags_logic st (a land b);
+      next ()
+  | Insn.Inc o ->
+      let v = mask32 (eval t Width.W32 o + 1) in
+      set_zs st v;
+      assign t Width.W32 o v;
+      next ()
+  | Insn.Dec o ->
+      let v = mask32 (eval t Width.W32 o - 1) in
+      set_zs st v;
+      assign t Width.W32 o v;
+      next ()
+  | Insn.Neg o ->
+      let v = eval t Width.W32 o in
+      let r = mask32 (-v) in
+      set_zs st r;
+      st.State.cf <- v <> 0;
+      assign t Width.W32 o r;
+      next ()
+  | Insn.Not o ->
+      assign t Width.W32 o (mask32 (lnot (eval t Width.W32 o)));
+      next ()
+  | Insn.Imul (src, r) ->
+      let v = mask32 (eval t Width.W32 src * State.get st r) in
+      set_zs st v;
+      State.set st r v;
+      next ()
+  | Insn.Xchg (o, r) ->
+      let ov = eval t Width.W32 o in
+      let rv = State.get st r in
+      assign t Width.W32 o rv;
+      State.set st r ov;
+      next ()
+  | Insn.Push o ->
+      let v = eval t Width.W32 o in
+      charge_access t (State.get st Reg.ESP - 4) Width.W32;
+      State.push st v;
+      next ()
+  | Insn.Pop o ->
+      charge_access t (State.get st Reg.ESP) Width.W32;
+      let v = State.pop st in
+      assign t Width.W32 o v;
+      next ()
+  | Insn.Jmp tgt -> do_jump t (target_addr t tgt)
+  | Insn.Jcc (c, lbl) ->
+      if cond_true st c then
+        st.State.pc <- Program.addr_of_label prog lbl
+      else next ()
+  | Insn.Call tgt -> do_call t (target_addr t tgt)
+  | Insn.Ret ->
+      charge_access t (State.get st Reg.ESP) Width.W32;
+      State.add_cycles st st.State.costs.Cost_model.call;
+      st.State.pc <- State.pop st
+  | Insn.Str (op, w, rep) ->
+      exec_str t op w rep;
+      next ()
+  | Insn.Pushf ->
+      let v =
+        (if st.State.zf then 1 else 0)
+        lor (if st.State.sf then 2 else 0)
+        lor (if st.State.cf then 4 else 0)
+        lor if st.State.ovf then 8 else 0
+      in
+      charge_access t (State.get st Reg.ESP - 4) Width.W32;
+      State.push st v;
+      next ()
+  | Insn.Popf ->
+      charge_access t (State.get st Reg.ESP) Width.W32;
+      let v = State.pop st in
+      st.State.zf <- v land 1 <> 0;
+      st.State.sf <- v land 2 <> 0;
+      st.State.cf <- v land 4 <> 0;
+      st.State.ovf <- v land 8 <> 0;
+      next ()
+  | Insn.Nop -> next ()
+  | Insn.Hlt -> st.State.pc <- ret_sentinel
+
+let step t =
+  let st = t.state in
+  let prog, idx =
+    try Code_registry.resolve t.registry st.State.pc
+    with Not_found ->
+      raise (Fault (Printf.sprintf "execution at unmapped address 0x%x" st.State.pc))
+  in
+  let insn = prog.Program.code.(idx) in
+  (match t.hook with Some h -> h st insn | None -> ());
+  st.State.steps <- st.State.steps + 1;
+  exec_insn t prog insn
+
+let call ?(max_steps = 1_000_000) t ~entry ~args =
+  let st = t.state in
+  List.iter (State.push st) (List.rev args);
+  State.push st ret_sentinel;
+  st.State.pc <- entry;
+  let budget = ref max_steps in
+  while st.State.pc <> ret_sentinel do
+    if !budget <= 0 then raise (Timeout max_steps);
+    decr budget;
+    step t
+  done;
+  (* pop the arguments (caller cleans up, cdecl) *)
+  State.set st Reg.ESP (State.get st Reg.ESP + (4 * List.length args));
+  State.get st Reg.EAX

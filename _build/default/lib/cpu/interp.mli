@@ -1,0 +1,38 @@
+(** The MISA instruction interpreter with cycle accounting.
+
+    Executes assembled programs registered in a {!Code_registry.t} against
+    the architectural {!State.t}. Costs are charged per instruction and per
+    memory access (TLB and cache models included), so the measured
+    native-vs-rewritten driver slowdown is an output of execution, not an
+    assumption. *)
+
+exception Fault of string
+(** Execution fault: unresolved target, call into unmapped code, etc. *)
+
+exception Timeout of int
+(** Raised when [max_steps] is exceeded — the resource-hoarding guard the
+    paper delegates to VINO-style timeouts (§4.5.2). *)
+
+type t = {
+  state : State.t;
+  registry : Code_registry.t;
+  natives : Native.t;
+  mutable hook : (State.t -> Td_misa.Insn.t -> unit) option;
+}
+
+val create :
+  ?hook:(State.t -> Td_misa.Insn.t -> unit) ->
+  State.t -> Code_registry.t -> Native.t -> t
+
+val ret_sentinel : int
+(** Pseudo return address marking the bottom of a simulated call; popping
+    it ends {!call}. *)
+
+val call : ?max_steps:int -> t -> entry:int -> args:int list -> int
+(** [call t ~entry ~args] pushes [args] (cdecl, right-to-left), invokes the
+    routine at code address [entry] and runs to completion; returns [EAX].
+    [ESP] must already point to a valid stack. Default [max_steps] is
+    1_000_000. *)
+
+val exec_insn : t -> Td_misa.Program.t -> Td_misa.Insn.t -> unit
+(** Execute one instruction (for tests); [state.pc] must identify it. *)

@@ -1,0 +1,32 @@
+type fn = State.t -> unit
+
+type t = {
+  by_addr : (int, string * fn) Hashtbl.t;
+  by_name : (string, int) Hashtbl.t;
+  mutable next : int;
+}
+
+let create () =
+  {
+    by_addr = Hashtbl.create 64;
+    by_name = Hashtbl.create 64;
+    next = Td_mem.Layout.native_base;
+  }
+
+let register t name fn =
+  match Hashtbl.find_opt t.by_name name with
+  | Some addr ->
+      Hashtbl.replace t.by_addr addr (name, fn);
+      addr
+  | None ->
+      let addr = t.next in
+      t.next <- t.next + 16;
+      Hashtbl.replace t.by_addr addr (name, fn);
+      Hashtbl.replace t.by_name name addr;
+      addr
+
+let address_of t name = Hashtbl.find_opt t.by_name name
+let name_of t addr = Option.map fst (Hashtbl.find_opt t.by_addr addr)
+let lookup t addr = Option.map snd (Hashtbl.find_opt t.by_addr addr)
+let is_native_addr addr = addr >= Td_mem.Layout.native_base
+let count t = Hashtbl.length t.by_name

@@ -1,0 +1,21 @@
+(** Per-routine cycle attribution — the "more detailed profiling" the
+    paper uses to locate overheads inside the twin configurations (§6.2).
+
+    Attach a profiler to an interpreter and every simulated cycle is
+    charged to the label region enclosing the instruction that spent it
+    (labels are routine entry points in driver code, so this yields
+    per-routine profiles, including the rewriter-emitted slow paths). *)
+
+type t
+
+val attach : Interp.t -> t
+(** Installs the interpreter hook (replacing any existing one). *)
+
+val cycles_by_label : t -> (string * int) list
+(** Sorted by descending cycles. Label names are qualified as
+    ["program:label"]. *)
+
+val total_cycles : t -> int
+val reset : t -> unit
+val pp : Format.formatter -> t -> unit
+(** Top entries with percentages. *)

@@ -1,0 +1,47 @@
+(* 4-way set-associative, round-robin eviction within a set. *)
+
+type t = {
+  sets : int;
+  ways : int;
+  slots : int array;  (** sets * ways entries; -1 = empty *)
+  rr : int array;  (** next way to evict, per set *)
+  mutable hit_count : int;
+  mutable miss_count : int;
+}
+
+let create ?(entries = 256) () =
+  let ways = 4 in
+  let sets = max 1 (entries / ways) in
+  {
+    sets;
+    ways;
+    slots = Array.make (sets * ways) (-1);
+    rr = Array.make sets 0;
+    hit_count = 0;
+    miss_count = 0;
+  }
+
+let access t vpage =
+  let set = vpage land (t.sets - 1) in
+  let base = set * t.ways in
+  let rec probe w =
+    if w >= t.ways then None
+    else if t.slots.(base + w) = vpage then Some w
+    else probe (w + 1)
+  in
+  match probe 0 with
+  | Some _ ->
+      t.hit_count <- t.hit_count + 1;
+      true
+  | None ->
+      t.slots.(base + t.rr.(set)) <- vpage;
+      t.rr.(set) <- (t.rr.(set) + 1) mod t.ways;
+      t.miss_count <- t.miss_count + 1;
+      false
+
+let flush t =
+  Array.fill t.slots 0 (Array.length t.slots) (-1);
+  Array.fill t.rr 0 t.sets 0
+
+let hits t = t.hit_count
+let misses t = t.miss_count

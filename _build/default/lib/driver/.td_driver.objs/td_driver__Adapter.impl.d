@@ -1,0 +1,1 @@
+lib/driver/adapter.ml: Td_kernel Td_mem Td_misa

@@ -1,0 +1,1 @@
+lib/driver/adapter.mli: Td_kernel Td_mem

@@ -1,0 +1,1 @@
+lib/driver/e1000_driver.ml: Adapter Builder Insn List Operand Td_misa Td_nic

@@ -1,0 +1,1 @@
+lib/driver/e1000_driver.mli: Td_misa

@@ -1,0 +1,1 @@
+lib/driver/rtl_driver.ml: Builder List Operand Td_misa Td_nic

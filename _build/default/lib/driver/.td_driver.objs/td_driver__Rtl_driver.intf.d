@@ -1,0 +1,1 @@
+lib/driver/rtl_driver.mli: Td_misa

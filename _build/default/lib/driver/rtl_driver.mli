@@ -1,0 +1,28 @@
+(** A second guest-OS driver, for the RTL8139-style NIC ({!Td_nic.Rtl_dev})
+    — written independently of the e1000 driver to demonstrate that the
+    TwinDrivers derivation is driver-agnostic: same rewriter, same loader,
+    same SVM runtime, no driver-specific knowledge.
+
+    Structurally different hot path: transmit *copies* each frame into one
+    of four fixed staging buffers with [rep movsb] (the 8139 needs
+    contiguous frames); receive *copies* packets out of a contiguous ring
+    buffer, again with [rep movsb] — so the rewriter's string-operation
+    chunking runs on this driver's fast path.
+
+    Adapter layout (64 bytes at [netdev->priv]):
+    {v
+      +0  mmio   +4 rx_ring  +8 tx_cur  +12 netdev
+      +16 tx_packets  +20 rx_packets  +24 tx_dropped  +28 rx_alloc_fail
+      +32..+44 tx staging buffers (4 slots)
+    v} *)
+
+val o_tx_packets : int
+val o_rx_packets : int
+val o_tx_dropped : int
+val o_rx_alloc_fail : int
+
+val entry_init : string
+val entry_xmit : string
+val entry_intr : string
+
+val source : unit -> Td_misa.Program.source

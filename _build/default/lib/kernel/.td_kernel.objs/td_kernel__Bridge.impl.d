@@ -1,0 +1,1 @@
+lib/kernel/bridge.ml: Hashtbl List String

@@ -1,0 +1,1 @@
+lib/kernel/kmem.ml: Bytes Hashtbl Td_mem

@@ -1,0 +1,1 @@
+lib/kernel/netdev.ml: Bytes Kmem String Td_mem Td_misa

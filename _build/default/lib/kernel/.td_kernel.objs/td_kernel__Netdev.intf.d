@@ -1,0 +1,1 @@
+lib/kernel/netdev.mli: Kmem Td_mem

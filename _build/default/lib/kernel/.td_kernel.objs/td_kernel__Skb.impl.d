@@ -1,0 +1,1 @@
+lib/kernel/skb.ml: Bytes Kmem Td_mem Td_misa

@@ -1,0 +1,1 @@
+lib/kernel/skb.mli: Kmem Td_mem

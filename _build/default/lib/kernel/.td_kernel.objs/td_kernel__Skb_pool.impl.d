@@ -1,0 +1,1 @@
+lib/kernel/skb_pool.ml: Hashtbl Kmem List Skb Td_mem

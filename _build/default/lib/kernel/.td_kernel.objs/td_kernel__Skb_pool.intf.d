@@ -1,0 +1,1 @@
+lib/kernel/skb_pool.mli: Kmem Skb Td_mem

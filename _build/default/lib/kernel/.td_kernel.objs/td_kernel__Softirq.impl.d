@@ -1,0 +1,1 @@
+lib/kernel/softirq.ml: Queue

@@ -1,0 +1,1 @@
+lib/kernel/spinlock.ml: Td_mem Td_misa

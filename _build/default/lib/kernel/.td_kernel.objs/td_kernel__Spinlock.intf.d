@@ -1,0 +1,1 @@
+lib/kernel/spinlock.mli: Td_mem

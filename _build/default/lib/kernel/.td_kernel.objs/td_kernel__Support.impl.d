@@ -1,0 +1,1 @@
+lib/kernel/support.ml: Bytes Char Hashtbl Kmem List Native Netdev Option Skb Skb_pool Spinlock State Td_cpu Td_mem Td_misa Td_svm Td_xen

@@ -1,0 +1,1 @@
+lib/kernel/support.mli: Kmem Skb Skb_pool Td_cpu Td_mem Td_svm Td_xen

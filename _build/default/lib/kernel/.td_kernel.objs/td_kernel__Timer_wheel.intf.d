@@ -1,0 +1,1 @@
+lib/kernel/timer_wheel.mli:

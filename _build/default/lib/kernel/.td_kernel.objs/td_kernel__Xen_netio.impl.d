@@ -1,0 +1,1 @@
+lib/kernel/xen_netio.ml: Bytes Domain Grant_table Hypervisor Kmem Queue Skb String Sys_costs Td_mem Td_xen

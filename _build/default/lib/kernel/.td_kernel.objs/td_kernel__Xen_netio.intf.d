@@ -1,0 +1,1 @@
+lib/kernel/xen_netio.mli: Kmem Skb Td_xen

@@ -1,0 +1,37 @@
+type port = { port_name : string; tx : string -> unit }
+
+type t = {
+  mutable ports : port list;
+  fdb : (string, port) Hashtbl.t;  (** mac -> port *)
+  mutable forwarded : int;
+  mutable flooded : int;
+}
+
+let create () =
+  { ports = []; fdb = Hashtbl.create 16; forwarded = 0; flooded = 0 }
+
+let add_port t p = t.ports <- t.ports @ [ p ]
+let learn t ~mac p = Hashtbl.replace t.fdb mac p
+
+let forward t frame =
+  if String.length frame < 14 then ()
+  else begin
+    let dst = String.sub frame 0 6 in
+    let src = String.sub frame 6 6 in
+    let src_port = Hashtbl.find_opt t.fdb src in
+    match Hashtbl.find_opt t.fdb dst with
+    | Some p ->
+        t.forwarded <- t.forwarded + 1;
+        p.tx frame
+    | None ->
+        t.flooded <- t.flooded + 1;
+        List.iter
+          (fun p ->
+            match src_port with
+            | Some sp when sp.port_name = p.port_name -> ()
+            | Some _ | None -> p.tx frame)
+          t.ports
+  end
+
+let forwarded t = t.forwarded
+let flooded t = t.flooded

@@ -1,0 +1,22 @@
+(** The dom0 software bridge of Figure 1: connects the physical NIC's
+    driver to backend interfaces (one per guest) and the dom0 local stack,
+    forwarding ethernet frames by destination MAC with source-MAC
+    learning. *)
+
+type port = { port_name : string; tx : string -> unit }
+
+type t
+
+val create : unit -> t
+val add_port : t -> port -> unit
+
+val forward : t -> string -> unit
+(** [forward t frame] learns the source MAC and forwards by destination:
+    to the learned port, or floods to every port except the learned source
+    port when unknown (broadcast behaviour). *)
+
+val learn : t -> mac:string -> port -> unit
+(** Static entry (used when guest MACs are known up front). *)
+
+val forwarded : t -> int
+val flooded : t -> int

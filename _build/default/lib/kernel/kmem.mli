@@ -1,0 +1,20 @@
+(** A small kernel memory allocator (kmalloc/kfree) over a simulated
+    address space: power-of-two size classes carved out of heap pages,
+    with per-class free lists. Driver data structures, rings and sk_buff
+    buffers all live here — in dom0's address space, which is what the
+    hypervisor driver instance reaches through SVM. *)
+
+type t
+
+val create : Td_mem.Addr_space.t -> t
+
+val alloc : t -> int -> int
+(** [alloc t bytes] returns the virtual address of a zeroed region of at
+    least [bytes] bytes (rounded to a power-of-two class, max 4096).
+    Larger requests are served as contiguous whole pages. *)
+
+val free : t -> int -> int -> unit
+(** [free t addr bytes] returns a region to its class's free list. *)
+
+val allocated_bytes : t -> int
+(** Live allocation total (for leak tests). *)

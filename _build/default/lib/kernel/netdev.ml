@@ -1,0 +1,30 @@
+type t = { space : Td_mem.Addr_space.t; addr : int }
+
+let struct_bytes = 32
+
+let rd t off = Td_mem.Addr_space.read t.space (t.addr + off) Td_misa.Width.W32
+let wr t off v = Td_mem.Addr_space.write t.space (t.addr + off) Td_misa.Width.W32 v
+
+let of_addr space addr = { space; addr }
+
+let alloc kmem space ~mmio_base ~mac =
+  if String.length mac <> 6 then invalid_arg "Netdev.alloc: mac must be 6 bytes";
+  let addr = Kmem.alloc kmem struct_bytes in
+  let t = { space; addr } in
+  wr t 0 mmio_base;
+  wr t 4 0;
+  wr t 8 0;
+  Td_mem.Addr_space.write_block space (addr + 12) (Bytes.of_string mac);
+  wr t 20 1500;
+  wr t 24 0;
+  t
+
+let mmio_base t = rd t 0
+let priv t = rd t 8
+let set_priv t v = wr t 8 v
+let mac t = Bytes.to_string (Td_mem.Addr_space.read_block t.space (t.addr + 12) 6)
+let mtu t = rd t 20
+let set_mtu t v = wr t 20 v
+let queue_stopped t = rd t 4 land 1 <> 0
+let stop_queue t = wr t 4 (rd t 4 lor 1)
+let wake_queue t = wr t 4 (rd t 4 land lnot 1)

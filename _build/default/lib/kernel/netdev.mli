@@ -1,0 +1,29 @@
+(** net_device: the kernel's view of a network interface, materialised in
+    dom0 memory (32 bytes):
+    {v
+      +0  mmio_base   virtual address of the NIC register page
+      +4  flags       bit 0: transmit queue stopped
+      +8  priv        driver-private (adapter) structure pointer
+      +12 mac[6]      station address
+      +20 mtu
+      +24 watchdog_timeo
+      +28 reserved
+    v} *)
+
+type t = { space : Td_mem.Addr_space.t; addr : int }
+
+val struct_bytes : int
+
+val alloc : Kmem.t -> Td_mem.Addr_space.t -> mmio_base:int -> mac:string -> t
+val of_addr : Td_mem.Addr_space.t -> int -> t
+
+val mmio_base : t -> int
+val priv : t -> int
+val set_priv : t -> int -> unit
+val mac : t -> string
+val mtu : t -> int
+val set_mtu : t -> int -> unit
+
+val queue_stopped : t -> bool
+val stop_queue : t -> unit
+val wake_queue : t -> unit

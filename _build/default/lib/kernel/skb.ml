@@ -1,0 +1,64 @@
+type t = { space : Td_mem.Addr_space.t; addr : int }
+
+let struct_bytes = 32
+let default_buf_bytes = 2048
+
+let rd t off = Td_mem.Addr_space.read t.space (t.addr + off) Td_misa.Width.W32
+let wr t off v = Td_mem.Addr_space.write t.space (t.addr + off) Td_misa.Width.W32 v
+
+let of_addr space addr = { space; addr }
+
+let data t = rd t 0
+let set_data t v = wr t 0 v
+let len t = rd t 4
+let set_len t v = wr t 4 v
+let head t = rd t 8
+let end_ t = rd t 12
+let refcnt t = rd t 16
+let set_refcnt t v = wr t 16 v
+let get_ref t = set_refcnt t (refcnt t + 1)
+let protocol t = rd t 20
+let set_protocol t v = wr t 20 v
+let frag_page t = rd t 24
+
+let set_frag t ~page ~len =
+  wr t 24 page;
+  wr t 28 len
+
+let frag_len t = rd t 28
+let capacity t = end_ t - head t
+
+let alloc kmem space ~size =
+  let addr = Kmem.alloc kmem struct_bytes in
+  let buf = Kmem.alloc kmem size in
+  let t = { space; addr } in
+  set_data t buf;
+  set_len t 0;
+  wr t 8 buf;
+  wr t 12 (buf + size);
+  set_refcnt t 1;
+  set_protocol t 0;
+  set_frag t ~page:0 ~len:0;
+  t
+
+let free kmem t =
+  let r = refcnt t in
+  if r <= 1 then begin
+    Kmem.free kmem (head t) (capacity t);
+    Kmem.free kmem t.addr struct_bytes
+  end
+  else set_refcnt t (r - 1)
+
+let put t payload =
+  let d = data t and l = len t in
+  if d + l + Bytes.length payload > end_ t then failwith "Skb.put: overflow";
+  Td_mem.Addr_space.write_block t.space (d + l) payload;
+  set_len t (l + Bytes.length payload)
+
+let pull t n =
+  if n > len t then failwith "Skb.pull: underflow";
+  set_data t (data t + n);
+  set_len t (len t - n)
+
+let contents t = Td_mem.Addr_space.read_block t.space (data t) (len t)
+let total_len t = len t + frag_len t

@@ -1,0 +1,60 @@
+(** sk_buff: the Linux network packet buffer, materialised in simulated
+    dom0 memory so that both driver instances (and the NIC's DMA engine)
+    see the single shared copy.
+
+    Struct layout (32 bytes, little-endian words):
+    {v
+      +0  data      current data pointer (virtual address)
+      +4  len       bytes at [data]
+      +8  head      buffer start
+      +12 end       buffer end (capacity boundary)
+      +16 refcnt
+      +20 protocol  set by eth_type_trans
+      +24 frag_page first chained fragment page (0 = none)
+      +28 frag_len  bytes in the fragment chain
+    v} *)
+
+type t = { space : Td_mem.Addr_space.t; addr : int }
+
+val struct_bytes : int
+val default_buf_bytes : int
+
+val alloc : Kmem.t -> Td_mem.Addr_space.t -> size:int -> t
+(** Allocate struct + data buffer; [data = head], [len = 0], [refcnt = 1]. *)
+
+val free : Kmem.t -> t -> unit
+(** Drop a reference; releases struct and buffer when it reaches zero. *)
+
+val of_addr : Td_mem.Addr_space.t -> int -> t
+
+(* field accessors *)
+
+val data : t -> int
+val set_data : t -> int -> unit
+val len : t -> int
+val set_len : t -> int -> unit
+val head : t -> int
+val end_ : t -> int
+val refcnt : t -> int
+val get_ref : t -> unit
+val set_refcnt : t -> int -> unit
+val protocol : t -> int
+val set_protocol : t -> int -> unit
+val frag_page : t -> int
+val set_frag : t -> page:int -> len:int -> unit
+val frag_len : t -> int
+
+val capacity : t -> int
+
+val put : t -> bytes -> unit
+(** Append payload bytes at [data + len]; extends [len]. Raises [Failure]
+    on overflow. *)
+
+val pull : t -> int -> unit
+(** Advance [data] by [n] (consume a header), shrinking [len]. *)
+
+val contents : t -> bytes
+(** The linear data area (not including chained fragments). *)
+
+val total_len : t -> int
+(** Linear length plus fragment chain length. *)

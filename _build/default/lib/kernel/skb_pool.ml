@@ -1,0 +1,53 @@
+type t = {
+  space : Td_mem.Addr_space.t;
+  all : (int, int) Hashtbl.t;  (** struct addr -> preallocated frag buffer *)
+  mutable free : Skb.t list;
+  size : int;
+  mutable exhaustions : int;
+}
+
+let create kmem space ~entries ~buf_size =
+  let all = Hashtbl.create entries in
+  let free =
+    List.init entries (fun _ ->
+        let skb = Skb.alloc kmem space ~size:buf_size in
+        (* base reference held by the pool: dom0 frees only decrement *)
+        Skb.get_ref skb;
+        let frag = Kmem.alloc kmem Td_mem.Layout.page_size in
+        Hashtbl.replace all skb.Skb.addr frag;
+        skb)
+  in
+  { space; all; free; size = entries; exhaustions = 0 }
+
+let alloc t =
+  match t.free with
+  | skb :: rest ->
+      t.free <- rest;
+      Skb.get_ref skb;
+      Some skb
+  | [] ->
+      t.exhaustions <- t.exhaustions + 1;
+      None
+
+let owns t skb = Hashtbl.mem t.all skb.Skb.addr
+
+let release t skb =
+  if not (owns t skb) then failwith "Skb_pool.release: foreign sk_buff";
+  (* reset to a pristine buffer holding only the pool's base reference *)
+  Skb.set_refcnt skb 1;
+  Skb.set_data skb (Skb.head skb);
+  Skb.set_len skb 0;
+  Skb.set_frag skb ~page:0 ~len:0;
+  Skb.set_protocol skb 0;
+  t.free <- skb :: t.free
+
+let iter t f = Hashtbl.iter (fun addr _ -> f (Skb.of_addr t.space addr)) t.all
+
+let frag_buffer t skb =
+  match Hashtbl.find_opt t.all skb.Skb.addr with
+  | Some frag -> frag
+  | None -> failwith "Skb_pool.frag_buffer: foreign sk_buff"
+
+let available t = List.length t.free
+let size t = t.size
+let exhaustions t = t.exhaustions

@@ -1,0 +1,35 @@
+(** The preallocated sk_buff pool of §4.3: buffers reserved from the dom0
+    heap for use by the hypervisor's support-routine implementations
+    ([netdev_alloc_skb] / [dev_kfree_skb_any] without upcalls).
+
+    "We use a simple reference counter trick to prevent other routines in
+    the dom0 kernel from accessing these buffers": pool-owned sk_buffs
+    keep a base reference, so a dom0-side free never releases them back to
+    the dom0 allocator — they return here instead. *)
+
+type t
+
+val create : Kmem.t -> Td_mem.Addr_space.t -> entries:int -> buf_size:int -> t
+(** Each pool sk_buff also carries a preallocated dom0 fragment buffer
+    (§5.3: the hypervisor "chains together the rest of the guest packet
+    ... using pre-allocated page frames from dom0"). *)
+
+val frag_buffer : t -> Skb.t -> int
+(** The sk_buff's preallocated fragment buffer (page-sized). Raises
+    [Failure] for a foreign sk_buff. *)
+
+val alloc : t -> Skb.t option
+(** [None] when the pool is empty (the driver will drop the packet). *)
+
+val release : t -> Skb.t -> unit
+(** Return an sk_buff to the pool; resets data/len. Raises [Failure] for
+    an sk_buff the pool does not own. *)
+
+val owns : t -> Skb.t -> bool
+val iter : t -> (Skb.t -> unit) -> unit
+(** Apply to every pool-owned sk_buff (free or in flight). *)
+
+val available : t -> int
+val size : t -> int
+val exhaustions : t -> int
+(** Number of failed allocations. *)

@@ -1,0 +1,17 @@
+type t = { queue : (unit -> unit) Queue.t }
+
+let create () = { queue = Queue.create () }
+let raise_softirq t fn = Queue.push fn t.queue
+let pending t = Queue.length t.queue
+
+let run t ?(guard = fun () -> true) () =
+  let ran = ref 0 in
+  let continue = ref true in
+  while !continue && not (Queue.is_empty t.queue) do
+    if guard () then begin
+      (Queue.pop t.queue) ();
+      incr ran
+    end
+    else continue := false
+  done;
+  !ran

@@ -1,0 +1,15 @@
+(** Deferred-work context. §4.4: the hypervisor invokes the driver's
+    interrupt handler "in a schedulable 'softirq' context, instead of
+    directly in the interrupt context", so that dom0's virtual interrupt
+    flag is respected. *)
+
+type t
+
+val create : unit -> t
+val raise_softirq : t -> (unit -> unit) -> unit
+val pending : t -> int
+
+val run : t -> ?guard:(unit -> bool) -> unit -> int
+(** Drain the queue; [guard] is checked before each item (dom0's virtual
+    interrupt flag) — when false, draining stops and work stays queued.
+    Returns the number of items executed. *)

@@ -1,0 +1,11 @@
+let init space addr = Td_mem.Addr_space.write space addr Td_misa.Width.W32 0
+
+let trylock space addr =
+  if Td_mem.Addr_space.read space addr Td_misa.Width.W32 = 0 then begin
+    Td_mem.Addr_space.write space addr Td_misa.Width.W32 1;
+    true
+  end
+  else false
+
+let unlock space addr = Td_mem.Addr_space.write space addr Td_misa.Width.W32 0
+let held space addr = Td_mem.Addr_space.read space addr Td_misa.Width.W32 <> 0

@@ -1,0 +1,11 @@
+(** Spinlocks as words in shared dom0 memory.
+
+    §4.4: "these synchronization operations continue to work correctly for
+    the hypervisor driver instance since they operate on atomic
+    synchronization variables which are also shared between the hypervisor
+    and VM driver" — both instances manipulate the same word. *)
+
+val init : Td_mem.Addr_space.t -> int -> unit
+val trylock : Td_mem.Addr_space.t -> int -> bool
+val unlock : Td_mem.Addr_space.t -> int -> unit
+val held : Td_mem.Addr_space.t -> int -> bool

@@ -1,0 +1,35 @@
+type timer = {
+  period : int;
+  fn : unit -> unit;
+  mutable next_due : int;
+  mutable fire_count : int;
+}
+
+type t = { timers : (string, timer) Hashtbl.t; mutable now : int }
+
+let create () = { timers = Hashtbl.create 8; now = 0 }
+
+let add t ~period ~name fn =
+  if period <= 0 then invalid_arg "Timer_wheel.add: period must be positive";
+  Hashtbl.replace t.timers name
+    { period; fn; next_due = t.now + period; fire_count = 0 }
+
+let cancel t ~name = Hashtbl.remove t.timers name
+
+let tick t =
+  t.now <- t.now + 1;
+  Hashtbl.iter
+    (fun _ timer ->
+      if t.now >= timer.next_due then begin
+        timer.next_due <- t.now + timer.period;
+        timer.fire_count <- timer.fire_count + 1;
+        timer.fn ()
+      end)
+    t.timers
+
+let ticks t = t.now
+
+let fired t ~name =
+  match Hashtbl.find_opt t.timers name with
+  | Some timer -> timer.fire_count
+  | None -> 0

@@ -1,0 +1,18 @@
+(** Kernel timers: the VM driver instance keeps running housekeeping
+    functions (watchdog, statistics collection) on timers in dom0 —
+    exactly the work TwinDrivers leaves out of the hypervisor (§3.1). *)
+
+type t
+
+val create : unit -> t
+
+val add : t -> period:int -> name:string -> (unit -> unit) -> unit
+(** Register a periodic timer with a period in ticks. *)
+
+val cancel : t -> name:string -> unit
+
+val tick : t -> unit
+(** Advance time by one tick, firing due timers. *)
+
+val ticks : t -> int
+val fired : t -> name:string -> int

@@ -1,0 +1,132 @@
+open Td_xen
+
+type t = {
+  hyp : Hypervisor.t;
+  dom0 : Domain.t;
+  guest : Domain.t;
+  kmem : Kmem.t;
+  driver_tx : Skb.t -> unit;
+  grants : Grant_table.t;
+  tx_page : int;  (** guest page used to stage transmitted frames *)
+  tx_grant : Grant_table.grant_ref;
+  mutable map_cursor : int;  (** dom0 vaddr window for grant maps *)
+  rx_posted : (Grant_table.grant_ref * int) Queue.t;
+  mutable guest_rx : string -> unit;
+  mutable tx_count : int;
+  mutable rx_count : int;
+  mutable rx_dropped : int;
+}
+
+(* dom0 virtual window where granted guest pages are temporarily mapped *)
+let grant_map_base = 0xC7F0_0000
+
+let create ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
+  let gspace = Domain.space guest in
+  let tx_page = Td_mem.Addr_space.heap_alloc gspace Td_mem.Layout.page_size in
+  let grants = Grant_table.create ~owner:guest in
+  let frame =
+    match
+      Td_mem.Addr_space.frame_of_vpage gspace
+        ~vpage:(Td_mem.Layout.page_of tx_page)
+    with
+    | Some f -> f
+    | None -> assert false
+  in
+  {
+    hyp;
+    dom0;
+    guest;
+    kmem;
+    driver_tx;
+    grants;
+    tx_page;
+    tx_grant = Grant_table.grant grants ~frame;
+    map_cursor = grant_map_base;
+    rx_posted = Queue.create ();
+    guest_rx = (fun _ -> ());
+    tx_count = 0;
+    rx_count = 0;
+    rx_dropped = 0;
+  }
+
+let set_guest_rx t fn = t.guest_rx <- fn
+
+let charge_dom0 t n = Hypervisor.charge_domain t.hyp t.dom0 n
+let charge_guest t n = Hypervisor.charge_domain t.hyp t.guest n
+
+let guest_transmit t frame =
+  let costs = Hypervisor.costs t.hyp in
+  let len = String.length frame in
+  if len > Td_mem.Layout.page_size then invalid_arg "Xen_netio: frame too large";
+  (* frontend: stage the frame in the granted guest page, push a request
+     on the I/O channel, notify dom0 *)
+  charge_guest t costs.Sys_costs.netfront;
+  Td_mem.Addr_space.write_block (Domain.space t.guest) t.tx_page
+    (Bytes.of_string frame);
+  Hypervisor.charge_xen t.hyp costs.Sys_costs.io_channel;
+  Hypervisor.hypercall t.hyp ();
+  (* backend runs in dom0: map the grant, build an sk_buff, bridge it into
+     the physical driver *)
+  Hypervisor.run_in t.hyp t.dom0 (fun () ->
+      let vaddr = t.map_cursor in
+      Grant_table.map t.grants ~hyp:t.hyp ~into:t.dom0
+        ~at_vpage:(Td_mem.Layout.page_of vaddr)
+        t.tx_grant;
+      charge_dom0 t costs.Sys_costs.netback;
+      let skb = Skb.alloc t.kmem (Domain.space t.dom0) ~size:(len + 64) in
+      Skb.put skb (Td_mem.Addr_space.read_block (Domain.space t.dom0) vaddr len);
+      charge_dom0 t costs.Sys_costs.bridge;
+      t.driver_tx skb;
+      Grant_table.unmap t.grants ~hyp:t.hyp ~from:t.dom0
+        ~at_vpage:(Td_mem.Layout.page_of vaddr)
+        t.tx_grant);
+  t.tx_count <- t.tx_count + 1
+
+let post_rx_buffers t n =
+  let gspace = Domain.space t.guest in
+  for _ = 1 to n do
+    let page = Td_mem.Addr_space.heap_alloc gspace Td_mem.Layout.page_size in
+    let frame =
+      match
+        Td_mem.Addr_space.frame_of_vpage gspace
+          ~vpage:(Td_mem.Layout.page_of page)
+      with
+      | Some f -> f
+      | None -> assert false
+    in
+    let r = Grant_table.grant t.grants ~frame in
+    Queue.push (r, page) t.rx_posted
+  done
+
+let rx_buffers_posted t = Queue.length t.rx_posted
+
+let deliver_to_guest t skb =
+  let costs = Hypervisor.costs t.hyp in
+  charge_dom0 t (costs.Sys_costs.bridge + costs.Sys_costs.netback);
+  if Queue.is_empty t.rx_posted then begin
+    t.rx_dropped <- t.rx_dropped + 1;
+    Skb.free t.kmem skb
+  end
+  else begin
+    let gref, gvaddr = Queue.pop t.rx_posted in
+    let payload = Skb.contents skb in
+    (* hypervisor-mediated copy into the guest's granted frame *)
+    Grant_table.copy_to t.grants ~hyp:t.hyp gref ~offset:0 ~src:payload;
+    Hypervisor.charge_xen t.hyp costs.Sys_costs.io_channel;
+    Skb.free t.kmem skb;
+    (* notify the guest; frontend hands the frame to the guest stack and
+       immediately re-posts the buffer (as real netfront does) *)
+    Hypervisor.send_virq t.hyp t.guest (fun () ->
+        charge_guest t costs.Sys_costs.netfront;
+        let frame =
+          Td_mem.Addr_space.read_block (Domain.space t.guest) gvaddr
+            (Bytes.length payload)
+        in
+        t.rx_count <- t.rx_count + 1;
+        t.guest_rx (Bytes.to_string frame);
+        Queue.push (gref, gvaddr) t.rx_posted)
+  end
+
+let tx_count t = t.tx_count
+let rx_count t = t.rx_count
+let rx_dropped t = t.rx_dropped

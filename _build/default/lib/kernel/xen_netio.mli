@@ -1,0 +1,41 @@
+(** The unoptimised Xen network I/O path (Figure 1): paravirtual frontend
+    in the guest, I/O channel, backend + bridge in dom0.
+
+    This is the baseline the paper improves on — every packet incurs
+    grant-table operations, I/O-channel ring work, event-channel
+    notifications and two synchronous domain switches, all charged against
+    the ledger, while the real bytes move through the simulated pages so
+    delivery can be asserted end-to-end. *)
+
+type t
+
+val create :
+  hyp:Td_xen.Hypervisor.t ->
+  dom0:Td_xen.Domain.t ->
+  guest:Td_xen.Domain.t ->
+  kmem:Kmem.t ->
+  driver_tx:(Skb.t -> unit) ->
+  unit ->
+  t
+(** [driver_tx] invokes the dom0 NIC driver's transmit routine on a
+    dom0-built sk_buff. *)
+
+val set_guest_rx : t -> (string -> unit) -> unit
+(** Guest-side consumer of received frames. *)
+
+val guest_transmit : t -> string -> unit
+(** Full frontend→backend→bridge→driver transmit path for one frame. *)
+
+val post_rx_buffers : t -> int -> unit
+(** Guest posts [n] granted receive buffers to the backend. *)
+
+val rx_buffers_posted : t -> int
+
+val deliver_to_guest : t -> Skb.t -> unit
+(** Backend receive path: grant-copy the packet into a posted guest
+    buffer, notify the guest (frees the sk_buff). Drops (and counts) when
+    no buffer is posted. *)
+
+val tx_count : t -> int
+val rx_count : t -> int
+val rx_dropped : t -> int

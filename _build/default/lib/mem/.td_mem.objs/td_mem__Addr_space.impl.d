@@ -1,0 +1,1 @@
+lib/mem/addr_space.ml: Bytes Char Hashtbl Layout Phys_mem Printf Td_misa

@@ -1,0 +1,1 @@
+lib/mem/phys_mem.ml: Bytes Char Hashtbl Int32 Layout Printf Td_misa

@@ -1,0 +1,138 @@
+type device = {
+  dev_read : int -> Td_misa.Width.t -> int;
+  dev_write : int -> Td_misa.Width.t -> int -> unit;
+}
+
+type mapping = Frame of Phys_mem.frame | Device of device
+
+exception Page_fault of { space : string; addr : int }
+
+type t = {
+  name : string;
+  phys : Phys_mem.t;
+  table : (int, mapping) Hashtbl.t;
+  mutable heap_next : int;
+  mutable heap_limit : int;
+}
+
+let create ~name phys =
+  { name; phys; table = Hashtbl.create 256; heap_next = 0; heap_limit = 0 }
+
+let name t = t.name
+let phys t = t.phys
+let map t ~vpage frame = Hashtbl.replace t.table vpage (Frame frame)
+let map_device t ~vpage dev = Hashtbl.replace t.table vpage (Device dev)
+let unmap t ~vpage = Hashtbl.remove t.table vpage
+let lookup t ~vpage = Hashtbl.find_opt t.table vpage
+let is_mapped t ~vpage = Hashtbl.mem t.table vpage
+
+let frame_of_vpage t ~vpage =
+  match lookup t ~vpage with
+  | Some (Frame f) -> Some f
+  | Some (Device _) | None -> None
+
+let mapped_pages t = Hashtbl.length t.table
+
+let alloc_page t ~vpage =
+  let f = Phys_mem.alloc_frame t.phys in
+  map t ~vpage f;
+  f
+
+let alloc_region t ~vaddr ~pages =
+  if Layout.offset_of vaddr <> 0 then invalid_arg "alloc_region: unaligned";
+  for i = 0 to pages - 1 do
+    ignore (alloc_page t ~vpage:(Layout.page_of vaddr + i))
+  done
+
+let mapping_of t addr =
+  match lookup t ~vpage:(Layout.page_of addr) with
+  | Some m -> m
+  | None -> raise (Page_fault { space = t.name; addr })
+
+(* Single-page access (never straddles). *)
+let read_within t addr w =
+  match mapping_of t addr with
+  | Frame f -> Phys_mem.read t.phys f (Layout.offset_of addr) w
+  | Device d -> d.dev_read (Layout.offset_of addr) w
+
+let write_within t addr w v =
+  match mapping_of t addr with
+  | Frame f -> Phys_mem.write t.phys f (Layout.offset_of addr) w v
+  | Device d -> d.dev_write (Layout.offset_of addr) w v
+
+let straddles addr w =
+  Layout.offset_of addr + Td_misa.Width.bytes w > Layout.page_size
+
+let read t addr w =
+  if not (straddles addr w) then read_within t addr w
+  else begin
+    (* Assemble byte by byte across the boundary, little-endian. *)
+    let n = Td_misa.Width.bytes w in
+    let v = ref 0 in
+    for i = n - 1 downto 0 do
+      v := (!v lsl 8) lor read_within t (addr + i) Td_misa.Width.W8
+    done;
+    !v
+  end
+
+let write t addr w v =
+  if not (straddles addr w) then write_within t addr w v
+  else
+    let n = Td_misa.Width.bytes w in
+    for i = 0 to n - 1 do
+      write_within t (addr + i) Td_misa.Width.W8 ((v lsr (8 * i)) land 0xff)
+    done
+
+let read_block t addr len =
+  let out = Bytes.create len in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let chunk = min (len - !pos) (Layout.page_size - Layout.offset_of a) in
+    (match mapping_of t a with
+    | Frame f ->
+        Bytes.blit
+          (Phys_mem.read_bytes t.phys f (Layout.offset_of a) chunk)
+          0 out !pos chunk
+    | Device d ->
+        for i = 0 to chunk - 1 do
+          Bytes.set out (!pos + i)
+            (Char.chr (d.dev_read (Layout.offset_of a + i) Td_misa.Width.W8))
+        done);
+    pos := !pos + chunk
+  done;
+  out
+
+let write_block t addr src =
+  let len = Bytes.length src in
+  let pos = ref 0 in
+  while !pos < len do
+    let a = addr + !pos in
+    let chunk = min (len - !pos) (Layout.page_size - Layout.offset_of a) in
+    (match mapping_of t a with
+    | Frame f ->
+        Phys_mem.write_bytes t.phys f (Layout.offset_of a)
+          (Bytes.sub src !pos chunk)
+    | Device d ->
+        for i = 0 to chunk - 1 do
+          d.dev_write
+            (Layout.offset_of a + i)
+            Td_misa.Width.W8
+            (Char.code (Bytes.get src (!pos + i)))
+        done);
+    pos := !pos + chunk
+  done
+
+let heap_init t ~base ~limit =
+  t.heap_next <- base;
+  t.heap_limit <- limit
+
+let heap_alloc t bytes =
+  if t.heap_limit = 0 then failwith "Addr_space.heap_alloc: heap not initialised";
+  let pages = max 1 ((bytes + Layout.page_size - 1) / Layout.page_size) in
+  let vaddr = t.heap_next in
+  if vaddr + (pages * Layout.page_size) > t.heap_limit then
+    failwith (Printf.sprintf "Addr_space.heap_alloc(%s): heap exhausted" t.name);
+  t.heap_next <- vaddr + (pages * Layout.page_size);
+  alloc_region t ~vaddr ~pages;
+  vaddr

@@ -1,0 +1,55 @@
+(** Virtual address spaces: per-domain page tables over shared physical
+    memory, plus device (MMIO) pages.
+
+    Accesses may be unaligned and may straddle a page boundary (the Intel
+    ISA permits this; the paper maps {e two} consecutive pages per stlb miss
+    for exactly this reason) — straddling accesses are split here. *)
+
+type device = {
+  dev_read : int -> Td_misa.Width.t -> int;
+      (** [dev_read offset width] — offset within the page *)
+  dev_write : int -> Td_misa.Width.t -> int -> unit;
+}
+
+type mapping = Frame of Phys_mem.frame | Device of device
+
+exception Page_fault of { space : string; addr : int }
+
+type t
+
+val create : name:string -> Phys_mem.t -> t
+val name : t -> string
+val phys : t -> Phys_mem.t
+
+val map : t -> vpage:int -> Phys_mem.frame -> unit
+val map_device : t -> vpage:int -> device -> unit
+val unmap : t -> vpage:int -> unit
+val lookup : t -> vpage:int -> mapping option
+val is_mapped : t -> vpage:int -> bool
+val frame_of_vpage : t -> vpage:int -> Phys_mem.frame option
+(** [None] for unmapped or device pages. *)
+
+val mapped_pages : t -> int
+
+val alloc_page : t -> vpage:int -> Phys_mem.frame
+(** Allocate a fresh frame and map it at [vpage]. *)
+
+val alloc_region : t -> vaddr:int -> pages:int -> unit
+(** Back [pages] consecutive pages starting at [vaddr] with fresh frames. *)
+
+val read : t -> int -> Td_misa.Width.t -> int
+(** Virtual read; splits page-straddling accesses. Raises {!Page_fault} on
+    unmapped pages. *)
+
+val write : t -> int -> Td_misa.Width.t -> int -> unit
+
+val read_block : t -> int -> int -> bytes
+val write_block : t -> int -> bytes -> unit
+
+val heap_init : t -> base:int -> limit:int -> unit
+(** Initialise the bump allocator for kernel-heap virtual addresses. *)
+
+val heap_alloc : t -> int -> int
+(** [heap_alloc t bytes] reserves (and maps) a fresh, page-padded region and
+    returns its virtual address. Raises [Failure] when the heap region is
+    exhausted. *)

@@ -1,0 +1,69 @@
+type frame = int
+
+type t = {
+  capacity : int;
+  pages : (frame, bytes) Hashtbl.t;
+  mutable next : frame;
+  mutable free : frame list;
+}
+
+let create ?(frames = 65536) () =
+  { capacity = frames; pages = Hashtbl.create 1024; next = 1; free = [] }
+
+let alloc_frame t =
+  match t.free with
+  | f :: rest ->
+      t.free <- rest;
+      Hashtbl.replace t.pages f (Bytes.make Layout.page_size '\000');
+      f
+  | [] ->
+      if t.next >= t.capacity then failwith "Phys_mem: out of frames";
+      let f = t.next in
+      t.next <- t.next + 1;
+      Hashtbl.replace t.pages f (Bytes.make Layout.page_size '\000');
+      f
+
+let free_frame t f =
+  if Hashtbl.mem t.pages f then begin
+    Hashtbl.remove t.pages f;
+    t.free <- f :: t.free
+  end
+
+let frames_allocated t = Hashtbl.length t.pages
+
+let page t f =
+  match Hashtbl.find_opt t.pages f with
+  | Some b -> b
+  | None -> failwith (Printf.sprintf "Phys_mem: access to unallocated frame %d" f)
+
+let check_bounds off w =
+  if off < 0 || off + Td_misa.Width.bytes w > Layout.page_size then
+    invalid_arg (Printf.sprintf "Phys_mem: offset %d crosses frame boundary" off)
+
+let read t f off w =
+  check_bounds off w;
+  let b = page t f in
+  match w with
+  | Td_misa.Width.W8 -> Char.code (Bytes.get b off)
+  | Td_misa.Width.W16 -> Bytes.get_uint16_le b off
+  | Td_misa.Width.W32 -> Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+
+let write t f off w v =
+  check_bounds off w;
+  let b = page t f in
+  match w with
+  | Td_misa.Width.W8 -> Bytes.set b off (Char.chr (v land 0xff))
+  | Td_misa.Width.W16 -> Bytes.set_uint16_le b off (v land 0xffff)
+  | Td_misa.Width.W32 -> Bytes.set_int32_le b off (Int32.of_int v)
+
+let read_bytes t f off len =
+  if off < 0 || off + len > Layout.page_size then
+    invalid_arg "Phys_mem.read_bytes: crosses frame boundary";
+  Bytes.sub (page t f) off len
+
+let write_bytes t f off src =
+  if off < 0 || off + Bytes.length src > Layout.page_size then
+    invalid_arg "Phys_mem.write_bytes: crosses frame boundary";
+  Bytes.blit src 0 (page t f) off (Bytes.length src)
+
+let fill t f c = Bytes.fill (page t f) 0 Layout.page_size c

@@ -1,0 +1,31 @@
+(** Simulated physical memory: a pool of 4 KiB page frames.
+
+    A single [t] models the machine's RAM and is shared by all address
+    spaces — exactly what lets the hypervisor driver instance and the dom0
+    driver instance see a {e single} copy of the driver data. *)
+
+type frame = int
+(** Physical frame number. *)
+
+type t
+
+val create : ?frames:int -> unit -> t
+(** Fresh memory with the given capacity (default 65536 frames = 256 MiB). *)
+
+val alloc_frame : t -> frame
+(** Allocate a zeroed frame. Raises [Failure] when memory is exhausted. *)
+
+val free_frame : t -> frame -> unit
+val frames_allocated : t -> int
+
+val read : t -> frame -> int -> Td_misa.Width.t -> int
+(** [read mem f off w] reads a little-endian value of width [w] at byte
+    offset [off] of frame [f]. The access must not cross the frame
+    boundary. *)
+
+val write : t -> frame -> int -> Td_misa.Width.t -> int -> unit
+
+val read_bytes : t -> frame -> int -> int -> bytes
+val write_bytes : t -> frame -> int -> bytes -> unit
+
+val fill : t -> frame -> char -> unit

@@ -1,0 +1,1 @@
+lib/misa/builder.ml: Cond Insn List Operand Printf Program Width

@@ -1,0 +1,1 @@
+lib/misa/builder.mli: Cond Insn Operand Program Reg

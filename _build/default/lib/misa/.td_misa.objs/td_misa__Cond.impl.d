@@ -1,0 +1,1 @@
+lib/misa/cond.ml: Format

@@ -1,0 +1,1 @@
+lib/misa/decode.ml: Array Bytes Char Cond Encode Hashtbl Insn List Operand Printf Program Reg Width

@@ -1,0 +1,1 @@
+lib/misa/decode.mli: Program

@@ -1,0 +1,1 @@
+lib/misa/encode.ml: Array Buffer Bytes Char Cond Insn Operand Program Reg Width

@@ -1,0 +1,1 @@
+lib/misa/encode.mli: Program

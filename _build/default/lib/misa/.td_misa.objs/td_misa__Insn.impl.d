@@ -1,0 +1,1 @@
+lib/misa/insn.ml: Cond Format List Operand Reg Width

@@ -1,0 +1,1 @@
+lib/misa/insn.mli: Cond Format Operand Reg Width

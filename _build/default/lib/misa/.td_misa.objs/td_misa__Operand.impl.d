@@ -1,0 +1,1 @@
+lib/misa/operand.ml: Format Option Reg

@@ -1,0 +1,1 @@
+lib/misa/operand.mli: Format Reg

@@ -1,0 +1,1 @@
+lib/misa/parser.ml: Buffer Cond Insn List Operand Option Program Reg String Width

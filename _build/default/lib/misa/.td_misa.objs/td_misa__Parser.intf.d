@@ -1,0 +1,1 @@
+lib/misa/parser.mli: Operand Program

@@ -1,0 +1,1 @@
+lib/misa/program.ml: Array Format Hashtbl Insn List Operand Printf

@@ -1,0 +1,1 @@
+lib/misa/program.mli: Format Hashtbl Insn

@@ -1,0 +1,1 @@
+lib/misa/reg.ml: Format Int Printf

@@ -1,0 +1,1 @@
+lib/misa/reg.mli: Format

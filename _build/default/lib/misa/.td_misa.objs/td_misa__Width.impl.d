@@ -1,0 +1,1 @@
+lib/misa/width.ml: Format

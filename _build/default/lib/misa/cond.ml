@@ -1,0 +1,47 @@
+type t = E | NE | L | LE | G | GE | B | BE | A | AE | S | NS
+
+let negate = function
+  | E -> NE
+  | NE -> E
+  | L -> GE
+  | LE -> G
+  | G -> LE
+  | GE -> L
+  | B -> AE
+  | BE -> A
+  | A -> BE
+  | AE -> B
+  | S -> NS
+  | NS -> S
+
+let to_string = function
+  | E -> "e"
+  | NE -> "ne"
+  | L -> "l"
+  | LE -> "le"
+  | G -> "g"
+  | GE -> "ge"
+  | B -> "b"
+  | BE -> "be"
+  | A -> "a"
+  | AE -> "ae"
+  | S -> "s"
+  | NS -> "ns"
+
+let of_string = function
+  | "e" | "z" -> Some E
+  | "ne" | "nz" -> Some NE
+  | "l" -> Some L
+  | "le" -> Some LE
+  | "g" -> Some G
+  | "ge" -> Some GE
+  | "b" | "c" -> Some B
+  | "be" -> Some BE
+  | "a" -> Some A
+  | "ae" | "nc" -> Some AE
+  | "s" -> Some S
+  | "ns" -> Some NS
+  | _ -> None
+
+let equal a b = to_string a = to_string b
+let pp fmt c = Format.pp_print_string fmt (to_string c)

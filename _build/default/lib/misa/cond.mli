@@ -1,0 +1,23 @@
+(** Condition codes for conditional jumps, in x86 nomenclature. *)
+
+type t =
+  | E   (** equal / zero *)
+  | NE  (** not equal / not zero *)
+  | L   (** signed less *)
+  | LE  (** signed less-or-equal *)
+  | G   (** signed greater *)
+  | GE  (** signed greater-or-equal *)
+  | B   (** unsigned below *)
+  | BE  (** unsigned below-or-equal *)
+  | A   (** unsigned above *)
+  | AE  (** unsigned above-or-equal *)
+  | S   (** sign (negative) *)
+  | NS  (** not sign *)
+
+val negate : t -> t
+(** Logical negation, e.g. [negate E = NE]. *)
+
+val to_string : t -> string
+val of_string : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

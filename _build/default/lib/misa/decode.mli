@@ -1,0 +1,18 @@
+(** Disassembler: the inverse of {!Encode}.
+
+    Reconstructs rewritable {!Program.source} from a driver binary. Code
+    addresses inside the program's own range become fresh local labels
+    ([.L_<index>]); addresses outside the range (support-routine
+    bindings, other blobs) stay absolute. The result feeds
+    {!Td_rewriter} exactly like compiler-produced assembly does — the
+    paper's "disassemble the VM driver binary" path. *)
+
+exception Malformed of string
+
+val decode : ?name:string -> bytes -> Program.source * int
+(** [(source, base)] — the original load address is returned so the twin
+    can be placed at the paper's constant code offset from it. *)
+
+val roundtrips : Program.t -> bool
+(** Debug helper: encode then decode and compare instruction-for-
+    instruction (modulo label naming and immediate sign width). *)

@@ -1,0 +1,208 @@
+let magic = "MISA"
+
+let op_mov = 0x01
+let op_movzx = 0x02
+let op_lea = 0x03
+let op_alu = 0x04
+let op_shift = 0x05
+let op_cmp = 0x06
+let op_test = 0x07
+let op_inc = 0x08
+let op_dec = 0x09
+let op_neg = 0x0A
+let op_not = 0x0B
+let op_imul = 0x0C
+let op_push = 0x0D
+let op_pop = 0x0E
+let op_jmp_abs = 0x0F
+let op_jmp_ind = 0x10
+let op_jcc = 0x11
+let op_call_abs = 0x12
+let op_call_ind = 0x13
+let op_ret = 0x14
+let op_str = 0x15
+let op_pushf = 0x16
+let op_popf = 0x17
+let op_nop = 0x18
+let op_hlt = 0x19
+let op_xchg = 0x1A
+
+let width_code = function Width.W8 -> 0 | Width.W16 -> 1 | Width.W32 -> 2
+let alu_code = function
+  | Insn.Add -> 0
+  | Insn.Sub -> 1
+  | Insn.And -> 2
+  | Insn.Or -> 3
+  | Insn.Xor -> 4
+  | Insn.Adc -> 5
+  | Insn.Sbb -> 6
+
+let shift_code = function Insn.Shl -> 0 | Insn.Shr -> 1 | Insn.Sar -> 2
+let str_code = function Insn.Movs -> 0 | Insn.Stos -> 1 | Insn.Lods -> 2
+
+let cond_code c =
+  match c with
+  | Cond.E -> 0
+  | Cond.NE -> 1
+  | Cond.L -> 2
+  | Cond.LE -> 3
+  | Cond.G -> 4
+  | Cond.GE -> 5
+  | Cond.B -> 6
+  | Cond.BE -> 7
+  | Cond.A -> 8
+  | Cond.AE -> 9
+  | Cond.S -> 10
+  | Cond.NS -> 11
+
+let scale_code = function
+  | Operand.S1 -> 0
+  | Operand.S2 -> 1
+  | Operand.S4 -> 2
+  | Operand.S8 -> 3
+
+let put_u8 buf v = Buffer.add_char buf (Char.chr (v land 0xff))
+
+let put_u32 buf v =
+  let v = v land 0xFFFFFFFF in
+  put_u8 buf v;
+  put_u8 buf (v lsr 8);
+  put_u8 buf (v lsr 16);
+  put_u8 buf (v lsr 24)
+
+let put_mem buf (m : Operand.mem) =
+  (match m.Operand.sym with
+  | Some s -> invalid_arg ("Encode: unresolved symbol " ^ s)
+  | None -> ());
+  let flags =
+    (match m.Operand.base with Some _ -> 1 | None -> 0)
+    lor (match m.Operand.index with Some _ -> 2 | None -> 0)
+    lor
+    match m.Operand.index with
+    | Some (_, s) -> scale_code s lsl 2
+    | None -> 0
+  in
+  put_u8 buf flags;
+  (match m.Operand.base with Some r -> put_u8 buf (Reg.index r) | None -> ());
+  (match m.Operand.index with
+  | Some (r, _) -> put_u8 buf (Reg.index r)
+  | None -> ());
+  put_u32 buf m.Operand.disp
+
+let put_operand buf = function
+  | Operand.Imm n ->
+      put_u8 buf 0;
+      put_u32 buf n
+  | Operand.Reg r ->
+      put_u8 buf 1;
+      put_u8 buf (Reg.index r)
+  | Operand.Mem m ->
+      put_u8 buf 2;
+      put_mem buf m
+
+let put_insn buf prog insn =
+  let op code = put_u8 buf code in
+  let target = function
+    | Insn.Abs a -> put_u32 buf a
+    | Insn.Lbl l -> invalid_arg ("Encode: unresolved label " ^ l)
+    | Insn.Ind _ -> assert false
+  in
+  match insn with
+  | Insn.Mov (w, a, b) ->
+      op op_mov;
+      put_u8 buf (width_code w);
+      put_operand buf a;
+      put_operand buf b
+  | Insn.Movzx (w, a, r) ->
+      op op_movzx;
+      put_u8 buf (width_code w);
+      put_operand buf a;
+      put_u8 buf (Reg.index r)
+  | Insn.Lea (m, r) ->
+      op op_lea;
+      put_mem buf m;
+      put_u8 buf (Reg.index r)
+  | Insn.Alu (o, a, b) ->
+      op op_alu;
+      put_u8 buf (alu_code o);
+      put_operand buf a;
+      put_operand buf b
+  | Insn.Shift (o, a, b) ->
+      op op_shift;
+      put_u8 buf (shift_code o);
+      put_operand buf a;
+      put_operand buf b
+  | Insn.Cmp (a, b) ->
+      op op_cmp;
+      put_operand buf a;
+      put_operand buf b
+  | Insn.Test (a, b) ->
+      op op_test;
+      put_operand buf a;
+      put_operand buf b
+  | Insn.Inc a ->
+      op op_inc;
+      put_operand buf a
+  | Insn.Dec a ->
+      op op_dec;
+      put_operand buf a
+  | Insn.Neg a ->
+      op op_neg;
+      put_operand buf a
+  | Insn.Not a ->
+      op op_not;
+      put_operand buf a
+  | Insn.Imul (a, r) ->
+      op op_imul;
+      put_operand buf a;
+      put_u8 buf (Reg.index r)
+  | Insn.Xchg (a, r) ->
+      op op_xchg;
+      put_operand buf a;
+      put_u8 buf (Reg.index r)
+  | Insn.Push a ->
+      op op_push;
+      put_operand buf a
+  | Insn.Pop a ->
+      op op_pop;
+      put_operand buf a
+  | Insn.Jmp (Insn.Ind o) ->
+      op op_jmp_ind;
+      put_operand buf o
+  | Insn.Jmp t ->
+      op op_jmp_abs;
+      target t
+  | Insn.Jcc (c, l) ->
+      op op_jcc;
+      put_u8 buf (cond_code c);
+      put_u32 buf (Program.addr_of_label prog l)
+  | Insn.Call (Insn.Ind o) ->
+      op op_call_ind;
+      put_operand buf o
+  | Insn.Call t ->
+      op op_call_abs;
+      target t
+  | Insn.Ret -> op op_ret
+  | Insn.Str (o, w, rep) ->
+      op op_str;
+      put_u8 buf (str_code o);
+      put_u8 buf (width_code w);
+      put_u8 buf (if rep then 1 else 0)
+  | Insn.Pushf -> op op_pushf
+  | Insn.Popf -> op op_popf
+  | Insn.Nop -> op op_nop
+  | Insn.Hlt -> op op_hlt
+
+let encode (prog : Program.t) =
+  let buf = Buffer.create 4096 in
+  Buffer.add_string buf magic;
+  put_u8 buf 1 (* version *);
+  put_u8 buf 0;
+  put_u8 buf 0;
+  put_u8 buf 0;
+  put_u32 buf prog.Program.base;
+  put_u32 buf (Array.length prog.Program.code);
+  Array.iter (put_insn buf prog) prog.Program.code;
+  Buffer.to_bytes buf
+
+let encoded_size prog = Bytes.length (encode prog)

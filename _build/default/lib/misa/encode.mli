@@ -1,0 +1,21 @@
+(** Binary encoding of MISA programs.
+
+    The paper derives the hypervisor driver "either by disassembling the
+    VM driver binary, or ... by directly compiling the driver into
+    assembly" (§5.1). This module provides the binary side: a compact,
+    self-contained encoding of an assembled program that {!Decode} can
+    disassemble back into rewritable source.
+
+    Layout: a 16-byte header (magic, base address, instruction count),
+    then variable-length instructions — one opcode byte followed by
+    encoded operands (a tag byte plus payload each). Code addresses in
+    jump/call targets are stored absolutely; the disassembler rediscovers
+    labels from them. *)
+
+val magic : string
+
+val encode : Program.t -> bytes
+(** Raises [Invalid_argument] on instructions that still contain
+    unresolved symbolic operands or label targets (assemble first). *)
+
+val encoded_size : Program.t -> int

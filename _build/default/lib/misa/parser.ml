@@ -1,0 +1,262 @@
+exception Syntax_error of int * string
+
+let fail line msg = raise (Syntax_error (line, msg))
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z')
+  || (c >= 'A' && c <= 'Z')
+  || (c >= '0' && c <= '9')
+  || c = '_' || c = '.' || c = '$'
+
+let strip s = String.trim s
+
+(* Parse an integer literal, decimal or 0x-hex, with optional sign. *)
+let parse_int_opt s =
+  let s = strip s in
+  if s = "" then None
+  else
+    let neg, s =
+      if s.[0] = '-' then (true, String.sub s 1 (String.length s - 1))
+      else (false, s)
+    in
+    let value =
+      if String.length s > 2 && s.[0] = '0' && (s.[1] = 'x' || s.[1] = 'X')
+      then int_of_string_opt s
+      else if String.for_all (fun c -> c >= '0' && c <= '9') s && s <> "" then
+        int_of_string_opt s
+      else None
+    in
+    Option.map (fun v -> if neg then -v else v) value
+
+(* Split a displacement expression "12+sym" / "sym" / "12" into parts. *)
+let parse_disp line s =
+  let s = strip s in
+  if s = "" then (0, None)
+  else
+    match String.index_opt s '+' with
+    | Some i ->
+        let l = strip (String.sub s 0 i) in
+        let r = strip (String.sub s (i + 1) (String.length s - i - 1)) in
+        let number, symbol =
+          match (parse_int_opt l, parse_int_opt r) with
+          | Some n, None -> (n, r)
+          | None, Some n -> (n, l)
+          | Some _, Some _ -> fail line ("two numeric displacement parts: " ^ s)
+          | None, None -> fail line ("bad displacement: " ^ s)
+        in
+        (number, Some symbol)
+    | None -> (
+        match parse_int_opt s with
+        | Some n -> (n, None)
+        | None ->
+            if String.for_all is_ident_char s then (0, Some s)
+            else fail line ("bad displacement: " ^ s))
+
+let parse_reg line s =
+  let s = strip s in
+  if String.length s < 2 || s.[0] <> '%' then fail line ("expected register: " ^ s)
+  else
+    match Reg.of_string (String.sub s 1 (String.length s - 1)) with
+    | Some r -> r
+    | None -> fail line ("unknown register: " ^ s)
+
+(* Split a string on commas that are at paren depth 0. *)
+let split_commas s =
+  let parts = ref [] in
+  let buf = Buffer.create 16 in
+  let depth = ref 0 in
+  String.iter
+    (fun c ->
+      match c with
+      | '(' ->
+          incr depth;
+          Buffer.add_char buf c
+      | ')' ->
+          decr depth;
+          Buffer.add_char buf c
+      | ',' when !depth = 0 ->
+          parts := Buffer.contents buf :: !parts;
+          Buffer.clear buf
+      | c -> Buffer.add_char buf c)
+    s;
+  parts := Buffer.contents buf :: !parts;
+  List.rev_map strip !parts
+
+let parse_mem line s =
+  match String.index_opt s '(' with
+  | None ->
+      let disp, sym = parse_disp line s in
+      Operand.mem ?sym disp
+  | Some i ->
+      if s.[String.length s - 1] <> ')' then fail line ("expected ')': " ^ s);
+      let disp_str = String.sub s 0 i in
+      let inner = String.sub s (i + 1) (String.length s - i - 2) in
+      let disp, sym = parse_disp line disp_str in
+      let parts = split_commas inner in
+      let base, index =
+        match parts with
+        | [ b ] -> (Some (parse_reg line b), None)
+        | [ b; i ] ->
+            let base = if strip b = "" then None else Some (parse_reg line b) in
+            (base, Some (parse_reg line i, Operand.S1))
+        | [ b; i; sc ] ->
+            let base = if strip b = "" then None else Some (parse_reg line b) in
+            let scale =
+              match parse_int_opt sc with
+              | Some n -> (
+                  match Operand.scale_of_int n with
+                  | Some s -> s
+                  | None -> fail line ("bad scale: " ^ sc))
+              | None -> fail line ("bad scale: " ^ sc)
+            in
+            (base, Some (parse_reg line i, scale))
+        | [] | _ :: _ :: _ :: _ :: _ -> fail line ("bad memory operand: " ^ s)
+      in
+      { base; index; disp; sym }
+
+let parse_operand_line line s =
+  let s = strip s in
+  if s = "" then fail line "empty operand"
+  else if s.[0] = '$' then
+    match parse_int_opt (String.sub s 1 (String.length s - 1)) with
+    | Some n -> Operand.Imm n
+    | None -> fail line ("bad immediate: " ^ s)
+  else if s.[0] = '%' then Operand.Reg (parse_reg line s)
+  else Operand.Mem (parse_mem line s)
+
+let parse_operand s = parse_operand_line 0 s
+
+let parse_target line s =
+  let s = strip s in
+  if s = "" then fail line "empty target"
+  else if s.[0] = '*' then
+    Insn.Ind (parse_operand_line line (String.sub s 1 (String.length s - 1)))
+  else
+    match parse_int_opt s with
+    | Some a -> Insn.Abs a
+    | None -> Insn.Lbl s
+
+let width_of_mnemonic line m =
+  let n = String.length m in
+  if n = 0 then fail line "empty mnemonic"
+  else
+    match Width.of_suffix (String.sub m (n - 1) 1) with
+    | Some w -> (String.sub m 0 (n - 1), w)
+    | None -> (m, Width.W32)
+
+let parse_insn line mnemonic args =
+  let ops () = List.map (parse_operand_line line) (split_commas args) in
+  let two op =
+    match ops () with
+    | [ a; b ] -> op a b
+    | _ -> fail line (mnemonic ^ ": expected 2 operands")
+  in
+  let one op =
+    match ops () with
+    | [ a ] -> op a
+    | _ -> fail line (mnemonic ^ ": expected 1 operand")
+  in
+  let two_reg_dst op =
+    match ops () with
+    | [ a; Operand.Reg r ] -> op a r
+    | _ -> fail line (mnemonic ^ ": expected op, %reg")
+  in
+  let stem, w = width_of_mnemonic line mnemonic in
+  match (stem, mnemonic) with
+  | "mov", _ -> two (fun a b -> Insn.Mov (w, a, b))
+  | "movzx", _ -> two_reg_dst (fun a r -> Insn.Movzx (w, a, r))
+  | "lea", _ ->
+      two_reg_dst (fun a r ->
+          match a with
+          | Operand.Mem m -> Insn.Lea (m, r)
+          | Operand.Imm _ | Operand.Reg _ ->
+              fail line "lea: expected memory operand")
+  | "add", _ -> two (fun a b -> Insn.Alu (Insn.Add, a, b))
+  | "sub", _ -> two (fun a b -> Insn.Alu (Insn.Sub, a, b))
+  | "adc", _ -> two (fun a b -> Insn.Alu (Insn.Adc, a, b))
+  | "sbb", _ -> two (fun a b -> Insn.Alu (Insn.Sbb, a, b))
+  | "xchg", _ -> two_reg_dst (fun a r -> Insn.Xchg (a, r))
+  | "and", _ -> two (fun a b -> Insn.Alu (Insn.And, a, b))
+  | "or", _ -> two (fun a b -> Insn.Alu (Insn.Or, a, b))
+  | "xor", _ -> two (fun a b -> Insn.Alu (Insn.Xor, a, b))
+  | "shl", _ -> two (fun a b -> Insn.Shift (Insn.Shl, a, b))
+  | "shr", _ -> two (fun a b -> Insn.Shift (Insn.Shr, a, b))
+  | "sar", _ -> two (fun a b -> Insn.Shift (Insn.Sar, a, b))
+  | "cmp", _ -> two (fun a b -> Insn.Cmp (a, b))
+  | "test", _ -> two (fun a b -> Insn.Test (a, b))
+  | "inc", _ -> one (fun a -> Insn.Inc a)
+  | "dec", _ -> one (fun a -> Insn.Dec a)
+  | "neg", _ -> one (fun a -> Insn.Neg a)
+  | "not", _ -> one (fun a -> Insn.Not a)
+  | "imul", _ -> two_reg_dst (fun a r -> Insn.Imul (a, r))
+  | "push", _ -> one (fun a -> Insn.Push a)
+  | "pop", _ -> one (fun a -> Insn.Pop a)
+  | _, "jmp" -> Insn.Jmp (parse_target line args)
+  | _, "call" -> Insn.Call (parse_target line args)
+  | _, "ret" -> Insn.Ret
+  | _, "pushf" -> Insn.Pushf
+  | _, "popf" -> Insn.Popf
+  | _, "nop" -> Insn.Nop
+  | _, "hlt" -> Insn.Hlt
+  | "movs", _ -> Insn.Str (Insn.Movs, w, false)
+  | "stos", _ -> Insn.Str (Insn.Stos, w, false)
+  | "lods", _ -> Insn.Str (Insn.Lods, w, false)
+  | _, _ -> (
+      (* conditional jumps: j<cc> label *)
+      if String.length mnemonic > 1 && mnemonic.[0] = 'j' then
+        match Cond.of_string (String.sub mnemonic 1 (String.length mnemonic - 1)) with
+        | Some c -> Insn.Jcc (c, strip args)
+        | None -> fail line ("unknown mnemonic: " ^ mnemonic)
+      else fail line ("unknown mnemonic: " ^ mnemonic))
+
+let strip_comment s =
+  match String.index_opt s '#' with
+  | Some i -> String.sub s 0 i
+  | None -> s
+
+(* "rep; movsb" prefix handling *)
+let parse_statement line s =
+  let s = strip s in
+  match String.index_opt s ';' with
+  | Some i when strip (String.sub s 0 i) = "rep" ->
+      let rest = strip (String.sub s (i + 1) (String.length s - i - 1)) in
+      let mnemonic, args =
+        match String.index_opt rest ' ' with
+        | Some j ->
+            ( String.sub rest 0 j,
+              strip (String.sub rest (j + 1) (String.length rest - j - 1)) )
+        | None -> (rest, "")
+      in
+      let insn = parse_insn line mnemonic args in
+      (match insn with
+      | Insn.Str (op, w, _) -> Insn.Str (op, w, true)
+      | _ -> fail line "rep prefix on non-string instruction")
+  | _ ->
+      let mnemonic, args =
+        match String.index_opt s ' ' with
+        | Some j ->
+            (String.sub s 0 j, strip (String.sub s (j + 1) (String.length s - j - 1)))
+        | None -> (s, "")
+      in
+      parse_insn line mnemonic args
+
+let parse_line n raw =
+  let s = strip (strip_comment raw) in
+  if s = "" then None
+  else if s.[String.length s - 1] = ':' then
+    let l = strip (String.sub s 0 (String.length s - 1)) in
+    if l = "" || not (String.for_all is_ident_char l) then
+      fail n ("bad label: " ^ raw)
+    else Some (Program.Label l)
+  else Some (Program.Ins (parse_statement n s))
+
+let parse ~name text =
+  let lines = String.split_on_char '\n' text in
+  let items =
+    List.concat
+      (List.mapi
+         (fun i l ->
+           match parse_line (i + 1) l with Some it -> [ it ] | None -> [])
+         lines)
+  in
+  Program.source name items

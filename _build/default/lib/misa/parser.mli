@@ -1,0 +1,18 @@
+(** Parser for the textual (AT&T-flavoured) form of MISA assembly.
+
+    The accepted grammar is the one produced by {!Insn.pp} /
+    {!Program.pp_source}, so printing and re-parsing a program round-trips.
+    This models the paper's flow of compiling a driver to an assembly file
+    that the rewriting tool consumes. *)
+
+exception Syntax_error of int * string
+(** [(line_number, message)] *)
+
+val parse_operand : string -> Operand.t
+(** Parse a single operand. Raises {!Syntax_error} with line 0. *)
+
+val parse_line : int -> string -> Program.item option
+(** Parse one line; [None] for blank/comment lines. *)
+
+val parse : name:string -> string -> Program.source
+(** Parse a whole program from text. *)

@@ -1,0 +1,133 @@
+type item = Label of string | Ins of Insn.t
+
+type source = { name : string; items : item list }
+
+type t = {
+  name : string;
+  base : int;
+  code : Insn.t array;
+  label_index : (string, int) Hashtbl.t;
+}
+
+exception Unresolved of string
+
+let source name items = { name; items }
+
+let collect_labels items =
+  let tbl = Hashtbl.create 64 in
+  let rec go idx = function
+    | [] -> ()
+    | Label l :: rest ->
+        if Hashtbl.mem tbl l then
+          invalid_arg (Printf.sprintf "duplicate label %s" l);
+        Hashtbl.add tbl l idx;
+        go idx rest
+    | Ins _ :: rest -> go (idx + 1) rest
+  in
+  go 0 items;
+  tbl
+
+let resolve_sym symbols name =
+  match symbols name with
+  | Some a -> a
+  | None -> raise (Unresolved name)
+
+let resolve_mem symbols (m : Operand.mem) =
+  match m.Operand.sym with
+  | None -> m
+  | Some s -> { m with Operand.disp = m.Operand.disp + resolve_sym symbols s; sym = None }
+
+let resolve_operand symbols = function
+  | Operand.Mem m -> Operand.Mem (resolve_mem symbols m)
+  | (Operand.Imm _ | Operand.Reg _) as o -> o
+
+let assemble ?(symbols = fun _ -> None) ~base (src : source) =
+  let labels = collect_labels src.items in
+  let addr_of_label l =
+    match Hashtbl.find_opt labels l with
+    | Some idx -> Some (base + (4 * idx))
+    | None -> None
+  in
+  let resolve_target = function
+    | Insn.Lbl l -> (
+        match addr_of_label l with
+        | Some a -> Insn.Abs a
+        | None -> Insn.Abs (resolve_sym symbols l))
+    | Insn.Abs a -> Insn.Abs a
+    | Insn.Ind o -> Insn.Ind (resolve_operand symbols o)
+  in
+  let r = resolve_operand symbols in
+  let resolve_insn = function
+    | Insn.Mov (w, a, b) -> Insn.Mov (w, r a, r b)
+    | Insn.Movzx (w, a, d) -> Insn.Movzx (w, r a, d)
+    | Insn.Lea (m, d) -> Insn.Lea (resolve_mem symbols m, d)
+    | Insn.Alu (op, a, b) -> Insn.Alu (op, r a, r b)
+    | Insn.Shift (op, a, b) -> Insn.Shift (op, r a, r b)
+    | Insn.Cmp (a, b) -> Insn.Cmp (r a, r b)
+    | Insn.Test (a, b) -> Insn.Test (r a, r b)
+    | Insn.Inc a -> Insn.Inc (r a)
+    | Insn.Dec a -> Insn.Dec (r a)
+    | Insn.Neg a -> Insn.Neg (r a)
+    | Insn.Not a -> Insn.Not (r a)
+    | Insn.Imul (a, d) -> Insn.Imul (r a, d)
+    | Insn.Xchg (a, d) -> Insn.Xchg (r a, d)
+    | Insn.Push a -> Insn.Push (r a)
+    | Insn.Pop a -> Insn.Pop (r a)
+    | Insn.Jmp t -> Insn.Jmp (resolve_target t)
+    | Insn.Call t -> Insn.Call (resolve_target t)
+    | Insn.Jcc (c, l) ->
+        if not (Hashtbl.mem labels l) then raise (Unresolved l);
+        Insn.Jcc (c, l)
+    | (Insn.Ret | Insn.Str (_, _, _) | Insn.Pushf | Insn.Popf | Insn.Nop
+      | Insn.Hlt) as i ->
+        i
+  in
+  let code =
+    List.filter_map
+      (function Label _ -> None | Ins i -> Some (resolve_insn i))
+      src.items
+    |> Array.of_list
+  in
+  { name = src.name; base; code; label_index = labels }
+
+let size_bytes p = 4 * Array.length p.code
+
+let contains p addr = addr >= p.base && addr < p.base + size_bytes p
+
+let index_of_addr p addr =
+  if not (contains p addr) then
+    invalid_arg (Printf.sprintf "%s: address 0x%x out of range" p.name addr);
+  let off = addr - p.base in
+  if off mod 4 <> 0 then
+    invalid_arg (Printf.sprintf "%s: misaligned code address 0x%x" p.name addr);
+  off / 4
+
+let addr_of_index p idx = p.base + (4 * idx)
+
+let addr_of_label p l =
+  match Hashtbl.find_opt p.label_index l with
+  | Some idx -> addr_of_index p idx
+  | None -> raise (Unresolved l)
+
+let entry_points (src : source) =
+  List.filter_map (function Label l -> Some l | Ins _ -> None) src.items
+
+let instruction_count (src : source) =
+  List.length
+    (List.filter (function Ins _ -> true | Label _ -> false) src.items)
+
+let heap_reference_count (src : source) =
+  List.length
+    (List.filter
+       (function Ins i -> Insn.references_heap i | Label _ -> false)
+       src.items)
+
+let pp_source fmt (src : source) =
+  Format.fprintf fmt "# %s@." src.name;
+  List.iter
+    (function
+      | Label l -> Format.fprintf fmt "%s:@." l
+      | Ins i -> Format.fprintf fmt "    %a@." Insn.pp i)
+    src.items
+
+let to_string_source src = Format.asprintf "%a" pp_source src

@@ -1,0 +1,27 @@
+(** General-purpose registers of the MISA instruction set.
+
+    MISA is a small x86-flavoured 32-bit instruction set used to represent
+    device-driver code so that the TwinDrivers rewriter can transform it.
+    The register file mirrors the eight x86 general-purpose registers. *)
+
+type t = EAX | EBX | ECX | EDX | ESI | EDI | EBP | ESP
+
+val all : t list
+(** All eight registers, in encoding order. *)
+
+val general : t list
+(** Registers usable as scratch by the rewriter: everything except [ESP]
+    (the stack pointer is never reallocated; stack-relative accesses are not
+    rewritten, as in the paper). *)
+
+val index : t -> int
+(** Stable encoding index in [0, 7]. *)
+
+val of_index : int -> t
+(** Inverse of [index]. Raises [Invalid_argument] outside [0, 7]. *)
+
+val equal : t -> t -> bool
+val compare : t -> t -> int
+val to_string : t -> string
+val of_string : string -> t option
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,15 @@
+type t = W8 | W16 | W32
+
+let bytes = function W8 -> 1 | W16 -> 2 | W32 -> 4
+let mask = function W8 -> 0xff | W16 -> 0xffff | W32 -> 0xffffffff
+let sign_bit = function W8 -> 0x80 | W16 -> 0x8000 | W32 -> 0x80000000
+let suffix = function W8 -> "b" | W16 -> "w" | W32 -> "l"
+
+let of_suffix = function
+  | "b" -> Some W8
+  | "w" -> Some W16
+  | "l" -> Some W32
+  | _ -> None
+
+let equal a b = bytes a = bytes b
+let pp fmt w = Format.pp_print_string fmt (suffix w)

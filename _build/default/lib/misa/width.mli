@@ -1,0 +1,19 @@
+(** Operand widths supported by MISA memory and move operations. *)
+
+type t = W8 | W16 | W32
+
+val bytes : t -> int
+(** Size in bytes: 1, 2 or 4. *)
+
+val mask : t -> int
+(** All-ones value of the width: [0xff], [0xffff] or [0xffffffff]. *)
+
+val sign_bit : t -> int
+(** Most significant bit of the width, e.g. [0x80] for [W8]. *)
+
+val suffix : t -> string
+(** AT&T-style mnemonic suffix: ["b"], ["w"] or ["l"]. *)
+
+val of_suffix : string -> t option
+val equal : t -> t -> bool
+val pp : Format.formatter -> t -> unit

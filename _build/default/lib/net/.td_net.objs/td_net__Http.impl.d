@@ -1,0 +1,1 @@
+lib/net/http.ml: List Option Printf String

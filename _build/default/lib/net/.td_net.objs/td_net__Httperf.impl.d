@@ -1,0 +1,1 @@
+lib/net/httperf.ml: Buffer Hashtbl Http Knot Option Queue Rng String Tcp_lite

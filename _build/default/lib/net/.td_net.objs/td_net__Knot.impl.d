@@ -1,0 +1,1 @@
+lib/net/knot.ml: Array Char Http List Printf Specweb String Tcp_lite

@@ -1,0 +1,1 @@
+lib/net/knot.mli: Tcp_lite

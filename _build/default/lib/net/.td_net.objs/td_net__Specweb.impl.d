@@ -1,0 +1,1 @@
+lib/net/specweb.ml: Array List Rng

@@ -1,0 +1,1 @@
+lib/net/tcp_lite.ml: Buffer Char Hashtbl List String

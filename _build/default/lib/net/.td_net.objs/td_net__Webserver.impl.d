@@ -1,0 +1,1 @@
+lib/net/webserver.ml: Float List Specweb Td_sim

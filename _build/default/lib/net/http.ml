@@ -1,0 +1,110 @@
+type request = {
+  meth : string;
+  path : string;
+  version : string;
+  headers : (string * string) list;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  body : string;
+}
+
+let reason_of_status = function
+  | 200 -> "OK"
+  | 400 -> "Bad Request"
+  | 404 -> "Not Found"
+  | 500 -> "Internal Server Error"
+  | _ -> "Unknown"
+
+let crlfcrlf = "\r\n\r\n"
+
+let find_header_end s =
+  let n = String.length s in
+  let rec go i =
+    if i + 4 > n then None
+    else if String.sub s i 4 = crlfcrlf then Some i
+    else go (i + 1)
+  in
+  go 0
+
+let lower = String.lowercase_ascii
+
+let header name headers =
+  List.assoc_opt (lower name)
+    (List.map (fun (k, v) -> (lower k, v)) headers)
+
+let split_lines block = String.split_on_char '\n' block
+  |> List.map (fun l -> if String.length l > 0 && l.[String.length l - 1] = '\r'
+                        then String.sub l 0 (String.length l - 1) else l)
+
+let parse_headers lines =
+  List.filter_map
+    (fun line ->
+      match String.index_opt line ':' with
+      | Some i ->
+          Some
+            ( String.trim (String.sub line 0 i),
+              String.trim (String.sub line (i + 1) (String.length line - i - 1))
+            )
+      | None -> None)
+    lines
+
+let format_request ?(headers = []) path =
+  let hs =
+    String.concat ""
+      (List.map (fun (k, v) -> Printf.sprintf "%s: %s\r\n" k v) headers)
+  in
+  Printf.sprintf "GET %s HTTP/1.0\r\n%s\r\n" path hs
+
+let parse_request s =
+  match find_header_end s with
+  | None -> None
+  | Some hdr_end -> (
+      let block = String.sub s 0 hdr_end in
+      match split_lines block with
+      | request_line :: rest -> (
+          match String.split_on_char ' ' request_line with
+          | [ meth; path; version ] ->
+              Some
+                ( { meth; path; version; headers = parse_headers rest },
+                  hdr_end + 4 )
+          | _ -> None)
+      | [] -> None)
+
+let format_response ~status ~body =
+  Printf.sprintf
+    "HTTP/1.0 %d %s\r\nContent-Length: %d\r\nServer: knot-sim\r\n\r\n%s"
+    status (reason_of_status status) (String.length body) body
+
+let parse_response s =
+  match find_header_end s with
+  | None -> None
+  | Some hdr_end -> (
+      let block = String.sub s 0 hdr_end in
+      match split_lines block with
+      | status_line :: rest -> (
+          match String.split_on_char ' ' status_line with
+          | _http :: code :: reason_words -> (
+              match int_of_string_opt code with
+              | None -> None
+              | Some status -> (
+                  let headers = parse_headers rest in
+                  let body_start = hdr_end + 4 in
+                  match Option.bind (header "content-length" headers) int_of_string_opt with
+                  | None -> None
+                  | Some len ->
+                      if String.length s >= body_start + len then
+                        Some
+                          ( {
+                              status;
+                              reason = String.concat " " reason_words;
+                              resp_headers = headers;
+                              body = String.sub s body_start len;
+                            },
+                            body_start + len )
+                      else None))
+          | _ -> None)
+      | [] -> None)

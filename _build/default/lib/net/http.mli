@@ -1,0 +1,33 @@
+(** Minimal HTTP/1.0, enough for the paper's web workload: GET requests,
+    status lines, Content-Length framing. Parsers are incremental — they
+    return [None] until the full message has arrived on the stream. *)
+
+type request = {
+  meth : string;
+  path : string;
+  version : string;
+  headers : (string * string) list;
+}
+
+type response = {
+  status : int;
+  reason : string;
+  resp_headers : (string * string) list;
+  body : string;
+}
+
+val format_request : ?headers:(string * string) list -> string -> string
+(** [format_request path] renders a GET. *)
+
+val parse_request : string -> (request * int) option
+(** [Some (req, consumed_bytes)] once the header block is complete. *)
+
+val format_response : status:int -> body:string -> string
+
+val parse_response : string -> (response * int) option
+(** Complete only when the Content-Length worth of body has arrived. *)
+
+val header : string -> (string * string) list -> string option
+(** Case-insensitive lookup. *)
+
+val reason_of_status : int -> string

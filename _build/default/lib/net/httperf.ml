@@ -1,0 +1,64 @@
+type outcome = {
+  completed : int;
+  failed : int;
+  bytes : int;
+  by_status : (int * int) list;
+}
+
+let class_weights = [| 0.35; 0.50; 0.14; 0.01 |]
+
+let run ?(seed = 42) ?(drop = fun _ -> false) ?(max_rounds = 3000) ~requests
+    () =
+  let rng = Rng.create ~seed in
+  let completed = ref 0 and failed = ref 0 and bytes = ref 0 in
+  let statuses = Hashtbl.create 8 in
+  let segment_counter = ref 0 in
+  for _ = 1 to requests do
+    (* fresh connection per request, as httperf's default mode *)
+    let qc = Queue.create () and qs = Queue.create () in
+    let channel q seg =
+      incr segment_counter;
+      if not (drop !segment_counter) then Queue.push seg q
+    in
+    let client = Tcp_lite.create ~send:(channel qs) () in
+    let server = Tcp_lite.create ~send:(channel qc) () in
+    let knot = Knot.create () in
+    Tcp_lite.listen server;
+    Tcp_lite.connect client;
+    let cls = Rng.pick rng class_weights in
+    let file = 1 + Rng.int rng 9 in
+    Tcp_lite.write client (Http.format_request (Knot.file_path ~cls ~file));
+    let inbox = Buffer.create 1024 in
+    let result = ref None in
+    let rounds = ref 0 in
+    while !result = None && !rounds < max_rounds do
+      incr rounds;
+      while not (Queue.is_empty qs) do
+        Tcp_lite.on_segment server (Queue.pop qs)
+      done;
+      Knot.serve knot server;
+      while not (Queue.is_empty qc) do
+        Tcp_lite.on_segment client (Queue.pop qc)
+      done;
+      Buffer.add_string inbox (Tcp_lite.read client);
+      (match Http.parse_response (Buffer.contents inbox) with
+      | Some (r, _) -> result := Some r
+      | None -> ());
+      Tcp_lite.tick client;
+      Tcp_lite.tick server
+    done;
+    match !result with
+    | Some r ->
+        incr completed;
+        bytes := !bytes + String.length r.Http.body;
+        Hashtbl.replace statuses r.Http.status
+          (1
+          + Option.value ~default:0 (Hashtbl.find_opt statuses r.Http.status))
+    | None -> incr failed
+  done;
+  {
+    completed = !completed;
+    failed = !failed;
+    bytes = !bytes;
+    by_status = Hashtbl.fold (fun k v acc -> (k, v) :: acc) statuses [];
+  }

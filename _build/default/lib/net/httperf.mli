@@ -1,0 +1,22 @@
+(** A functional httperf: drives complete HTTP transactions against a
+    {!Knot} server over {!Tcp_lite} connections — one connection per
+    request, SPECweb99 path sampling, optional segment loss. This is the
+    workload generator of §6.3 as working code; its queueing-theoretic
+    counterpart for Figure 9 lives in {!Webserver}. *)
+
+type outcome = {
+  completed : int;
+  failed : int;  (** transactions that never finished (give-up) *)
+  bytes : int;  (** response body bytes received *)
+  by_status : (int * int) list;  (** status code -> count *)
+}
+
+val run :
+  ?seed:int ->
+  ?drop:(int -> bool) ->
+  ?max_rounds:int ->
+  requests:int ->
+  unit ->
+  outcome
+(** [drop] is consulted with a running segment counter (loss injection);
+    [max_rounds] bounds each transaction (default 3000). *)

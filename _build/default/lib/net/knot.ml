@@ -1,0 +1,56 @@
+let file_path ~cls ~file = Printf.sprintf "/class%d/file%d" cls file
+
+let file_body ~cls ~file =
+  if cls < 0 || cls > 3 || file < 1 || file > 9 then
+    invalid_arg "Knot.file_body";
+  let _, sizes = List.nth Specweb.file_set cls in
+  let size = sizes.(file - 1) in
+  String.init size (fun i -> Char.chr (((cls * 31) + (file * 7) + i) land 0xff))
+
+let parse_path path =
+  match String.split_on_char '/' path with
+  | [ ""; c; f ]
+    when String.length c > 5
+         && String.sub c 0 5 = "class"
+         && String.length f > 4
+         && String.sub f 0 4 = "file" -> (
+      match
+        ( int_of_string_opt (String.sub c 5 (String.length c - 5)),
+          int_of_string_opt (String.sub f 4 (String.length f - 4)) )
+      with
+      | Some cls, Some file when cls >= 0 && cls <= 3 && file >= 1 && file <= 9
+        ->
+          Some (cls, file)
+      | _ -> None)
+  | _ -> None
+
+type t = {
+  mutable buffer : string;  (** bytes received so far on the connection *)
+  mutable served : int;
+  mutable missing : int;
+}
+
+let create () = { buffer = ""; served = 0; missing = 0 }
+let requests_served t = t.served
+let not_found t = t.missing
+
+let serve t conn =
+  t.buffer <- t.buffer ^ Tcp_lite.read conn;
+  match Http.parse_request t.buffer with
+  | None -> ()
+  | Some (req, consumed) ->
+      t.buffer <-
+        String.sub t.buffer consumed (String.length t.buffer - consumed);
+      let response =
+        if req.Http.meth <> "GET" then Http.format_response ~status:400 ~body:""
+        else
+          match parse_path req.Http.path with
+          | Some (cls, file) ->
+              t.served <- t.served + 1;
+              Http.format_response ~status:200 ~body:(file_body ~cls ~file)
+          | None ->
+              t.missing <- t.missing + 1;
+              Http.format_response ~status:404 ~body:"not found"
+      in
+      Tcp_lite.write conn response;
+      Tcp_lite.close conn

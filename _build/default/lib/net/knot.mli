@@ -1,0 +1,22 @@
+(** A knot-like static web server (the paper's §6.3 workload application):
+    serves the SPECweb99 static file set over a {!Tcp_lite} connection.
+
+    The URL space is [/class<c>/file<m>] for class 0-3 and file 1-9; each
+    file's content is deterministic and its size matches the SPECweb99
+    ladder, so a client can validate transfers byte-for-byte. One request
+    per connection, as httperf drives it. *)
+
+val file_path : cls:int -> file:int -> string
+val file_body : cls:int -> file:int -> string
+(** Raises [Invalid_argument] outside class 0-3 / file 1-9. *)
+
+type t
+
+val create : unit -> t
+val requests_served : t -> int
+val not_found : t -> int
+
+val serve : t -> Tcp_lite.t -> unit
+(** Pump the server side of a connection: parse any complete request from
+    the receive buffer, write the response, close. Call repeatedly as
+    segments arrive (idempotent between requests). *)

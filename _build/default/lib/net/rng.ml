@@ -1,0 +1,29 @@
+type t = { mutable state : int }
+
+let create ~seed = { state = (if seed = 0 then 0x9E3779B9 else seed) }
+
+let next t =
+  let x = t.state in
+  let x = x lxor (x lsl 13) in
+  let x = x lxor (x lsr 7) in
+  let x = x lxor (x lsl 17) in
+  let x = x land max_int in
+  t.state <- (if x = 0 then 0x9E3779B9 else x);
+  t.state
+
+let int t bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  next t mod bound
+
+let float t bound = float_of_int (next t land 0xFFFFFF) /. 16777216.0 *. bound
+
+let pick t weights =
+  let u = float t 1.0 in
+  let n = Array.length weights in
+  let rec go i acc =
+    if i >= n - 1 then n - 1
+    else
+      let acc = acc +. weights.(i) in
+      if u < acc then i else go (i + 1) acc
+  in
+  go 0 0.0

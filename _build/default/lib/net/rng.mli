@@ -1,0 +1,15 @@
+(** Deterministic pseudo-random numbers (xorshift) so that every
+    experiment is reproducible run-to-run. *)
+
+type t
+
+val create : seed:int -> t
+val int : t -> int -> int
+(** [int t bound] in [0, bound). *)
+
+val float : t -> float -> float
+(** [float t bound] in [0, bound). *)
+
+val pick : t -> float array -> int
+(** Sample an index from a discrete distribution given by weights that
+    sum to 1. *)

@@ -1,0 +1,30 @@
+let class_weights = [| 0.35; 0.50; 0.14; 0.01 |]
+let class_base = [| 102; 1024; 10240; 102400 |]
+
+let file_set =
+  List.init 4 (fun c ->
+      (c, Array.init 9 (fun i -> class_base.(c) * (i + 1))))
+
+let mean_bytes =
+  let class_mean c =
+    let _, sizes = List.nth file_set c in
+    Array.fold_left ( + ) 0 sizes |> float_of_int |> fun s -> s /. 9.0
+  in
+  class_weights
+  |> Array.mapi (fun c w -> w *. class_mean c)
+  |> Array.fold_left ( +. ) 0.0
+
+type t = { rng : Rng.t }
+
+let create ?(seed = 42) () = { rng = Rng.create ~seed }
+
+let sample_bytes t =
+  let c = Rng.pick t.rng class_weights in
+  let m = Rng.int t.rng 9 + 1 in
+  class_base.(c) * m
+
+let class_of_bytes b =
+  if b < 1024 then 0
+  else if b < 10240 then 1
+  else if b < 102400 then 2
+  else 3

@@ -1,0 +1,20 @@
+(** The static-content file-set of SPECweb99 (§6.3): four file classes
+    (0.1–0.9 KB, 1–9 KB, 10–90 KB, 100–900 KB) with access weights 35%,
+    50%, 14%, 1%, nine files per class uniformly accessed. The paper
+    serves this set from a single directory that fits in memory. *)
+
+type t
+
+val create : ?seed:int -> unit -> t
+
+val sample_bytes : t -> int
+(** File size of the next request. *)
+
+val mean_bytes : float
+(** Expected response size (≈ 14.7 KB). *)
+
+val class_of_bytes : int -> int
+(** Which class (0..3) a size belongs to. *)
+
+val file_set : (int * int array) list
+(** [(class, sizes)] — the full static file set. *)

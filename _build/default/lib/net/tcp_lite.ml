@@ -1,0 +1,287 @@
+type segment = {
+  seq : int;
+  ack : int;
+  flags : int;
+  window : int;
+  payload : string;
+}
+
+let syn = 1
+let fin = 2
+let ack_flag = 4
+let mss = 1448
+let retransmit_timeout = 4
+
+(* --- wire format --- *)
+
+let encode_segment s =
+  let b = Buffer.create (20 + String.length s.payload) in
+  let u32 v =
+    let v = v land 0xFFFFFFFF in
+    Buffer.add_char b (Char.chr (v land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 8) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 16) land 0xff));
+    Buffer.add_char b (Char.chr ((v lsr 24) land 0xff))
+  in
+  u32 s.seq;
+  u32 s.ack;
+  u32 s.flags;
+  u32 s.window;
+  u32 (String.length s.payload);
+  Buffer.add_string b s.payload;
+  Buffer.contents b
+
+let decode_segment data =
+  if String.length data < 20 then None
+  else
+    let u32 off =
+      Char.code data.[off]
+      lor (Char.code data.[off + 1] lsl 8)
+      lor (Char.code data.[off + 2] lsl 16)
+      lor (Char.code data.[off + 3] lsl 24)
+    in
+    let len = u32 16 in
+    if String.length data <> 20 + len then None
+    else
+      Some
+        {
+          seq = u32 0;
+          ack = u32 4;
+          flags = u32 8;
+          window = u32 12;
+          payload = String.sub data 20 len;
+        }
+
+(* --- endpoint --- *)
+
+type state =
+  | Closed
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait
+  | Time_wait
+
+type t = {
+  send : segment -> unit;
+  window : int;
+  mutable st : state;
+  mutable snd_una : int;
+  mutable snd_nxt : int;
+  mutable peer_window : int;
+  mutable rcv_nxt : int;
+  sendq : Buffer.t;  (** application bytes not yet segmented *)
+  mutable sendq_off : int;
+  mutable in_flight : (int * string) list;  (** (seq, payload), oldest first *)
+  inbox : Buffer.t;
+  ooo : (int, string) Hashtbl.t;  (** out-of-order segments awaiting a gap *)
+  mutable timer : int;
+  mutable fin_pending : bool;
+  mutable fin_sent : bool;
+  mutable peer_closed : bool;
+  mutable retx : int;
+  mutable sent : int;
+  mutable delivered : int;
+}
+
+let create ?(window = 65536) ~send () =
+  {
+    send;
+    window;
+    st = Closed;
+    snd_una = 0;
+    snd_nxt = 0;
+    peer_window = mss;
+    rcv_nxt = 0;
+    sendq = Buffer.create 4096;
+    sendq_off = 0;
+    in_flight = [];
+    inbox = Buffer.create 4096;
+    ooo = Hashtbl.create 32;
+    timer = 0;
+    fin_pending = false;
+    fin_sent = false;
+    peer_closed = false;
+    retx = 0;
+    sent = 0;
+    delivered = 0;
+  }
+
+let state t = t.st
+let bytes_in_flight t = List.fold_left (fun a (_, p) -> a + String.length p) 0 t.in_flight
+let unacked t = bytes_in_flight t
+let retransmissions t = t.retx
+let segments_sent t = t.sent
+let delivered_bytes t = t.delivered
+
+let emit t seg =
+  t.sent <- t.sent + 1;
+  t.send seg
+
+let plain_ack t =
+  emit t { seq = t.snd_nxt; ack = t.rcv_nxt; flags = ack_flag; window = t.window; payload = "" }
+
+let queued_bytes t = Buffer.length t.sendq - t.sendq_off
+
+let maybe_finish t =
+  if
+    t.fin_pending && (not t.fin_sent) && queued_bytes t = 0
+    && t.in_flight = []
+    && t.st = Established
+  then begin
+    t.fin_sent <- true;
+    t.st <- Fin_wait;
+    emit t
+      { seq = t.snd_nxt; ack = t.rcv_nxt; flags = fin lor ack_flag; window = t.window; payload = "" };
+    t.snd_nxt <- t.snd_nxt + 1
+  end
+
+let pump t =
+  if t.st = Established then begin
+    let progress = ref true in
+    while
+      !progress && queued_bytes t > 0
+      && bytes_in_flight t < t.peer_window
+    do
+      let room = t.peer_window - bytes_in_flight t in
+      let n = min (min mss room) (queued_bytes t) in
+      if n <= 0 then progress := false
+      else begin
+        let payload = Buffer.sub t.sendq t.sendq_off n in
+        t.sendq_off <- t.sendq_off + n;
+        t.in_flight <- t.in_flight @ [ (t.snd_nxt, payload) ];
+        emit t
+          { seq = t.snd_nxt; ack = t.rcv_nxt; flags = ack_flag; window = t.window; payload };
+        t.snd_nxt <- t.snd_nxt + n
+      end
+    done
+  end;
+  maybe_finish t
+
+let connect t =
+  t.st <- Syn_sent;
+  emit t { seq = 0; ack = 0; flags = syn; window = t.window; payload = "" };
+  t.snd_nxt <- 1;
+  t.snd_una <- 0
+
+let listen t = t.st <- Closed
+
+let handle_ack t seg =
+  if seg.flags land ack_flag <> 0 && seg.ack > t.snd_una then begin
+    t.snd_una <- seg.ack;
+    t.in_flight <-
+      List.filter
+        (fun (s, p) -> s + String.length p > t.snd_una)
+        t.in_flight;
+    t.timer <- 0
+  end;
+  if seg.flags land ack_flag <> 0 then t.peer_window <- max mss seg.window
+
+let on_segment t seg =
+  if seg.flags land syn <> 0 && seg.flags land ack_flag = 0 then begin
+    (* passive open *)
+    t.rcv_nxt <- seg.seq + 1;
+    t.st <- Syn_received;
+    t.peer_window <- max mss seg.window;
+    emit t { seq = 0; ack = t.rcv_nxt; flags = syn lor ack_flag; window = t.window; payload = "" };
+    t.snd_nxt <- 1
+  end
+  else if seg.flags land syn <> 0 then begin
+    (* SYN-ACK for our active open *)
+    t.rcv_nxt <- seg.seq + 1;
+    handle_ack t seg;
+    t.st <- Established;
+    plain_ack t;
+    pump t
+  end
+  else begin
+    handle_ack t seg;
+    if t.st = Syn_received && t.snd_una >= 1 then t.st <- Established;
+    (* data: deliver in order, buffering out-of-order segments so that one
+       retransmission of the missing head recovers the whole window *)
+    if String.length seg.payload > 0 then begin
+      if seg.seq > t.rcv_nxt && seg.seq - t.rcv_nxt < t.window then
+        Hashtbl.replace t.ooo seg.seq seg.payload;
+      if seg.seq = t.rcv_nxt then begin
+        Buffer.add_string t.inbox seg.payload;
+        t.rcv_nxt <- t.rcv_nxt + String.length seg.payload;
+        t.delivered <- t.delivered + String.length seg.payload;
+        (* drain any buffered continuation *)
+        let continue = ref true in
+        while !continue do
+          match Hashtbl.find_opt t.ooo t.rcv_nxt with
+          | Some payload ->
+              Hashtbl.remove t.ooo t.rcv_nxt;
+              Buffer.add_string t.inbox payload;
+              t.rcv_nxt <- t.rcv_nxt + String.length payload;
+              t.delivered <- t.delivered + String.length payload
+          | None -> continue := false
+        done
+      end;
+      plain_ack t
+    end;
+    if seg.flags land fin <> 0 then
+      if seg.seq = t.rcv_nxt then begin
+        t.rcv_nxt <- t.rcv_nxt + 1;
+        t.peer_closed <- true;
+        plain_ack t
+      end
+      else if seg.seq < t.rcv_nxt then
+        (* duplicate FIN: our earlier acknowledgement was lost *)
+        plain_ack t;
+    (* our FIN fully acknowledged: the connection is done on our side
+       (a simplified FIN_WAIT_2 / TIME_WAIT collapse) *)
+    if t.fin_sent && t.snd_una >= t.snd_nxt then t.st <- Time_wait;
+    pump t
+  end
+
+let write t data =
+  Buffer.add_string t.sendq data;
+  pump t
+
+let close t =
+  t.fin_pending <- true;
+  maybe_finish t
+
+let read t =
+  let s = Buffer.contents t.inbox in
+  Buffer.clear t.inbox;
+  s
+
+let tick t =
+  (match t.in_flight with
+  | [] -> ()
+  | (seq, payload) :: _ ->
+      t.timer <- t.timer + 1;
+      if t.timer >= retransmit_timeout then begin
+        (* TCP-style: retransmit the head-of-line segment only *)
+        t.timer <- 0;
+        t.retx <- t.retx + 1;
+        emit t
+          { seq; ack = t.rcv_nxt; flags = ack_flag; window = t.window; payload }
+      end);
+  (* a lost SYN/SYN-ACK/FIN also needs retry *)
+  (match t.st with
+  | Syn_sent ->
+      t.timer <- t.timer + 1;
+      if t.timer >= retransmit_timeout then begin
+        t.timer <- 0;
+        t.retx <- t.retx + 1;
+        emit t { seq = 0; ack = 0; flags = syn; window = t.window; payload = "" }
+      end
+  | Fin_wait when t.snd_una < t.snd_nxt ->
+      t.timer <- t.timer + 1;
+      if t.timer >= retransmit_timeout then begin
+        t.timer <- 0;
+        t.retx <- t.retx + 1;
+        emit t
+          {
+            seq = t.snd_nxt - 1;
+            ack = t.rcv_nxt;
+            flags = fin lor ack_flag;
+            window = t.window;
+            payload = "";
+          }
+      end
+  | _ -> ());
+  pump t

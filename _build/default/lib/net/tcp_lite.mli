@@ -1,0 +1,77 @@
+(** A small TCP-like transport: enough protocol machinery to carry the
+    paper's workloads (netperf streams, HTTP request/response) over the
+    simulated network with real segmentation, cumulative acknowledgement,
+    flow control and timeout retransmission.
+
+    Endpoints exchange {!segment}s through any transport the caller
+    provides (typically the simulated NICs; the tests also use lossy
+    in-memory channels). The receiver accepts in-order data only and
+    re-acknowledges anything else; the sender retransmits the oldest
+    unacknowledged segment on timeout. Time is driven explicitly with
+    {!tick} — there are no real clocks anywhere. *)
+
+type segment = {
+  seq : int;  (** sequence number of the first payload byte *)
+  ack : int;  (** cumulative acknowledgement *)
+  flags : int;  (** {!syn} / {!fin} / {!ack_flag} bits *)
+  window : int;  (** receive window, bytes *)
+  payload : string;
+}
+
+val syn : int
+val fin : int
+val ack_flag : int
+
+val mss : int
+(** Maximum segment payload (1448 bytes, as on an MTU-1500 ethernet). *)
+
+val encode_segment : segment -> string
+val decode_segment : string -> segment option
+(** Wire format (20-byte header + payload), for carrying segments in
+    ethernet frames. *)
+
+type state =
+  | Closed
+  | Syn_sent
+  | Syn_received
+  | Established
+  | Fin_wait
+  | Time_wait
+
+type t
+
+val create : ?window:int -> send:(segment -> unit) -> unit -> t
+(** [send] transmits a segment towards the peer (may drop it — that is
+    the point of retransmission). Default window: 64 KiB. *)
+
+val state : t -> state
+val connect : t -> unit
+(** Actively open (send SYN). *)
+
+val listen : t -> unit
+(** Passively open. *)
+
+val on_segment : t -> segment -> unit
+(** A segment arrived from the peer. *)
+
+val write : t -> string -> unit
+(** Queue application data for transmission (segmented by {!mss},
+    subject to the peer's window). *)
+
+val close : t -> unit
+(** Send FIN once all queued data is acknowledged. *)
+
+val read : t -> string
+(** Drain data delivered in order so far. *)
+
+val tick : t -> unit
+(** Advance time one unit: retransmit the head-of-line segment on timeout
+    (4 ticks), push out queued segments. *)
+
+val bytes_in_flight : t -> int
+val unacked : t -> int
+(** Bytes written but not yet acknowledged. *)
+
+val retransmissions : t -> int
+val segments_sent : t -> int
+val delivered_bytes : t -> int

@@ -1,0 +1,101 @@
+type server_costs = {
+  tx_cycles_per_packet : float;
+  rx_cycles_per_packet : float;
+  app_cycles_per_request : float;
+  frequency_hz : float;
+  mss : int;
+  wire_limit_mbps : float;
+}
+
+(* knot's own per-request work: accept/parse/respond through the socket
+   layer — calibrated so the native-Linux peak lands near the paper's *)
+let default_app_cycles = 120_000.0
+
+type params = {
+  request_rate : float;
+  requests : int;
+  timeout_s : float;
+  seed : int;
+}
+
+type outcome = {
+  offered_rate : float;
+  completed : int;
+  timed_out : int;
+  response_mbps : float;
+  mean_latency_s : float;
+}
+
+let service_seconds c size =
+  let data_packets = (size + c.mss - 1) / c.mss in
+  (* httperf opens a connection per request: SYN / request / ACKs (one per
+     response segment) / FIN inbound; SYN-ACK / data / FIN-ACK outbound *)
+  let rx_packets = 3 + data_packets in
+  let tx_packets = 4 + data_packets in
+  (c.app_cycles_per_request
+  +. (float_of_int rx_packets *. c.rx_cycles_per_packet)
+  +. (float_of_int tx_packets *. c.tx_cycles_per_packet))
+  /. c.frequency_hz
+
+let run c p =
+  if p.request_rate <= 0.0 then invalid_arg "Webserver.run: rate";
+  let files = Specweb.create ~seed:p.seed () in
+  let q = Td_sim.Event_queue.create () in
+  let server_free = ref 0.0 in
+  let completed = ref 0 and timed_out = ref 0 in
+  let bytes = ref 0 and latency = ref 0.0 in
+  let interarrival = 1.0 /. p.request_rate in
+  (* measurement starts after a warm-up of one client timeout so the
+     open-loop backlog has reached steady state *)
+  let warmup = p.timeout_s in
+  let measured = ref 0 in
+  for i = 0 to p.requests - 1 do
+    let arrival = float_of_int i *. interarrival in
+    Td_sim.Event_queue.schedule q ~at:arrival (fun () ->
+        if !server_free -. arrival > 0.5 *. p.timeout_s then begin
+          (* the backlog leaves no room to finish within the client
+             timeout: the connection is effectively refused (listen queue
+             overflow) — the server only pays for the SYN *)
+          server_free :=
+            !server_free +. (c.rx_cycles_per_packet /. c.frequency_hz);
+          if arrival >= warmup then begin
+            incr measured;
+            incr timed_out
+          end
+        end
+        else begin
+          let size = Specweb.sample_bytes files in
+          (* FIFO single-CPU server: starts when free, runs to completion *)
+          let start = Float.max arrival !server_free in
+          let finish = start +. service_seconds c size in
+          server_free := finish;
+          if arrival >= warmup then begin
+            incr measured;
+            if finish -. arrival <= p.timeout_s then begin
+              incr completed;
+              bytes := !bytes + size;
+              latency := !latency +. (finish -. arrival)
+            end
+            else incr timed_out
+          end
+        end)
+  done;
+  Td_sim.Event_queue.run q;
+  let duration =
+    Float.max interarrival
+      ((float_of_int p.requests *. interarrival) -. warmup)
+  in
+  let goodput = float_of_int !bytes *. 8.0 /. duration /. 1e6 in
+  {
+    offered_rate = p.request_rate;
+    completed = !completed;
+    timed_out = !timed_out;
+    response_mbps = Float.min goodput c.wire_limit_mbps;
+    mean_latency_s =
+      (if !completed = 0 then 0.0 else !latency /. float_of_int !completed);
+  }
+
+let sweep c ~rates ~requests =
+  List.map
+    (fun rate -> run c { request_rate = rate; requests; timeout_s = 1.0; seed = 7 })
+    rates

@@ -1,0 +1,45 @@
+(** The web-server experiment (Figure 9): a knot-like single-CPU server
+    serving the SPECweb99 static set, driven by an httperf-like open-loop
+    client.
+
+    Requests arrive at a fixed rate regardless of server progress ("open"
+    loop); responses that complete later than the client timeout are
+    discarded by the client but still consumed server CPU — which is why
+    throughput degrades (rather than merely saturating) past the knee.
+
+    Per-request server cost is derived from the per-packet costs measured
+    on the same configuration: one request packet in, [ceil(size/mss)]
+    response packets out, one delayed TCP ACK in per two response
+    segments, plus the server application's own work — so the figure
+    inherits each configuration's network efficiency on both paths. *)
+
+type server_costs = {
+  tx_cycles_per_packet : float;  (** measured on this configuration *)
+  rx_cycles_per_packet : float;
+  app_cycles_per_request : float;  (** knot's own work: parse + file *)
+  frequency_hz : float;
+  mss : int;  (** response segmentation unit *)
+  wire_limit_mbps : float;  (** aggregate NIC capacity *)
+}
+
+val default_app_cycles : float
+
+type params = {
+  request_rate : float;  (** requests/second, open loop *)
+  requests : int;  (** total requests to issue *)
+  timeout_s : float;  (** client discard threshold *)
+  seed : int;
+}
+
+type outcome = {
+  offered_rate : float;
+  completed : int;
+  timed_out : int;
+  response_mbps : float;  (** goodput of in-time responses, wire-capped *)
+  mean_latency_s : float;  (** of completed responses *)
+}
+
+val run : server_costs -> params -> outcome
+
+val sweep : server_costs -> rates:float list -> requests:int -> outcome list
+(** One [run] per offered rate (fresh file-set sampler each time). *)

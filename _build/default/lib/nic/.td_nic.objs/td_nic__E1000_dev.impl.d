@@ -1,0 +1,1 @@
+lib/nic/e1000_dev.ml: Array Buffer Bytes Char Printf Regs String Td_mem Td_misa

@@ -1,0 +1,1 @@
+lib/nic/e1000_dev.mli: Td_mem

@@ -1,0 +1,1 @@
+lib/nic/rtl_dev.ml: Array Bytes Char Printf String Td_mem Td_misa

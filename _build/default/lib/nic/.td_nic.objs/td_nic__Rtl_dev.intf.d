@@ -1,0 +1,1 @@
+lib/nic/rtl_dev.mli: Td_mem

@@ -1,0 +1,1 @@
+lib/nic/wire.ml: E1000_dev String

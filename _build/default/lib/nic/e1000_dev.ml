@@ -1,0 +1,173 @@
+type t = {
+  dma : Td_mem.Addr_space.t;
+  mac : string;
+  tx_frame : string -> unit;
+  ring_entries : int;
+  regs : int array;  (** 1024 32-bit registers = one 4 KiB page *)
+  mutable irq_handler : (unit -> unit) option;
+  mutable itr_pending : int;  (** cause events since the last assertion *)
+  mutable tx_acc : Buffer.t;  (** frame assembled across descriptors *)
+  mutable tx_count : int;
+  mutable rx_count : int;
+  mutable dropped : int;
+  mutable irq_count : int;
+}
+
+let mmio_vaddr i = 0xC0F0_0000 + (i * Td_mem.Layout.page_size)
+let link_rate_bps = 1_000_000_000
+
+let effective_rate_bps ~packet_bytes =
+  (* 8B preamble + 12B inter-frame gap + 4B CRC per frame *)
+  let overhead = 24 in
+  float_of_int link_rate_bps
+  *. (float_of_int packet_bytes /. float_of_int (packet_bytes + overhead))
+
+let word = function
+  | off when off land 3 = 0 && off >= 0 && off < 4096 -> off / 4
+  | off -> invalid_arg (Printf.sprintf "E1000_dev: bad register offset 0x%x" off)
+
+let get t off = t.regs.(word off)
+let set t off v = t.regs.(word off) <- v land 0xFFFFFFFF
+
+let create ?(ring_entries = 256) ~dma ~mac ~tx_frame () =
+  if String.length mac <> 6 then invalid_arg "E1000_dev.create: mac must be 6 bytes";
+  let t =
+    {
+      dma;
+      mac;
+      tx_frame;
+      ring_entries;
+      regs = Array.make 1024 0;
+      irq_handler = None;
+      itr_pending = 0;
+      tx_acc = Buffer.create 2048;
+      tx_count = 0;
+      rx_count = 0;
+      dropped = 0;
+      irq_count = 0;
+    }
+  in
+  set t Regs.status 0x3;
+  (* link up, full duplex *)
+  let b i = Char.code mac.[i] in
+  set t Regs.ral (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24));
+  set t Regs.rah (b 4 lor (b 5 lsl 8) lor 0x8000_0000 (* address valid *));
+  t
+
+let set_irq_handler t fn = t.irq_handler <- Some fn
+let mac t = t.mac
+let tx_count t = t.tx_count
+let rx_count t = t.rx_count
+let dropped t = t.dropped
+let irq_count t = t.irq_count
+
+let raise_cause t cause =
+  set t Regs.icr (get t Regs.icr lor cause);
+  if get t Regs.icr land get t Regs.ims <> 0 then begin
+    t.itr_pending <- t.itr_pending + 1;
+    let throttle = get t Regs.itr in
+    if throttle = 0 || t.itr_pending >= throttle then begin
+      t.itr_pending <- 0;
+      t.irq_count <- t.irq_count + 1;
+      match t.irq_handler with Some fn -> fn () | None -> ()
+    end
+  end
+
+(* --- DMA helpers (bus address = dom0 kernel virtual address) --- *)
+
+let dma_read32 t addr = Td_mem.Addr_space.read t.dma addr Td_misa.Width.W32
+let dma_write32 t addr v = Td_mem.Addr_space.write t.dma addr Td_misa.Width.W32 v
+
+let desc_addr base i = base + (i * Regs.desc_bytes)
+
+(* --- transmit path --- *)
+
+let process_tx t =
+  let base = get t Regs.tdbal in
+  let tail = get t Regs.tdt in
+  let entries = min t.ring_entries (max 1 (get t Regs.tdlen / Regs.desc_bytes)) in
+  let head = ref (get t Regs.tdh) in
+  let any = ref false in
+  while !head <> tail do
+    let d = desc_addr base !head in
+    let buf = dma_read32 t (d + Regs.d_buf) in
+    let len = dma_read32 t (d + Regs.d_len) in
+    let cmd = dma_read32 t (d + Regs.d_cmd) in
+    Buffer.add_bytes t.tx_acc (Td_mem.Addr_space.read_block t.dma buf len);
+    if cmd land Regs.cmd_eop <> 0 then begin
+      t.tx_frame (Buffer.contents t.tx_acc);
+      Buffer.clear t.tx_acc;
+      t.tx_count <- t.tx_count + 1;
+      set t Regs.gptc (get t Regs.gptc + 1)
+    end;
+    dma_write32 t (d + Regs.d_sta) (dma_read32 t (d + Regs.d_sta) lor Regs.sta_dd);
+    head := (!head + 1) mod entries;
+    any := true
+  done;
+  set t Regs.tdh !head;
+  if !any then raise_cause t Regs.icr_txdw
+
+(* --- receive path --- *)
+
+let receive_frame t frame =
+  let base = get t Regs.rdbal in
+  let entries = min t.ring_entries (max 1 (get t Regs.rdlen / Regs.desc_bytes)) in
+  let head = get t Regs.rdh in
+  let tail = get t Regs.rdt in
+  if head = tail || base = 0 then begin
+    (* no free descriptors: missed packet *)
+    t.dropped <- t.dropped + 1;
+    set t Regs.mpc (get t Regs.mpc + 1)
+  end
+  else begin
+    let d = desc_addr base head in
+    let buf = dma_read32 t (d + Regs.d_buf) in
+    Td_mem.Addr_space.write_block t.dma buf (Bytes.of_string frame);
+    dma_write32 t (d + Regs.d_len) (String.length frame);
+    dma_write32 t (d + Regs.d_sta) (Regs.sta_dd lor Regs.sta_eop);
+    set t Regs.rdh ((head + 1) mod entries);
+    t.rx_count <- t.rx_count + 1;
+    set t Regs.gprc (get t Regs.gprc + 1);
+    raise_cause t Regs.icr_rxt0
+  end
+
+(* --- MMIO dispatch --- *)
+
+let mmio_read t off (w : Td_misa.Width.t) =
+  let v =
+    let aligned = off land lnot 3 in
+    let word_val =
+      if aligned = Regs.icr then begin
+        let v = get t Regs.icr in
+        set t Regs.icr 0;
+        v
+      end
+      else get t aligned
+    in
+    word_val lsr (8 * (off land 3))
+  in
+  v land Td_misa.Width.mask w
+
+let mmio_write t off (w : Td_misa.Width.t) v =
+  if w <> Td_misa.Width.W32 || off land 3 <> 0 then
+    invalid_arg "E1000_dev: MMIO writes must be 32-bit aligned";
+  if off = Regs.ims then set t Regs.ims (get t Regs.ims lor v)
+  else if off = Regs.imc then set t Regs.ims (get t Regs.ims land lnot v)
+  else if off = Regs.icr then set t Regs.icr (get t Regs.icr land lnot v)
+  else begin
+    set t off v;
+    if off = Regs.tdt then process_tx t
+  end
+
+let device_page t =
+  {
+    Td_mem.Addr_space.dev_read = (fun off w -> mmio_read t off w);
+    dev_write = (fun off w v -> mmio_write t off w v);
+  }
+
+let attach t ~space ~vaddr =
+  if Td_mem.Layout.offset_of vaddr <> 0 then
+    invalid_arg "E1000_dev.attach: vaddr must be page-aligned";
+  Td_mem.Addr_space.map_device space
+    ~vpage:(Td_mem.Layout.page_of vaddr)
+    (device_page t)

@@ -1,0 +1,63 @@
+(** Behavioural model of an e1000-style gigabit NIC.
+
+    The device DMAs descriptors and packet data directly through the
+    driver domain's address space using the bus addresses the driver
+    programmed (bus address = dom0 kernel virtual address in this
+    simulation — the identity mapping a real lowmem kernel uses). DMA
+    deliberately bypasses SVM: the paper notes that DMA safety is out of
+    scope without an IOMMU (§4.5).
+
+    Transmit: writing the tail register (TDT) makes the device walk
+    descriptors from its internal head to the new tail, emit each buffer
+    as a frame on the wire, set the DD status bit, and raise TXDW.
+    Receive: {!receive_frame} consumes the descriptor at RDH (software
+    pre-fills free descriptors and advances RDT), writes the frame into
+    its buffer, sets DD|EOP and raises RXT0. A full ring drops the frame
+    and counts it in MPC. *)
+
+type t
+
+val mmio_vaddr : int -> int
+(** Conventional dom0 virtual address of NIC [i]'s register page. *)
+
+val link_rate_bps : int
+(** 1 Gb/s. *)
+
+val effective_rate_bps : packet_bytes:int -> float
+(** Achievable data rate accounting for Ethernet framing overhead
+    (preamble, inter-frame gap, CRC). *)
+
+val create :
+  ?ring_entries:int ->
+  dma:Td_mem.Addr_space.t ->
+  mac:string ->
+  tx_frame:(string -> unit) ->
+  unit ->
+  t
+(** [dma] is the address space the device's bus master sees (dom0);
+    [mac] is a 6-byte string; [tx_frame] is the wire on the transmit
+    side. *)
+
+val device_page : t -> Td_mem.Addr_space.device
+(** The MMIO register page, for mapping at {!mmio_vaddr}. *)
+
+val attach : t -> space:Td_mem.Addr_space.t -> vaddr:int -> unit
+(** Map the register page into an address space. *)
+
+val set_irq_handler : t -> (unit -> unit) -> unit
+(** Called (edge-triggered) whenever an unmasked interrupt cause is
+    raised — at most once per ITR-many events when the driver programs
+    the {!Regs.itr} throttle. Causes latched in ICR are never lost; a
+    throttled handler drains them all on its next run. *)
+
+val receive_frame : t -> string -> unit
+(** A frame arrives from the wire. *)
+
+val mac : t -> string
+
+(* observable statistics *)
+
+val tx_count : t -> int
+val rx_count : t -> int
+val dropped : t -> int
+val irq_count : t -> int

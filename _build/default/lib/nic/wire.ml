@@ -1,0 +1,16 @@
+type counters = { mutable frames : int; mutable bytes : int }
+
+let fresh_counters () = { frames = 0; bytes = 0 }
+
+let sink c frame =
+  c.frames <- c.frames + 1;
+  c.bytes <- c.bytes + String.length frame
+
+let null _ = ()
+
+let wire_limit_mbps ~packet_bytes ~nics =
+  E1000_dev.effective_rate_bps ~packet_bytes *. float_of_int nics /. 1e6
+
+let mbps_of_bytes ~bytes ~seconds =
+  if seconds <= 0.0 then 0.0
+  else float_of_int bytes *. 8.0 /. seconds /. 1e6

@@ -1,0 +1,19 @@
+(** Wire endpoints: what sits on the other side of each NIC.
+
+    The paper's testbed connects each server NIC to a dedicated client
+    machine over a gigabit link. For throughput experiments the client is
+    an abstract traffic sink/source with byte and frame counters. *)
+
+type counters = { mutable frames : int; mutable bytes : int }
+
+val fresh_counters : unit -> counters
+
+val sink : counters -> string -> unit
+(** A counting sink suitable as a NIC's [tx_frame]. *)
+
+val null : string -> unit
+
+val wire_limit_mbps : packet_bytes:int -> nics:int -> float
+(** Aggregate wire-limited throughput in Mb/s of payload. *)
+
+val mbps_of_bytes : bytes:int -> seconds:float -> float

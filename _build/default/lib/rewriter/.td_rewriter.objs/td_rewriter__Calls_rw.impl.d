@@ -1,0 +1,1 @@
+lib/rewriter/calls_rw.ml: Insn List Operand Program Reg Symbols Td_misa Width

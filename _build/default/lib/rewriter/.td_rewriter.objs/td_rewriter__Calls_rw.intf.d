@@ -1,0 +1,1 @@
+lib/rewriter/calls_rw.mli: Td_misa

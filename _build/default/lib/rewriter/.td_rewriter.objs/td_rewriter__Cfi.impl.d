@@ -1,0 +1,1 @@
+lib/rewriter/cfi.ml: Rewrite Td_cpu

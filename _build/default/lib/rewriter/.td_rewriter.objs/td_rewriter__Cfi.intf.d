@@ -1,0 +1,1 @@
+lib/rewriter/cfi.mli: Td_cpu

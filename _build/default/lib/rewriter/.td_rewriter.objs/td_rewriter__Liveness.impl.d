@@ -1,0 +1,1 @@
+lib/rewriter/liveness.ml: Array Hashtbl Insn List Program Reg Td_misa

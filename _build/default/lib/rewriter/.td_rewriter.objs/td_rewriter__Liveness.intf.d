@@ -1,0 +1,1 @@
+lib/rewriter/liveness.mli: Td_misa

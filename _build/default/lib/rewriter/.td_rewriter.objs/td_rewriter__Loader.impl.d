@@ -1,0 +1,1 @@
+lib/rewriter/loader.ml: Hashtbl List Symbols Td_cpu Td_misa Td_svm

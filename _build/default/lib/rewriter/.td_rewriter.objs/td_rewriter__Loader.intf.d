@@ -1,0 +1,1 @@
+lib/rewriter/loader.mli: Td_cpu Td_misa Td_svm

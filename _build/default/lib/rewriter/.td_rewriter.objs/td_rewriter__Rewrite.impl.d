@@ -1,0 +1,1 @@
+lib/rewriter/rewrite.ml: Builder Calls_rw Format Insn List Liveness Operand Option Program Reg Strings_rw Svm_emit Symbols Td_mem Td_misa Width

@@ -1,0 +1,1 @@
+lib/rewriter/strings_rw.ml: Builder Cond Insn List Operand Program Reg Svm_emit Symbols Td_mem Td_misa Width

@@ -1,0 +1,1 @@
+lib/rewriter/strings_rw.mli: Td_misa

@@ -1,0 +1,1 @@
+lib/rewriter/svm_emit.ml: Builder Cond Insn List Operand Program Reg Symbols Td_misa Width

@@ -1,0 +1,1 @@
+lib/rewriter/svm_emit.mli: Td_misa

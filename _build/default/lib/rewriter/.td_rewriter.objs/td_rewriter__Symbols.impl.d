@@ -1,0 +1,1 @@
+lib/rewriter/symbols.ml: List Td_misa

@@ -1,0 +1,1 @@
+lib/rewriter/symbols.mli: Td_misa

@@ -1,0 +1,1 @@
+lib/rewriter/twin.ml: Format List Rewrite Td_misa Verifier

@@ -1,0 +1,1 @@
+lib/rewriter/twin.mli: Rewrite Td_misa

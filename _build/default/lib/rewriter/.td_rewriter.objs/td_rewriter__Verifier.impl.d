@@ -1,0 +1,1 @@
+lib/rewriter/verifier.ml: Format Insn List Operand Printf Program Symbols Td_mem Td_misa

@@ -1,0 +1,1 @@
+lib/rewriter/verifier.mli: Format Td_misa

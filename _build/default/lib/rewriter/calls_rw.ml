@@ -1,0 +1,24 @@
+open Td_misa
+
+let rewrite ~free ~is_call ~target ~heap_load =
+  let items = ref [] in
+  let ins i = items := Program.Ins i :: !items in
+  let emit l = items := List.rev_append l !items in
+  (* Bring the target value into EAX. *)
+  (match target with
+  | Operand.Reg r ->
+      if not (Reg.equal r Reg.EAX) then
+        ins (Insn.Mov (Width.W32, Operand.Reg r, Operand.Reg Reg.EAX))
+  | Operand.Mem m when Operand.is_stack_relative m ->
+      ins (Insn.Mov (Width.W32, Operand.Mem m, Operand.Reg Reg.EAX))
+  | Operand.Mem m ->
+      let load = Insn.Mov (Width.W32, Operand.Mem m, Operand.Reg Reg.EAX) in
+      emit (heap_load ~free ~insn:load ~mem:m)
+  | Operand.Imm _ -> invalid_arg "Calls_rw.rewrite: immediate target");
+  (* Translate and transfer. *)
+  ins (Insn.Push (Operand.Reg Reg.EAX));
+  ins (Insn.Call (Insn.Lbl Symbols.svm_call));
+  ins (Insn.Alu (Insn.Add, Operand.Imm 4, Operand.Reg Reg.ESP));
+  if is_call then ins (Insn.Call (Insn.Ind (Operand.Reg Reg.EAX)))
+  else ins (Insn.Jmp (Insn.Ind (Operand.Reg Reg.EAX)));
+  List.rev !items

@@ -1,0 +1,20 @@
+(** Rewriting of indirect calls and jumps (§5.1.2).
+
+    Function-pointer values loaded from shared driver data are VM-driver
+    code addresses; before an indirect transfer the target is translated to
+    the hypervisor-driver address through the [__svm_call] helper (backed
+    by the cached {!Td_svm.Call_table}). [EAX] is clobbered, which is safe
+    at call sites under the cdecl convention the driver uses. *)
+
+val rewrite :
+  free:Td_misa.Reg.t list ->
+  is_call:bool ->
+  target:Td_misa.Operand.t ->
+  heap_load:
+    (free:Td_misa.Reg.t list ->
+    insn:Td_misa.Insn.t ->
+    mem:Td_misa.Operand.mem ->
+    Td_misa.Program.item list) ->
+  Td_misa.Program.item list
+(** [heap_load] is used to rewrite a memory-operand target ([call *8(%eax)])
+    into an SVM-translated load of the pointer into [EAX] first. *)

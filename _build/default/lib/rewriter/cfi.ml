@@ -1,0 +1,18 @@
+exception Violation of { target : int }
+
+let register natives ~code_base ~code_size () =
+  let fn st =
+    let target = Td_cpu.State.stack_arg st 0 in
+    let ok =
+      (target >= code_base && target < code_base + code_size)
+      || target = Td_cpu.Interp.ret_sentinel
+    in
+    (* deliberately register-transparent: the guard runs between the
+       callee's computation of EAX and the return *)
+    if not ok then raise (Violation { target })
+  in
+  ignore (Td_cpu.Native.register natives Rewrite.cfi_symbol fn)
+
+let symtab natives name =
+  if name = Rewrite.cfi_symbol then Td_cpu.Native.address_of natives name
+  else None

@@ -1,0 +1,14 @@
+(** Runtime side of the control-flow-integrity extension (§4.5.1):
+    the native routine that CFI-instrumented returns call to validate the
+    pending return address. Valid targets are the driver's own code range
+    and the host's call sentinel; anything else (a smashed stack) raises
+    {!Violation} before control can escape. *)
+
+exception Violation of { target : int }
+
+val register :
+  Td_cpu.Native.t -> code_base:int -> code_size:int -> unit -> unit
+(** Registers {!Rewrite.cfi_symbol}. *)
+
+val symtab : Td_cpu.Native.t -> string -> int option
+(** Resolves {!Rewrite.cfi_symbol} for the loader. *)

@@ -1,0 +1,114 @@
+open Td_misa
+
+type t = {
+  insns : Insn.t array;
+  live_in : int array;  (** register bitsets, bit = {!Reg.index} *)
+  flags_in : bool array;
+}
+
+let all_regs = 0xFF
+let bit r = 1 lsl Reg.index r
+let set_of_list = List.fold_left (fun acc r -> acc lor bit r) 0
+
+let list_of_set s =
+  List.filter (fun r -> s land bit r <> 0) Reg.all
+
+(* callee-saved registers plus the return value must survive to [ret] *)
+let ret_reads =
+  set_of_list [ Reg.EAX; Reg.EBX; Reg.ESI; Reg.EDI; Reg.EBP; Reg.ESP ]
+
+let analyse (src : Program.source) =
+  let insns =
+    Array.of_list
+      (List.filter_map
+         (function Program.Ins i -> Some i | Program.Label _ -> None)
+         src.Program.items)
+  in
+  let labels = Hashtbl.create 32 in
+  let () =
+    let idx = ref 0 in
+    List.iter
+      (function
+        | Program.Label l -> Hashtbl.replace labels l !idx
+        | Program.Ins _ -> incr idx)
+      src.Program.items
+  in
+  let n = Array.length insns in
+  let live_in = Array.make n 0 in
+  let live_out = Array.make n 0 in
+  let flags_in = Array.make n false in
+  let flags_out = Array.make n false in
+  (* successors; [None] in the list marks "unknown control flow" *)
+  let succs i =
+    match insns.(i) with
+    | Insn.Jmp (Insn.Lbl l) -> (
+        match Hashtbl.find_opt labels l with
+        | Some j -> ([ j ], false)
+        | None -> ([], true) (* tail call to external symbol *))
+    | Insn.Jmp (Insn.Abs _ | Insn.Ind _) -> ([], true)
+    | Insn.Jcc (_, l) -> (
+        match Hashtbl.find_opt labels l with
+        | Some j -> ((if i + 1 < n then [ j; i + 1 ] else [ j ]), false)
+        | None -> ([], true))
+    | Insn.Ret | Insn.Hlt -> ([], false)
+    | _ -> if i + 1 < n then ([ i + 1 ], false) else ([], false)
+  in
+  let reads i =
+    match insns.(i) with
+    | Insn.Call _ ->
+        (* cdecl: arguments are passed on the stack, so the callee reads no
+           caller registers; callee-saved registers survive and the
+           caller-saved ones are clobbered (handled in [writes]) *)
+        bit Reg.ESP
+    | Insn.Ret -> ret_reads
+    | Insn.Hlt -> bit Reg.EAX lor bit Reg.ESP
+    | insn -> set_of_list (Insn.regs_read insn)
+  in
+  let writes i =
+    match insns.(i) with
+    | Insn.Call _ ->
+        (* caller-saved registers are clobbered by the callee *)
+        set_of_list [ Reg.EAX; Reg.ECX; Reg.EDX ]
+    | insn -> set_of_list (Insn.regs_written insn)
+  in
+  let changed = ref true in
+  while !changed do
+    changed := false;
+    for i = n - 1 downto 0 do
+      let ss, unknown = succs i in
+      let out = List.fold_left (fun acc j -> acc lor live_in.(j)) 0 ss in
+      let out = if unknown then all_regs else out in
+      let fout =
+        if unknown then true
+        else List.exists (fun j -> flags_in.(j)) ss
+      in
+      let inn = reads i lor (out land lnot (writes i)) in
+      let finn =
+        if Insn.reads_flags insns.(i) then true
+        else if Insn.sets_flags insns.(i) || (match insns.(i) with Insn.Call _ -> true | _ -> false)
+        then false
+        else fout
+      in
+      if inn <> live_in.(i) || out <> live_out.(i) || finn <> flags_in.(i)
+         || fout <> flags_out.(i)
+      then begin
+        live_in.(i) <- inn;
+        live_out.(i) <- out;
+        flags_in.(i) <- finn;
+        flags_out.(i) <- fout;
+        changed := true
+      end
+    done
+  done;
+  { insns; live_in; flags_in }
+
+let live_in t i = list_of_set t.live_in.(i)
+let flags_live_in t i = t.flags_in.(i)
+
+let free_regs t i =
+  let used =
+    t.live_in.(i)
+    lor set_of_list (Insn.regs_read t.insns.(i))
+    lor set_of_list (Insn.regs_written t.insns.(i))
+  in
+  List.filter (fun r -> used land bit r = 0) Reg.general

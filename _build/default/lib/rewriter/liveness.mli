@@ -1,0 +1,28 @@
+(** Backward register- and flags-liveness analysis over a program source.
+
+    The paper: "we avoid the cost of spilling registers most of the time by
+    doing a register liveness analysis to determine the set of free
+    registers available at each instruction" (§4.1, footnote 3).
+
+    Calls follow the cdecl convention the driver is compiled with:
+    arguments are on the stack, so a [call] reads no caller registers,
+    clobbers the caller-saved EAX/ECX/EDX and preserves the rest; [ret]
+    keeps the callee-saved registers and [EAX] live; unresolved control
+    flow (indirect jumps) conservatively keeps everything live. *)
+
+type t
+
+val analyse : Td_misa.Program.source -> t
+
+val live_in : t -> int -> Td_misa.Reg.t list
+(** Registers live immediately before instruction [i] (by instruction
+    index, labels not counted). *)
+
+val flags_live_in : t -> int -> bool
+(** Whether the flags are live immediately before instruction [i] —
+    i.e. whether inserted code must preserve them. *)
+
+val free_regs : t -> int -> Td_misa.Reg.t list
+(** Registers that inserted code may clobber at instruction [i]: general
+    registers neither live-in nor read/written by the instruction
+    itself. *)

@@ -1,0 +1,54 @@
+(** The assembler-level rewriting pass (§5.1): transforms a VM driver
+    source into a hypervisor driver source by replacing every non-stack
+    memory reference with the SVM fast path, expanding string operations
+    into page-chunked loops, and inserting target translation before
+    indirect calls and jumps. *)
+
+exception Rewrite_error of string
+
+type stats = {
+  input_instructions : int;
+  output_instructions : int;
+  heap_sites : int;  (** memory references rewritten to the SVM fast path *)
+  string_sites : int;
+  indirect_sites : int;
+  spill_sites : int;  (** sites where register spilling was required *)
+  flag_save_sites : int;  (** sites where flags had to be preserved *)
+  cfi_sites : int;  (** returns instrumented with the CFI check *)
+  cached_sites : int;
+      (** accesses that reused a previous probe's translation instead of
+          probing again (the probe-caching extension) *)
+}
+
+val pp_stats : Format.formatter -> stats -> unit
+
+val memory_reference_fraction : Td_misa.Program.source -> float
+(** Fraction of instructions that reference heap memory (the paper reports
+    roughly 25% for network drivers). *)
+
+type style = Inline_fast_path | Shared_helper
+
+val cfi_symbol : string
+(** Native symbol the CFI-instrumented returns call: takes the pending
+    return address and faults unless it lies in the driver's own code or
+    is the host's call sentinel (§4.5.1 / XFI). *)
+
+val rewrite_source :
+  ?spill_everything:bool ->
+  ?style:style ->
+  ?cfi:bool ->
+  ?cache_probes:bool ->
+  Td_misa.Program.source ->
+  Td_misa.Program.source * stats
+(** Rewrite a driver. [spill_everything] disables the liveness-driven
+    scratch selection and always spills (the ablation of footnote 3);
+    [style] selects the inline ten-instruction fast path (default, the
+    paper's design) or the shared-helper ablation; [cfi] (default false)
+    additionally instruments every return with a control-flow-integrity
+    check — the §4.5.1 extension; [cache_probes] (default false) enables
+    redundant-probe elimination: within a basic block, a second access
+    through the same unmodified base/index registers at a larger
+    displacement (less than a page away) reuses the register holding the
+    previous translation — sound precisely because the SVM slow path maps
+    page {e pairs}. The output program references the {!Symbols} names,
+    which the loader must resolve per instance. *)

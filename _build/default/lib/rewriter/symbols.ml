@@ -1,0 +1,13 @@
+let stlb = "__stlb"
+let scratch = "__svm_scratch"
+let svm_miss = "__svm_miss"
+let svm_translate = "__svm_translate"
+let svm_call = "__svm_call"
+let scratch_slots = 8
+
+let scratch_slot n =
+  if n < 0 || n >= scratch_slots then invalid_arg "Symbols.scratch_slot";
+  Td_misa.Operand.Mem (Td_misa.Operand.mem ~sym:scratch (4 * n))
+
+let is_reserved name =
+  List.mem name [ stlb; scratch; svm_miss; svm_translate; svm_call ]

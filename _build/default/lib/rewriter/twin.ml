@@ -1,0 +1,33 @@
+type t = {
+  original : Td_misa.Program.source;
+  rewritten : Td_misa.Program.source;
+  stats : Rewrite.stats;
+}
+
+let derive ?spill_everything ?style ?cfi ?cache_probes ?(verify = true)
+    original =
+  if verify then begin
+    let rejects =
+      List.filter
+        (fun f -> f.Verifier.severity = Verifier.Reject)
+        (Verifier.inspect original)
+    in
+    match rejects with
+    | [] -> ()
+    | f :: _ ->
+        raise
+          (Rewrite.Rewrite_error (Format.asprintf "%a" Verifier.pp_finding f))
+  end;
+  let rewritten, stats =
+    Rewrite.rewrite_source ?spill_everything ?style ?cfi ?cache_probes
+      original
+  in
+  { original; rewritten; stats }
+
+let derive_text ~name text = derive (Td_misa.Parser.parse ~name text)
+
+let derive_binary ?name data =
+  let source, base = Td_misa.Decode.decode ?name data in
+  (derive source, base)
+
+let rewritten_text t = Td_misa.Program.to_string_source t.rewritten

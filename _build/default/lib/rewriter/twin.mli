@@ -1,0 +1,36 @@
+(** Top-level driver derivation: the "semi-automatic" step.
+
+    [derive] takes the VM driver source (obtained by compiling the driver
+    to assembly, §5.1) and produces the rewritten source that both
+    instances run — the VM instance with an identity stlb in dom0, the
+    hypervisor instance with the translating stlb in Xen. *)
+
+type t = {
+  original : Td_misa.Program.source;
+  rewritten : Td_misa.Program.source;
+  stats : Rewrite.stats;
+}
+
+val derive :
+  ?spill_everything:bool ->
+  ?style:Rewrite.style ->
+  ?cfi:bool ->
+  ?cache_probes:bool ->
+  ?verify:bool ->
+  Td_misa.Program.source ->
+  t
+(** [verify] (default true) runs {!Verifier.inspect} first and raises
+    {!Rewrite.Rewrite_error} on reject-severity findings — the paper's
+    static inspection during binary translation. *)
+
+val derive_text : name:string -> string -> t
+(** Convenience: parse textual assembly first (the paper's compiler
+    path). *)
+
+val derive_binary : ?name:string -> bytes -> t * int
+(** The paper's other path: disassemble a driver binary
+    ({!Td_misa.Encode} format) and rewrite it; also returns the binary's
+    original load address. *)
+
+val rewritten_text : t -> string
+(** Hypervisor assembler file, as §5.1 describes the tool emitting. *)

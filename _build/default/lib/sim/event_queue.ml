@@ -1,0 +1,40 @@
+module Key = struct
+  type t = { time : float; seq : int }
+
+  let compare a b =
+    match Float.compare a.time b.time with
+    | 0 -> Int.compare a.seq b.seq
+    | c -> c
+end
+
+module M = Map.Make (Key)
+
+type t = {
+  mutable events : (unit -> unit) M.t;
+  mutable clock : float;
+  mutable seq : int;
+}
+
+let create () = { events = M.empty; clock = 0.0; seq = 0 }
+let now t = t.clock
+
+let schedule t ~at fn =
+  let at = if at < t.clock then t.clock else at in
+  t.seq <- t.seq + 1;
+  t.events <- M.add { Key.time = at; seq = t.seq } fn t.events
+
+let schedule_after t ~delay fn = schedule t ~at:(t.clock +. delay) fn
+
+let run_until t horizon =
+  let continue = ref true in
+  while !continue do
+    match M.min_binding_opt t.events with
+    | Some (key, fn) when key.Key.time <= horizon ->
+        t.events <- M.remove key t.events;
+        t.clock <- key.Key.time;
+        fn ()
+    | Some _ | None -> continue := false
+  done
+
+let run t = run_until t infinity
+let pending t = M.cardinal t.events

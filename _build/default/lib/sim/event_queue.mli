@@ -1,0 +1,23 @@
+(** A discrete-event simulation queue ordered by simulated time.
+
+    Used by the open-loop web-server experiment (Figure 9), where request
+    arrivals, service completions and client timeouts interleave in
+    simulated time. Time is in abstract units (we use cycles). *)
+
+type t
+
+val create : unit -> t
+val now : t -> float
+val schedule : t -> at:float -> (unit -> unit) -> unit
+(** Schedule an event at absolute time [at] (clamped to [now] if in the
+    past). Events at equal times fire in insertion order. *)
+
+val schedule_after : t -> delay:float -> (unit -> unit) -> unit
+val run_until : t -> float -> unit
+(** Execute events in time order until the queue is empty or the next
+    event is later than the horizon. *)
+
+val run : t -> unit
+(** Drain the queue completely. *)
+
+val pending : t -> int

@@ -1,0 +1,23 @@
+let sum = List.fold_left ( +. ) 0.0
+
+let mean = function
+  | [] -> 0.0
+  | xs -> sum xs /. float_of_int (List.length xs)
+
+let percentile p xs =
+  match List.sort Float.compare xs with
+  | [] -> invalid_arg "Stats.percentile: empty"
+  | sorted ->
+      let n = List.length sorted in
+      let rank =
+        int_of_float (ceil (p /. 100.0 *. float_of_int n)) - 1
+      in
+      List.nth sorted (max 0 (min (n - 1) rank))
+
+type counter = { mutable n : int }
+
+let counter () = { n = 0 }
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let count c = c.n
+let reset c = c.n <- 0

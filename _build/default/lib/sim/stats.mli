@@ -1,0 +1,16 @@
+(** Small statistics helpers for benchmark reporting. *)
+
+val mean : float list -> float
+val percentile : float -> float list -> float
+(** [percentile p xs] with [p] in [0,100]; nearest-rank on the sorted
+    list. Raises [Invalid_argument] on an empty list. *)
+
+val sum : float list -> float
+
+type counter
+
+val counter : unit -> counter
+val incr : counter -> unit
+val add : counter -> int -> unit
+val count : counter -> int
+val reset : counter -> unit

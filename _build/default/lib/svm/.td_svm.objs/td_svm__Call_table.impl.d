@@ -1,0 +1,1 @@
+lib/svm/call_table.ml: Hashtbl Runtime Td_cpu Td_mem Td_misa

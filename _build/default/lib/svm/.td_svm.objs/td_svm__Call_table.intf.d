@@ -1,0 +1,1 @@
+lib/svm/call_table.mli: Td_cpu

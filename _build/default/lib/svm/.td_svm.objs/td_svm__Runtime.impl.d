@@ -1,0 +1,1 @@
+lib/svm/runtime.ml: Hashtbl Option Stlb Td_cpu Td_mem Td_misa

@@ -1,0 +1,1 @@
+lib/svm/runtime.mli: Stlb Td_cpu Td_mem

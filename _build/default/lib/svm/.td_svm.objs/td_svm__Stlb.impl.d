@@ -1,0 +1,1 @@
+lib/svm/stlb.ml: Td_mem Td_misa

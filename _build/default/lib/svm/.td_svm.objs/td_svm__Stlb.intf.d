@@ -1,0 +1,1 @@
+lib/svm/stlb.mli: Td_mem

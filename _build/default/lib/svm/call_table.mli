@@ -1,0 +1,28 @@
+(** The [stlb_call] table of §5.1.2: translation of indirect-call targets
+    from VM-driver code addresses to hypervisor-driver code addresses.
+
+    Because the same rewritten binary is used for both instances, driver-
+    internal targets differ by the constant {!Td_mem.Layout.code_offset};
+    targets outside the driver (function pointers to kernel routines) are
+    resolved through the loader-provided resolver, exactly like direct
+    calls to support routines. Successful translations are cached. *)
+
+type t
+
+val create :
+  vm_code_base:int -> vm_code_size:int -> resolver:(int -> int option) -> t
+(** [resolver] maps a non-driver VM code address (e.g. a dom0 kernel
+    routine address taken as a function pointer) to its hypervisor-side
+    address (native implementation or upcall stub). *)
+
+val translate : t -> int -> int
+(** Raises {!Runtime.Fault} for targets that resolve nowhere (a wild
+    function pointer — a control-flow safety violation). *)
+
+val hits : t -> int
+val misses : t -> int
+
+val register_native : t -> Td_cpu.Native.t -> string -> unit
+(** Register the translation helper under the given symbol name: takes the
+    VM target address as stack argument, returns the hypervisor target in
+    [EAX]. *)

@@ -1,0 +1,131 @@
+exception Fault of { addr : int; reason : string }
+
+type mode = Translate | Identity
+
+type t = {
+  mode : mode;
+  map_pairs : bool;
+  dom0 : Td_mem.Addr_space.t;
+  target : Td_mem.Addr_space.t;  (** space receiving window mappings *)
+  stlb : Stlb.t;
+  chain : (int, int) Hashtbl.t;  (** dom0 page base -> mapped page base *)
+  mutable window_next : int;  (** next free page index in the window *)
+  mutable miss_count : int;
+  mutable collision_count : int;
+  mutable fault_count : int;
+}
+
+let create_hypervisor ?(map_pairs = true) ~dom0 ~hyp () =
+  {
+    mode = Translate;
+    map_pairs;
+    dom0;
+    target = hyp;
+    stlb = Stlb.create ~space:hyp ~vaddr:Td_mem.Layout.stlb_base;
+    chain = Hashtbl.create 256;
+    window_next = 0;
+    miss_count = 0;
+    collision_count = 0;
+    fault_count = 0;
+  }
+
+let create_identity ~dom0 ~stlb_vaddr =
+  {
+    mode = Identity;
+    map_pairs = true;
+    dom0;
+    target = dom0;
+    stlb = Stlb.create ~space:dom0 ~vaddr:stlb_vaddr;
+    chain = Hashtbl.create 256;
+    window_next = 0;
+    miss_count = 0;
+    collision_count = 0;
+    fault_count = 0;
+  }
+
+let mode t = t.mode
+let stlb t = t.stlb
+
+let fault t addr reason =
+  t.fault_count <- t.fault_count + 1;
+  raise (Fault { addr; reason })
+
+let dom0_mapping t page_base =
+  Td_mem.Addr_space.lookup t.dom0 ~vpage:(Td_mem.Layout.page_of page_base)
+
+let valid_dom0_page t addr =
+  Td_mem.Layout.in_dom0_range addr
+  && Option.is_some (dom0_mapping t (Td_mem.Layout.page_base addr))
+
+(* Allocate window pages mapping dom0 [page] (and its successor, because
+   unaligned accesses may straddle a page boundary). *)
+let map_pair t page =
+  if t.window_next + 2 > Td_mem.Layout.map_window_pages then
+    failwith "Svm.Runtime: mapped-page window exhausted (16 MB)";
+  let mapped =
+    Td_mem.Layout.map_window_base + (t.window_next * Td_mem.Layout.page_size)
+  in
+  t.window_next <- t.window_next + 2;
+  let install vpage = function
+    | Td_mem.Addr_space.Frame f -> Td_mem.Addr_space.map t.target ~vpage f
+    | Td_mem.Addr_space.Device d ->
+        (* MMIO pages (the NIC register window) are mapped through too *)
+        Td_mem.Addr_space.map_device t.target ~vpage d
+  in
+  (match dom0_mapping t page with
+  | Some m -> install (Td_mem.Layout.page_of mapped) m
+  | None -> assert false);
+  (if t.map_pairs then
+     match dom0_mapping t (page + Td_mem.Layout.page_size) with
+     | Some m -> install (Td_mem.Layout.page_of mapped + 1) m
+     | None -> ());
+  mapped
+
+let miss t addr =
+  t.miss_count <- t.miss_count + 1;
+  let page = Td_mem.Layout.page_base addr in
+  match Hashtbl.find_opt t.chain page with
+  | Some mapped ->
+      (* hash collision: the translation exists but was evicted from the
+         direct-mapped stlb; refill from the chain *)
+      t.collision_count <- t.collision_count + 1;
+      Stlb.install t.stlb ~dom0_page:page ~mapped_page:mapped;
+      addr lxor (page lxor mapped)
+  | None ->
+      if not (valid_dom0_page t addr) then
+        fault t addr "access outside dom0 address space";
+      let mapped = match t.mode with
+        | Identity -> page
+        | Translate -> map_pair t page
+      in
+      Hashtbl.replace t.chain page mapped;
+      Stlb.install t.stlb ~dom0_page:page ~mapped_page:mapped;
+      addr lxor (page lxor mapped)
+
+let translate t addr =
+  match Stlb.lookup t.stlb addr with Some a -> a | None -> miss t addr
+
+let persistent_map = translate
+
+let invalidate_page t addr =
+  let page = Td_mem.Layout.page_base addr in
+  Hashtbl.remove t.chain page;
+  Stlb.invalidate t.stlb ~dom0_page:page
+
+let misses t = t.miss_count
+let collisions t = t.collision_count
+let faults t = t.fault_count
+let pages_mapped t = Hashtbl.length t.chain
+
+let mode_suffix t = match t.mode with Translate -> "hyp" | Identity -> "vm"
+let miss_symbol t = "__svm_miss@" ^ mode_suffix t
+let translate_symbol t = "__svm_translate@" ^ mode_suffix t
+
+let register_natives t natives =
+  let handler f st =
+    let addr = Td_cpu.State.stack_arg st 0 in
+    Td_cpu.State.set st Td_misa.Reg.EAX (f t addr)
+  in
+  ignore (Td_cpu.Native.register natives (miss_symbol t) (handler miss));
+  ignore
+    (Td_cpu.Native.register natives (translate_symbol t) (handler translate))

@@ -1,0 +1,78 @@
+(** The SVM runtime: slow-path miss handling, permission checks and page
+    mapping (§4.1).
+
+    Two modes correspond to the paper's two uses of the rewritten binary:
+
+    - [Translate]: the hypervisor instance. A miss maps {e two} consecutive
+      dom0 pages into the hypervisor's mapped-page window (unaligned
+      accesses may straddle a page) and installs the translation.
+    - [Identity]: the VM instance running in dom0. The stlb is filled with
+      identity mappings (xor value 0), so the driver "continues to use its
+      original data addresses and functions correctly as before, except
+      that it runs a little slower".
+
+    Accesses outside the dom0 address space raise {!Fault} — this is the
+    memory-safety property of the whole design. *)
+
+exception Fault of { addr : int; reason : string }
+
+type mode = Translate | Identity
+
+type t
+
+val create_hypervisor :
+  ?map_pairs:bool ->
+  dom0:Td_mem.Addr_space.t ->
+  hyp:Td_mem.Addr_space.t ->
+  unit ->
+  t
+(** Hypervisor instance runtime: stlb at {!Td_mem.Layout.stlb_base} in the
+    hypervisor space; mapped pages drawn from the mapped-page window.
+    [map_pairs] (default true) maps two consecutive pages per miss as the
+    paper prescribes; disabling it is the ablation that makes
+    page-straddling accesses fault. *)
+
+val create_identity : dom0:Td_mem.Addr_space.t -> stlb_vaddr:int -> t
+(** VM instance runtime: stlb at [stlb_vaddr] in dom0 space. *)
+
+val mode : t -> mode
+val stlb : t -> Stlb.t
+
+val miss : t -> int -> int
+(** [miss t addr] is the slow path: validate [addr], install a translation
+    (consulting the hash chain first), and return the translated full
+    address. Raises {!Fault} for addresses outside dom0 space. *)
+
+val translate : t -> int -> int
+(** Full lookup as the fast path + slow path would perform it. Used by
+    hypervisor-implemented support routines, which "make use of the stlb
+    translation table explicitly while accessing driver data" (§4.3). *)
+
+val persistent_map : t -> int -> int
+(** Pre-install a translation for a dom0 address and return the mapped
+    address; used for packet buffers that are "persistently mapped into
+    hypervisor address space" (§5.3). *)
+
+val invalidate_page : t -> int -> unit
+(** Drop the translation for the page containing the given dom0 address
+    (stlb entry and hash chain). The window pages remain allocated. *)
+
+(* statistics *)
+
+val misses : t -> int
+val collisions : t -> int
+(** Slow-path entries caused by hash collisions (chain hits). *)
+
+val faults : t -> int
+val pages_mapped : t -> int
+
+(* native hooks for rewritten code *)
+
+val register_natives : t -> Td_cpu.Native.t -> unit
+(** Registers ["__svm_miss"] (stack arg: faulting address; returns the
+    translated address in [EAX]) under the instance-specific name
+    ["__svm_miss@<mode>"], plus the shared helper ["__svm_translate@<mode>"]
+    used by rewritten string operations. *)
+
+val miss_symbol : t -> string
+val translate_symbol : t -> string

@@ -1,0 +1,1 @@
+lib/xen/domain.ml: Queue Td_mem Td_misa

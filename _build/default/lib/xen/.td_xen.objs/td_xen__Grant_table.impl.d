@@ -1,0 +1,1 @@
+lib/xen/grant_table.ml: Bytes Domain Hashtbl Hypervisor Printf Sys_costs Td_mem

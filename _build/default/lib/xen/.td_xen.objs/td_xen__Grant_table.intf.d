@@ -1,0 +1,1 @@
+lib/xen/grant_table.mli: Domain Hypervisor Td_mem

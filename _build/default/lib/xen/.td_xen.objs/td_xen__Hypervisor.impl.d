@@ -1,0 +1,1 @@
+lib/xen/hypervisor.ml: Domain Ledger Option Sys_costs Td_cpu Td_mem

@@ -1,0 +1,1 @@
+lib/xen/hypervisor.mli: Domain Ledger Sys_costs Td_cpu Td_mem

@@ -1,0 +1,1 @@
+lib/xen/ledger.ml: Array Format List

@@ -1,0 +1,1 @@
+lib/xen/scheduler.ml: Domain List Option

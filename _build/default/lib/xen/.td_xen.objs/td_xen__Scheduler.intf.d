@@ -1,0 +1,1 @@
+lib/xen/scheduler.mli: Domain

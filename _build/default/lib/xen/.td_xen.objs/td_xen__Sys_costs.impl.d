@@ -1,0 +1,1 @@
+lib/xen/sys_costs.ml:

@@ -1,0 +1,1 @@
+lib/xen/upcall.ml: Domain Hypervisor Sys_costs Td_cpu

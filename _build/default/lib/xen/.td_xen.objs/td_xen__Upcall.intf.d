@@ -1,0 +1,1 @@
+lib/xen/upcall.mli: Domain Hypervisor Td_cpu

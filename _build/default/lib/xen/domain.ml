@@ -1,0 +1,44 @@
+type kind = Driver_domain | Guest
+
+type t = {
+  id : int;
+  name : string;
+  kind : kind;
+  space : Td_mem.Addr_space.t;
+  mutable vif : int;  (** vaddr of the virtual interrupt flag word; 0 = none *)
+  queued : (unit -> unit) Queue.t;
+}
+
+let create ~id ~name ~kind ~space =
+  { id; name; kind; space; vif = 0; queued = Queue.create () }
+
+let id t = t.id
+let name t = t.name
+let kind t = t.kind
+let space t = t.space
+
+let init_vif t ~vaddr =
+  t.vif <- vaddr;
+  Td_mem.Addr_space.write t.space vaddr Td_misa.Width.W32 0
+
+let vif_addr t = t.vif
+
+let interrupts_masked t =
+  t.vif <> 0 && Td_mem.Addr_space.read t.space t.vif Td_misa.Width.W32 <> 0
+
+let set_vif t v =
+  if t.vif <> 0 then Td_mem.Addr_space.write t.space t.vif Td_misa.Width.W32 v
+
+let mask_interrupts t = set_vif t 1
+
+let deliver_pending t =
+  while not (Queue.is_empty t.queued) do
+    (Queue.pop t.queued) ()
+  done
+
+let unmask_interrupts t =
+  set_vif t 0;
+  deliver_pending t
+
+let defer t fn = Queue.push fn t.queued
+let pending t = Queue.length t.queued

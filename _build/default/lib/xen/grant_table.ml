@@ -1,0 +1,66 @@
+type grant_ref = int
+
+type entry = { frame : Td_mem.Phys_mem.frame; mutable mapped : int }
+
+type t = {
+  owner : Domain.t;
+  entries : (grant_ref, entry) Hashtbl.t;
+  mutable next : grant_ref;
+  mutable map_count : int;
+}
+
+let create ~owner =
+  { owner; entries = Hashtbl.create 64; next = 1; map_count = 0 }
+
+let grant t ~frame =
+  let r = t.next in
+  t.next <- t.next + 1;
+  Hashtbl.replace t.entries r { frame; mapped = 0 };
+  r
+
+let find t r =
+  match Hashtbl.find_opt t.entries r with
+  | Some e -> e
+  | None -> failwith (Printf.sprintf "Grant_table: bad grant ref %d" r)
+
+let revoke t r =
+  let e = find t r in
+  if e.mapped > 0 then failwith "Grant_table: revoking a mapped grant";
+  Hashtbl.remove t.entries r
+
+let map t ~hyp ~into ~at_vpage r =
+  let e = find t r in
+  Hypervisor.charge_xen hyp (Hypervisor.costs hyp).Sys_costs.grant_map;
+  Td_mem.Addr_space.map (Domain.space into) ~vpage:at_vpage e.frame;
+  e.mapped <- e.mapped + 1;
+  t.map_count <- t.map_count + 1
+
+let unmap t ~hyp ~from ~at_vpage r =
+  let e = find t r in
+  Hypervisor.charge_xen hyp (Hypervisor.costs hyp).Sys_costs.grant_unmap;
+  Td_mem.Addr_space.unmap (Domain.space from) ~vpage:at_vpage;
+  if e.mapped > 0 then e.mapped <- e.mapped - 1
+
+let phys t = Td_mem.Addr_space.phys (Domain.space t.owner)
+
+let copy_to t ~hyp r ~offset ~src =
+  let e = find t r in
+  let cost =
+    int_of_float
+      (float_of_int (Bytes.length src)
+      *. (Hypervisor.costs hyp).Sys_costs.grant_copy_per_byte)
+  in
+  Hypervisor.charge_xen hyp cost;
+  Td_mem.Phys_mem.write_bytes (phys t) e.frame offset src
+
+let copy_from t ~hyp r ~offset ~len =
+  let e = find t r in
+  let cost =
+    int_of_float
+      (float_of_int len *. (Hypervisor.costs hyp).Sys_costs.grant_copy_per_byte)
+  in
+  Hypervisor.charge_xen hyp cost;
+  Td_mem.Phys_mem.read_bytes (phys t) e.frame offset len
+
+let active t = Hashtbl.length t.entries
+let maps t = t.map_count

@@ -1,0 +1,40 @@
+(** Grant tables: the Xen mechanism by which a guest authorises the driver
+    domain to map or copy one of its page frames. Used by the baseline
+    (unoptimised) netfront/netback path, whose grant operations are a
+    documented source of overhead in the paper's §2. *)
+
+type grant_ref = int
+
+type t
+
+val create : owner:Domain.t -> t
+
+val grant : t -> frame:Td_mem.Phys_mem.frame -> grant_ref
+(** Guest-side: make a frame available. *)
+
+val revoke : t -> grant_ref -> unit
+(** Raises [Failure] if the grant is still mapped. *)
+
+val map : t -> hyp:Hypervisor.t -> into:Domain.t -> at_vpage:int -> grant_ref -> unit
+(** dom0-side: map the granted frame; charges {!Sys_costs.grant_map}. *)
+
+val unmap : t -> hyp:Hypervisor.t -> from:Domain.t -> at_vpage:int -> grant_ref -> unit
+
+val copy_to :
+  t ->
+  hyp:Hypervisor.t ->
+  grant_ref ->
+  offset:int ->
+  src:bytes ->
+  unit
+(** Hypervisor-mediated [gnttab_copy] into the granted frame; charges
+    per-byte copy cost to Xen. *)
+
+val copy_from :
+  t -> hyp:Hypervisor.t -> grant_ref -> offset:int -> len:int -> bytes
+
+val active : t -> int
+(** Number of outstanding grants. *)
+
+val maps : t -> int
+(** Total map operations performed (for overhead accounting tests). *)

@@ -1,0 +1,69 @@
+type t = {
+  costs : Sys_costs.t;
+  ledger : Ledger.t;
+  xen_space : Td_mem.Addr_space.t;
+  cpu : Td_cpu.State.t;
+  mutable domains : Domain.t list;
+  mutable current : Domain.t option;
+  mutable switches : int;
+}
+
+let create ?(costs = Sys_costs.default) ~ledger ~xen_space ~cpu () =
+  { costs; ledger; xen_space; cpu; domains = []; current = None; switches = 0 }
+
+let costs t = t.costs
+let ledger t = t.ledger
+let xen_space t = t.xen_space
+let cpu t = t.cpu
+
+let add_domain t d =
+  t.domains <- t.domains @ [ d ];
+  if t.current = None then t.current <- Some d
+
+let current t =
+  match t.current with
+  | Some d -> d
+  | None -> failwith "Hypervisor: no domains"
+
+let domains t = t.domains
+let switches t = t.switches
+
+let category_of d =
+  match Domain.kind d with
+  | Domain.Driver_domain -> Ledger.Dom0
+  | Domain.Guest -> Ledger.DomU
+
+let charge_xen t n = Ledger.charge t.ledger Ledger.Xen n
+let charge_domain t d n = Ledger.charge t.ledger (category_of d) n
+
+let switch_to t target =
+  match t.current with
+  | Some d when Domain.id d = Domain.id target -> ()
+  | Some _ | None ->
+      charge_xen t t.costs.Sys_costs.domain_switch;
+      t.switches <- t.switches + 1;
+      t.current <- Some target;
+      Td_cpu.State.switch_space t.cpu (Domain.space target)
+
+let hypercall t ?cost () =
+  charge_xen t (Option.value cost ~default:t.costs.Sys_costs.hypercall)
+
+let run_in t dom f =
+  let prev = current t in
+  if Domain.id prev = Domain.id dom then f ()
+  else begin
+    switch_to t dom;
+    let finally () = switch_to t prev in
+    match f () with
+    | v ->
+        finally ();
+        v
+    | exception e ->
+        finally ();
+        raise e
+  end
+
+let send_virq t dom handler =
+  charge_xen t t.costs.Sys_costs.event_channel;
+  if Domain.interrupts_masked dom then Domain.defer dom handler
+  else run_in t dom handler

@@ -1,0 +1,46 @@
+(** The hypervisor: domain bookkeeping, world switches, hypercalls and
+    virtual interrupt delivery, all with cycle accounting against the
+    {!Ledger}. *)
+
+type t
+
+val create :
+  ?costs:Sys_costs.t ->
+  ledger:Ledger.t ->
+  xen_space:Td_mem.Addr_space.t ->
+  cpu:Td_cpu.State.t ->
+  unit ->
+  t
+
+val costs : t -> Sys_costs.t
+val ledger : t -> Ledger.t
+val xen_space : t -> Td_mem.Addr_space.t
+val cpu : t -> Td_cpu.State.t
+
+val add_domain : t -> Domain.t -> unit
+val current : t -> Domain.t
+val domains : t -> Domain.t list
+val switches : t -> int
+
+val category_of : Domain.t -> Ledger.category
+(** Dom0 work is charged to [Dom0], guest work to [DomU]. *)
+
+val switch_to : t -> Domain.t -> unit
+(** Synchronous world switch: charges {!Sys_costs.domain_switch} to Xen,
+    changes the CPU's address space (flushing its TLB), counts. No-op if
+    already current. *)
+
+val hypercall : t -> ?cost:int -> unit -> unit
+(** Charge a hypercall entry/exit to Xen. *)
+
+val charge_xen : t -> int -> unit
+val charge_domain : t -> Domain.t -> int -> unit
+
+val send_virq : t -> Domain.t -> (unit -> unit) -> unit
+(** Deliver a virtual interrupt to a domain: charges event-channel cost;
+    if the domain has interrupts masked the handler is queued and runs on
+    unmask (§4.4), otherwise it runs now in that domain's context (with a
+    switch if needed, returning to the original domain afterwards). *)
+
+val run_in : t -> Domain.t -> (unit -> 'a) -> 'a
+(** Execute [f] with [dom] current (switching there and back if needed). *)

@@ -1,0 +1,31 @@
+type category = Dom0 | DomU | Xen | Driver
+
+let categories = [ Dom0; DomU; Xen; Driver ]
+
+let category_name = function
+  | Dom0 -> "dom0"
+  | DomU -> "domU"
+  | Xen -> "Xen"
+  | Driver -> "e1000"
+
+let index = function Dom0 -> 0 | DomU -> 1 | Xen -> 2 | Driver -> 3
+
+type t = { cells : int array }
+
+let create () = { cells = Array.make 4 0 }
+let charge t c n = t.cells.(index c) <- t.cells.(index c) + n
+let total t c = t.cells.(index c)
+let grand_total t = Array.fold_left ( + ) 0 t.cells
+let reset t = Array.fill t.cells 0 4 0
+let snapshot t = List.map (fun c -> (c, total t c)) categories
+
+let per_packet t ~packets =
+  let p = float_of_int (max 1 packets) in
+  List.map (fun c -> (c, float_of_int (total t c) /. p)) categories
+
+let pp fmt t =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun c -> Format.fprintf fmt "%-6s %d@," (category_name c) (total t c))
+    categories;
+  Format.fprintf fmt "total  %d@]" (grand_total t)

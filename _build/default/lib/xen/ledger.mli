@@ -1,0 +1,23 @@
+(** Per-category cycle accounting, matching the categories of the paper's
+    Figures 7 and 8: guest-domain kernel, driver-domain kernel, the Xen
+    hypervisor, and the e1000 driver itself. *)
+
+type category = Dom0 | DomU | Xen | Driver
+
+val categories : category list
+val category_name : category -> string
+
+type t
+
+val create : unit -> t
+val charge : t -> category -> int -> unit
+val total : t -> category -> int
+val grand_total : t -> int
+val reset : t -> unit
+
+val snapshot : t -> (category * int) list
+
+val per_packet : t -> packets:int -> (category * float) list
+(** Category totals divided by a packet count — the unit of Figures 7/8. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,46 @@
+type entry = { dom : Domain.t; mutable credit : int; mutable slices : int }
+
+type t = { initial : int; mutable entries : entry list }
+
+let create ?(initial_credit = 100) () = { initial = initial_credit; entries = [] }
+
+let add t dom =
+  t.entries <- t.entries @ [ { dom; credit = t.initial; slices = 0 } ]
+
+let find t dom =
+  match
+    List.find_opt (fun e -> Domain.id e.dom = Domain.id dom) t.entries
+  with
+  | Some e -> e
+  | None -> invalid_arg "Scheduler: unknown domain"
+
+let refill t = List.iter (fun e -> e.credit <- t.initial) t.entries
+
+let pick t ~runnable =
+  let candidates = List.filter (fun e -> runnable e.dom) t.entries in
+  match candidates with
+  | [] -> None
+  | _ ->
+      if List.for_all (fun e -> e.credit <= 0) candidates then refill t;
+      let best =
+        List.fold_left
+          (fun acc e ->
+            match acc with
+            | None -> Some e
+            | Some b ->
+                if
+                  e.credit > b.credit
+                  || (e.credit = b.credit && Domain.id e.dom < Domain.id b.dom)
+                then Some e
+                else acc)
+          None candidates
+      in
+      Option.map
+        (fun e ->
+          e.credit <- e.credit - 1;
+          e.slices <- e.slices + 1;
+          e.dom)
+        best
+
+let credit t dom = (find t dom).credit
+let slices t dom = (find t dom).slices

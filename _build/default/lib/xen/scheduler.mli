@@ -1,0 +1,19 @@
+(** A small credit scheduler in the style of Xen's: each domain holds
+    credits, consuming them as it is picked to run; when every runnable
+    domain is out of credits, all credits refill. Used to order guest
+    work (e.g. which guest's queued packets are delivered first) —
+    "when the guest domain is scheduled next, the hypervisor copies the
+    packets into guest domain buffers" (§5.3). *)
+
+type t
+
+val create : ?initial_credit:int -> unit -> t
+val add : t -> Domain.t -> unit
+
+val pick : t -> runnable:(Domain.t -> bool) -> Domain.t option
+(** The runnable domain with the most credit (ties broken by id);
+    charges one credit. [None] when nothing is runnable. *)
+
+val credit : t -> Domain.t -> int
+val slices : t -> Domain.t -> int
+(** Times the domain has been picked. *)

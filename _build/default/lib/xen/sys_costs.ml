@@ -1,0 +1,58 @@
+type t = {
+  kernel_tx_path : int;
+  kernel_rx_path : int;
+  virt_overhead_tx : int;
+  virt_overhead_rx : int;
+  hypercall : int;
+  domain_switch : int;
+  event_channel : int;
+  interrupt_dispatch : int;
+  softirq_schedule : int;
+  grant_map : int;
+  grant_unmap : int;
+  grant_copy_per_byte : float;
+  io_channel : int;
+  bridge : int;
+  netback : int;
+  netfront : int;
+  dom0_tx_kernel : int;
+  dom0_rx_kernel : int;
+  twin_skb_acquire : int;
+  twin_frag_chain : int;
+  copy_per_byte : float;
+  twin_demux : int;
+  twin_rx_queue : int;
+  upcall_stack_switch : int;
+  upcall_return : int;
+  support_routine : int;
+}
+
+let default =
+  {
+    kernel_tx_path = 6150;
+    kernel_rx_path = 10200;
+    virt_overhead_tx = 1184;
+    virt_overhead_rx = 2100;
+    hypercall = 400;
+    domain_switch = 1800;
+    event_channel = 600;
+    interrupt_dispatch = 500;
+    softirq_schedule = 300;
+    grant_map = 450;
+    grant_unmap = 350;
+    grant_copy_per_byte = 2.35;
+    io_channel = 800;
+    bridge = 1100;
+    netback = 900;
+    netfront = 700;
+    dom0_tx_kernel = 5000;
+    dom0_rx_kernel = 11000;
+    twin_skb_acquire = 400;
+    twin_frag_chain = 330;
+    copy_per_byte = 2.35;
+    twin_demux = 1000;
+    twin_rx_queue = 1300;
+    upcall_stack_switch = 4000;
+    upcall_return = 3000;
+    support_routine = 150;
+  }

@@ -1,0 +1,54 @@
+(** System-level cycle-cost calibration constants.
+
+    The MISA interpreter measures driver cycles directly; everything the
+    simulator does not execute instruction-by-instruction (kernel protocol
+    stacks, Xen's context-switch machinery, grant tables, the I/O channel)
+    is charged through these constants. They are calibrated so the four
+    configurations land near the per-packet profiles of the paper's
+    Figures 7 and 8 on a 3.0 GHz machine; see DESIGN.md. What the
+    reproduction claims is the *shape* — ratios between configurations —
+    not the absolute values. *)
+
+type t = {
+  (* kernel protocol stack (TCP/IP + socket + sk_buff management) *)
+  kernel_tx_path : int;  (** per packet, transmit side *)
+  kernel_rx_path : int;  (** per packet, receive side *)
+  (* bare-metal vs paravirtualised kernel *)
+  virt_overhead_tx : int;
+      (** extra per-packet cost of running the kernel on Xen (dom0 and
+          guests): paravirtual MMU ops, interrupt virtualisation *)
+  virt_overhead_rx : int;
+  (* Xen primitives *)
+  hypercall : int;
+  domain_switch : int;  (** synchronous world switch incl. TLB fallout *)
+  event_channel : int;  (** virtual interrupt delivery *)
+  interrupt_dispatch : int;  (** hardware interrupt entering Xen *)
+  softirq_schedule : int;
+  (* driver-domain I/O path (the unoptimised domU configuration) *)
+  grant_map : int;
+  grant_unmap : int;
+  grant_copy_per_byte : float;
+  io_channel : int;  (** ring operation per packet, each direction *)
+  bridge : int;  (** dom0 software bridge per packet *)
+  netback : int;
+  netfront : int;
+  dom0_tx_kernel : int;
+      (** dom0 kernel work forwarding a guest transmit beyond
+          netback/bridge (device layer, queueing) *)
+  dom0_rx_kernel : int;  (** dom0-side receive forwarding work *)
+  (* TwinDrivers paravirtual path *)
+  twin_skb_acquire : int;  (** grab a preallocated dom0 sk_buff *)
+  twin_frag_chain : int;  (** chain guest pages into the sk_buff *)
+  copy_per_byte : float;  (** hypervisor copy to/from guest buffers *)
+  twin_demux : int;  (** MAC demultiplexing on receive *)
+  twin_rx_queue : int;
+      (** queueing the packet and scheduling the guest for delivery
+          (§5.3: packets are queued and copied when the guest runs) *)
+  (* upcalls *)
+  upcall_stack_switch : int;
+  upcall_return : int;
+  (* support routines executed natively in a kernel *)
+  support_routine : int;  (** average cost of a support routine body *)
+}
+
+val default : t

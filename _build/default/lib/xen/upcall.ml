@@ -1,0 +1,23 @@
+type stats = { mutable invocations : int; mutable switches_incurred : int }
+
+let fresh_stats () = { invocations = 0; switches_incurred = 0 }
+
+let make_stub ~hyp ~dom0 ~name ~impl stats : Td_cpu.Native.fn =
+ fun st ->
+  ignore name;
+  stats.invocations <- stats.invocations + 1;
+  let costs = Hypervisor.costs hyp in
+  (* the stub saves parameters and switches off the hypervisor stack
+     (whose contents are not preserved across the domain transition) *)
+  Hypervisor.charge_xen hyp costs.Sys_costs.upcall_stack_switch;
+  let prev = Hypervisor.current hyp in
+  let needs_switch = Domain.id prev <> Domain.id dom0 in
+  if needs_switch then stats.switches_incurred <- stats.switches_incurred + 2;
+  Hypervisor.run_in hyp dom0 (fun () ->
+      (* synchronous virtual interrupt into dom0: the registered handler
+         recovers parameters and invokes the support routine *)
+      Hypervisor.charge_xen hyp costs.Sys_costs.event_channel;
+      Hypervisor.charge_domain hyp dom0 costs.Sys_costs.support_routine;
+      impl st;
+      (* 'return' to the stub via hypercall *)
+      Hypervisor.hypercall hyp ~cost:costs.Sys_costs.upcall_return ())

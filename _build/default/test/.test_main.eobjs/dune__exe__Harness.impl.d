@@ -1,0 +1,1 @@
+test/harness.ml: Addr_space Code_registry Interp Layout Native Phys_mem Reg State Td_cpu Td_mem Td_misa Td_rewriter Td_svm

@@ -1,0 +1,1 @@
+test/test_binary.ml: Alcotest Array Bytes Char Cond Decode Encode Insn Program QCheck QCheck_alcotest Reg Td_cpu Td_driver Td_mem Td_misa Td_rewriter Test_rewriter Twin_harness

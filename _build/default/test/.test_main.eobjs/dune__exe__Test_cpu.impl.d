@@ -1,0 +1,1 @@
+test/test_cpu.ml: Alcotest Builder Bytes Code_registry Cond Harness Insn Interp Native Program Reg State Td_cpu Td_mem Td_misa Tlb Width

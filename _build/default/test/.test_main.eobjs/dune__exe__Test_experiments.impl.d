@@ -1,0 +1,1 @@
+test/test_experiments.ml: Alcotest Config Experiments List Measure Printf Td_kernel Td_xen Twindrivers World

@@ -1,0 +1,1 @@
+test/test_golden.ml: Alcotest Builder Td_misa Td_rewriter

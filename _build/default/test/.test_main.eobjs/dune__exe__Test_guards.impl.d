@@ -1,0 +1,1 @@
+test/test_guards.ml: Alcotest Builder Cfi Harness Insn List Loader Program Reg Rewrite Td_cpu Td_driver Td_mem Td_misa Td_rewriter Twin Verifier

@@ -1,0 +1,1 @@
+test/test_http.ml: Alcotest Array Buffer Char Gen Http Httperf Knot List Printf QCheck QCheck_alcotest Queue Rng Specweb String Tcp_lite Td_net

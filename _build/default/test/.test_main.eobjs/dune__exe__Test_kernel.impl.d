@@ -1,0 +1,1 @@
+test/test_kernel.ml: Alcotest Bridge Bytes Harness Kmem List Netdev Option Skb Skb_pool Softirq Spinlock Support Td_cpu Td_kernel Td_mem Td_misa Timer_wheel

@@ -1,0 +1,1 @@
+test/test_mem.ml: Addr_space Alcotest Bytes Char Layout Phys_mem Td_mem Td_misa Width

@@ -1,0 +1,1 @@
+test/test_misa.ml: Alcotest Array Builder Cond Format Insn List Operand Parser Program QCheck QCheck_alcotest Reg String Td_misa Width

@@ -1,0 +1,1 @@
+test/test_net.ml: Alcotest Array List QCheck QCheck_alcotest Rng Specweb Td_net Td_sim Webserver

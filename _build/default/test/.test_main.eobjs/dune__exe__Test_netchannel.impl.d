@@ -1,0 +1,1 @@
+test/test_netchannel.ml: Alcotest Buffer Char Config List Netchannel Printf String Td_driver Td_net Twindrivers World

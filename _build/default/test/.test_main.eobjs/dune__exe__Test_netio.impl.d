@@ -1,0 +1,1 @@
+test/test_netio.ml: Alcotest Bytes Domain Harness Hypervisor Kmem Ledger List Printf Skb String Sys_costs Td_kernel Td_mem Td_xen Xen_netio

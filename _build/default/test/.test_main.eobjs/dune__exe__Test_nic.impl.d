@@ -1,0 +1,1 @@
+test/test_nic.ml: Addr_space Alcotest Bytes E1000_dev Layout List Phys_mem Printf Regs Td_mem Td_misa Td_nic

@@ -1,0 +1,1 @@
+test/test_props.ml: Alcotest Bytes Char Decode Encode Harness Hashtbl List Printf Program QCheck QCheck_alcotest String Td_driver Td_kernel Td_mem Td_misa Td_sim Td_svm Td_xen

@@ -1,0 +1,1 @@
+test/test_svm.ml: Addr_space Alcotest Call_table Harness Layout List Runtime Stlb Td_mem Td_misa Td_svm Width

@@ -1,0 +1,1 @@
+test/test_tcp.ml: Alcotest Char Gen Printf QCheck QCheck_alcotest Queue Rng String Tcp_lite Td_net

@@ -1,0 +1,1 @@
+test/test_world.ml: Alcotest Array Config List Measure Option Printf String Td_cpu Td_driver Td_kernel Td_mem Td_misa Td_nic Td_rewriter Td_svm Td_xen Twindrivers World

@@ -1,0 +1,1 @@
+test/test_xen.ml: Alcotest Bytes Domain Grant_table Harness Hypervisor Ledger List Option Printf Scheduler Td_mem Td_misa Td_sim Td_xen Upcall

@@ -1,0 +1,1 @@
+test/twin_harness.ml: Addr_space Bytes Harness Interp Layout Native Program Reg State Td_cpu Td_mem Td_misa Td_rewriter Td_svm

@@ -1,0 +1,97 @@
+(* Regression tests over the reproduced results themselves: the paper's
+   headline claims, asserted with tolerant bounds so that calibration
+   drift or a rewriter regression fails loudly. *)
+
+open Twindrivers
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+
+let tx cfg = Measure.run_transmit ~packets:300 (World.create ~nics:5 cfg)
+let rx cfg = Measure.run_receive ~packets:300 (World.create ~nics:5 cfg)
+
+let between lo hi v = v >= lo && v <= hi
+
+let test_fig5_headline () =
+  let twin = tx Config.Xen_twin and domu = tx Config.Xen_domU in
+  let linux = tx Config.Native_linux in
+  let speedup = Measure.speedup twin domu in
+  check bool_c
+    (Printf.sprintf "tx speedup %.2f in [2.0, 2.8] (paper 2.41)" speedup)
+    true
+    (between 2.0 2.8 speedup);
+  let vs_linux = Measure.speedup twin linux in
+  check bool_c
+    (Printf.sprintf "twin/linux %.2f in [0.55, 0.85] (paper 0.64)" vs_linux)
+    true
+    (between 0.55 0.85 vs_linux);
+  (* ordering must hold strictly *)
+  let dom0 = tx Config.Xen_dom0 in
+  check bool_c "ordering domU < twin < dom0 < linux" true
+    (domu.Measure.cpu_limited_mbps < twin.Measure.cpu_limited_mbps
+    && twin.Measure.cpu_limited_mbps < dom0.Measure.cpu_limited_mbps
+    && dom0.Measure.cpu_limited_mbps < linux.Measure.cpu_limited_mbps)
+
+let test_fig6_headline () =
+  let twin = rx Config.Xen_twin and domu = rx Config.Xen_domU in
+  let speedup = Measure.speedup twin domu in
+  check bool_c
+    (Printf.sprintf "rx speedup %.2f in [1.8, 2.6] (paper 2.17)" speedup)
+    true
+    (between 1.8 2.6 speedup)
+
+let test_fig7_twin_shape () =
+  let w = World.create ~nics:1 Config.Xen_twin in
+  let r = Measure.run_transmit ~packets:200 w in
+  let get c = List.assoc c r.Measure.breakdown in
+  (* the defining property: no driver-domain work on the data path *)
+  check bool_c "twin dom0 column is zero" true (get Td_xen.Ledger.Dom0 = 0.0);
+  check bool_c "driver cycles present" true (get Td_xen.Ledger.Driver > 500.);
+  let wd = World.create ~nics:1 Config.Xen_domU in
+  let rd = Measure.run_transmit ~packets:200 wd in
+  check bool_c "twin total under half of domU total (paper: 9972 vs 21159)"
+    true
+    (r.Measure.cycles_per_packet < 0.55 *. rd.Measure.cycles_per_packet)
+
+let test_slowdown_band () =
+  let rep = Experiments.rewrite_report ~packets:200 () in
+  check bool_c
+    (Printf.sprintf "slowdown %.2f in the paper's 2-3.5x band"
+       rep.Experiments.slowdown)
+    true
+    (between 2.0 3.5 rep.Experiments.slowdown);
+  check bool_c "memory fraction near the paper's ~25%" true
+    (between 0.20 0.40 rep.Experiments.memory_fraction)
+
+let test_table1_exact () =
+  let t = Experiments.table1_fast_path () in
+  check int_c "exactly ten fast-path routines" 10
+    (List.length t.Experiments.fast_path_called);
+  List.iter
+    (fun n ->
+      check bool_c (n ^ " is one of the paper's ten") true
+        (List.mem n Td_kernel.Support.fast_path_names))
+    t.Experiments.fast_path_called
+
+let test_fig10_cliff () =
+  (* the first upcall must cost more than half the throughput *)
+  let base = tx Config.Xen_twin in
+  let one =
+    Measure.run_transmit ~packets:300
+      (World.create ~nics:5 ~upcall_set:[ "dma_map_single" ] Config.Xen_twin)
+  in
+  check bool_c "one upcall halves throughput (paper: 3902 -> 1638)" true
+    (one.Measure.cpu_limited_mbps < 0.6 *. base.Measure.cpu_limited_mbps);
+  check bool_c "but it still beats the unoptimised guest's receive" true
+    (one.Measure.cpu_limited_mbps > 0.)
+
+let suite =
+  [
+    Alcotest.test_case "fig5 headline" `Slow test_fig5_headline;
+    Alcotest.test_case "fig6 headline" `Slow test_fig6_headline;
+    Alcotest.test_case "fig7 twin shape" `Slow test_fig7_twin_shape;
+    Alcotest.test_case "slowdown band" `Slow test_slowdown_band;
+    Alcotest.test_case "table1 exact" `Slow test_table1_exact;
+    Alcotest.test_case "fig10 cliff" `Slow test_fig10_cliff;
+  ]

@@ -1,0 +1,76 @@
+(* Snapshot test: the exact rewriting of a small fixed driver is pinned,
+   so that unintended changes to the emitted SVM sequences show up as a
+   diff rather than only as a performance drift. *)
+
+open Td_misa
+
+let check = Alcotest.check
+
+let input =
+  {|poll:
+    movl 4(%esp), %ebx
+    incl 0(%ebx)
+    movl 4(%ebx), %eax
+    ret
+|}
+
+(* the paper's Figure 4 shape: lea/mov/and/mov/and/shr/cmp/jne/xor + op *)
+(* Figure-4 shape for the first access; the second access spills ESI
+   (EAX is its destination, ECX/EDX already scratch) and the slow path
+   parks EAX in the spilled ESI across the __svm_miss call. *)
+let expected =
+  {|# golden.twin
+poll:
+    movl 4(%esp), %ebx
+    leal 0(%ebx), %eax
+    movl %eax, %ecx
+    andl $4294963200, %eax
+    movl %eax, %edx
+    andl $16773120, %eax
+    shrl $9, %eax
+    cmpl __stlb(%eax), %edx
+    jne .L_slow_2
+    xorl 4+__stlb(%eax), %ecx
+.L_go_1:
+    incl 0(%ecx)
+    jmp .L_end_3
+.L_slow_2:
+    pushl %ecx
+    call __svm_miss
+    movl %eax, %ecx
+    addl $4, %esp
+    jmp .L_go_1
+.L_end_3:
+    movl %esi, 8+__svm_scratch
+    leal 4(%ebx), %ecx
+    movl %ecx, %edx
+    andl $4294963200, %ecx
+    movl %ecx, %esi
+    andl $16773120, %ecx
+    shrl $9, %ecx
+    cmpl __stlb(%ecx), %esi
+    jne .L_slow_5
+    xorl 4+__stlb(%ecx), %edx
+.L_go_4:
+    movl 8+__svm_scratch, %esi
+    movl 0(%edx), %eax
+    jmp .L_end_6
+.L_slow_5:
+    movl %eax, %esi
+    pushl %edx
+    call __svm_miss
+    movl %eax, %edx
+    addl $4, %esp
+    movl %esi, %eax
+    jmp .L_go_4
+.L_end_6:
+    ret
+|}
+
+let test_golden_rewrite () =
+  Builder.reset_gensym ();
+  let twin = Td_rewriter.Twin.derive_text ~name:"golden" input in
+  check Alcotest.string "pinned rewriting" expected
+    (Td_rewriter.Twin.rewritten_text twin)
+
+let suite = [ Alcotest.test_case "golden rewrite" `Quick test_golden_rewrite ]

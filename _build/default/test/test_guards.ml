@@ -1,0 +1,230 @@
+(* Tests for the §4.5 extensions: static verification at rewriting time
+   and control-flow integrity on returns. *)
+
+open Td_misa
+open Td_rewriter
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+let src_of f =
+  let b = Builder.create "t" in
+  f b;
+  Builder.finish b
+
+(* --- verifier --- *)
+
+let test_verifier_clean_driver () =
+  check bool_c "the bundled e1000 driver is admissible" true
+    (Verifier.admissible (Td_driver.E1000_driver.source ()))
+
+let test_verifier_rejects_hlt () =
+  let src =
+    src_of (fun b ->
+        Builder.nop b;
+        Builder.hlt b)
+  in
+  let rejects =
+    List.filter (fun f -> f.Verifier.severity = Verifier.Reject)
+      (Verifier.inspect src)
+  in
+  check int_c "hlt rejected" 1 (List.length rejects);
+  check bool_c "not admissible" false (Verifier.admissible src)
+
+let test_verifier_rejects_wild_stack_frame () =
+  let src =
+    src_of (fun b ->
+        Builder.movl b (Builder.imm 0) (Builder.mem ~base:Reg.ESP 100000);
+        Builder.ret b)
+  in
+  check bool_c "oversized stack displacement rejected" false
+    (Verifier.admissible src);
+  (* a small frame is fine *)
+  let ok =
+    src_of (fun b ->
+        Builder.movl b (Builder.imm 0) (Builder.mem ~base:Reg.EBP (-64));
+        Builder.ret b)
+  in
+  check bool_c "normal frame fine" true (Verifier.admissible ok)
+
+let test_verifier_warns_indirect_jump () =
+  let src =
+    src_of (fun b ->
+        Builder.jmp_ind b (Builder.reg Reg.EAX))
+  in
+  let warns =
+    List.filter (fun f -> f.Verifier.severity = Verifier.Warn)
+      (Verifier.inspect src)
+  in
+  check bool_c "indirect jump warned" true (warns <> []);
+  check bool_c "warning does not reject" true (Verifier.admissible src)
+
+let test_verifier_rejects_hypervisor_transfer () =
+  let src =
+    Program.source "t"
+      [ Program.Ins (Insn.Call (Insn.Abs Td_mem.Layout.stlb_base)) ]
+  in
+  check bool_c "direct call into hypervisor rejected" false
+    (Verifier.admissible src)
+
+let test_derive_enforces_verification () =
+  let bad =
+    src_of (fun b ->
+        Builder.hlt b)
+  in
+  check bool_c "derive rejects" true
+    (match Twin.derive bad with
+    | exception Rewrite.Rewrite_error _ -> true
+    | _ -> false);
+  check bool_c "derive ~verify:false allows" true
+    (match Twin.derive ~verify:false bad with _ -> true)
+
+(* --- CFI --- *)
+
+(* build a CFI-instrumented hypervisor incarnation by hand *)
+let cfi_world source =
+  let m = Harness.make_machine () in
+  let twin = Twin.derive ~cfi:true ~verify:false source in
+  let rt = Harness.hyp_runtime m in
+  let syms =
+    Loader.overlay (Harness.hyp_symbols m rt) (fun n ->
+        Cfi.symtab m.Harness.natives n)
+  in
+  let prog =
+    (* register CFI for the driver's own range before loading *)
+    let count = Program.instruction_count twin.Twin.rewritten in
+    Cfi.register m.Harness.natives
+      ~code_base:Td_mem.Layout.hyp_driver_code_base ~code_size:(4 * count) ();
+    Loader.load ~name:"cfi" ~source:twin.Twin.rewritten
+      ~base:Td_mem.Layout.hyp_driver_code_base ~symbols:syms
+      ~registry:m.Harness.registry
+  in
+  let guest = Td_mem.Addr_space.create ~name:"guest" m.Harness.phys in
+  let st = Harness.hyp_cpu m ~guest in
+  (m, twin, prog, st)
+
+let test_cfi_stats_counted () =
+  let source =
+    src_of (fun b ->
+        Builder.label b "f";
+        Builder.ret b;
+        Builder.label b "g";
+        Builder.ret b)
+  in
+  let twin = Twin.derive ~cfi:true source in
+  check int_c "both returns guarded" 2
+    twin.Twin.stats.Rewrite.cfi_sites;
+  let plain = Twin.derive source in
+  check int_c "no guards by default" 0 plain.Twin.stats.Rewrite.cfi_sites
+
+let test_cfi_benign_calls_pass () =
+  (* internal call + return, and return to the host sentinel, both pass *)
+  let source =
+    src_of (fun b ->
+        Builder.label b "entry";
+        Builder.call b "callee";
+        Builder.addl b (Builder.imm 1) (Builder.reg Reg.EAX);
+        Builder.ret b;
+        Builder.label b "callee";
+        Builder.movl b (Builder.imm 41) (Builder.reg Reg.EAX);
+        Builder.ret b)
+  in
+  let m, _, prog, st = cfi_world source in
+  let interp = Harness.interp_of m st in
+  let r =
+    Td_cpu.Interp.call interp ~entry:(Program.addr_of_label prog "entry")
+      ~args:[]
+  in
+  check int_c "computed through guarded returns" 42 r
+
+let test_cfi_catches_smashed_return () =
+  (* the classic §4.5.1 bug: a stack write lands on the return address.
+     Stack accesses are NOT SVM-translated, so only CFI can catch it. *)
+  let source =
+    src_of (fun b ->
+        Builder.label b "entry";
+        Builder.movl b (Builder.imm 0x13370000) (Builder.mem ~base:Reg.ESP 0);
+        Builder.ret b)
+  in
+  let m, _, prog, st = cfi_world source in
+  let interp = Harness.interp_of m st in
+  check bool_c "violation raised before control escapes" true
+    (match
+       Td_cpu.Interp.call interp
+         ~entry:(Program.addr_of_label prog "entry")
+         ~args:[]
+     with
+    | exception Cfi.Violation { target = 0x13370000 } -> true
+    | exception Cfi.Violation _ -> true
+    | _ -> false)
+
+let test_without_cfi_smash_escapes_differently () =
+  (* without CFI the same program rets into the void — contained only by
+     the unmapped-code fault, after control has already left the driver *)
+  let source =
+    src_of (fun b ->
+        Builder.label b "entry";
+        Builder.movl b (Builder.imm 0x13370000) (Builder.mem ~base:Reg.ESP 0);
+        Builder.ret b)
+  in
+  let m = Harness.make_machine () in
+  let twin = Twin.derive source in
+  let rt = Harness.hyp_runtime m in
+  let prog =
+    Loader.load ~name:"nocfi" ~source:twin.Twin.rewritten
+      ~base:Td_mem.Layout.hyp_driver_code_base
+      ~symbols:(Harness.hyp_symbols m rt) ~registry:m.Harness.registry
+  in
+  let guest = Td_mem.Addr_space.create ~name:"guest" m.Harness.phys in
+  let st = Harness.hyp_cpu m ~guest in
+  let interp = Harness.interp_of m st in
+  check bool_c "escapes to unmapped code" true
+    (match
+       Td_cpu.Interp.call interp
+         ~entry:(Program.addr_of_label prog "entry")
+         ~args:[]
+     with
+    | exception Td_cpu.Interp.Fault _ -> true
+    | _ -> false)
+
+let test_cfi_equivalence_preserved () =
+  (* guarded programs compute the same results *)
+  let source =
+    src_of (fun b ->
+        Builder.label b "entry";
+        Builder.movl b (Builder.imm 10) (Builder.mem ~base:Reg.EBX 0);
+        Builder.movl b (Builder.mem ~base:Reg.EBX 0) (Builder.reg Reg.EAX);
+        Builder.imull b (Builder.reg Reg.EAX) Reg.EAX;
+        Builder.ret b)
+  in
+  let m, _, prog, st = cfi_world source in
+  let buf = Td_mem.Addr_space.heap_alloc m.Harness.dom0 64 in
+  Td_cpu.State.set st Reg.EBX buf;
+  let interp = Harness.interp_of m st in
+  let r =
+    Td_cpu.Interp.call interp ~entry:(Program.addr_of_label prog "entry")
+      ~args:[]
+  in
+  check int_c "result through SVM + CFI" 100 r
+
+let suite =
+  [
+    Alcotest.test_case "verifier: clean driver" `Quick test_verifier_clean_driver;
+    Alcotest.test_case "verifier: hlt rejected" `Quick test_verifier_rejects_hlt;
+    Alcotest.test_case "verifier: wild stack frame" `Quick
+      test_verifier_rejects_wild_stack_frame;
+    Alcotest.test_case "verifier: indirect jump warns" `Quick
+      test_verifier_warns_indirect_jump;
+    Alcotest.test_case "verifier: hypervisor transfer" `Quick
+      test_verifier_rejects_hypervisor_transfer;
+    Alcotest.test_case "derive enforces verification" `Quick
+      test_derive_enforces_verification;
+    Alcotest.test_case "cfi: stats" `Quick test_cfi_stats_counted;
+    Alcotest.test_case "cfi: benign calls pass" `Quick test_cfi_benign_calls_pass;
+    Alcotest.test_case "cfi: smashed return caught" `Quick
+      test_cfi_catches_smashed_return;
+    Alcotest.test_case "no cfi: smash escapes" `Quick
+      test_without_cfi_smash_escapes_differently;
+    Alcotest.test_case "cfi: equivalence" `Quick test_cfi_equivalence_preserved;
+  ]

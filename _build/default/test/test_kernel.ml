@@ -1,0 +1,256 @@
+(* Tests for the kernel substrate: allocator, sk_buffs, pools, netdev,
+   spinlocks, softirq, timers, support registry. *)
+
+open Td_kernel
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+let make () =
+  let m = Harness.make_machine () in
+  let km = Kmem.create m.Harness.dom0 in
+  (m, km)
+
+(* --- kmem --- *)
+
+let test_kmem_classes () =
+  let _, km = make () in
+  let a = Kmem.alloc km 10 in
+  let b = Kmem.alloc km 10 in
+  check bool_c "distinct" true (a <> b);
+  check bool_c "32-byte class spacing possible" true (abs (b - a) >= 32);
+  Kmem.free km a 10;
+  let c = Kmem.alloc km 10 in
+  check int_c "free list reuse" a c
+
+let test_kmem_zeroed () =
+  let m, km = make () in
+  let a = Kmem.alloc km 64 in
+  Td_mem.Addr_space.write m.Harness.dom0 a Td_misa.Width.W32 0xFFFF;
+  Kmem.free km a 64;
+  let b = Kmem.alloc km 64 in
+  check int_c "same block" a b;
+  check int_c "zeroed on alloc" 0 (Td_mem.Addr_space.read m.Harness.dom0 b Td_misa.Width.W32)
+
+let test_kmem_large () =
+  let _, km = make () in
+  let a = Kmem.alloc km 10000 in
+  check int_c "page aligned" 0 (Td_mem.Layout.offset_of a);
+  check bool_c "live accounting" true (Kmem.allocated_bytes km >= 10000)
+
+(* --- skb --- *)
+
+let test_skb_lifecycle () =
+  let m, km = make () in
+  let skb = Skb.alloc km m.Harness.dom0 ~size:256 in
+  check int_c "len 0" 0 (Skb.len skb);
+  check int_c "data at head" (Skb.head skb) (Skb.data skb);
+  check int_c "capacity" 256 (Skb.capacity skb);
+  Skb.put skb (Bytes.of_string "abcdef");
+  check int_c "len" 6 (Skb.len skb);
+  check bool_c "contents" true (Bytes.to_string (Skb.contents skb) = "abcdef");
+  Skb.pull skb 2;
+  check bool_c "pulled" true (Bytes.to_string (Skb.contents skb) = "cdef");
+  check bool_c "overflow rejected" true
+    (match Skb.put skb (Bytes.make 300 'x') with
+    | exception Failure _ -> true
+    | _ -> false);
+  check bool_c "pull underflow rejected" true
+    (match Skb.pull skb 100 with exception Failure _ -> true | _ -> false)
+
+let test_skb_refcount () =
+  let m, km = make () in
+  let live0 = Kmem.allocated_bytes km in
+  let skb = Skb.alloc km m.Harness.dom0 ~size:128 in
+  Skb.get_ref skb;
+  Skb.free km skb;
+  check bool_c "still allocated (ref held)" true
+    (Kmem.allocated_bytes km > live0);
+  Skb.free km skb;
+  check int_c "released at zero" live0 (Kmem.allocated_bytes km)
+
+let test_skb_frag_fields () =
+  let m, km = make () in
+  let skb = Skb.alloc km m.Harness.dom0 ~size:128 in
+  check int_c "no frag" 0 (Skb.frag_page skb);
+  Skb.set_frag skb ~page:0xC1230000 ~len:1404;
+  check int_c "frag page" 0xC1230000 (Skb.frag_page skb);
+  check int_c "total len includes frag" (Skb.len skb + 1404) (Skb.total_len skb)
+
+(* --- pool --- *)
+
+let test_pool_refcount_trick () =
+  let m, km = make () in
+  let pool = Skb_pool.create km m.Harness.dom0 ~entries:2 ~buf_size:256 in
+  check int_c "available" 2 (Skb_pool.available pool);
+  let a = Option.get (Skb_pool.alloc pool) in
+  (* a dom0-style free must NOT return the buffer to the dom0 allocator:
+     the pool's base reference keeps it alive *)
+  let live = Kmem.allocated_bytes km in
+  Skb.free km a;
+  check int_c "buffer survives dom0 free" live (Kmem.allocated_bytes km);
+  Skb.get_ref a;
+  Skb_pool.release pool a;
+  check int_c "back in pool" 2 (Skb_pool.available pool)
+
+let test_pool_exhaustion () =
+  let m, km = make () in
+  let pool = Skb_pool.create km m.Harness.dom0 ~entries:1 ~buf_size:128 in
+  let a = Skb_pool.alloc pool in
+  check bool_c "first alloc works" true (a <> None);
+  check bool_c "second fails" true (Skb_pool.alloc pool = None);
+  check int_c "exhaustion counted" 1 (Skb_pool.exhaustions pool);
+  Skb_pool.release pool (Option.get a);
+  check bool_c "usable again" true (Skb_pool.alloc pool <> None)
+
+let test_pool_release_resets () =
+  let m, km = make () in
+  let pool = Skb_pool.create km m.Harness.dom0 ~entries:1 ~buf_size:256 in
+  let a = Option.get (Skb_pool.alloc pool) in
+  Skb.put a (Bytes.of_string "stale data");
+  Skb.pull a 3;
+  Skb.set_frag a ~page:42 ~len:10;
+  Skb_pool.release pool a;
+  let b = Option.get (Skb_pool.alloc pool) in
+  check int_c "same skb" a.Skb.addr b.Skb.addr;
+  check int_c "len reset" 0 (Skb.len b);
+  check int_c "data reset" (Skb.head b) (Skb.data b);
+  check int_c "frag reset" 0 (Skb.frag_page b)
+
+let test_pool_foreign_rejected () =
+  let m, km = make () in
+  let pool = Skb_pool.create km m.Harness.dom0 ~entries:1 ~buf_size:128 in
+  let foreign = Skb.alloc km m.Harness.dom0 ~size:128 in
+  check bool_c "foreign release rejected" true
+    (match Skb_pool.release pool foreign with
+    | exception Failure _ -> true
+    | _ -> false);
+  check bool_c "frag buffer exists for pool skbs" true
+    (Skb_pool.iter pool (fun skb -> assert (Skb_pool.frag_buffer pool skb > 0));
+     true)
+
+(* --- netdev / spinlock / softirq / timers --- *)
+
+let test_netdev () =
+  let m, km = make () in
+  let nd = Netdev.alloc km m.Harness.dom0 ~mmio_base:0xC0F00000 ~mac:"\x02\x00\x00\x00\x00\x01" in
+  check int_c "mmio" 0xC0F00000 (Netdev.mmio_base nd);
+  check bool_c "mac" true (Netdev.mac nd = "\x02\x00\x00\x00\x00\x01");
+  check int_c "default mtu" 1500 (Netdev.mtu nd);
+  check bool_c "queue running" false (Netdev.queue_stopped nd);
+  Netdev.stop_queue nd;
+  check bool_c "stopped" true (Netdev.queue_stopped nd);
+  Netdev.wake_queue nd;
+  check bool_c "woken" false (Netdev.queue_stopped nd);
+  Netdev.set_priv nd 0xC1234567;
+  check int_c "priv" 0xC1234567 (Netdev.priv nd)
+
+let test_spinlock () =
+  let m, _ = make () in
+  let addr = Td_mem.Addr_space.heap_alloc m.Harness.dom0 4 in
+  Spinlock.init m.Harness.dom0 addr;
+  check bool_c "acquire" true (Spinlock.trylock m.Harness.dom0 addr);
+  check bool_c "contended" false (Spinlock.trylock m.Harness.dom0 addr);
+  Spinlock.unlock m.Harness.dom0 addr;
+  check bool_c "reacquire" true (Spinlock.trylock m.Harness.dom0 addr)
+
+let test_softirq_guard () =
+  let sq = Softirq.create () in
+  let ran = ref 0 in
+  Softirq.raise_softirq sq (fun () -> incr ran);
+  Softirq.raise_softirq sq (fun () -> incr ran);
+  let allowed = ref false in
+  check int_c "guard blocks" 0 (Softirq.run sq ~guard:(fun () -> !allowed) ());
+  check int_c "still pending" 2 (Softirq.pending sq);
+  allowed := true;
+  check int_c "guard opens" 2 (Softirq.run sq ~guard:(fun () -> !allowed) ());
+  check int_c "ran" 2 !ran
+
+let test_timer_wheel () =
+  let tw = Timer_wheel.create () in
+  let fired = ref 0 in
+  Timer_wheel.add tw ~period:3 ~name:"watchdog" (fun () -> incr fired);
+  for _ = 1 to 7 do
+    Timer_wheel.tick tw
+  done;
+  check int_c "fired at 3 and 6" 2 !fired;
+  check int_c "count query" 2 (Timer_wheel.fired tw ~name:"watchdog");
+  Timer_wheel.cancel tw ~name:"watchdog";
+  for _ = 1 to 5 do
+    Timer_wheel.tick tw
+  done;
+  check int_c "cancelled" 2 !fired
+
+(* --- bridge --- *)
+
+let test_bridge_learning () =
+  let br = Bridge.create () in
+  let got_a = ref [] and got_b = ref [] in
+  let pa = { Bridge.port_name = "a"; tx = (fun f -> got_a := f :: !got_a) } in
+  let pb = { Bridge.port_name = "b"; tx = (fun f -> got_b := f :: !got_b) } in
+  Bridge.add_port br pa;
+  Bridge.add_port br pb;
+  let mac_a = "\x02\x00\x00\x00\x00\x0A" and mac_b = "\x02\x00\x00\x00\x00\x0B" in
+  (* unknown destination floods (but not back to the learned source) *)
+  Bridge.learn br ~mac:mac_a pa;
+  Bridge.forward br (mac_b ^ mac_a ^ "\x08\x00payload");
+  check int_c "flooded to b" 1 (List.length !got_b);
+  check int_c "not reflected to a" 0 (List.length !got_a);
+  (* now b is learned from nothing; teach it and forward directly *)
+  Bridge.learn br ~mac:mac_b pb;
+  Bridge.forward br (mac_b ^ mac_a ^ "\x08\x00more");
+  check int_c "unicast to b" 2 (List.length !got_b);
+  check bool_c "counted" true (Bridge.forwarded br = 1 && Bridge.flooded br = 1)
+
+(* --- support registry --- *)
+
+let test_support_registry_basics () =
+  let m, km = make () in
+  let sup = Support.create ~space:m.Harness.dom0 ~kmem:km in
+  check bool_c "about 97 routines" true (Support.routine_count sup >= 90);
+  check int_c "ten fast-path routines" 10 (List.length Support.fast_path_names);
+  List.iter
+    (fun n -> check bool_c n true (Support.is_fast_path n))
+    Support.fast_path_names;
+  check bool_c "kmalloc is not fast-path" false (Support.is_fast_path "kmalloc")
+
+let test_support_dom0_call_counting () =
+  let m, km = make () in
+  let sup = Support.create ~space:m.Harness.dom0 ~kmem:km in
+  Support.register_dom0_natives sup m.Harness.natives;
+  let st = Harness.dom0_cpu m in
+  (* call kmalloc(100) through the native interface *)
+  let addr = Option.get (Support.dom0_symtab sup m.Harness.natives "kmalloc") in
+  Td_cpu.State.push st 0;
+  Td_cpu.State.push st 100;
+  Td_cpu.State.push st 0xDEAD (* fake return address *);
+  (Option.get (Td_cpu.Native.lookup m.Harness.natives addr)) st;
+  check int_c "counted" 1 (Support.dom0_calls sup "kmalloc");
+  check bool_c "returned an address" true (Td_cpu.State.get st Td_misa.Reg.EAX > 0);
+  check bool_c "tracked as called" true
+    (List.mem "kmalloc" (Support.called_routines sup));
+  Support.reset_counts sup;
+  check int_c "reset" 0 (Support.dom0_calls sup "kmalloc")
+
+let suite =
+  [
+    Alcotest.test_case "kmem classes" `Quick test_kmem_classes;
+    Alcotest.test_case "kmem zeroed" `Quick test_kmem_zeroed;
+    Alcotest.test_case "kmem large" `Quick test_kmem_large;
+    Alcotest.test_case "skb lifecycle" `Quick test_skb_lifecycle;
+    Alcotest.test_case "skb refcount" `Quick test_skb_refcount;
+    Alcotest.test_case "skb frag fields" `Quick test_skb_frag_fields;
+    Alcotest.test_case "pool refcount trick" `Quick test_pool_refcount_trick;
+    Alcotest.test_case "pool exhaustion" `Quick test_pool_exhaustion;
+    Alcotest.test_case "pool release resets" `Quick test_pool_release_resets;
+    Alcotest.test_case "pool foreign rejected" `Quick test_pool_foreign_rejected;
+    Alcotest.test_case "netdev" `Quick test_netdev;
+    Alcotest.test_case "spinlock" `Quick test_spinlock;
+    Alcotest.test_case "softirq guard" `Quick test_softirq_guard;
+    Alcotest.test_case "timer wheel" `Quick test_timer_wheel;
+    Alcotest.test_case "bridge learning" `Quick test_bridge_learning;
+    Alcotest.test_case "support registry" `Quick test_support_registry_basics;
+    Alcotest.test_case "support call counting" `Quick
+      test_support_dom0_call_counting;
+  ]

@@ -1,0 +1,151 @@
+(* Tests for physical memory, page tables and address spaces. *)
+
+open Td_misa
+open Td_mem
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+let test_layout_invariants () =
+  check int_c "page size" 4096 Layout.page_size;
+  check bool_c "stlb maps 16MB" true
+    (Layout.stlb_entries * Layout.page_size = 16 * 1024 * 1024);
+  check bool_c "window is 16MB" true
+    (Layout.map_window_pages * Layout.page_size = 16 * 1024 * 1024);
+  check bool_c "dom0 heap below driver code" true
+    (Layout.dom0_heap_limit <= Layout.vm_driver_code_base);
+  check bool_c "code offset constant" true
+    (Layout.code_offset = Layout.hyp_driver_code_base - Layout.vm_driver_code_base);
+  check bool_c "natives above hyp code" true
+    (Layout.native_base > Layout.hyp_driver_code_base);
+  check bool_c "dom0 range excludes hyp" false (Layout.in_dom0_range Layout.stlb_base);
+  check bool_c "hyp range" true (Layout.in_hyp_range Layout.stlb_base)
+
+let test_phys_alloc_free () =
+  let m = Phys_mem.create ~frames:8 () in
+  let f1 = Phys_mem.alloc_frame m in
+  let f2 = Phys_mem.alloc_frame m in
+  check bool_c "distinct" true (f1 <> f2);
+  check int_c "allocated" 2 (Phys_mem.frames_allocated m);
+  Phys_mem.free_frame m f1;
+  check int_c "after free" 1 (Phys_mem.frames_allocated m);
+  let f3 = Phys_mem.alloc_frame m in
+  check int_c "frame reused" f1 f3
+
+let test_phys_exhaustion () =
+  let m = Phys_mem.create ~frames:3 () in
+  ignore (Phys_mem.alloc_frame m);
+  ignore (Phys_mem.alloc_frame m);
+  check bool_c "exhausted" true
+    (match Phys_mem.alloc_frame m with
+    | exception Failure _ -> true
+    | _ -> false)
+
+let test_phys_rw_widths () =
+  let m = Phys_mem.create () in
+  let f = Phys_mem.alloc_frame m in
+  Phys_mem.write m f 0 Width.W32 0xDEADBEEF;
+  check int_c "w32" 0xDEADBEEF (Phys_mem.read m f 0 Width.W32);
+  check int_c "b0 little-endian" 0xEF (Phys_mem.read m f 0 Width.W8);
+  check int_c "b3" 0xDE (Phys_mem.read m f 3 Width.W8);
+  check int_c "w16" 0xBEEF (Phys_mem.read m f 0 Width.W16);
+  Phys_mem.write m f 100 Width.W8 0x7F;
+  check int_c "w8" 0x7F (Phys_mem.read m f 100 Width.W8)
+
+let test_phys_bounds () =
+  let m = Phys_mem.create () in
+  let f = Phys_mem.alloc_frame m in
+  check bool_c "cross-frame read rejected" true
+    (match Phys_mem.read m f 4094 Width.W32 with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let space () =
+  let phys = Phys_mem.create () in
+  let s = Addr_space.create ~name:"s" phys in
+  Addr_space.heap_init s ~base:Layout.dom0_heap_base ~limit:Layout.dom0_heap_limit;
+  s
+
+let test_space_map_translate () =
+  let s = space () in
+  let va = Addr_space.heap_alloc s 100 in
+  check int_c "page aligned" 0 (Layout.offset_of va);
+  Addr_space.write s (va + 12) Width.W32 42;
+  check int_c "read back" 42 (Addr_space.read s (va + 12) Width.W32);
+  check bool_c "mapped" true (Addr_space.is_mapped s ~vpage:(Layout.page_of va))
+
+let test_space_page_fault () =
+  let s = space () in
+  check bool_c "fault on unmapped" true
+    (match Addr_space.read s 0xC7000000 Width.W32 with
+    | exception Addr_space.Page_fault { addr = 0xC7000000; _ } -> true
+    | _ -> false)
+
+let test_space_straddle () =
+  let s = space () in
+  (* allocate two consecutive pages and write across the boundary *)
+  let va = Addr_space.heap_alloc s (2 * Layout.page_size) in
+  let boundary = va + Layout.page_size - 2 in
+  Addr_space.write s boundary Width.W32 0x11223344;
+  check int_c "straddling read" 0x11223344 (Addr_space.read s boundary Width.W32);
+  check int_c "low half in page 1" 0x3344 (Addr_space.read s boundary Width.W16);
+  check int_c "high half in page 2" 0x1122
+    (Addr_space.read s (boundary + 2) Width.W16)
+
+let test_space_blocks () =
+  let s = space () in
+  let va = Addr_space.heap_alloc s (2 * Layout.page_size) in
+  let data = Bytes.init 6000 (fun i -> Char.chr (i mod 256)) in
+  Addr_space.write_block s (va + 100) data;
+  let back = Addr_space.read_block s (va + 100) 6000 in
+  check bool_c "block roundtrip across pages" true (Bytes.equal data back)
+
+let test_space_aliasing () =
+  (* two spaces mapping the same frame see each other's writes: the
+     single-data-instance property TwinDrivers depends on *)
+  let phys = Phys_mem.create () in
+  let a = Addr_space.create ~name:"a" phys in
+  let b = Addr_space.create ~name:"b" phys in
+  let f = Phys_mem.alloc_frame phys in
+  Addr_space.map a ~vpage:0x10000 f;
+  Addr_space.map b ~vpage:0x20000 f;
+  Addr_space.write a 0x10000078 Width.W32 7;
+  check int_c "alias visible" 7 (Addr_space.read b 0x20000078 Width.W32)
+
+let test_device_pages () =
+  let phys = Phys_mem.create () in
+  let s = Addr_space.create ~name:"s" phys in
+  let last_write = ref (-1, -1) in
+  let dev =
+    {
+      Addr_space.dev_read = (fun off _ -> off * 2);
+      dev_write = (fun off _ v -> last_write := (off, v));
+    }
+  in
+  Addr_space.map_device s ~vpage:0x30000 dev;
+  check int_c "device read" 16 (Addr_space.read s 0x30000008 Width.W32);
+  Addr_space.write s 0x30000010 Width.W32 99;
+  check bool_c "device write seen" true (!last_write = (16, 99))
+
+let test_heap_alloc_distinct () =
+  let s = space () in
+  let a = Addr_space.heap_alloc s 10 in
+  let b = Addr_space.heap_alloc s 10 in
+  check bool_c "regions disjoint" true (b >= a + Layout.page_size)
+
+let suite =
+  [
+    Alcotest.test_case "layout invariants" `Quick test_layout_invariants;
+    Alcotest.test_case "phys alloc/free" `Quick test_phys_alloc_free;
+    Alcotest.test_case "phys exhaustion" `Quick test_phys_exhaustion;
+    Alcotest.test_case "phys rw widths" `Quick test_phys_rw_widths;
+    Alcotest.test_case "phys bounds" `Quick test_phys_bounds;
+    Alcotest.test_case "space map/translate" `Quick test_space_map_translate;
+    Alcotest.test_case "space page fault" `Quick test_space_page_fault;
+    Alcotest.test_case "space straddle" `Quick test_space_straddle;
+    Alcotest.test_case "space blocks" `Quick test_space_blocks;
+    Alcotest.test_case "space aliasing" `Quick test_space_aliasing;
+    Alcotest.test_case "device pages" `Quick test_device_pages;
+    Alcotest.test_case "heap alloc distinct" `Quick test_heap_alloc_distinct;
+  ]

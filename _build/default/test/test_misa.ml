@@ -1,0 +1,334 @@
+(* Unit and property tests for the MISA instruction set, assembler and
+   parser. *)
+
+open Td_misa
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+let int_c = Alcotest.int
+let str_c = Alcotest.string
+
+(* --- Reg --- *)
+
+let test_reg_roundtrip () =
+  List.iter
+    (fun r ->
+      check bool_c "of_string . to_string" true
+        (match Reg.of_string (Reg.to_string r) with
+        | Some r' -> Reg.equal r r'
+        | None -> false);
+      check bool_c "of_index . index" true
+        (Reg.equal r (Reg.of_index (Reg.index r))))
+    Reg.all
+
+let test_reg_general_excludes_esp () =
+  check bool_c "ESP not general" false (List.mem Reg.ESP Reg.general);
+  check int_c "seven general registers" 7 (List.length Reg.general)
+
+(* --- Width / Cond --- *)
+
+let test_width () =
+  check int_c "W8" 1 (Width.bytes Width.W8);
+  check int_c "W16" 2 (Width.bytes Width.W16);
+  check int_c "W32" 4 (Width.bytes Width.W32);
+  check int_c "mask8" 0xff (Width.mask Width.W8);
+  check int_c "sign16" 0x8000 (Width.sign_bit Width.W16)
+
+let test_cond_negate_involutive () =
+  let all =
+    [ Cond.E; Cond.NE; Cond.L; Cond.LE; Cond.G; Cond.GE; Cond.B; Cond.BE;
+      Cond.A; Cond.AE; Cond.S; Cond.NS ]
+  in
+  List.iter
+    (fun c ->
+      check bool_c "negate involutive" true
+        (Cond.equal c (Cond.negate (Cond.negate c))))
+    all
+
+(* --- Operand --- *)
+
+let test_stack_relative () =
+  check bool_c "esp disp" true
+    (Operand.is_stack_relative (Operand.mem ~base:Reg.ESP 8));
+  check bool_c "ebp disp" true
+    (Operand.is_stack_relative (Operand.mem ~base:Reg.EBP (-4)));
+  check bool_c "ebp with index is heap" false
+    (Operand.is_stack_relative
+       (Operand.mem ~base:Reg.EBP ~index:(Reg.ECX, Operand.S4) 0));
+  check bool_c "eax base is heap" false
+    (Operand.is_stack_relative (Operand.mem ~base:Reg.EAX 0))
+
+(* --- Insn classification --- *)
+
+let test_references_heap () =
+  let heap = Operand.Mem (Operand.mem ~base:Reg.EAX 4) in
+  let stack = Operand.Mem (Operand.mem ~base:Reg.ESP 4) in
+  check bool_c "mov heap" true
+    (Insn.references_heap (Insn.Mov (Width.W32, heap, Operand.Reg Reg.EBX)));
+  check bool_c "mov stack" false
+    (Insn.references_heap (Insn.Mov (Width.W32, stack, Operand.Reg Reg.EBX)));
+  check bool_c "lea does not access" false
+    (Insn.references_heap (Insn.Lea (Operand.mem ~base:Reg.EAX 4, Reg.EBX)));
+  check bool_c "reg-only alu" false
+    (Insn.references_heap
+       (Insn.Alu (Insn.Add, Operand.Reg Reg.EAX, Operand.Reg Reg.EBX)))
+
+let test_regs_read_written () =
+  let i =
+    Insn.Mov
+      ( Width.W32,
+        Operand.Reg Reg.ECX,
+        Operand.Mem (Operand.mem ~base:Reg.EAX ~index:(Reg.EDX, Operand.S4) 0)
+      )
+  in
+  let reads = Insn.regs_read i in
+  check bool_c "reads ECX" true (List.mem Reg.ECX reads);
+  check bool_c "reads EAX (address)" true (List.mem Reg.EAX reads);
+  check bool_c "reads EDX (index)" true (List.mem Reg.EDX reads);
+  check bool_c "writes nothing" true (Insn.regs_written i = [])
+
+(* --- assembly & labels --- *)
+
+let simple_src () =
+  let b = Builder.create "t" in
+  Builder.label b "entry";
+  Builder.movl b (Builder.imm 1) (Builder.reg Reg.EAX);
+  Builder.jmp b "skip";
+  Builder.movl b (Builder.imm 2) (Builder.reg Reg.EAX);
+  Builder.label b "skip";
+  Builder.ret b;
+  Builder.finish b
+
+let test_assemble_labels () =
+  let p = Program.assemble ~base:0x1000 (simple_src ()) in
+  check int_c "entry addr" 0x1000 (Program.addr_of_label p "entry");
+  check int_c "skip addr" (0x1000 + 12) (Program.addr_of_label p "skip");
+  check int_c "size" 16 (Program.size_bytes p);
+  check bool_c "contains" true (Program.contains p 0x100c);
+  check bool_c "not contains" false (Program.contains p 0x1010)
+
+let test_assemble_unresolved () =
+  let b = Builder.create "t" in
+  Builder.call b "nowhere";
+  let src = Builder.finish b in
+  Alcotest.check_raises "unresolved" (Program.Unresolved "nowhere") (fun () ->
+      ignore (Program.assemble ~base:0 src))
+
+let test_assemble_symbols () =
+  let b = Builder.create "t" in
+  Builder.movl b (Builder.mem_sym "counter") (Builder.reg Reg.EAX);
+  Builder.call b "helper";
+  Builder.ret b;
+  let src = Builder.finish b in
+  let symbols = function
+    | "counter" -> Some 0xC1000040
+    | "helper" -> Some 0xFE000000
+    | _ -> None
+  in
+  let p = Program.assemble ~symbols ~base:0 src in
+  (match p.Program.code.(0) with
+  | Insn.Mov (_, Operand.Mem m, _) ->
+      check int_c "resolved disp" 0xC1000040 m.Operand.disp;
+      check bool_c "sym cleared" true (m.Operand.sym = None)
+  | _ -> Alcotest.fail "expected mov");
+  match p.Program.code.(1) with
+  | Insn.Call (Insn.Abs a) -> check int_c "resolved call" 0xFE000000 a
+  | _ -> Alcotest.fail "expected call abs"
+
+let test_duplicate_label () =
+  let b = Builder.create "t" in
+  Builder.label b "x";
+  Builder.nop b;
+  Builder.label b "x";
+  Builder.ret b;
+  let src = Builder.finish b in
+  Alcotest.check_raises "duplicate"
+    (Invalid_argument "duplicate label x") (fun () ->
+      ignore (Program.assemble ~base:0 src))
+
+let test_heap_reference_count () =
+  let b = Builder.create "t" in
+  Builder.movl b (Builder.mem ~base:Reg.EAX 0) (Builder.reg Reg.EBX);
+  Builder.movl b (Builder.mem ~base:Reg.ESP 0) (Builder.reg Reg.ECX);
+  Builder.addl b (Builder.imm 1) (Builder.reg Reg.EBX);
+  Builder.ret b;
+  let src = Builder.finish b in
+  check int_c "instruction count" 4 (Program.instruction_count src);
+  check int_c "heap refs" 1 (Program.heap_reference_count src)
+
+(* --- parser --- *)
+
+let test_parse_operands () =
+  let p = Parser.parse_operand in
+  check bool_c "imm" true (Operand.equal (p "$42") (Operand.Imm 42));
+  check bool_c "imm hex" true (Operand.equal (p "$0xff") (Operand.Imm 255));
+  check bool_c "neg imm" true (Operand.equal (p "$-3") (Operand.Imm (-3)));
+  check bool_c "reg" true (Operand.equal (p "%eax") (Operand.Reg Reg.EAX));
+  check bool_c "mem base" true
+    (Operand.equal (p "8(%ebx)") (Operand.Mem (Operand.mem ~base:Reg.EBX 8)));
+  check bool_c "mem full" true
+    (Operand.equal
+       (p "4(%ebx,%ecx,4)")
+       (Operand.Mem (Operand.mem ~base:Reg.EBX ~index:(Reg.ECX, Operand.S4) 4)));
+  check bool_c "mem sym" true
+    (Operand.equal (p "12+counter(%eax)")
+       (Operand.Mem (Operand.mem ~base:Reg.EAX ~sym:"counter" 12)));
+  check bool_c "bare sym" true
+    (Operand.equal (p "counter") (Operand.Mem (Operand.mem ~sym:"counter" 0)))
+
+let test_parse_program () =
+  let text =
+    "# a comment\n\
+     entry:\n\
+    \    movl $5, %eax\n\
+    \    cmpl $0, %eax\n\
+    \    je done\n\
+    \    rep; movsb\n\
+    \    call helper\n\
+     done:\n\
+    \    ret\n"
+  in
+  let src = Parser.parse ~name:"p" text in
+  check int_c "instructions" 6 (Program.instruction_count src);
+  check bool_c "labels" true
+    (Program.entry_points src = [ "entry"; "done" ])
+
+let test_parse_errors () =
+  let bad s =
+    match Parser.parse ~name:"t" s with
+    | exception Parser.Syntax_error (_, _) -> true
+    | _ -> false
+  in
+  check bool_c "unknown mnemonic" true (bad "    frobnicate %eax\n");
+  check bool_c "bad reg" true (bad "    movl %foo, %eax\n");
+  check bool_c "rep on non-string" true (bad "    rep; addl $1, %eax\n");
+  check bool_c "lea needs mem" true (bad "    leal %eax, %ebx\n")
+
+(* --- print/parse roundtrip property --- *)
+
+let arbitrary_reg =
+  QCheck.Gen.oneofl [ Reg.EAX; Reg.EBX; Reg.ECX; Reg.EDX; Reg.ESI; Reg.EDI; Reg.EBP; Reg.ESP ]
+
+let arbitrary_operand : Operand.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  frequency
+    [
+      (2, map (fun n -> Operand.Imm n) (int_range (-1000) 100000));
+      (3, map (fun r -> Operand.Reg r) arbitrary_reg);
+      ( 3,
+        map3
+          (fun base idx disp ->
+            Operand.Mem (Operand.mem ?base ?index:idx disp))
+          (opt arbitrary_reg)
+          (opt (pair arbitrary_reg (oneofl [ Operand.S1; Operand.S2; Operand.S4; Operand.S8 ])))
+          (int_range 0 4096) );
+    ]
+
+let arbitrary_insn : Insn.t QCheck.Gen.t =
+  let open QCheck.Gen in
+  let reg_op = map (fun r -> Operand.Reg r) arbitrary_reg in
+  frequency
+    [
+      ( 4,
+        map3
+          (fun w src dst -> Insn.Mov (w, src, dst))
+          (oneofl [ Width.W8; Width.W16; Width.W32 ])
+          arbitrary_operand reg_op );
+      ( 4,
+        map3
+          (fun op src dst -> Insn.Alu (op, src, dst))
+          (oneofl
+             [ Insn.Add; Insn.Sub; Insn.Adc; Insn.Sbb; Insn.And; Insn.Or;
+               Insn.Xor ])
+          arbitrary_operand reg_op );
+      ( 1,
+        map2 (fun o r -> Insn.Xchg (o, r)) arbitrary_operand arbitrary_reg );
+      (2, map (fun o -> Insn.Push o) arbitrary_operand);
+      (2, map (fun o -> Insn.Pop o) reg_op);
+      (1, return Insn.Ret);
+      (1, return Insn.Nop);
+      (1, return Insn.Pushf);
+      (1, return Insn.Popf);
+      ( 1,
+        map3
+          (fun op w rep -> Insn.Str (op, w, rep))
+          (oneofl [ Insn.Movs; Insn.Stos; Insn.Lods ])
+          (oneofl [ Width.W8; Width.W32 ])
+          bool );
+      ( 2,
+        map2 (fun c n -> Insn.Jcc (c, "l" ^ string_of_int n))
+          (oneofl [ Cond.E; Cond.NE; Cond.L; Cond.A; Cond.BE ])
+          (int_range 0 9) );
+    ]
+
+let roundtrip_prop =
+  QCheck.Test.make ~name:"printer/parser roundtrip" ~count:500
+    (QCheck.make arbitrary_insn ~print:(Format.asprintf "%a" Insn.pp))
+    (fun insn ->
+      let text = Format.asprintf "%a" Insn.pp insn in
+      match Parser.parse_line 1 ("    " ^ text) with
+      | Some (Program.Ins insn') -> Insn.equal insn insn'
+      | _ -> false)
+
+let source_roundtrip_prop =
+  QCheck.Test.make ~name:"program print/parse roundtrip" ~count:100
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 30) arbitrary_insn)
+       ~print:(fun l ->
+         String.concat "\n" (List.map (Format.asprintf "%a" Insn.pp) l)))
+    (fun insns ->
+      let items = List.map (fun i -> Program.Ins i) insns in
+      (* add labels so jcc targets resolve when assembled; for the parse
+         roundtrip only the item list matters *)
+      let src = Program.source "rt" items in
+      let text = Program.to_string_source src in
+      let src' = Parser.parse ~name:"rt" text in
+      List.for_all2
+        (fun a b ->
+          match (a, b) with
+          | Program.Ins x, Program.Ins y -> Insn.equal x y
+          | Program.Label x, Program.Label y -> String.equal x y
+          | _ -> false)
+        src.Program.items src'.Program.items)
+
+let test_pp_stable () =
+  (* a few exact printed forms, pinned to catch format drift *)
+  let cases =
+    [
+      (Insn.Mov (Width.W32, Operand.Imm 5, Operand.Reg Reg.EAX), "movl $5, %eax");
+      ( Insn.Alu (Insn.Xor, Operand.Reg Reg.EBX, Operand.Reg Reg.EBX),
+        "xorl %ebx, %ebx" );
+      (Insn.Str (Insn.Movs, Width.W8, true), "rep; movsb");
+      ( Insn.Cmp
+          ( Operand.Mem (Operand.mem ~base:Reg.ECX ~sym:"__stlb" 0),
+            Operand.Reg Reg.EDX ),
+        "cmpl __stlb(%ecx), %edx" );
+      (Insn.Jcc (Cond.NE, ".L1"), "jne .L1");
+    ]
+  in
+  List.iter
+    (fun (insn, expected) ->
+      check str_c expected expected (Format.asprintf "%a" Insn.pp insn))
+    cases
+
+let suite =
+  [
+    Alcotest.test_case "reg roundtrip" `Quick test_reg_roundtrip;
+    Alcotest.test_case "reg general" `Quick test_reg_general_excludes_esp;
+    Alcotest.test_case "width" `Quick test_width;
+    Alcotest.test_case "cond negate" `Quick test_cond_negate_involutive;
+    Alcotest.test_case "stack relative" `Quick test_stack_relative;
+    Alcotest.test_case "references heap" `Quick test_references_heap;
+    Alcotest.test_case "regs read/written" `Quick test_regs_read_written;
+    Alcotest.test_case "assemble labels" `Quick test_assemble_labels;
+    Alcotest.test_case "assemble unresolved" `Quick test_assemble_unresolved;
+    Alcotest.test_case "assemble symbols" `Quick test_assemble_symbols;
+    Alcotest.test_case "duplicate label" `Quick test_duplicate_label;
+    Alcotest.test_case "heap ref count" `Quick test_heap_reference_count;
+    Alcotest.test_case "parse operands" `Quick test_parse_operands;
+    Alcotest.test_case "parse program" `Quick test_parse_program;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "pp stable" `Quick test_pp_stable;
+    QCheck_alcotest.to_alcotest roundtrip_prop;
+    QCheck_alcotest.to_alcotest source_roundtrip_prop;
+  ]

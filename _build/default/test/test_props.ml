@@ -1,0 +1,154 @@
+(* Model-checking style property tests for the core data structures:
+   the stlb against a reference map, the kernel allocator against an
+   overlap checker, and decode against byte-level fuzzing. *)
+
+open Td_misa
+
+let check = Alcotest.check
+let bool_c = Alcotest.bool
+
+(* --- stlb vs a reference model --- *)
+
+let stlb_model_prop =
+  QCheck.Test.make ~name:"stlb behaves like a direct-mapped map" ~count:50
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 120) (int_range 0 2000))
+       ~print:(fun l -> String.concat "," (List.map string_of_int l)))
+    (fun page_numbers ->
+      let m = Harness.make_machine () in
+      let stlb =
+        Td_svm.Stlb.create ~space:m.Harness.hyp ~vaddr:Td_mem.Layout.stlb_base
+      in
+      (* reference: index -> installed page *)
+      let model = Hashtbl.create 64 in
+      List.iter
+        (fun n ->
+          let dom0_page = Td_mem.Layout.dom0_heap_base + (n * 4096) in
+          let mapped = Td_mem.Layout.map_window_base + (n * 4096) in
+          Td_svm.Stlb.install stlb ~dom0_page ~mapped_page:mapped;
+          Hashtbl.replace model (Td_svm.Stlb.index_of dom0_page) dom0_page)
+        page_numbers;
+      (* every probe must agree with the model: hit iff the bucket holds
+         that page, and then with offset preserved *)
+      List.for_all
+        (fun n ->
+          let dom0_page = Td_mem.Layout.dom0_heap_base + (n * 4096) in
+          let addr = dom0_page + (n * 7 mod 4096) in
+          let expect_hit =
+            Hashtbl.find_opt model (Td_svm.Stlb.index_of dom0_page)
+            = Some dom0_page
+          in
+          match Td_svm.Stlb.lookup stlb addr with
+          | Some translated ->
+              expect_hit
+              && translated
+                 = Td_mem.Layout.map_window_base + (n * 4096)
+                   + (addr - dom0_page)
+          | None -> not expect_hit)
+        page_numbers)
+
+(* --- kmem: allocations never overlap, frees recycle --- *)
+
+let kmem_no_overlap_prop =
+  QCheck.Test.make ~name:"kmem allocations never overlap" ~count:30
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 1 60) (int_range 1 6000))
+       ~print:(fun l -> String.concat "," (List.map string_of_int l)))
+    (fun sizes ->
+      let m = Harness.make_machine () in
+      let km = Td_kernel.Kmem.create m.Harness.dom0 in
+      let live = ref [] in
+      List.for_all
+        (fun size ->
+          let addr = Td_kernel.Kmem.alloc km size in
+          let disjoint =
+            List.for_all
+              (fun (a, s) -> addr + size <= a || a + s <= addr)
+              !live
+          in
+          live := (addr, size) :: !live;
+          (* occasionally free the oldest to exercise recycling *)
+          (if List.length !live > 20 then
+             match List.rev !live with
+             | (a, s) :: _ ->
+                 Td_kernel.Kmem.free km a s;
+                 live := List.filter (fun (x, _) -> x <> a) !live
+             | [] -> ());
+          disjoint)
+        sizes)
+
+(* --- decode: random bytes never crash, only Malformed --- *)
+
+let decode_fuzz_prop =
+  QCheck.Test.make ~name:"decode rejects noise gracefully" ~count:200
+    (QCheck.make
+       QCheck.Gen.(string_size ~gen:(map Char.chr (int_range 0 255)) (int_range 0 200))
+       ~print:String.escaped)
+    (fun noise ->
+      match Decode.decode (Bytes.of_string noise) with
+      | _ -> true (* a parse of noise is fine as long as it is well-typed *)
+      | exception Decode.Malformed _ -> true)
+
+let decode_valid_prefix_prop =
+  (* a real binary with flipped trailing bytes must never crash *)
+  QCheck.Test.make ~name:"decode survives corrupted driver binaries" ~count:60
+    (QCheck.make
+       QCheck.Gen.(pair (int_range 0 5000) (int_range 0 255))
+       ~print:(fun (i, b) -> Printf.sprintf "flip[%d]=%d" i b))
+    (fun (pos, value) ->
+      let prog =
+        Program.assemble
+          ~symbols:(fun _ -> Some Td_mem.Layout.native_base)
+          ~base:Td_mem.Layout.vm_driver_code_base
+          (Td_driver.E1000_driver.source ())
+      in
+      let b = Encode.encode prog in
+      if pos >= Bytes.length b then true
+      else begin
+        Bytes.set b pos (Char.chr value);
+        match Decode.decode b with
+        | _ -> true
+        | exception Decode.Malformed _ -> true
+        | exception Invalid_argument _ -> false (* must not leak *)
+      end)
+
+(* --- ledger arithmetic --- *)
+
+let ledger_prop =
+  QCheck.Test.make ~name:"ledger totals equal the sum of charges" ~count:50
+    (QCheck.make
+       QCheck.Gen.(list_size (int_range 0 80) (pair (int_range 0 3) (int_range 0 10000)))
+       ~print:(fun l -> string_of_int (List.length l)))
+    (fun charges ->
+      let led = Td_xen.Ledger.create () in
+      let cat = function
+        | 0 -> Td_xen.Ledger.Dom0
+        | 1 -> Td_xen.Ledger.DomU
+        | 2 -> Td_xen.Ledger.Xen
+        | _ -> Td_xen.Ledger.Driver
+      in
+      List.iter (fun (c, n) -> Td_xen.Ledger.charge led (cat c) n) charges;
+      Td_xen.Ledger.grand_total led
+      = List.fold_left (fun acc (_, n) -> acc + n) 0 charges)
+
+let test_stats_percentile_edge () =
+  check bool_c "single element" true (Td_sim.Stats.percentile 99. [ 5. ] = 5.);
+  check bool_c "p0 -> min" true
+    (Td_sim.Stats.percentile 0. [ 3.; 1.; 2. ] = 1.);
+  check bool_c "p100 -> max" true
+    (Td_sim.Stats.percentile 100. [ 3.; 1.; 2. ] = 3.);
+  check bool_c "empty raises" true
+    (match Td_sim.Stats.percentile 50. [] with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let suite =
+  [
+    QCheck_alcotest.to_alcotest stlb_model_prop;
+    QCheck_alcotest.to_alcotest kmem_no_overlap_prop;
+    QCheck_alcotest.to_alcotest decode_fuzz_prop;
+    QCheck_alcotest.to_alcotest decode_valid_prefix_prop;
+    QCheck_alcotest.to_alcotest ledger_prop;
+    Alcotest.test_case "stats percentile edges" `Quick
+      test_stats_percentile_edge;
+  ]

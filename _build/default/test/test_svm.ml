@@ -1,0 +1,153 @@
+(* Tests for the stlb, the SVM runtime (miss handling, protection) and the
+   indirect-call table. *)
+
+open Td_misa
+open Td_mem
+open Td_svm
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+let test_index_bits () =
+  (* index uses address bits 12..23, entry offset = index * 8 *)
+  check int_c "index of 0" 0 (Stlb.index_of 0xC1000000);
+  check int_c "index of page 1" 1 (Stlb.index_of 0xC1001234);
+  check int_c "offset" 8 (Stlb.entry_offset 0xC1001234);
+  check int_c "wraps at 4096 pages" (Stlb.index_of 0xC1000000)
+    (Stlb.index_of 0xC2000000)
+
+let test_stlb_install_lookup () =
+  let m = Harness.make_machine () in
+  let stlb = Stlb.create ~space:m.Harness.hyp ~vaddr:Layout.stlb_base in
+  Stlb.install stlb ~dom0_page:0xC1234000 ~mapped_page:0xFD008000;
+  (match Stlb.lookup stlb 0xC1234ABC with
+  | Some a -> check int_c "offset preserved" 0xFD008ABC a
+  | None -> Alcotest.fail "expected hit");
+  check bool_c "other page misses" true (Stlb.lookup stlb 0xC1235ABC = None);
+  (* colliding page (same index bits, different tag) misses *)
+  check bool_c "collision misses" true (Stlb.lookup stlb 0xC2234ABC = None);
+  Stlb.invalidate stlb ~dom0_page:0xC1234000;
+  check bool_c "invalidated" true (Stlb.lookup stlb 0xC1234ABC = None)
+
+let test_stlb_xor_roundtrip () =
+  let m = Harness.make_machine () in
+  let stlb = Stlb.create ~space:m.Harness.hyp ~vaddr:Layout.stlb_base in
+  (* xor trick must preserve any offset *)
+  Stlb.install stlb ~dom0_page:0xC1010000 ~mapped_page:0xFD000000;
+  List.iter
+    (fun off ->
+      match Stlb.lookup stlb (0xC1010000 + off) with
+      | Some a -> check int_c "offset" (0xFD000000 + off) a
+      | None -> Alcotest.fail "hit expected")
+    [ 0; 1; 0xFFF; 0x7FE ]
+
+let test_runtime_miss_maps_pair () =
+  let m = Harness.make_machine () in
+  let rt = Harness.hyp_runtime m in
+  let va = Addr_space.heap_alloc m.Harness.dom0 (2 * Layout.page_size) in
+  Addr_space.write m.Harness.dom0 (va + 8) Width.W32 0xCAFE;
+  let translated = Runtime.miss rt (va + 8) in
+  check bool_c "translated into window" true
+    (translated >= Layout.map_window_base);
+  check int_c "same data visible through hyp mapping" 0xCAFE
+    (Addr_space.read m.Harness.hyp translated Width.W32);
+  (* straddling access works because the successor page is mapped too *)
+  let boundary = va + Layout.page_size - 2 in
+  Addr_space.write m.Harness.dom0 boundary Width.W32 0x55667788;
+  let tb = Runtime.translate rt boundary in
+  check int_c "straddle through pair" 0x55667788
+    (Addr_space.read m.Harness.hyp tb Width.W32)
+
+let test_runtime_protection () =
+  let m = Harness.make_machine () in
+  let rt = Harness.hyp_runtime m in
+  let faulted addr =
+    match Runtime.miss rt addr with
+    | exception Runtime.Fault _ -> true
+    | _ -> false
+  in
+  check bool_c "hypervisor address rejected" true (faulted Layout.stlb_base);
+  check bool_c "stlb itself rejected" true (faulted (Layout.stlb_base + 8));
+  check bool_c "guest address rejected" true (faulted 0xF0100000);
+  check bool_c "unmapped dom0 address rejected" true (faulted 0xC7FFF000);
+  check int_c "faults counted" 4 (Runtime.faults rt)
+
+let test_runtime_collision_chain () =
+  let m = Harness.make_machine () in
+  let rt = Harness.hyp_runtime m in
+  (* map enough memory that two pages share an stlb bucket: pages 16MB
+     apart collide (index bits wrap) *)
+  let base1 = Layout.dom0_heap_base in
+  let base2 = Layout.dom0_heap_base + (16 * 1024 * 1024) in
+  Addr_space.alloc_region m.Harness.dom0 ~vaddr:base1 ~pages:1;
+  Addr_space.alloc_region m.Harness.dom0 ~vaddr:base2 ~pages:1;
+  let t1 = Runtime.translate rt (base1 + 4) in
+  let t2 = Runtime.translate rt (base2 + 4) in
+  check bool_c "different mappings" true (t1 <> t2);
+  (* t1's entry was evicted; translating again goes through the chain and
+     returns the same stable mapping *)
+  let t1' = Runtime.translate rt (base1 + 4) in
+  check int_c "stable translation" t1 t1';
+  check bool_c "collision recorded" true (Runtime.collisions rt >= 1)
+
+let test_runtime_identity () =
+  let m = Harness.make_machine () in
+  let rt, _ = Harness.vm_runtime m in
+  let va = Addr_space.heap_alloc m.Harness.dom0 64 in
+  check int_c "identity translation" (va + 12) (Runtime.translate rt (va + 12));
+  check bool_c "identity still protects" true
+    (match Runtime.miss rt Layout.stlb_base with
+    | exception Runtime.Fault _ -> true
+    | _ -> false)
+
+let test_persistent_map_and_invalidate () =
+  let m = Harness.make_machine () in
+  let rt = Harness.hyp_runtime m in
+  let va = Addr_space.heap_alloc m.Harness.dom0 64 in
+  let t = Runtime.persistent_map rt va in
+  check int_c "hit after persist" t (Runtime.translate rt va);
+  let misses_before = Runtime.misses rt in
+  ignore (Runtime.translate rt (va + 32));
+  check int_c "no extra miss" misses_before (Runtime.misses rt);
+  Runtime.invalidate_page rt va;
+  ignore (Runtime.translate rt va);
+  check bool_c "miss after invalidate" true (Runtime.misses rt > misses_before)
+
+let test_call_table () =
+  let resolved = ref [] in
+  let ct =
+    Call_table.create ~vm_code_base:Layout.vm_driver_code_base
+      ~vm_code_size:0x1000
+      ~resolver:(fun addr ->
+        resolved := addr :: !resolved;
+        if addr = 0xC0001000 then Some 0xFE000040 else None)
+  in
+  (* driver-internal target: constant offset *)
+  check int_c "internal" (Layout.vm_driver_code_base + 0x10 + Layout.code_offset)
+    (Call_table.translate ct (Layout.vm_driver_code_base + 0x10));
+  (* kernel routine target: resolver *)
+  check int_c "kernel routine" 0xFE000040 (Call_table.translate ct 0xC0001000);
+  (* cached: second lookup does not consult the resolver *)
+  ignore (Call_table.translate ct 0xC0001000);
+  check int_c "resolver called once" 1
+    (List.length (List.filter (fun a -> a = 0xC0001000) !resolved));
+  check bool_c "wild pointer rejected" true
+    (match Call_table.translate ct 0xDEAD0000 with
+    | exception Runtime.Fault _ -> true
+    | _ -> false);
+  check bool_c "hits counted" true (Call_table.hits ct >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "stlb index bits" `Quick test_index_bits;
+    Alcotest.test_case "stlb install/lookup" `Quick test_stlb_install_lookup;
+    Alcotest.test_case "stlb xor roundtrip" `Quick test_stlb_xor_roundtrip;
+    Alcotest.test_case "miss maps page pair" `Quick test_runtime_miss_maps_pair;
+    Alcotest.test_case "protection" `Quick test_runtime_protection;
+    Alcotest.test_case "collision chain" `Quick test_runtime_collision_chain;
+    Alcotest.test_case "identity mode" `Quick test_runtime_identity;
+    Alcotest.test_case "persistent map/invalidate" `Quick
+      test_persistent_map_and_invalidate;
+    Alcotest.test_case "call table" `Quick test_call_table;
+  ]

@@ -1,0 +1,365 @@
+(* End-to-end tests over the four full system configurations: packet
+   delivery fidelity, driver statistics, safety containment, upcalls,
+   virtual-interrupt deferral, housekeeping paths. *)
+
+open Twindrivers
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+let payload = "GET /index.html HTTP/1.0\r\n" ^ String.make 800 'q'
+
+(* --- transmit fidelity: the exact bytes appear on the wire --- *)
+
+let test_tx_fidelity cfg () =
+  let w = World.create ~nics:2 cfg in
+  check bool_c "transmit accepted" true (World.transmit w ~nic:1 ~payload);
+  World.pump w;
+  check int_c "one frame on the wire" 1 (World.wire_tx_frames w);
+  check int_c "frame bytes = eth header + payload"
+    (14 + String.length payload)
+    (World.wire_tx_bytes w);
+  let a = World.adapter w ~nic:1 in
+  check int_c "driver counted it" 1 (Td_driver.Adapter.tx_packets a);
+  check bool_c "lock released" false (Td_driver.Adapter.lock_held a)
+
+(* --- receive fidelity: payload delivered byte-exact to the consumer --- *)
+
+let test_rx_fidelity cfg () =
+  let w = World.create ~nics:2 cfg in
+  World.inject_rx w ~nic:0 ~payload;
+  World.pump w;
+  check int_c "delivered" 1 (World.delivered_rx_frames w);
+  check bool_c "payload intact" true (World.rx_last_payload w = Some payload);
+  let a = World.adapter w ~nic:0 in
+  check int_c "driver rx count" 1 (Td_driver.Adapter.rx_packets a)
+
+(* --- sustained bidirectional traffic, multiple NICs --- *)
+
+let test_sustained cfg () =
+  let w = World.create ~nics:3 cfg in
+  let n = 150 in
+  for i = 0 to n - 1 do
+    ignore (World.transmit w ~nic:(i mod 3) ~payload);
+    World.inject_rx w ~nic:(i mod 3) ~payload;
+    if i mod 4 = 3 then World.pump w
+  done;
+  World.pump w;
+  check int_c "all transmitted" n (World.wire_tx_frames w);
+  check int_c "all received" n (World.delivered_rx_frames w)
+
+(* --- twin specifics --- *)
+
+let test_twin_no_switch_on_data_path () =
+  let w = World.create ~nics:1 Config.Xen_twin in
+  let h = Option.get (World.hypervisor w) in
+  World.reset_measurement w;
+  let sw = Td_xen.Hypervisor.switches h in
+  for _ = 1 to 20 do
+    ignore (World.transmit w ~nic:0 ~payload)
+  done;
+  World.pump w;
+  (* the whole point of TwinDrivers: no domain switch per packet *)
+  check int_c "no world switches on tx fast path" sw
+    (Td_xen.Hypervisor.switches h)
+
+let test_twin_upcalls_when_demoted () =
+  let w =
+    World.create ~nics:1 ~upcall_set:[ "spin_trylock"; "spin_unlock_irqrestore" ]
+      Config.Xen_twin
+  in
+  let h = Option.get (World.hypervisor w) in
+  World.reset_measurement w;
+  let sw = Td_xen.Hypervisor.switches h in
+  ignore (World.transmit w ~nic:0 ~payload);
+  let sup = World.support w in
+  check bool_c "spin_trylock upcalled" true
+    (Td_kernel.Support.upcalls sup "spin_trylock" >= 1);
+  check bool_c "dma stays native" true
+    (Td_kernel.Support.upcalls sup "dma_map_single" = 0);
+  check bool_c "upcalls forced world switches" true
+    (Td_xen.Hypervisor.switches h > sw);
+  (* functionality is preserved *)
+  World.pump w;
+  check int_c "frame still sent" 1 (World.wire_tx_frames w)
+
+let test_twin_vif_defers_interrupt () =
+  let w = World.create ~nics:1 Config.Xen_twin in
+  World.mask_dom0_interrupts w;
+  World.inject_rx w ~nic:0 ~payload;
+  World.pump w;
+  check int_c "delivery deferred while dom0 masks interrupts" 0
+    (World.delivered_rx_frames w);
+  World.unmask_dom0_interrupts w;
+  check int_c "delivered after unmask" 1 (World.delivered_rx_frames w)
+
+let test_twin_pool_exhaustion_drops () =
+  (* a pool too small to keep refilling the receive ring: the hypervisor's
+     netdev_alloc_skb returns NULL and the driver must drop gracefully
+     (reusing the in-place buffer), not crash *)
+  let w = World.create ~nics:1 ~pool_entries:4 Config.Xen_twin in
+  for _ = 1 to 20 do
+    World.inject_rx w ~nic:0 ~payload
+  done;
+  World.pump w;
+  let a = World.adapter w ~nic:0 in
+  check bool_c "some packets dropped for want of buffers" true
+    (Td_driver.Adapter.rx_alloc_fail a > 0);
+  check bool_c "others delivered" true (World.delivered_rx_frames w > 0);
+  check bool_c "pool exhaustion recorded" true
+    (Td_kernel.Skb_pool.exhaustions (Option.get (World.pool w)) > 0);
+  (* the machine survives: further traffic (the transmit may be refused —
+     the remaining pool buffers are parked in the receive ring — but
+     nothing crashes) *)
+  ignore (World.transmit w ~nic:0 ~payload);
+  World.inject_rx w ~nic:0 ~payload;
+  World.pump w;
+  check bool_c "machine still alive" true true
+
+let test_twin_stats_and_svm_activity () =
+  let w = World.create ~nics:1 Config.Xen_twin in
+  World.reset_measurement w;
+  for i = 0 to 19 do
+    ignore (World.transmit w ~nic:0 ~payload);
+    World.inject_rx w ~nic:0 ~payload;
+    if i mod 4 = 3 then World.pump w
+  done;
+  World.pump w;
+  let rt = Option.get (World.svm w) in
+  check bool_c "no SVM faults in error-free operation" true
+    (Td_svm.Runtime.faults rt = 0);
+  check bool_c "translations installed" true (Td_svm.Runtime.pages_mapped rt > 0);
+  let stats = Option.get (World.twin_stats w) in
+  check bool_c "rewrite touched many sites" true
+    (stats.Td_rewriter.Rewrite.heap_sites > 50)
+
+let test_twin_fast_path_support_calls_in_hyp () =
+  let w = World.create ~nics:1 Config.Xen_twin in
+  let sup = World.support w in
+  Td_kernel.Support.reset_counts sup;
+  for i = 0 to 7 do
+    ignore (World.transmit w ~nic:0 ~payload);
+    World.inject_rx w ~nic:0 ~payload;
+    if i mod 4 = 3 then World.pump w
+  done;
+  World.pump w;
+  (* data-path support work happened in the hypervisor, with no upcalls *)
+  check bool_c "hyp netif_rx" true (Td_kernel.Support.hyp_calls sup "netif_rx" > 0);
+  check bool_c "hyp dma_map_single" true
+    (Td_kernel.Support.hyp_calls sup "dma_map_single" > 0);
+  check bool_c "hyp eth_type_trans" true
+    (Td_kernel.Support.hyp_calls sup "eth_type_trans" > 0);
+  check int_c "zero upcalls" 0 (Td_kernel.Support.total_upcalls sup)
+
+(* --- housekeeping runs in dom0 (the VM instance, for twin) --- *)
+
+let test_watchdog_and_config cfg () =
+  let w = World.create ~nics:1 cfg in
+  World.run_watchdog w ~nic:0;
+  World.run_watchdog w ~nic:0;
+  let a = World.adapter w ~nic:0 in
+  check int_c "watchdog ran twice" 2 (Td_driver.Adapter.watchdog_runs a);
+  World.run_set_mtu w ~nic:0 ~mtu:1200;
+  check int_c "mtu reconfigured" 1200
+    (Td_kernel.Netdev.mtu (World.netdev w ~nic:0));
+  (* config path exercised tail support routines (in dom0, never hyp) *)
+  let sup = World.support w in
+  check bool_c "netif_stop_queue used by config path" true
+    (Td_kernel.Support.dom0_calls sup "netif_stop_queue" > 0);
+  check int_c "no hyp call for config routines" 0
+    (Td_kernel.Support.hyp_calls sup "netif_stop_queue")
+
+(* --- domU baseline specifics --- *)
+
+let test_rx_mode_config cfg () =
+  (* the multicast/promiscuous configuration path: MTA cleared by a
+     rewritten rep stosl (on the twin's VM instance), RCTL bit flipped *)
+  let w = World.create ~nics:1 cfg in
+  let mmio = Td_kernel.Netdev.mmio_base (World.netdev w ~nic:0) in
+  let reg off =
+    Td_mem.Addr_space.read (World.dom0_space w) (mmio + off) Td_misa.Width.W32
+  in
+  World.run_set_rx_mode w ~nic:0 ~promisc:true;
+  check bool_c "promiscuous set" true (reg Td_nic.Regs.rctl land 8 <> 0);
+  check int_c "mta entry hashed in" 1 (reg (Td_nic.Regs.mta + 4));
+  World.run_set_rx_mode w ~nic:0 ~promisc:false;
+  check bool_c "promiscuous cleared" true (reg Td_nic.Regs.rctl land 8 = 0);
+  (* config work never entered the hypervisor *)
+  check int_c "rtnl_lock stayed in dom0" 0
+    (Td_kernel.Support.hyp_calls (World.support w) "rtnl_lock")
+
+let test_stats_string_copy cfg () =
+  (* e1000_get_stats copies the statistics block with rep movsl — a
+     rewritten string operation on the twin's VM instance *)
+  let w = World.create ~nics:1 cfg in
+  for i = 0 to 4 do
+    ignore (World.transmit w ~nic:0 ~payload);
+    World.inject_rx w ~nic:0 ~payload;
+    if i mod 2 = 1 then World.pump w
+  done;
+  World.pump w;
+  let stats = World.read_stats w ~nic:0 in
+  check int_c "tx_packets via string copy" 5 stats.(0);
+  check int_c "rx_packets via string copy" 5 stats.(2);
+  check bool_c "tx_bytes plausible" true (stats.(1) >= 5 * String.length payload)
+
+let test_timer_driven_watchdog cfg () =
+  (* the dom0 timer wheel drives the watchdog; 35 ticks = 3 firings *)
+  let w = World.create ~nics:2 cfg in
+  for _ = 1 to 35 do
+    World.tick w
+  done;
+  let a = World.adapter w ~nic:0 in
+  check int_c "watchdog fired on schedule" 3 (Td_driver.Adapter.watchdog_runs a);
+  let b = World.adapter w ~nic:1 in
+  check int_c "per-NIC timers" 3 (Td_driver.Adapter.watchdog_runs b)
+
+let test_watchdog_indirect_call cfg () =
+  (* the watchdog reaches the link-check routine through a function
+     pointer in shared driver data *)
+  let w = World.create ~nics:1 cfg in
+  World.run_watchdog w ~nic:0;
+  let a = World.adapter w ~nic:0 in
+  check int_c "link seen up via indirect call" 1
+    (Td_driver.Adapter.field a Td_driver.Adapter.o_link_up)
+
+let test_twin_multi_guest_demux () =
+  (* §5.3: the hypervisor demultiplexes received packets by destination
+     MAC and queues each to the appropriate guest *)
+  let w = World.create ~nics:1 ~guests:3 Config.Xen_twin in
+  check int_c "three guests" 3 (World.guest_count w);
+  for g = 0 to 2 do
+    for _ = 1 to g + 1 do
+      World.inject_rx ~guest:g w ~nic:0 ~payload
+    done
+  done;
+  World.pump w;
+  check int_c "guest0 got 1" 1 (World.delivered_rx_frames_to w ~guest:0);
+  check int_c "guest1 got 2" 2 (World.delivered_rx_frames_to w ~guest:1);
+  check int_c "guest2 got 3" 3 (World.delivered_rx_frames_to w ~guest:2);
+  check int_c "total" 6 (World.delivered_rx_frames w);
+  (* delivery to a non-running guest required world switches; guest0 is
+     current so at least the others forced switches *)
+  let h = Option.get (World.hypervisor w) in
+  check bool_c "switched to deliver" true (Td_xen.Hypervisor.switches h > 0)
+
+let test_domu_grant_machinery () =
+  let w = World.create ~nics:1 Config.Xen_domU in
+  World.reset_measurement w;
+  for _ = 1 to 5 do
+    ignore (World.transmit w ~nic:0 ~payload)
+  done;
+  World.pump w;
+  check int_c "five frames" 5 (World.wire_tx_frames w);
+  let h = Option.get (World.hypervisor w) in
+  (* each packet needs at least two world switches (guest->dom0->guest) *)
+  check bool_c "switches per packet" true (Td_xen.Hypervisor.switches h >= 10)
+
+(* --- ledger sanity across configurations --- *)
+
+let test_ledger_categories cfg () =
+  let w = World.create ~nics:1 cfg in
+  World.reset_measurement w;
+  for i = 0 to 9 do
+    ignore (World.transmit w ~nic:0 ~payload);
+    World.inject_rx w ~nic:0 ~payload;
+    if i mod 4 = 3 then World.pump w
+  done;
+  World.pump w;
+  let l = World.ledger w in
+  let get c = Td_xen.Ledger.total l c in
+  check bool_c "driver cycles measured" true (get Td_xen.Ledger.Driver > 0);
+  (match cfg with
+  | Config.Native_linux ->
+      check int_c "no Xen work on bare metal" 0 (get Td_xen.Ledger.Xen);
+      check int_c "no guest" 0 (get Td_xen.Ledger.DomU)
+  | Config.Xen_dom0 ->
+      check bool_c "virtualisation overhead" true (get Td_xen.Ledger.Xen > 0);
+      check int_c "no guest" 0 (get Td_xen.Ledger.DomU)
+  | Config.Xen_domU ->
+      check bool_c "guest work" true (get Td_xen.Ledger.DomU > 0);
+      check bool_c "dom0 work" true (get Td_xen.Ledger.Dom0 > 0);
+      check bool_c "xen work" true (get Td_xen.Ledger.Xen > 0)
+  | Config.Xen_twin ->
+      check bool_c "guest work" true (get Td_xen.Ledger.DomU > 0);
+      check int_c "dom0 idle on data path" 0 (get Td_xen.Ledger.Dom0);
+      check bool_c "xen work" true (get Td_xen.Ledger.Xen > 0))
+
+(* --- measurement layer --- *)
+
+let test_profiler_attribution () =
+  let w = World.create ~nics:1 Config.Xen_twin in
+  let prof = Td_cpu.Profiler.attach (World.interp w) in
+  for i = 0 to 19 do
+    ignore (World.transmit w ~nic:0 ~payload);
+    if i mod 8 = 7 then World.pump w
+  done;
+  World.pump w;
+  let by_label = Td_cpu.Profiler.cycles_by_label prof in
+  check bool_c "profiled something" true (Td_cpu.Profiler.total_cycles prof > 0);
+  check bool_c "hypervisor instance hot" true
+    (List.exists
+       (fun (n, c) ->
+         c > 0 && String.length n > 9 && String.sub n 0 9 = "e1000.hyp")
+       by_label);
+  (* entry points appear as regions *)
+  check bool_c "xmit region present" true
+    (List.mem_assoc "e1000.hyp:e1000_xmit_frame" by_label);
+  Td_cpu.Profiler.reset prof;
+  check int_c "reset" 0 (Td_cpu.Profiler.total_cycles prof)
+
+let test_measure_consistency () =
+  let w = World.create ~nics:5 Config.Xen_twin in
+  let r = Measure.run_transmit ~packets:120 w in
+  check bool_c "throughput positive" true (r.Measure.throughput_mbps > 0.);
+  check bool_c "cpu-scaled >= measured" true
+    (r.Measure.cpu_limited_mbps >= r.Measure.throughput_mbps -. 1e-6);
+  check bool_c "utilisation sane" true
+    (r.Measure.cpu_utilisation > 0. && r.Measure.cpu_utilisation <= 1.0);
+  check int_c "no drops" 0 r.Measure.drops;
+  let total =
+    List.fold_left (fun acc (_, v) -> acc +. v) 0. r.Measure.breakdown
+  in
+  check bool_c "breakdown sums to total" true
+    (abs_float (total -. r.Measure.cycles_per_packet) < 1.0)
+
+let for_all_configs name f =
+  List.map
+    (fun cfg ->
+      Alcotest.test_case
+        (Printf.sprintf "%s (%s)" name (Config.name cfg))
+        `Quick (f cfg))
+    Config.all
+
+let suite =
+  for_all_configs "tx fidelity" test_tx_fidelity
+  @ for_all_configs "rx fidelity" test_rx_fidelity
+  @ for_all_configs "sustained traffic" test_sustained
+  @ for_all_configs "ledger categories" test_ledger_categories
+  @ for_all_configs "watchdog/config" test_watchdog_and_config
+  @ for_all_configs "rx mode config" test_rx_mode_config
+  @ for_all_configs "stats string copy" test_stats_string_copy
+  @ for_all_configs "watchdog indirect call" test_watchdog_indirect_call
+  @ for_all_configs "timer-driven watchdog" test_timer_driven_watchdog
+  @ [
+      Alcotest.test_case "twin: no switch on data path" `Quick
+        test_twin_no_switch_on_data_path;
+      Alcotest.test_case "twin: demoted routines upcall" `Quick
+        test_twin_upcalls_when_demoted;
+      Alcotest.test_case "twin: vif defers interrupt" `Quick
+        test_twin_vif_defers_interrupt;
+      Alcotest.test_case "twin: pool exhaustion drops" `Quick
+        test_twin_pool_exhaustion_drops;
+      Alcotest.test_case "twin: stats and svm activity" `Quick
+        test_twin_stats_and_svm_activity;
+      Alcotest.test_case "twin: fast path in hyp, no upcalls" `Quick
+        test_twin_fast_path_support_calls_in_hyp;
+      Alcotest.test_case "twin: multi-guest demux" `Quick
+        test_twin_multi_guest_demux;
+      Alcotest.test_case "domU: grant machinery" `Quick
+        test_domu_grant_machinery;
+      Alcotest.test_case "profiler attribution" `Quick
+        test_profiler_attribution;
+      Alcotest.test_case "measure consistency" `Quick test_measure_consistency;
+    ]

@@ -1,0 +1,128 @@
+(* End-to-end harness: derive a twin driver and run all three incarnations
+   (original in dom0, rewritten VM instance in dom0, rewritten hypervisor
+   instance from an arbitrary guest context) on identical initial state. *)
+
+open Td_misa
+open Td_mem
+open Td_cpu
+
+type incarnation = Original | Vm_identity | Hypervisor
+
+type run_result = {
+  eax : int;
+  cycles : int;
+  steps : int;
+  buf : bytes;
+  machine : Harness.machine;
+  svm : Td_svm.Runtime.t option;
+}
+
+let buf_bytes = 2 * Layout.page_size
+
+(* Build one machine, load the requested incarnation of [source], initialise
+   the buffer with [init], set registers with [regs buf_addr], execute
+   [entry] and return observable state. *)
+let run_incarnation ?(max_steps = 2_000_000) ?cache_probes
+    ?(post_load = fun _ _ ~buf:_ -> ()) ~source ~init ~regs ~entry which =
+  let m = Harness.make_machine () in
+  let buf = Addr_space.heap_alloc m.Harness.dom0 buf_bytes in
+  Addr_space.write_block m.Harness.dom0 buf init;
+  let data_syms name = if name = "buf" then Some buf else None in
+  let st, prog, svm =
+    match which with
+    | Original ->
+        let prog =
+          Td_rewriter.Loader.load ~name:"drv" ~source
+            ~base:Layout.vm_driver_code_base
+            ~symbols:
+              (Td_rewriter.Loader.overlay data_syms (fun n ->
+                   Native.address_of m.Harness.natives n))
+            ~registry:m.Harness.registry
+        in
+        (Harness.dom0_cpu m, prog, None)
+    | Vm_identity ->
+        let twin = Td_rewriter.Twin.derive ?cache_probes source in
+        let rt, stlb_vaddr = Harness.vm_runtime m in
+        let scratch = Addr_space.heap_alloc m.Harness.dom0 64 in
+        ignore
+          (Native.register m.Harness.natives "__svm_call@vm" (fun st ->
+               State.set st Reg.EAX (State.stack_arg st 0)));
+        let syms =
+          Td_rewriter.Loader.overlay data_syms
+            (Td_rewriter.Loader.overlay
+               (Harness.vm_symbols m rt stlb_vaddr scratch)
+               (fun n ->
+                 if n = Td_rewriter.Symbols.svm_call then
+                   Native.address_of m.Harness.natives "__svm_call@vm"
+                 else Native.address_of m.Harness.natives n))
+        in
+        let prog =
+          Td_rewriter.Loader.load ~name:"drv.vm"
+            ~source:twin.Td_rewriter.Twin.rewritten
+            ~base:Layout.vm_driver_code_base ~symbols:syms
+            ~registry:m.Harness.registry
+        in
+        (Harness.dom0_cpu m, prog, Some rt)
+    | Hypervisor ->
+        let twin = Td_rewriter.Twin.derive ?cache_probes source in
+        let rt = Harness.hyp_runtime m in
+        let ct =
+          Td_svm.Call_table.create ~vm_code_base:Layout.vm_driver_code_base
+            ~vm_code_size:(4 * Program.instruction_count twin.Td_rewriter.Twin.rewritten)
+            ~resolver:(fun _ -> None)
+        in
+        Td_svm.Call_table.register_native ct m.Harness.natives "__svm_call@hyp";
+        let syms =
+          Td_rewriter.Loader.overlay data_syms
+            (Td_rewriter.Loader.overlay
+               (Harness.hyp_symbols m rt)
+               (fun n ->
+                 if n = Td_rewriter.Symbols.svm_call then
+                   Native.address_of m.Harness.natives "__svm_call@hyp"
+                 else Native.address_of m.Harness.natives n))
+        in
+        let prog =
+          Td_rewriter.Loader.load ~name:"drv.hyp"
+            ~source:twin.Td_rewriter.Twin.rewritten
+            ~base:Layout.hyp_driver_code_base ~symbols:syms
+            ~registry:m.Harness.registry
+        in
+        (* run from a guest context: an address space with nothing of dom0
+           mapped — every data access must go through SVM *)
+        let guest = Addr_space.create ~name:"guest" m.Harness.phys in
+        (Harness.hyp_cpu m ~guest, prog, Some rt)
+  in
+  post_load m prog ~buf;
+  regs st buf;
+  let interp = Harness.interp_of m st in
+  let eax =
+    Interp.call ~max_steps interp ~entry:(Program.addr_of_label prog entry)
+      ~args:[]
+  in
+  {
+    eax;
+    cycles = st.State.cycles;
+    steps = st.State.steps;
+    buf = Addr_space.read_block m.Harness.dom0 buf buf_bytes;
+    machine = m;
+    svm;
+  }
+
+let run_all ?max_steps ?cache_probes ?post_load ~source ~init ~regs ~entry ()
+    =
+  ( run_incarnation ?max_steps ?cache_probes ?post_load ~source ~init ~regs
+      ~entry Original,
+    run_incarnation ?max_steps ?cache_probes ?post_load ~source ~init ~regs
+      ~entry Vm_identity,
+    run_incarnation ?max_steps ?cache_probes ?post_load ~source ~init ~regs
+      ~entry Hypervisor )
+
+(* VM-instance code address of a label, regardless of where the program was
+   loaded: stored function pointers always hold VM addresses (shared data,
+   single instance). *)
+let vm_address_of_label prog label =
+  Program.addr_of_label prog label - prog.Program.base
+  + Layout.vm_driver_code_base
+
+let equivalent (a : run_result) (b : run_result) =
+  a.eax = b.eax && Bytes.equal a.buf b.buf
