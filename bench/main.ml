@@ -3,9 +3,15 @@
    rows. `main.exe` runs everything (except bechamel);
    `main.exe <experiment>` runs one of: fig5 fig6 fig7 fig8 fig9 fig10
    table1 rewrite-stats slowdown effort profile sensitivity ablations
-   bechamel. *)
+   bechamel.
+
+   Observability is enabled for the whole run: every experiment returns a
+   JSON payload that the dispatcher writes to BENCH_<name>.json (schema
+   documented in README.md §Observability), alongside the usual tables on
+   stdout. *)
 
 open Twindrivers
+module Json = Td_obs.Json
 
 let line () = print_endline (String.make 78 '-')
 
@@ -31,6 +37,37 @@ let paper_of name table =
   match List.assoc_opt name table with
   | Some v -> Printf.sprintf "%8.0f" v
   | None -> "       -"
+
+(* Counters are integral floats; keep them as JSON ints for readability. *)
+let json_number v =
+  if Float.is_integer v && Float.abs v < 1e15 then Json.Int (int_of_float v)
+  else Json.Float v
+
+let json_of_result (r : Measure.result) =
+  Json.Obj
+    [
+      ("config", Json.String (Config.name r.Measure.config));
+      ("packets", Json.Int r.Measure.packets);
+      ("frame_bytes", Json.Int r.Measure.frame_bytes);
+      ("cycles_per_packet", Json.Float r.Measure.cycles_per_packet);
+      ("throughput_mbps", Json.Float r.Measure.throughput_mbps);
+      ("cpu_limited_mbps", Json.Float r.Measure.cpu_limited_mbps);
+      ("cpu_utilisation", Json.Float r.Measure.cpu_utilisation);
+      ("drops", Json.Int r.Measure.drops);
+      ( "breakdown_cycles_per_packet",
+        Json.Obj
+          (List.map
+             (fun (c, v) -> (Td_xen.Ledger.category_name c, Json.Float v))
+             r.Measure.breakdown) );
+      ( "metrics",
+        Json.Obj (List.map (fun (k, v) -> (k, json_number v)) r.Measure.metrics)
+      );
+    ]
+
+let bench_json name fields =
+  Json.Obj
+    (("experiment", Json.String name) :: ("schema_version", Json.Int 1)
+    :: fields)
 
 let print_throughput ~paper results =
   Printf.printf "%-10s %12s %12s %12s %8s\n" "config" "measured Mb/s"
@@ -58,7 +95,13 @@ let fig5 () =
     "\nspeedup domU-twin/domU: %.2fx (paper 2.41x);  twin vs Linux: %.0f%% \
      (paper 64%%)\n"
     (ratio results "domU-twin" "domU")
-    (100. *. ratio results "domU-twin" "Linux")
+    (100. *. ratio results "domU-twin" "Linux");
+  bench_json "fig5"
+    [
+      ("results", Json.List (List.map (fun (_, r) -> json_of_result r) results));
+      ("speedup_twin_over_domU", Json.Float (ratio results "domU-twin" "domU"));
+      ("speedup_twin_over_linux", Json.Float (ratio results "domU-twin" "Linux"));
+    ]
 
 let fig6 () =
   header "Figure 6: receive throughput, netperf-like stream over 5 NICs";
@@ -68,7 +111,13 @@ let fig6 () =
     "\nspeedup domU-twin/domU: %.2fx (paper 2.17x);  twin vs Linux: %.0f%% \
      (paper 67%%)\n"
     (ratio results "domU-twin" "domU")
-    (100. *. ratio results "domU-twin" "Linux")
+    (100. *. ratio results "domU-twin" "Linux");
+  bench_json "fig6"
+    [
+      ("results", Json.List (List.map (fun (_, r) -> json_of_result r) results));
+      ("speedup_twin_over_domU", Json.Float (ratio results "domU-twin" "domU"));
+      ("speedup_twin_over_linux", Json.Float (ratio results "domU-twin" "Linux"));
+    ]
 
 let print_breakdown ~paper results =
   Printf.printf "%-10s %8s %8s %8s %8s %9s %12s\n" "config" "dom0" "domU"
@@ -86,11 +135,17 @@ let print_breakdown ~paper results =
 
 let fig7 () =
   header "Figure 7: CPU cycles per packet, transmit (single NIC)";
-  print_breakdown ~paper:paper_fig7_total (Experiments.fig7_tx_breakdown ())
+  let results = Experiments.fig7_tx_breakdown () in
+  print_breakdown ~paper:paper_fig7_total results;
+  bench_json "fig7"
+    [ ("results", Json.List (List.map (fun (_, r) -> json_of_result r) results)) ]
 
 let fig8 () =
   header "Figure 8: CPU cycles per packet, receive (single NIC)";
-  print_breakdown ~paper:paper_fig8_total (Experiments.fig8_rx_breakdown ())
+  let results = Experiments.fig8_rx_breakdown () in
+  print_breakdown ~paper:paper_fig8_total results;
+  bench_json "fig8"
+    [ ("results", Json.List (List.map (fun (_, r) -> json_of_result r) results)) ]
 
 let fig9 () =
   header "Figure 9: web server throughput vs request rate (SPECweb99 set)";
@@ -114,21 +169,49 @@ let fig9 () =
       print_newline ())
     results;
   print_newline ();
-  List.iter
-    (fun (cfg, pts) ->
-      let peak =
-        List.fold_left
-          (fun acc (p : Experiments.web_point) ->
-            Float.max acc p.Experiments.mbps)
-          0.0 pts
-      in
-      let paper =
-        List.assoc (Config.name cfg)
-          [ ("Linux", 855.); ("dom0", 712.); ("domU-twin", 572.); ("domU", 269.) ]
-      in
-      Printf.printf "peak %-10s %6.0f Mb/s   (paper %4.0f Mb/s)\n"
-        (Config.name cfg) peak paper)
-    results
+  let peaks =
+    List.map
+      (fun (cfg, pts) ->
+        let peak =
+          List.fold_left
+            (fun acc (p : Experiments.web_point) ->
+              Float.max acc p.Experiments.mbps)
+            0.0 pts
+        in
+        let paper =
+          List.assoc (Config.name cfg)
+            [ ("Linux", 855.); ("dom0", 712.); ("domU-twin", 572.); ("domU", 269.) ]
+        in
+        Printf.printf "peak %-10s %6.0f Mb/s   (paper %4.0f Mb/s)\n"
+          (Config.name cfg) peak paper;
+        (Config.name cfg, peak))
+      results
+  in
+  bench_json "fig9"
+    [
+      ( "results",
+        Json.List
+          (List.map
+             (fun (cfg, pts) ->
+               Json.Obj
+                 [
+                   ("config", Json.String (Config.name cfg));
+                   ( "points",
+                     Json.List
+                       (List.map
+                          (fun (p : Experiments.web_point) ->
+                            Json.Obj
+                              [
+                                ("rate", Json.Float p.Experiments.rate);
+                                ("mbps", Json.Float p.Experiments.mbps);
+                              ])
+                          pts) );
+                 ])
+             results) );
+      ( "peak_mbps",
+        Json.Obj (List.map (fun (name, peak) -> (name, Json.Float peak)) peaks)
+      );
+    ]
 
 let fig10 () =
   header "Figure 10: transmit throughput vs upcalls per driver invocation";
@@ -147,7 +230,26 @@ let fig10 () =
         p.Experiments.mbps)
     points;
   print_endline
-    "\npaper: 3902 Mb/s with 0 upcalls -> 1638 with 1 -> 359 with 9 (steep cliff)"
+    "\npaper: 3902 Mb/s with 0 upcalls -> 1638 with 1 -> 359 with 9 (steep cliff)";
+  bench_json "fig10"
+    [
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Experiments.upcall_point) ->
+               Json.Obj
+                 [
+                   ( "demoted",
+                     Json.List
+                       (List.map
+                          (fun s -> Json.String s)
+                          p.Experiments.demoted) );
+                   ( "upcalls_per_invocation",
+                     Json.Float p.Experiments.upcalls_per_invocation );
+                   ("mbps", Json.Float p.Experiments.mbps);
+                 ])
+             points) );
+    ]
 
 let table1 () =
   header "Table 1: support routines on the error-free tx/rx fast path";
@@ -168,7 +270,17 @@ let table1 () =
   in
   if missing <> [] then
     Printf.printf "fast-path routines not exercised this run: %s\n"
-      (String.concat ", " missing)
+      (String.concat ", " missing);
+  bench_json "table1"
+    [
+      ( "fast_path_called",
+        Json.List
+          (List.map (fun s -> Json.String s) t.Experiments.fast_path_called) );
+      ( "all_called",
+        Json.List (List.map (fun s -> Json.String s) t.Experiments.all_called)
+      );
+      ("registry_size", Json.Int t.Experiments.registry_size);
+    ]
 
 let rewrite_stats () =
   header "Static rewrite statistics (S4.1, S5.1)";
@@ -176,7 +288,9 @@ let rewrite_stats () =
   Format.printf "%a@." Td_rewriter.Rewrite.pp_stats r.Experiments.stats;
   Printf.printf
     "\nfraction of driver instructions referencing memory: %.1f%% (paper: ~25%%)\n"
-    (100. *. r.Experiments.memory_fraction)
+    (100. *. r.Experiments.memory_fraction);
+  bench_json "rewrite-stats"
+    [ ("memory_fraction", Json.Float r.Experiments.memory_fraction) ]
 
 let slowdown () =
   header "Rewritten-driver slowdown (S6.2)";
@@ -185,22 +299,33 @@ let slowdown () =
     "driver cycles/packet (tx): native %.0f, rewritten %.0f -> %.2fx slower\n"
     r.Experiments.native_driver_cpp r.Experiments.rewritten_driver_cpp
     r.Experiments.slowdown;
-  Printf.printf "paper: 960 vs 2218 cycles/packet -> 2.31x (range 2-3x)\n"
+  Printf.printf "paper: 960 vs 2218 cycles/packet -> 2.31x (range 2-3x)\n";
+  bench_json "slowdown"
+    [
+      ("native_driver_cpp", Json.Float r.Experiments.native_driver_cpp);
+      ("rewritten_driver_cpp", Json.Float r.Experiments.rewritten_driver_cpp);
+      ("slowdown", Json.Float r.Experiments.slowdown);
+    ]
 
 let effort () =
   header "Engineering effort (S6.5)";
   let w = World.create ~nics:1 Config.Xen_twin in
   let sup = World.support w in
+  let native = List.length Td_kernel.Support.fast_path_names in
+  let total = Td_kernel.Support.routine_count sup in
   Printf.printf
     "hypervisor implements %d of %d support routines; the remaining %d are \
      upcall stubs generated automatically.\n"
-    (List.length Td_kernel.Support.fast_path_names)
-    (Td_kernel.Support.routine_count sup)
-    (Td_kernel.Support.routine_count sup
-    - List.length Td_kernel.Support.fast_path_names);
+    native total (total - native);
   Printf.printf
     "paper: 851 lines of commented C for the ten routines, against the full \
-     driver-support interface.\n"
+     driver-support interface.\n";
+  bench_json "effort"
+    [
+      ("native_routines", Json.Int native);
+      ("total_routines", Json.Int total);
+      ("upcall_stubs", Json.Int (total - native));
+    ]
 
 let profile () =
   header "Per-routine cycle profile of the twin transmit path (S6.2)";
@@ -215,11 +340,22 @@ let profile () =
   Format.printf "%a@." Td_cpu.Profiler.pp prof;
   Printf.printf
     "(the hypervisor instance 'e1000.hyp' dominates; the VM instance      'e1000.vm' appears only for initialisation/housekeeping)
-"
+";
+  Td_cpu.Profiler.publish prof;
+  bench_json "profile"
+    [
+      ( "cycles_by_label",
+        Json.Obj
+          (List.map
+             (fun (name, cycles) -> (name, Json.Int cycles))
+             (Td_cpu.Profiler.cycles_by_label prof)) );
+      ("total_cycles", Json.Int (Td_cpu.Profiler.total_cycles prof));
+    ]
 
 let sensitivity () =
   header
     "Sensitivity: tx speedup (twin/domU) vs world-switch and kernel-path      cost scaling";
+  let points = Experiments.sensitivity () in
   Printf.printf "%12s %12s %12s
 " "switch scale" "kernel scale" "speedup";
   List.iter
@@ -227,19 +363,49 @@ let sensitivity () =
       Printf.printf "%12.2f %12.2f %11.2fx
 " p.Experiments.switch_scale
         p.Experiments.kernel_scale p.Experiments.tx_speedup)
-    (Experiments.sensitivity ());
+    points;
   print_endline
     "
 the speedup grows with switch cost (the overhead TwinDrivers removes)
-     and shrinks as kernel work dominates; it exceeds 1.5x everywhere."
+     and shrinks as kernel work dominates; it exceeds 1.5x everywhere.";
+  bench_json "sensitivity"
+    [
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Experiments.sensitivity_point) ->
+               Json.Obj
+                 [
+                   ("switch_scale", Json.Float p.Experiments.switch_scale);
+                   ("kernel_scale", Json.Float p.Experiments.kernel_scale);
+                   ("tx_speedup", Json.Float p.Experiments.tx_speedup);
+                 ])
+             points) );
+    ]
 
 let ablations () =
   header "Ablations (DESIGN.md S5)";
+  let entries = Experiments.ablations () in
   List.iter
     (fun (a : Experiments.ablation) ->
       Printf.printf "%-28s %8.0f Mb/s   %s\n" a.Experiments.label
         a.Experiments.tx_cpu_scaled_mbps a.Experiments.note)
-    (Experiments.ablations ())
+    entries;
+  bench_json "ablations"
+    [
+      ( "entries",
+        Json.List
+          (List.map
+             (fun (a : Experiments.ablation) ->
+               Json.Obj
+                 [
+                   ("label", Json.String a.Experiments.label);
+                   ( "tx_cpu_scaled_mbps",
+                     Json.Float a.Experiments.tx_cpu_scaled_mbps );
+                   ("note", Json.String a.Experiments.note);
+                 ])
+             entries) );
+    ]
 
 (* ---- Bechamel micro-benchmarks: one Test.make per table/figure driver ---- *)
 
@@ -289,6 +455,7 @@ let bechamel () =
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
   in
+  let estimates = ref [] in
   List.iter
     (fun test ->
       let raw = Benchmark.all cfg instances test in
@@ -296,10 +463,19 @@ let bechamel () =
       Hashtbl.iter
         (fun name ols_result ->
           match Analyze.OLS.estimates ols_result with
-          | Some (est :: _) -> Printf.printf "%-28s %14.0f ns/run\n" name est
+          | Some (est :: _) ->
+              Printf.printf "%-28s %14.0f ns/run\n" name est;
+              estimates := (name, est) :: !estimates
           | Some [] | None -> Printf.printf "%-28s (no estimate)\n" name)
         stats)
-    tests
+    tests;
+  bench_json "bechamel"
+    [
+      ( "ns_per_run",
+        Json.Obj
+          (List.rev_map (fun (name, est) -> (name, Json.Float est)) !estimates)
+      );
+    ]
 
 let experiments =
   [
@@ -319,15 +495,29 @@ let experiments =
     ("bechamel", bechamel);
   ]
 
+let run_and_export (name, f) =
+  let payload = f () in
+  let file = Printf.sprintf "BENCH_%s.json" name in
+  let oc = open_out file in
+  output_string oc (Td_obs.Json.to_string_pretty payload);
+  close_out oc;
+  (* stderr, so stdout stays diffable against earlier runs *)
+  Printf.eprintf "[wrote %s]\n%!" file
+
 let () =
+  (* the harness always runs with observability on: metric snapshots ride
+     along in every Measure.result and land in the JSON exports (simulated
+     cycle counts are unaffected — instrumentation never touches the
+     ledger) *)
+  Td_obs.Control.enable ();
   match Sys.argv with
   | [| _ |] ->
       List.iter
-        (fun (name, f) -> if name <> "bechamel" then f ())
+        (fun (name, f) -> if name <> "bechamel" then run_and_export (name, f))
         experiments
   | [| _; name |] -> (
       match List.assoc_opt name experiments with
-      | Some f -> f ()
+      | Some f -> run_and_export (name, f)
       | None ->
           Printf.eprintf "unknown experiment %s; available: %s\n" name
             (String.concat " " (List.map fst experiments));

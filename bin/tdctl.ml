@@ -4,6 +4,8 @@
      rewrite   derive a hypervisor driver from an assembly file (the
                semi-automatic step of the paper, §5.1)
      bench     run one netperf-like measurement
+     metrics   run one measurement and dump the td_obs metric registry
+     trace     run one measurement and dump the td_obs trace ring
      inspect   static facts about the bundled e1000 driver
      table1    trace the fast-path support routines *)
 
@@ -130,6 +132,117 @@ let bench_cmd =
   Cmd.v
     (Cmd.info "bench" ~doc)
     Term.(const run $ config $ direction $ packets $ nics)
+
+(* --- metrics / trace: run a measurement with observability enabled --- *)
+
+let direction_arg =
+  Arg.(
+    value & opt string "tx"
+    & info [ "d"; "direction" ] ~docv:"DIR" ~doc:"tx or rx.")
+
+let packets_arg =
+  Arg.(value & opt int 800 & info [ "n"; "packets" ] ~docv:"N" ~doc:"Packets.")
+
+let nics_arg =
+  Arg.(value & opt int 5 & info [ "nics" ] ~docv:"N" ~doc:"NIC count.")
+
+let json_arg =
+  Arg.(value & flag & info [ "json" ] ~doc:"Emit JSON instead of a table.")
+
+let observed_run config direction packets nics =
+  Td_obs.Control.enable ();
+  let w = Twindrivers.World.create ~nics config in
+  match direction with
+  | "rx" -> Twindrivers.Measure.run_receive ~packets w
+  | _ -> Twindrivers.Measure.run_transmit ~packets w
+
+let metrics_cmd =
+  let config =
+    Arg.(
+      value
+      & opt config_conv Twindrivers.Config.Xen_twin
+      & info [ "c"; "config" ] ~docv:"CONFIG"
+          ~doc:"One of linux, dom0, domU, twin.")
+  in
+  let run config direction packets nics json =
+    let r = observed_run config direction packets nics in
+    if json then
+      print_string
+        (Td_obs.Json.to_string_pretty
+           (Td_obs.Json.Obj
+              [
+                ("config", Td_obs.Json.String (Twindrivers.Config.name config));
+                ("direction", Td_obs.Json.String direction);
+                ("packets", Td_obs.Json.Int packets);
+                ("metrics", Td_obs.Metrics.to_json ());
+              ]))
+    else begin
+      Format.printf "%a@." Twindrivers.Measure.pp_result r;
+      Format.printf "%a@." Td_obs.Metrics.pp ()
+    end;
+    0
+  in
+  let doc =
+    "run one measurement with observability on and dump the metric registry"
+  in
+  Cmd.v
+    (Cmd.info "metrics" ~doc)
+    Term.(
+      const run $ config $ direction_arg $ packets_arg $ nics_arg $ json_arg)
+
+let trace_cmd =
+  let config =
+    Arg.(
+      value
+      & opt config_conv Twindrivers.Config.Xen_twin
+      & info [ "c"; "config" ] ~docv:"CONFIG"
+          ~doc:"One of linux, dom0, domU, twin.")
+  in
+  let limit =
+    Arg.(
+      value & opt int 64
+      & info [ "limit" ] ~docv:"K"
+          ~doc:"Print only the last K retained records (0 = all).")
+  in
+  let capacity =
+    Arg.(
+      value
+      & opt (some int) None
+      & info [ "capacity" ] ~docv:"N" ~doc:"Resize the trace ring first.")
+  in
+  let run config direction packets nics json limit capacity =
+    match capacity with
+    | Some n when n <= 0 ->
+        Format.eprintf "tdctl: --capacity must be positive (got %d)@." n;
+        1
+    | _ ->
+    Option.iter Td_obs.Trace.set_capacity capacity;
+    ignore (observed_run config direction packets nics);
+    if json then print_string (Td_obs.Json.to_string_pretty (Td_obs.Trace.to_json ()))
+    else begin
+      let records = Td_obs.Trace.records () in
+      let retained = List.length records in
+      let shown =
+        if limit <= 0 || retained <= limit then records
+        else
+          (* drop the oldest, keep the last [limit] *)
+          List.filteri (fun i _ -> i >= retained - limit) records
+      in
+      List.iter (fun r -> Format.printf "%a@." Td_obs.Trace.pp_record r) shown;
+      Format.printf "-- %d of %d retained records shown (%d emitted, ring %d)@."
+        (List.length shown) retained (Td_obs.Trace.emitted ())
+        (Td_obs.Trace.capacity ())
+    end;
+    0
+  in
+  let doc =
+    "run one measurement with observability on and dump the trace ring"
+  in
+  Cmd.v
+    (Cmd.info "trace" ~doc)
+    Term.(
+      const run $ config $ direction_arg $ packets_arg $ nics_arg $ json_arg
+      $ limit $ capacity)
 
 (* --- inspect --- *)
 
@@ -395,5 +508,6 @@ let () =
        (Cmd.group info
           [
             rewrite_cmd; bench_cmd; inspect_cmd; table1_cmd; verify_cmd;
-            assemble_cmd; disasm_cmd; profile_cmd; run_cmd;
+            assemble_cmd; disasm_cmd; profile_cmd; run_cmd; metrics_cmd;
+            trace_cmd;
           ]))

@@ -8,7 +8,27 @@ type result = {
   cpu_limited_mbps : float;
   cpu_utilisation : float;
   drops : int;
+  metrics : (string * float) list;
 }
+
+(* While observability is on, Ledger.charge mirrors every charge into the
+   registry and reset_measurement zeroes both — so at the end of a run the
+   mirror counters must equal the ledger totals exactly. A mismatch means
+   an instrumentation site bypassed the ledger (or vice versa). *)
+let cross_check ledger =
+  List.iter
+    (fun c ->
+      let name = Td_xen.Ledger.metric_name c in
+      let mirrored = Td_obs.Metrics.counter_value name in
+      let authoritative = Td_xen.Ledger.total ledger c in
+      if mirrored <> authoritative then
+        failwith
+          (Printf.sprintf
+             "Measure: observability cross-check failed: %s holds %d cycles \
+              but the ledger charged %d to %s"
+             name mirrored authoritative
+             (Td_xen.Ledger.category_name c)))
+    Td_xen.Ledger.categories
 
 let mtu_payload = 1500
 let eth_header = 14
@@ -30,6 +50,13 @@ let finish w ~packets ~payload_bytes ~counted ~drops =
   in
   let actual_pps = min cpu_pps wire_pps in
   let mbps pps = pps *. float_of_int (8 * payload_bytes) /. 1e6 in
+  let metrics =
+    if Td_obs.Control.enabled () then begin
+      cross_check ledger;
+      Td_obs.Metrics.snapshot ()
+    end
+    else []
+  in
   {
     config = World.config w;
     packets;
@@ -40,6 +67,7 @@ let finish w ~packets ~payload_bytes ~counted ~drops =
     cpu_limited_mbps = mbps cpu_pps;
     cpu_utilisation = actual_pps /. cpu_pps;
     drops;
+    metrics;
   }
 
 let run_transmit ?(packets = 1000) ?(payload_bytes = mtu_payload)

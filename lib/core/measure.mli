@@ -14,6 +14,12 @@ type result = {
   cpu_limited_mbps : float;  (** the CPU-scaled unit of the paper *)
   cpu_utilisation : float;  (** in [0, 1] *)
   drops : int;
+  metrics : (string * float) list;
+      (** {!Td_obs.Metrics.snapshot} taken at the end of the run — empty
+          unless observability is enabled. Before snapshotting, the
+          [ledger.cycles.*] mirror counters are asserted equal to the
+          ledger totals of the same run (the instrumentation
+          cross-check). *)
 }
 
 val mtu_payload : int

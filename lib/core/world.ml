@@ -366,6 +366,12 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
 
 let interp w = w.interp
 
+let observe_invocation w before =
+  if Td_obs.Control.enabled () then
+    Td_obs.Metrics.observe
+      (Td_obs.Metrics.histogram "driver.invoke.cycles")
+      (w.cpu.State.cycles - before)
+
 let run_driver w ~entry ~args ~stack =
   State.set w.cpu Reg.ESP stack;
   let before = w.cpu.State.cycles in
@@ -373,18 +379,22 @@ let run_driver w ~entry ~args ~stack =
     try Interp.call (interp w) ~entry ~args with
     | Td_svm.Runtime.Fault { addr; reason } ->
         Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
+        observe_invocation w before;
         raise
           (Driver_aborted (Printf.sprintf "SVM fault at 0x%x: %s" addr reason))
     | Interp.Timeout _ ->
         Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
+        observe_invocation w before;
         raise (Driver_aborted "watchdog timeout")
     | Addr_space.Page_fault { space; addr } ->
         Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
+        observe_invocation w before;
         raise
           (Driver_aborted
              (Printf.sprintf "page fault in %s at 0x%x" space addr))
   in
   Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
+  observe_invocation w before;
   result
 
 let run_dom0_driver w ~entry ~args =
@@ -715,6 +725,13 @@ let delivered_rx_bytes w = w.rx_bytes
 let rx_last_payload w = w.rx_last
 
 let reset_measurement w =
+  (* zero the whole registry and trace first, then the ledger (whose reset
+     re-zeroes its registry mirrors — keeping both views aligned so the
+     Measure cross-check can compare them at the end of the run) *)
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.reset_all ();
+    Td_obs.Trace.clear ()
+  end;
   Ledger.reset w.led;
   Support.reset_counts w.sup;
   Array.iter

@@ -77,7 +77,10 @@ val guest_count : t -> int
 val delivered_rx_bytes : t -> int
 val rx_last_payload : t -> string option
 val reset_measurement : t -> unit
-(** Zero the ledger and traffic counters (driver/NIC state persists). *)
+(** Zero the ledger and traffic counters (driver/NIC state persists).
+    When observability is enabled this also resets the {!Td_obs.Metrics}
+    registry and clears the {!Td_obs.Trace} ring, so metrics snapshotted
+    at the end of a run cover exactly the measured window. *)
 
 (* housekeeping paths (run in dom0 by the VM instance) *)
 

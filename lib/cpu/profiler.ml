@@ -84,6 +84,14 @@ let reset t =
   t.current <- None;
   t.last_cycles <- t.interp.Interp.state.State.cycles
 
+let publish t =
+  List.iter
+    (fun (name, cycles) ->
+      Td_obs.Metrics.set
+        (Td_obs.Metrics.gauge ("profile.cycles." ^ name))
+        (float_of_int cycles))
+    (cycles_by_label t)
+
 let pp fmt t =
   let total = max 1 (total_cycles t) in
   Format.fprintf fmt "@[<v>";

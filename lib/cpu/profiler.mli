@@ -17,5 +17,11 @@ val cycles_by_label : t -> (string * int) list
 
 val total_cycles : t -> int
 val reset : t -> unit
+
+val publish : t -> unit
+(** Fold the current per-label cycle totals into the {!Td_obs.Metrics}
+    registry as [profile.cycles.<program:label>] gauges, so profiles
+    travel in the same JSON export as every other metric. *)
+
 val pp : Format.formatter -> t -> unit
 (** Top entries with percentages. *)

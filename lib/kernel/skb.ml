@@ -39,11 +39,19 @@ let alloc kmem space ~size =
   set_refcnt t 1;
   set_protocol t 0;
   set_frag t ~page:0 ~len:0;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "skb.alloc";
+    Td_obs.Trace.emit (Td_obs.Trace.Skb_alloc { addr; pooled = false })
+  end;
   t
 
 let free kmem t =
   let r = refcnt t in
   if r <= 1 then begin
+    if Td_obs.Control.enabled () then begin
+      Td_obs.Metrics.bump "skb.free";
+      Td_obs.Trace.emit (Td_obs.Trace.Skb_free { addr = t.addr; pooled = false })
+    end;
     Kmem.free kmem (head t) (capacity t);
     Kmem.free kmem t.addr struct_bytes
   end

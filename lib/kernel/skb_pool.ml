@@ -24,15 +24,29 @@ let alloc t =
   | skb :: rest ->
       t.free <- rest;
       Skb.get_ref skb;
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "skb.pool.alloc";
+        Td_obs.Trace.emit
+          (Td_obs.Trace.Skb_alloc { addr = skb.Skb.addr; pooled = true })
+      end;
       Some skb
   | [] ->
       t.exhaustions <- t.exhaustions + 1;
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "skb.pool.exhaustions";
+        Td_obs.Trace.emit (Td_obs.Trace.Nic_drop { reason = "skb pool empty" })
+      end;
       None
 
 let owns t skb = Hashtbl.mem t.all skb.Skb.addr
 
 let release t skb =
   if not (owns t skb) then failwith "Skb_pool.release: foreign sk_buff";
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "skb.pool.release";
+    Td_obs.Trace.emit
+      (Td_obs.Trace.Skb_free { addr = skb.Skb.addr; pooled = true })
+  end;
   (* reset to a pristine buffer holding only the pool's base reference *)
   Skb.set_refcnt skb 1;
   Skb.set_data skb (Skb.head skb);

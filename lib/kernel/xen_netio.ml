@@ -80,7 +80,11 @@ let guest_transmit t frame =
       Grant_table.unmap t.grants ~hyp:t.hyp ~from:t.dom0
         ~at_vpage:(Td_mem.Layout.page_of vaddr)
         t.tx_grant);
-  t.tx_count <- t.tx_count + 1
+  t.tx_count <- t.tx_count + 1;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "netio.tx";
+    Td_obs.Trace.emit (Td_obs.Trace.Netio_tx { bytes = len })
+  end
 
 let post_rx_buffers t n =
   let gspace = Domain.space t.guest in
@@ -105,6 +109,11 @@ let deliver_to_guest t skb =
   charge_dom0 t (costs.Sys_costs.bridge + costs.Sys_costs.netback);
   if Queue.is_empty t.rx_posted then begin
     t.rx_dropped <- t.rx_dropped + 1;
+    if Td_obs.Control.enabled () then begin
+      Td_obs.Metrics.bump "netio.rx_dropped";
+      Td_obs.Trace.emit
+        (Td_obs.Trace.Nic_drop { reason = "no rx buffer posted" })
+    end;
     Skb.free t.kmem skb
   end
   else begin
@@ -123,6 +132,11 @@ let deliver_to_guest t skb =
             (Bytes.length payload)
         in
         t.rx_count <- t.rx_count + 1;
+        if Td_obs.Control.enabled () then begin
+          Td_obs.Metrics.bump "netio.rx";
+          Td_obs.Trace.emit
+            (Td_obs.Trace.Netio_rx { bytes = Bytes.length payload })
+        end;
         t.guest_rx (Bytes.to_string frame);
         Queue.push (gref, gvaddr) t.rx_posted)
   end

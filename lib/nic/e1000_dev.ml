@@ -69,6 +69,7 @@ let raise_cause t cause =
     if throttle = 0 || t.itr_pending >= throttle then begin
       t.itr_pending <- 0;
       t.irq_count <- t.irq_count + 1;
+      Td_obs.Metrics.bump "nic.irq";
       match t.irq_handler with Some fn -> fn () | None -> ()
     end
   end
@@ -94,10 +95,23 @@ let process_tx t =
     let len = dma_read32 t (d + Regs.d_len) in
     let cmd = dma_read32 t (d + Regs.d_cmd) in
     Buffer.add_bytes t.tx_acc (Td_mem.Addr_space.read_block t.dma buf len);
+    if Td_obs.Control.enabled () then begin
+      Td_obs.Metrics.bump_by "nic.dma.read_bytes" len;
+      Td_obs.Trace.emit (Td_obs.Trace.Nic_dma { dir = `Read; bytes = len })
+    end;
     if cmd land Regs.cmd_eop <> 0 then begin
+      let frame_bytes = Buffer.length t.tx_acc in
       t.tx_frame (Buffer.contents t.tx_acc);
       Buffer.clear t.tx_acc;
       t.tx_count <- t.tx_count + 1;
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "nic.tx.frames";
+        Td_obs.Metrics.bump_by "nic.tx.bytes" frame_bytes;
+        Td_obs.Metrics.observe
+          (Td_obs.Metrics.histogram "nic.tx.frame_bytes")
+          frame_bytes;
+        Td_obs.Trace.emit (Td_obs.Trace.Nic_tx { bytes = frame_bytes })
+      end;
       set t Regs.gptc (get t Regs.gptc + 1)
     end;
     dma_write32 t (d + Regs.d_sta) (dma_read32 t (d + Regs.d_sta) lor Regs.sta_dd);
@@ -117,6 +131,11 @@ let receive_frame t frame =
   if head = tail || base = 0 then begin
     (* no free descriptors: missed packet *)
     t.dropped <- t.dropped + 1;
+    if Td_obs.Control.enabled () then begin
+      Td_obs.Metrics.bump "nic.rx.dropped";
+      Td_obs.Trace.emit
+        (Td_obs.Trace.Nic_drop { reason = "no free rx descriptor" })
+    end;
     set t Regs.mpc (get t Regs.mpc + 1)
   end
   else begin
@@ -127,6 +146,13 @@ let receive_frame t frame =
     dma_write32 t (d + Regs.d_sta) (Regs.sta_dd lor Regs.sta_eop);
     set t Regs.rdh ((head + 1) mod entries);
     t.rx_count <- t.rx_count + 1;
+    if Td_obs.Control.enabled () then begin
+      Td_obs.Metrics.bump "nic.rx.frames";
+      Td_obs.Metrics.bump_by "nic.dma.write_bytes" (String.length frame);
+      Td_obs.Trace.emit
+        (Td_obs.Trace.Nic_dma { dir = `Write; bytes = String.length frame });
+      Td_obs.Trace.emit (Td_obs.Trace.Nic_rx { bytes = String.length frame })
+    end;
     set t Regs.gprc (get t Regs.gprc + 1);
     raise_cause t Regs.icr_rxt0
   end

@@ -68,6 +68,17 @@ let raise_cause t cause =
 let start_tx t n size =
   let buf = get t (tsad n) in
   let frame = Td_mem.Addr_space.read_block t.dma buf (size land 0x1FFF) in
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "nic.tx.frames";
+    Td_obs.Metrics.bump_by "nic.dma.read_bytes" (Bytes.length frame);
+    Td_obs.Metrics.bump_by "nic.tx.bytes" (Bytes.length frame);
+    Td_obs.Metrics.observe
+      (Td_obs.Metrics.histogram "nic.tx.frame_bytes")
+      (Bytes.length frame);
+    Td_obs.Trace.emit
+      (Td_obs.Trace.Nic_dma { dir = `Read; bytes = Bytes.length frame });
+    Td_obs.Trace.emit (Td_obs.Trace.Nic_tx { bytes = Bytes.length frame })
+  end;
   t.tx_frame (Bytes.to_string frame);
   t.tx_count <- t.tx_count + 1;
   (* slot becomes free again, transmit-OK *)
@@ -82,7 +93,14 @@ let receive_frame t frame =
   let base = get t rbstart in
   let len = String.length frame in
   let need = (rx_hdr_bytes + len + 3) land lnot 3 in
-  if base = 0 then t.dropped <- t.dropped + 1
+  let drop reason =
+    t.dropped <- t.dropped + 1;
+    if Td_obs.Control.enabled () then begin
+      Td_obs.Metrics.bump "nic.rx.dropped";
+      Td_obs.Trace.emit (Td_obs.Trace.Nic_drop { reason })
+    end
+  in
+  if base = 0 then drop "rx ring not programmed"
   else begin
     (if get t cbr + need > rx_ring_bytes then
        if get t capr = get t cbr then begin
@@ -90,7 +108,7 @@ let receive_frame t frame =
          set t capr 0
        end);
     let w = get t cbr in
-    if w + need > rx_ring_bytes then t.dropped <- t.dropped + 1
+    if w + need > rx_ring_bytes then drop "rx ring full"
     else begin
       let put_u8 o v =
         Td_mem.Addr_space.write t.dma (base + w + o) Td_misa.Width.W8
@@ -104,6 +122,12 @@ let receive_frame t frame =
       String.iteri (fun i c -> put_u8 (rx_hdr_bytes + i) (Char.code c)) frame;
       set t cbr (w + need);
       t.rx_count <- t.rx_count + 1;
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "nic.rx.frames";
+        Td_obs.Metrics.bump_by "nic.dma.write_bytes" len;
+        Td_obs.Trace.emit (Td_obs.Trace.Nic_dma { dir = `Write; bytes = len });
+        Td_obs.Trace.emit (Td_obs.Trace.Nic_rx { bytes = len })
+      end;
       raise_cause t isr_rok
     end
   end

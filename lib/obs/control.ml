@@ -1,0 +1,14 @@
+let on =
+  ref
+    (match Sys.getenv_opt "TD_OBS" with
+    | Some ("1" | "on" | "true" | "yes") -> true
+    | Some _ | None -> false)
+
+let enable () = on := true
+let disable () = on := false
+let enabled () = !on
+
+let with_enabled f =
+  let saved = !on in
+  on := true;
+  Fun.protect ~finally:(fun () -> on := saved) f

@@ -1,0 +1,21 @@
+(** The process-wide observability switch.
+
+    Every instrumentation site in the runtime layers guards both its
+    event construction and its registry update with {!enabled}, so a
+    disabled run performs exactly one boolean load per site — and, since
+    no site ever charges the cycle {!Td_xen.Ledger}, simulated results
+    are identical whether observability is on or off.
+
+    The switch starts off; set the environment variable [TD_OBS=1] (or
+    [on]/[true]/[yes]) to start enabled, or call {!enable} from code
+    (bench/main.exe and [tdctl metrics]/[tdctl trace] do). *)
+
+val enable : unit -> unit
+val disable : unit -> unit
+
+val enabled : unit -> bool
+(** True when instrumentation sites should record. *)
+
+val with_enabled : (unit -> 'a) -> 'a
+(** Run [f] with observability enabled, restoring the previous state
+    afterwards (also on exception). *)

@@ -1,0 +1,107 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+let escape buf s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string buf "\\\""
+      | '\\' -> Buffer.add_string buf "\\\\"
+      | '\n' -> Buffer.add_string buf "\\n"
+      | '\r' -> Buffer.add_string buf "\\r"
+      | '\t' -> Buffer.add_string buf "\\t"
+      | c when Char.code c < 0x20 ->
+          Buffer.add_string buf (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char buf c)
+    s
+
+let float_repr f =
+  if Float.is_integer f && Float.abs f < 1e15 then
+    Printf.sprintf "%.0f" f
+  else Printf.sprintf "%.12g" f
+
+let rec write buf = function
+  | Null -> Buffer.add_string buf "null"
+  | Bool b -> Buffer.add_string buf (if b then "true" else "false")
+  | Int n -> Buffer.add_string buf (string_of_int n)
+  | Float f ->
+      if Float.is_nan f || Float.abs f = infinity then
+        Buffer.add_string buf "null"
+      else Buffer.add_string buf (float_repr f)
+  | String s ->
+      Buffer.add_char buf '"';
+      escape buf s;
+      Buffer.add_char buf '"'
+  | List xs ->
+      Buffer.add_char buf '[';
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_char buf ',';
+          write buf x)
+        xs;
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      Buffer.add_char buf '{';
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_char buf ',';
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\":";
+          write buf v)
+        kvs;
+      Buffer.add_char buf '}'
+
+let to_string v =
+  let buf = Buffer.create 1024 in
+  write buf v;
+  Buffer.contents buf
+
+(* indentation keeps BENCH_*.json diffable; emitted bottom-up *)
+let rec write_indent buf ~indent ~level = function
+  | (Null | Bool _ | Int _ | Float _ | String _) as v -> write buf v
+  | List [] -> Buffer.add_string buf "[]"
+  | Obj [] -> Buffer.add_string buf "{}"
+  | List xs ->
+      let pad = String.make ((level + 1) * indent) ' ' in
+      Buffer.add_string buf "[\n";
+      List.iteri
+        (fun i x ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          write_indent buf ~indent ~level:(level + 1) x)
+        xs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (level * indent) ' ');
+      Buffer.add_char buf ']'
+  | Obj kvs ->
+      let pad = String.make ((level + 1) * indent) ' ' in
+      Buffer.add_string buf "{\n";
+      List.iteri
+        (fun i (k, v) ->
+          if i > 0 then Buffer.add_string buf ",\n";
+          Buffer.add_string buf pad;
+          Buffer.add_char buf '"';
+          escape buf k;
+          Buffer.add_string buf "\": ";
+          write_indent buf ~indent ~level:(level + 1) v)
+        kvs;
+      Buffer.add_char buf '\n';
+      Buffer.add_string buf (String.make (level * indent) ' ');
+      Buffer.add_char buf '}'
+
+let to_string_pretty ?(indent = 2) v =
+  let buf = Buffer.create 4096 in
+  write_indent buf ~indent ~level:0 v;
+  Buffer.add_char buf '\n';
+  Buffer.contents buf
+
+let member key = function
+  | Obj kvs -> List.assoc_opt key kvs
+  | _ -> None

@@ -1,0 +1,31 @@
+(** A minimal JSON document model and serialiser.
+
+    Deliberately dependency-free (the container bakes in no JSON
+    library): just enough to render the metrics/trace export whose
+    schema docs/METRICS.md documents. Serialisation notes:
+
+    - object keys keep insertion order (snapshots sort by name before
+      building, so exports are stable and diffable);
+    - floats render as [%.12g], integral floats without a fraction;
+      NaN and infinities become [null] (JSON has no spelling for them);
+    - strings escape the JSON control set and emit everything else
+      verbatim. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+val to_string : t -> string
+(** Compact, single-line rendering. *)
+
+val to_string_pretty : ?indent:int -> t -> string
+(** Indented rendering (default 2 spaces), trailing newline — the format
+    of the [BENCH_*.json] snapshots. *)
+
+val member : string -> t -> t option
+(** [member key (Obj ...)] looks up a key; [None] on other constructors. *)

@@ -1,0 +1,239 @@
+type counter = { mutable n : int }
+type gauge = { mutable v : float }
+
+type histogram = {
+  bounds : int array;  (** inclusive upper bounds, strictly increasing *)
+  counts : int array;  (** length = Array.length bounds + 1 (overflow) *)
+  mutable sum : int;
+  mutable observations : int;
+  mutable lo : int;
+  mutable hi : int;
+}
+
+type metric =
+  | Counter of counter
+  | Gauge of gauge
+  | Histogram of histogram
+
+type entry = { name : string; help : string; metric : metric }
+
+let registry : (string, entry) Hashtbl.t = Hashtbl.create 128
+
+let kind_name = function
+  | Counter _ -> "counter"
+  | Gauge _ -> "gauge"
+  | Histogram _ -> "histogram"
+
+let mismatch name entry wanted =
+  invalid_arg
+    (Printf.sprintf "Td_obs.Metrics: %s is a %s, not a %s" name
+       (kind_name entry.metric) wanted)
+
+let counter ?(help = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some { metric = Counter c; _ } -> c
+  | Some e -> mismatch name e "counter"
+  | None ->
+      let c = { n = 0 } in
+      Hashtbl.replace registry name { name; help; metric = Counter c };
+      c
+
+let gauge ?(help = "") name =
+  match Hashtbl.find_opt registry name with
+  | Some { metric = Gauge g; _ } -> g
+  | Some e -> mismatch name e "gauge"
+  | None ->
+      let g = { v = 0.0 } in
+      Hashtbl.replace registry name { name; help; metric = Gauge g };
+      g
+
+(* cycle-count buckets: powers of two from 16 to 128 Ki, plus overflow *)
+let default_bounds =
+  Array.init 14 (fun i -> 16 lsl i)
+
+let histogram ?(help = "") ?bounds name =
+  match Hashtbl.find_opt registry name with
+  | Some { metric = Histogram h; _ } -> h
+  | Some e -> mismatch name e "histogram"
+  | None ->
+      let bounds =
+        match bounds with Some b -> Array.copy b | None -> default_bounds
+      in
+      Array.iteri
+        (fun i b ->
+          if i > 0 && b <= bounds.(i - 1) then
+            invalid_arg "Td_obs.Metrics.histogram: bounds must be increasing")
+        bounds;
+      let h =
+        {
+          bounds;
+          counts = Array.make (Array.length bounds + 1) 0;
+          sum = 0;
+          observations = 0;
+          lo = max_int;
+          hi = min_int;
+        }
+      in
+      Hashtbl.replace registry name { name; help; metric = Histogram h };
+      h
+
+let incr c = c.n <- c.n + 1
+let add c k = c.n <- c.n + k
+let value c = c.n
+let set g v = g.v <- v
+let gauge_value g = g.v
+
+let bucket_index h v =
+  let n = Array.length h.bounds in
+  let rec go lo hi =
+    if lo >= hi then lo
+    else
+      let mid = (lo + hi) / 2 in
+      if v <= h.bounds.(mid) then go lo mid else go (mid + 1) hi
+  in
+  go 0 n
+
+let observe h v =
+  let i = bucket_index h v in
+  h.counts.(i) <- h.counts.(i) + 1;
+  h.sum <- h.sum + v;
+  h.observations <- h.observations + 1;
+  if v < h.lo then h.lo <- v;
+  if v > h.hi then h.hi <- v
+
+let observations h = h.observations
+let sum h = h.sum
+
+let mean h =
+  if h.observations = 0 then 0.0
+  else float_of_int h.sum /. float_of_int h.observations
+
+(* Upper bound of the bucket holding the percentile rank; the exact
+   maximum when the rank lands in the overflow bucket. p is clamped to
+   [0, 100]; an empty histogram estimates 0. *)
+let percentile h p =
+  if h.observations = 0 then 0
+  else begin
+    let p = Float.max 0.0 (Float.min 100.0 p) in
+    let rank =
+      max 1
+        (int_of_float (ceil (p /. 100.0 *. float_of_int h.observations)))
+    in
+    let n = Array.length h.bounds in
+    let rec go i acc =
+      if i > n then h.hi
+      else
+        let acc = acc + h.counts.(i) in
+        if acc >= rank then (if i = n then h.hi else h.bounds.(i))
+        else go (i + 1) acc
+    in
+    go 0 0
+  end
+
+(* ---- registry-wide operations ---- *)
+
+let bump name = if Control.enabled () then incr (counter name)
+let bump_by name k = if Control.enabled () then add (counter name) k
+
+let counter_value name =
+  match Hashtbl.find_opt registry name with
+  | Some { metric = Counter c; _ } -> c.n
+  | Some e -> mismatch name e "counter"
+  | None -> 0
+
+let exists name = Hashtbl.mem registry name
+
+let reset_metric = function
+  | Counter c -> c.n <- 0
+  | Gauge g -> g.v <- 0.0
+  | Histogram h ->
+      Array.fill h.counts 0 (Array.length h.counts) 0;
+      h.sum <- 0;
+      h.observations <- 0;
+      h.lo <- max_int;
+      h.hi <- min_int
+
+let reset name =
+  match Hashtbl.find_opt registry name with
+  | Some e -> reset_metric e.metric
+  | None -> ()
+
+let reset_all () = Hashtbl.iter (fun _ e -> reset_metric e.metric) registry
+let clear () = Hashtbl.reset registry
+
+let entries () =
+  Hashtbl.fold (fun _ e acc -> e :: acc) registry []
+  |> List.sort (fun a b -> compare a.name b.name)
+
+let names () = List.map (fun e -> e.name) (entries ())
+
+let snapshot () =
+  List.concat_map
+    (fun e ->
+      match e.metric with
+      | Counter c -> [ (e.name, float_of_int c.n) ]
+      | Gauge g -> [ (e.name, g.v) ]
+      | Histogram h ->
+          [
+            (e.name ^ ".count", float_of_int h.observations);
+            (e.name ^ ".sum", float_of_int h.sum);
+            (e.name ^ ".mean", mean h);
+            (e.name ^ ".p50", float_of_int (percentile h 50.0));
+            (e.name ^ ".p99", float_of_int (percentile h 99.0));
+          ])
+    (entries ())
+
+let histogram_json h =
+  Json.Obj
+    [
+      ("buckets", Json.List (Array.to_list (Array.map (fun b -> Json.Int b) h.bounds)));
+      ("counts", Json.List (Array.to_list (Array.map (fun c -> Json.Int c) h.counts)));
+      ("count", Json.Int h.observations);
+      ("sum", Json.Int h.sum);
+      ("min", Json.Int (if h.observations = 0 then 0 else h.lo));
+      ("max", Json.Int (if h.observations = 0 then 0 else h.hi));
+      ("p50", Json.Int (percentile h 50.0));
+      ("p90", Json.Int (percentile h 90.0));
+      ("p99", Json.Int (percentile h 99.0));
+    ]
+
+let to_json () =
+  let pick f =
+    List.filter_map f (entries ())
+  in
+  Json.Obj
+    [
+      ( "counters",
+        Json.Obj
+          (pick (fun e ->
+               match e.metric with
+               | Counter c -> Some (e.name, Json.Int c.n)
+               | _ -> None)) );
+      ( "gauges",
+        Json.Obj
+          (pick (fun e ->
+               match e.metric with
+               | Gauge g -> Some (e.name, Json.Float g.v)
+               | _ -> None)) );
+      ( "histograms",
+        Json.Obj
+          (pick (fun e ->
+               match e.metric with
+               | Histogram h -> Some (e.name, histogram_json h)
+               | _ -> None)) );
+    ]
+
+let pp fmt () =
+  Format.fprintf fmt "@[<v>";
+  List.iter
+    (fun e ->
+      match e.metric with
+      | Counter c -> Format.fprintf fmt "%-36s %12d@," e.name c.n
+      | Gauge g -> Format.fprintf fmt "%-36s %12.1f@," e.name g.v
+      | Histogram h ->
+          Format.fprintf fmt
+            "%-36s n=%d sum=%d mean=%.1f p50=%d p99=%d@," e.name
+            h.observations h.sum (mean h) (percentile h 50.0)
+            (percentile h 99.0))
+    (entries ());
+  Format.fprintf fmt "@]"

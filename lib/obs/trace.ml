@@ -1,0 +1,153 @@
+type event =
+  | Stlb_hit of { addr : int }
+  | Stlb_miss of { addr : int; refill : bool }
+  | Stlb_evict of { victim_page : int; new_page : int }
+  | Svm_validate of { addr : int; ok : bool }
+  | Svm_fault of { addr : int; reason : string }
+  | Upcall_enter of { routine : string }
+  | Upcall_exit of { routine : string; switched : bool }
+  | Hypercall of { cost : int }
+  | World_switch of { from_dom : int; to_dom : int }
+  | Virq of { dom : int; deferred : bool }
+  | Grant_map of { gref : int }
+  | Grant_unmap of { gref : int }
+  | Grant_copy of { gref : int; bytes : int }
+  | Nic_dma of { dir : [ `Read | `Write ]; bytes : int }
+  | Nic_tx of { bytes : int }
+  | Nic_rx of { bytes : int }
+  | Nic_drop of { reason : string }
+  | Skb_alloc of { addr : int; pooled : bool }
+  | Skb_free of { addr : int; pooled : bool }
+  | Netio_tx of { bytes : int }
+  | Netio_rx of { bytes : int }
+  | Custom of { name : string; value : int }
+
+type record = { seq : int; event : event }
+
+type ring = {
+  mutable slots : record option array;
+  mutable next_seq : int;  (** total events emitted since the last clear *)
+}
+
+let default_capacity = 4096
+let ring = { slots = Array.make default_capacity None; next_seq = 0 }
+
+let capacity () = Array.length ring.slots
+
+let set_capacity n =
+  if n < 1 then invalid_arg "Td_obs.Trace.set_capacity";
+  ring.slots <- Array.make n None;
+  ring.next_seq <- 0
+
+let clear () =
+  Array.fill ring.slots 0 (Array.length ring.slots) None;
+  ring.next_seq <- 0
+
+let emit event =
+  if Control.enabled () then begin
+    let seq = ring.next_seq in
+    ring.next_seq <- seq + 1;
+    ring.slots.(seq mod Array.length ring.slots) <- Some { seq; event }
+  end
+
+let emitted () = ring.next_seq
+
+let records () =
+  let cap = Array.length ring.slots in
+  let first = max 0 (ring.next_seq - cap) in
+  List.filter_map
+    (fun seq -> ring.slots.(seq mod cap))
+    (List.init (ring.next_seq - first) (fun i -> first + i))
+
+let exists p = List.exists (fun r -> p r.event) (records ())
+let count_if p = List.length (List.filter (fun r -> p r.event) (records ()))
+
+let event_name = function
+  | Stlb_hit _ -> "stlb.hit"
+  | Stlb_miss _ -> "stlb.miss"
+  | Stlb_evict _ -> "stlb.evict"
+  | Svm_validate _ -> "svm.validate"
+  | Svm_fault _ -> "svm.fault"
+  | Upcall_enter _ -> "upcall.enter"
+  | Upcall_exit _ -> "upcall.exit"
+  | Hypercall _ -> "hypercall"
+  | World_switch _ -> "world.switch"
+  | Virq _ -> "virq"
+  | Grant_map _ -> "grant.map"
+  | Grant_unmap _ -> "grant.unmap"
+  | Grant_copy _ -> "grant.copy"
+  | Nic_dma _ -> "nic.dma"
+  | Nic_tx _ -> "nic.tx"
+  | Nic_rx _ -> "nic.rx"
+  | Nic_drop _ -> "nic.drop"
+  | Skb_alloc _ -> "skb.alloc"
+  | Skb_free _ -> "skb.free"
+  | Netio_tx _ -> "netio.tx"
+  | Netio_rx _ -> "netio.rx"
+  | Custom { name; _ } -> name
+
+let fields = function
+  | Stlb_hit { addr } | Stlb_miss { addr; refill = false } ->
+      [ ("addr", Json.Int addr) ]
+  | Stlb_miss { addr; refill = true } ->
+      [ ("addr", Json.Int addr); ("refill", Json.Bool true) ]
+  | Stlb_evict { victim_page; new_page } ->
+      [ ("victim_page", Json.Int victim_page); ("new_page", Json.Int new_page) ]
+  | Svm_validate { addr; ok } ->
+      [ ("addr", Json.Int addr); ("ok", Json.Bool ok) ]
+  | Svm_fault { addr; reason } ->
+      [ ("addr", Json.Int addr); ("reason", Json.String reason) ]
+  | Upcall_enter { routine } -> [ ("routine", Json.String routine) ]
+  | Upcall_exit { routine; switched } ->
+      [ ("routine", Json.String routine); ("switched", Json.Bool switched) ]
+  | Hypercall { cost } -> [ ("cost", Json.Int cost) ]
+  | World_switch { from_dom; to_dom } ->
+      [ ("from", Json.Int from_dom); ("to", Json.Int to_dom) ]
+  | Virq { dom; deferred } ->
+      [ ("dom", Json.Int dom); ("deferred", Json.Bool deferred) ]
+  | Grant_map { gref } | Grant_unmap { gref } -> [ ("gref", Json.Int gref) ]
+  | Grant_copy { gref; bytes } ->
+      [ ("gref", Json.Int gref); ("bytes", Json.Int bytes) ]
+  | Nic_dma { dir; bytes } ->
+      [
+        ("dir", Json.String (match dir with `Read -> "read" | `Write -> "write"));
+        ("bytes", Json.Int bytes);
+      ]
+  | Nic_tx { bytes } | Nic_rx { bytes } | Netio_tx { bytes } | Netio_rx { bytes }
+    ->
+      [ ("bytes", Json.Int bytes) ]
+  | Nic_drop { reason } -> [ ("reason", Json.String reason) ]
+  | Skb_alloc { addr; pooled } | Skb_free { addr; pooled } ->
+      [ ("addr", Json.Int addr); ("pooled", Json.Bool pooled) ]
+  | Custom { value; _ } -> [ ("value", Json.Int value) ]
+
+let record_json r =
+  Json.Obj
+    (("seq", Json.Int r.seq)
+    :: ("event", Json.String (event_name r.event))
+    :: fields r.event)
+
+let to_json () =
+  Json.Obj
+    [
+      ("capacity", Json.Int (capacity ()));
+      ("emitted", Json.Int ring.next_seq);
+      ("records", Json.List (List.map record_json (records ())));
+    ]
+
+let pp_record fmt r =
+  Format.fprintf fmt "%8d  %-14s" r.seq (event_name r.event);
+  List.iter
+    (fun (k, v) ->
+      let s =
+        match v with
+        | Json.Int n ->
+            if k = "addr" || k = "victim_page" || k = "new_page" then
+              Printf.sprintf "0x%x" n
+            else string_of_int n
+        | Json.String s -> s
+        | Json.Bool b -> string_of_bool b
+        | other -> Json.to_string other
+      in
+      Format.fprintf fmt "  %s=%s" k s)
+    (fields r.event)

@@ -48,6 +48,10 @@ let stlb t = t.stlb
 
 let fault t addr reason =
   t.fault_count <- t.fault_count + 1;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "svm.fault";
+    Td_obs.Trace.emit (Td_obs.Trace.Svm_fault { addr; reason })
+  end;
   raise (Fault { addr; reason })
 
 let dom0_mapping t page_base =
@@ -89,21 +93,45 @@ let miss t addr =
       (* hash collision: the translation exists but was evicted from the
          direct-mapped stlb; refill from the chain *)
       t.collision_count <- t.collision_count + 1;
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "stlb.miss";
+        Td_obs.Metrics.bump "stlb.refill";
+        Td_obs.Trace.emit (Td_obs.Trace.Stlb_miss { addr; refill = true })
+      end;
       Stlb.install t.stlb ~dom0_page:page ~mapped_page:mapped;
       addr lxor (page lxor mapped)
   | None ->
-      if not (valid_dom0_page t addr) then
-        fault t addr "access outside dom0 address space";
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "stlb.miss";
+        Td_obs.Trace.emit (Td_obs.Trace.Stlb_miss { addr; refill = false })
+      end;
+      let ok = valid_dom0_page t addr in
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "svm.validate";
+        Td_obs.Trace.emit (Td_obs.Trace.Svm_validate { addr; ok })
+      end;
+      if not ok then fault t addr "access outside dom0 address space";
       let mapped = match t.mode with
         | Identity -> page
         | Translate -> map_pair t page
       in
       Hashtbl.replace t.chain page mapped;
       Stlb.install t.stlb ~dom0_page:page ~mapped_page:mapped;
+      if Td_obs.Control.enabled () then
+        Td_obs.Metrics.set
+          (Td_obs.Metrics.gauge "svm.pages_mapped")
+          (float_of_int (Hashtbl.length t.chain));
       addr lxor (page lxor mapped)
 
 let translate t addr =
-  match Stlb.lookup t.stlb addr with Some a -> a | None -> miss t addr
+  match Stlb.lookup t.stlb addr with
+  | Some a ->
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "stlb.hit";
+        Td_obs.Trace.emit (Td_obs.Trace.Stlb_hit { addr })
+      end;
+      a
+  | None -> miss t addr
 
 let persistent_map = translate
 

@@ -32,6 +32,14 @@ let install t ~dom0_page ~mapped_page =
   if Td_mem.Layout.offset_of dom0_page <> 0 then
     invalid_arg "Stlb.install: dom0_page not page-aligned";
   let ea = entry_addr t dom0_page in
+  if Td_obs.Control.enabled () then begin
+    let old = Td_mem.Addr_space.read t.space ea Td_misa.Width.W32 in
+    if old <> 0 && old <> dom0_page then begin
+      Td_obs.Metrics.bump "stlb.evict";
+      Td_obs.Trace.emit
+        (Td_obs.Trace.Stlb_evict { victim_page = old; new_page = dom0_page })
+    end
+  end;
   Td_mem.Addr_space.write t.space ea Td_misa.Width.W32 dom0_page;
   Td_mem.Addr_space.write t.space (ea + 4) Td_misa.Width.W32
     (dom0_page lxor mapped_page)

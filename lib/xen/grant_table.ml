@@ -33,13 +33,21 @@ let map t ~hyp ~into ~at_vpage r =
   Hypervisor.charge_xen hyp (Hypervisor.costs hyp).Sys_costs.grant_map;
   Td_mem.Addr_space.map (Domain.space into) ~vpage:at_vpage e.frame;
   e.mapped <- e.mapped + 1;
-  t.map_count <- t.map_count + 1
+  t.map_count <- t.map_count + 1;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "grant.map";
+    Td_obs.Trace.emit (Td_obs.Trace.Grant_map { gref = r })
+  end
 
 let unmap t ~hyp ~from ~at_vpage r =
   let e = find t r in
   Hypervisor.charge_xen hyp (Hypervisor.costs hyp).Sys_costs.grant_unmap;
   Td_mem.Addr_space.unmap (Domain.space from) ~vpage:at_vpage;
-  if e.mapped > 0 then e.mapped <- e.mapped - 1
+  if e.mapped > 0 then e.mapped <- e.mapped - 1;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "grant.unmap";
+    Td_obs.Trace.emit (Td_obs.Trace.Grant_unmap { gref = r })
+  end
 
 let phys t = Td_mem.Addr_space.phys (Domain.space t.owner)
 
@@ -51,6 +59,11 @@ let copy_to t ~hyp r ~offset ~src =
       *. (Hypervisor.costs hyp).Sys_costs.grant_copy_per_byte)
   in
   Hypervisor.charge_xen hyp cost;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump_by "grant.copy_bytes" (Bytes.length src);
+    Td_obs.Trace.emit
+      (Td_obs.Trace.Grant_copy { gref = r; bytes = Bytes.length src })
+  end;
   Td_mem.Phys_mem.write_bytes (phys t) e.frame offset src
 
 let copy_from t ~hyp r ~offset ~len =
@@ -60,6 +73,10 @@ let copy_from t ~hyp r ~offset ~len =
       (float_of_int len *. (Hypervisor.costs hyp).Sys_costs.grant_copy_per_byte)
   in
   Hypervisor.charge_xen hyp cost;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump_by "grant.copy_bytes" len;
+    Td_obs.Trace.emit (Td_obs.Trace.Grant_copy { gref = r; bytes = len })
+  end;
   Td_mem.Phys_mem.read_bytes (phys t) e.frame offset len
 
 let active t = Hashtbl.length t.entries

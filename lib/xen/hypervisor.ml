@@ -39,14 +39,29 @@ let charge_domain t d n = Ledger.charge t.ledger (category_of d) n
 let switch_to t target =
   match t.current with
   | Some d when Domain.id d = Domain.id target -> ()
-  | Some _ | None ->
+  | (Some _ | None) as prev ->
       charge_xen t t.costs.Sys_costs.domain_switch;
       t.switches <- t.switches + 1;
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "xen.world_switch";
+        Td_obs.Trace.emit
+          (Td_obs.Trace.World_switch
+             {
+               from_dom =
+                 (match prev with Some d -> Domain.id d | None -> -1);
+               to_dom = Domain.id target;
+             })
+      end;
       t.current <- Some target;
       Td_cpu.State.switch_space t.cpu (Domain.space target)
 
 let hypercall t ?cost () =
-  charge_xen t (Option.value cost ~default:t.costs.Sys_costs.hypercall)
+  let cost = Option.value cost ~default:t.costs.Sys_costs.hypercall in
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "xen.hypercall";
+    Td_obs.Trace.emit (Td_obs.Trace.Hypercall { cost })
+  end;
+  charge_xen t cost
 
 let run_in t dom f =
   let prev = current t in
@@ -65,5 +80,9 @@ let run_in t dom f =
 
 let send_virq t dom handler =
   charge_xen t t.costs.Sys_costs.event_channel;
-  if Domain.interrupts_masked dom then Domain.defer dom handler
-  else run_in t dom handler
+  let deferred = Domain.interrupts_masked dom in
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "xen.virq";
+    Td_obs.Trace.emit (Td_obs.Trace.Virq { dom = Domain.id dom; deferred })
+  end;
+  if deferred then Domain.defer dom handler else run_in t dom handler

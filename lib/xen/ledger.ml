@@ -12,11 +12,36 @@ let index = function Dom0 -> 0 | DomU -> 1 | Xen -> 2 | Driver -> 3
 
 type t = { cells : int array }
 
-let create () = { cells = Array.make 4 0 }
-let charge t c n = t.cells.(index c) <- t.cells.(index c) + n
+(* mirror counter names, indexed like [cells]; the registry copy lets
+   Measure cross-check instrumentation against the authoritative ledger *)
+let metric_names =
+  [| "ledger.cycles.dom0"; "ledger.cycles.domU"; "ledger.cycles.xen";
+     "ledger.cycles.driver" |]
+
+let metric_name c = metric_names.(index c)
+
+let create () =
+  (* register the mirrors up front so snapshots always carry all four
+     categories, even ones a configuration never charges *)
+  if Td_obs.Control.enabled () then
+    Array.iter
+      (fun name -> ignore (Td_obs.Metrics.counter name))
+      metric_names;
+  { cells = Array.make 4 0 }
+
+let charge t c n =
+  let i = index c in
+  t.cells.(i) <- t.cells.(i) + n;
+  if Td_obs.Control.enabled () then
+    Td_obs.Metrics.bump_by metric_names.(i) n
+
 let total t c = t.cells.(index c)
 let grand_total t = Array.fold_left ( + ) 0 t.cells
-let reset t = Array.fill t.cells 0 4 0
+
+let reset t =
+  Array.fill t.cells 0 4 0;
+  if Td_obs.Control.enabled () then
+    Array.iter Td_obs.Metrics.reset metric_names
 let snapshot t = List.map (fun c -> (c, total t c)) categories
 
 let per_packet t ~packets =

@@ -7,6 +7,13 @@ type category = Dom0 | DomU | Xen | Driver
 val categories : category list
 val category_name : category -> string
 
+val metric_name : category -> string
+(** Name of the {!Td_obs.Metrics} mirror counter for a category
+    ([ledger.cycles.dom0] etc.). While observability is enabled, every
+    {!charge} also bumps the mirror and {!reset} zeroes it, so registry
+    counters and ledger totals stay equal — the invariant
+    {!Twindrivers.Measure} asserts after each run. *)
+
 type t
 
 val create : unit -> t

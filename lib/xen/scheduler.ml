@@ -14,7 +14,9 @@ let find t dom =
   | Some e -> e
   | None -> invalid_arg "Scheduler: unknown domain"
 
-let refill t = List.iter (fun e -> e.credit <- t.initial) t.entries
+let refill t =
+  Td_obs.Metrics.bump "sched.refills";
+  List.iter (fun e -> e.credit <- t.initial) t.entries
 
 let pick t ~runnable =
   let candidates = List.filter (fun e -> runnable e.dom) t.entries in
@@ -39,6 +41,7 @@ let pick t ~runnable =
         (fun e ->
           e.credit <- e.credit - 1;
           e.slices <- e.slices + 1;
+          Td_obs.Metrics.bump "sched.slices";
           e.dom)
         best
 

@@ -3,8 +3,13 @@ type stats = { mutable invocations : int; mutable switches_incurred : int }
 let fresh_stats () = { invocations = 0; switches_incurred = 0 }
 
 let make_stub ~hyp ~dom0 ~name ~impl stats : Td_cpu.Native.fn =
- fun st ->
-  ignore name;
+  (* pre-register the counters so snapshots report an explicit zero for
+     runs that never leave the fast path (the paper's headline case) *)
+  if Td_obs.Control.enabled () then begin
+    ignore (Td_obs.Metrics.counter "upcall.invocations");
+    ignore (Td_obs.Metrics.counter "upcall.switches")
+  end;
+  fun st ->
   stats.invocations <- stats.invocations + 1;
   let costs = Hypervisor.costs hyp in
   (* the stub saves parameters and switches off the hypervisor stack
@@ -13,6 +18,11 @@ let make_stub ~hyp ~dom0 ~name ~impl stats : Td_cpu.Native.fn =
   let prev = Hypervisor.current hyp in
   let needs_switch = Domain.id prev <> Domain.id dom0 in
   if needs_switch then stats.switches_incurred <- stats.switches_incurred + 2;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "upcall.invocations";
+    if needs_switch then Td_obs.Metrics.bump_by "upcall.switches" 2;
+    Td_obs.Trace.emit (Td_obs.Trace.Upcall_enter { routine = name })
+  end;
   Hypervisor.run_in hyp dom0 (fun () ->
       (* synchronous virtual interrupt into dom0: the registered handler
          recovers parameters and invokes the support routine *)
@@ -20,4 +30,7 @@ let make_stub ~hyp ~dom0 ~name ~impl stats : Td_cpu.Native.fn =
       Hypervisor.charge_domain hyp dom0 costs.Sys_costs.support_routine;
       impl st;
       (* 'return' to the stub via hypercall *)
-      Hypervisor.hypercall hyp ~cost:costs.Sys_costs.upcall_return ())
+      Hypervisor.hypercall hyp ~cost:costs.Sys_costs.upcall_return ());
+  if Td_obs.Control.enabled () then
+    Td_obs.Trace.emit
+      (Td_obs.Trace.Upcall_exit { routine = name; switched = needs_switch })

@@ -21,4 +21,5 @@ let () =
       ("netio", Test_netio.suite);
       ("netchannel", Test_netchannel.suite);
       ("experiments", Test_experiments.suite);
+      ("obs", Test_obs.suite);
     ]

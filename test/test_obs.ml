@@ -1,0 +1,202 @@
+(* Tests for the observability layer: metric registry lifecycle,
+   histogram percentile edges, trace-ring wraparound, zero-cost-when-
+   disabled, and the end-to-end property the paper's fast path promises —
+   an error-free transmit run records no upcall events. *)
+
+open Td_obs
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+(* every test starts from a pristine, enabled registry and restores the
+   disabled default afterwards, so unrelated suites never see obs state *)
+let with_fresh f () =
+  Metrics.clear ();
+  Trace.set_capacity 4096;
+  Fun.protect
+    ~finally:(fun () ->
+      Control.disable ();
+      Metrics.clear ();
+      Trace.clear ())
+    (fun () -> Control.with_enabled f)
+
+let test_registry () =
+  let c = Metrics.counter ~help:"a counter" "t.count" in
+  Metrics.incr c;
+  Metrics.add c 4;
+  check int_c "counter" 5 (Metrics.value c);
+  (* find-or-create returns the same cell *)
+  Metrics.incr (Metrics.counter "t.count");
+  check int_c "shared cell" 6 (Metrics.counter_value "t.count");
+  let g = Metrics.gauge "t.gauge" in
+  Metrics.set g 2.5;
+  check bool_c "gauge" true (Metrics.gauge_value (Metrics.gauge "t.gauge") = 2.5);
+  check bool_c "exists" true (Metrics.exists "t.gauge");
+  check int_c "absent counter reads 0" 0 (Metrics.counter_value "t.absent");
+  check bool_c "absent" false (Metrics.exists "t.absent");
+  (* a name keeps its kind *)
+  check bool_c "kind mismatch" true
+    (match Metrics.gauge "t.count" with
+    | exception Invalid_argument _ -> true
+    | _ -> false);
+  check bool_c "names sorted" true
+    (Metrics.names () = [ "t.count"; "t.gauge" ])
+
+let test_reset () =
+  Metrics.bump "t.a";
+  Metrics.bump_by "t.b" 7;
+  Metrics.set (Metrics.gauge "t.g") 9.0;
+  Metrics.observe (Metrics.histogram "t.h") 100;
+  Metrics.reset "t.b";
+  check int_c "single reset" 0 (Metrics.counter_value "t.b");
+  check int_c "others kept" 1 (Metrics.counter_value "t.a");
+  Metrics.reset_all ();
+  check int_c "reset_all zeroes" 0 (Metrics.counter_value "t.a");
+  check int_c "histogram zeroed" 0 (Metrics.observations (Metrics.histogram "t.h"));
+  (* registrations survive a reset — the snapshot still lists them *)
+  check bool_c "registration survives" true (Metrics.exists "t.b");
+  check bool_c "snapshot lists reset names" true
+    (List.mem_assoc "t.a" (Metrics.snapshot ()));
+  Metrics.clear ();
+  check bool_c "clear drops registrations" false (Metrics.exists "t.a")
+
+let test_percentiles () =
+  let h = Metrics.histogram ~bounds:[| 10; 20; 40 |] "t.p" in
+  check int_c "empty histogram" 0 (Metrics.percentile h 50.0);
+  (* 8 observations in the 0..10 bucket, 1 in 11..20, 1 in the overflow *)
+  for _ = 1 to 8 do
+    Metrics.observe h 5
+  done;
+  Metrics.observe h 15;
+  Metrics.observe h 1000;
+  check int_c "count" 10 (Metrics.observations h);
+  check int_c "sum" (40 + 15 + 1000) (Metrics.sum h);
+  (* percentile reports the upper bound of the rank's bucket *)
+  check int_c "p50 in first bucket" 10 (Metrics.percentile h 50.0);
+  check int_c "p80 still first bucket" 10 (Metrics.percentile h 80.0);
+  check int_c "p90 second bucket" 20 (Metrics.percentile h 90.0);
+  (* the overflow bucket reports the true maximum, not a bound *)
+  check int_c "p100 exact max" 1000 (Metrics.percentile h 100.0);
+  check int_c "p99 exact max" 1000 (Metrics.percentile h 99.0);
+  (* out-of-range p clamps instead of raising *)
+  check int_c "p<0 clamps" 10 (Metrics.percentile h (-3.0));
+  check int_c "p>100 clamps" 1000 (Metrics.percentile h 250.0);
+  check bool_c "bounds must increase" true
+    (match Metrics.histogram ~bounds:[| 4; 4 |] "t.bad" with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_ring_wraparound () =
+  Trace.set_capacity 8;
+  check int_c "capacity" 8 (Trace.capacity ());
+  for i = 0 to 19 do
+    Trace.emit (Trace.Custom { name = "t"; value = i })
+  done;
+  check int_c "all twenty emitted" 20 (Trace.emitted ());
+  let records = Trace.records () in
+  check int_c "ring keeps last eight" 8 (List.length records);
+  (* oldest-first, contiguous, ending at the newest event *)
+  List.iteri
+    (fun i (r : Trace.record) ->
+      check int_c "seq contiguous" (12 + i) r.Trace.seq;
+      match r.Trace.event with
+      | Trace.Custom { value; _ } -> check int_c "payload matches seq" (12 + i) value
+      | _ -> Alcotest.fail "unexpected event")
+    records;
+  check int_c "count_if sees only retained" 8
+    (Trace.count_if (function Trace.Custom _ -> true | _ -> false));
+  Trace.clear ();
+  check int_c "clear" 0 (Trace.emitted ());
+  check bool_c "empty after clear" true (Trace.records () = [])
+
+let test_disabled_is_noop () =
+  Control.disable ();
+  Metrics.bump "t.off";
+  Metrics.bump_by "t.off" 5;
+  Trace.emit (Trace.Custom { name = "t"; value = 1 });
+  check bool_c "bump registers nothing" false (Metrics.exists "t.off");
+  check int_c "ring untouched" 0 (Trace.emitted ());
+  Control.enable ();
+  Metrics.bump "t.on";
+  check int_c "enabled again" 1 (Metrics.counter_value "t.on")
+
+let test_json_export () =
+  Metrics.bump_by "t.j" 3;
+  Metrics.observe (Metrics.histogram ~bounds:[| 10 |] "t.jh") 4;
+  let j = Metrics.to_json () in
+  (match Json.member "counters" j with
+  | Some (Json.Obj kvs) ->
+      check bool_c "counter exported" true (List.assoc "t.j" kvs = Json.Int 3)
+  | _ -> Alcotest.fail "no counters object");
+  (match Json.member "histograms" j with
+  | Some (Json.Obj kvs) -> (
+      match Json.member "count" (List.assoc "t.jh" kvs) with
+      | Some (Json.Int 1) -> ()
+      | _ -> Alcotest.fail "histogram count wrong")
+  | _ -> Alcotest.fail "no histograms object");
+  Trace.emit (Trace.Stlb_miss { addr = 0xc0de; refill = true });
+  (match Json.member "records" (Trace.to_json ()) with
+  | Some (Json.List [ r ]) ->
+      check bool_c "event name" true
+        (Json.member "event" r = Some (Json.String "stlb.miss"));
+      check bool_c "refill field" true
+        (Json.member "refill" r = Some (Json.Bool true))
+  | _ -> Alcotest.fail "expected one trace record");
+  (* the compact printer round-trips the reserved characters *)
+  check bool_c "string escaping" true
+    (Json.to_string (Json.String "a\"b\\c\n") = {|"a\"b\\c\n"|})
+
+(* §6.1/Table 1: the error-free tx path runs entirely in the hypervisor —
+   zero upcalls; every stlb probe after warmup hits. *)
+let test_error_free_transmit_no_upcalls () =
+  let w = Twindrivers.World.create ~nics:1 Twindrivers.Config.Xen_twin in
+  let r = Twindrivers.Measure.run_transmit ~packets:60 w in
+  check int_c "no upcall invocations" 0 (Metrics.counter_value "upcall.invocations");
+  check bool_c "no upcall events in trace" false
+    (Trace.exists (function
+      | Trace.Upcall_enter _ | Trace.Upcall_exit _ -> true
+      | _ -> false));
+  check bool_c "frames were transmitted" true
+    (Metrics.counter_value "nic.tx.frames" >= 60);
+  check int_c "no stlb misses after warmup" 0 (Metrics.counter_value "stlb.miss");
+  check bool_c "stlb hits recorded" true (Metrics.counter_value "stlb.hit" > 0);
+  (* the Measure snapshot carries the ledger mirrors the cross-check
+     already validated against the authoritative ledger *)
+  check bool_c "snapshot has ledger mirror" true
+    (List.mem_assoc "ledger.cycles.driver" r.Twindrivers.Measure.metrics)
+
+(* the acceptance property: observability must not perturb the simulated
+   machine — identical worlds yield bit-identical cycle counts either way *)
+let test_disabled_bit_identical () =
+  Control.disable ();
+  let run () =
+    let w = Twindrivers.World.create ~nics:1 Twindrivers.Config.Xen_twin in
+    Twindrivers.Measure.run_transmit ~packets:40 w
+  in
+  let off = run () in
+  check bool_c "no snapshot when disabled" true
+    (off.Twindrivers.Measure.metrics = []);
+  Control.enable ();
+  let on = run () in
+  check bool_c "cycles/packet identical" true
+    (off.Twindrivers.Measure.cycles_per_packet
+    = on.Twindrivers.Measure.cycles_per_packet);
+  check bool_c "throughput identical" true
+    (off.Twindrivers.Measure.throughput_mbps
+    = on.Twindrivers.Measure.throughput_mbps)
+
+let suite =
+  [
+    Alcotest.test_case "registry" `Quick (with_fresh test_registry);
+    Alcotest.test_case "reset" `Quick (with_fresh test_reset);
+    Alcotest.test_case "percentiles" `Quick (with_fresh test_percentiles);
+    Alcotest.test_case "ring wraparound" `Quick (with_fresh test_ring_wraparound);
+    Alcotest.test_case "disabled is a no-op" `Quick
+      (with_fresh test_disabled_is_noop);
+    Alcotest.test_case "json export" `Quick (with_fresh test_json_export);
+    Alcotest.test_case "error-free tx: no upcalls" `Quick
+      (with_fresh test_error_free_transmit_no_upcalls);
+    Alcotest.test_case "disabled run bit-identical" `Quick
+      (with_fresh test_disabled_bit_identical);
+  ]
