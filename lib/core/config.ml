@@ -14,3 +14,8 @@ let of_string = function
   | "domU" | "domu" -> Some Xen_domU
   | "domU-twin" | "twin" -> Some Xen_twin
   | _ -> None
+
+type tuning = { map_window_pages : int; notify_batch : int }
+
+let default_tuning =
+  { map_window_pages = Td_mem.Layout.map_window_pages; notify_batch = 1 }

@@ -9,3 +9,18 @@ type t =
 val name : t -> string
 val all : t list
 val of_string : string -> t option
+
+(** Performance knobs orthogonal to the configuration choice. *)
+type tuning = {
+  map_window_pages : int;
+      (** SVM mapped-page window size in pages (two per mapped pair);
+          smaller windows reclaim cold pairs sooner. Xen_twin only. *)
+  notify_batch : int;
+      (** TX/RX event notifications coalesced per hypercall / virtual
+          interrupt (1 = kick every frame, the paper's baseline).
+          Flushed on ring pressure, {!World.pump} and {!World.tick}. *)
+}
+
+val default_tuning : tuning
+(** Full 16 MB window, batch 1 — identical behaviour to the unbatched
+    system. *)

@@ -215,6 +215,76 @@ let sensitivity ?(packets = 300) () =
         [ 0.75; 1.0; 1.5 ])
     [ 0.5; 1.0; 2.0; 4.0 ]
 
+(* ---- window x batch sweep ---- *)
+
+type window_batch_point = {
+  window_pages : int;
+  batch : int;
+  tx_cycles_per_packet : float;
+  tx_hypercalls_per_packet : float;
+  tx_hypercall_cycles_per_packet : float;
+  rx_virqs_per_packet : float;
+  window_reclaims : int;
+  window_pages_in_use : int;
+}
+
+let metric r name =
+  match List.assoc_opt name r.Measure.metrics with Some v -> v | None -> 0.0
+
+let window_batch ?(packets = 250) ?(windows = [ 512; 1024; 4096 ])
+    ?(batches = [ 1; 2; 4; 8; 16 ]) () =
+  let costs = Td_xen.Sys_costs.default in
+  List.concat_map
+    (fun window_pages ->
+      List.map
+        (fun batch ->
+          let tuning = { Config.map_window_pages = window_pages; notify_batch = batch } in
+          (* small pool: its packet buffers are pinned in the window and
+             can never be reclaimed, so the sweep's smallest window must
+             still hold them all (96 entries pin ~430 pages) while keeping
+             unpinned slots free to reclaim; fewer entries starve the
+             receive ring *)
+          let wt =
+            World.create ~nics:1 ~pool_entries:96 ~tuning Config.Xen_twin
+          in
+          let tx = Measure.run_transmit ~packets wt in
+          let hypercalls = metric tx "xen.hypercall" in
+          let wr =
+            World.create ~nics:1 ~pool_entries:96 ~tuning Config.Xen_twin
+          in
+          let rx = Measure.run_receive ~packets wr in
+          let virqs = metric rx "xen.virq" in
+          (* soak the map window: touch [window_pages] distinct dom0 pages
+             (each maps a pair, so the working set is twice the window) —
+             the reclaim policy must absorb it without failing *)
+          let rt = Option.get (World.svm wt) in
+          let space = World.dom0_space wt in
+          let base =
+            Td_mem.Addr_space.heap_alloc space
+              (window_pages * Td_mem.Layout.page_size)
+          in
+          for i = 0 to window_pages - 1 do
+            ignore
+              (Td_svm.Runtime.translate rt
+                 (base + (i * Td_mem.Layout.page_size)))
+          done;
+          let n = float_of_int packets in
+          {
+            window_pages;
+            batch;
+            tx_cycles_per_packet = tx.Measure.cycles_per_packet;
+            tx_hypercalls_per_packet = hypercalls /. n;
+            tx_hypercall_cycles_per_packet =
+              hypercalls
+              *. float_of_int costs.Td_xen.Sys_costs.hypercall
+              /. n;
+            rx_virqs_per_packet = virqs /. n;
+            window_reclaims = Td_svm.Runtime.window_reclaims rt;
+            window_pages_in_use = Td_svm.Runtime.window_pages_in_use rt;
+          })
+        batches)
+    windows
+
 (* ---- ablations ---- *)
 
 type ablation = { label : string; tx_cpu_scaled_mbps : float; note : string }

@@ -74,6 +74,33 @@ type sensitivity_point = {
 
 val sensitivity : ?packets:int -> unit -> sensitivity_point list
 
+(** Map-window × notification-batch sweep: for each (window size, batch
+    factor) cell, measure the twin transmit path (hypercall kicks
+    amortise with the batch), the receive path (virtual interrupts
+    amortise the same way), then soak the SVM map window with a working
+    set twice its size to exercise the clock reclaim. Requires
+    observability to be enabled for the hypercall/virq rates. *)
+
+type window_batch_point = {
+  window_pages : int;  (** SVM map window size, in pages *)
+  batch : int;  (** notifications coalesced per kick *)
+  tx_cycles_per_packet : float;
+  tx_hypercalls_per_packet : float;
+  tx_hypercall_cycles_per_packet : float;
+      (** hypercall-category cycles per frame — must fall monotonically
+          with [batch] *)
+  rx_virqs_per_packet : float;
+  window_reclaims : int;  (** pairs evicted during the soak *)
+  window_pages_in_use : int;  (** mapped pages left after the soak *)
+}
+
+val window_batch :
+  ?packets:int ->
+  ?windows:int list ->
+  ?batches:int list ->
+  unit ->
+  window_batch_point list
+
 (** Ablations (DESIGN.md §5). *)
 
 type ablation = { label : string; tx_cpu_scaled_mbps : float; note : string }

@@ -35,6 +35,21 @@ let relay_once t =
     Td_net.Tcp_lite.on_segment t.client seg
   done;
   World.pump t.world;
+  (* drain every delivered payload, not just the most recent one — with
+     batched notifications a single pump can complete several frames *)
+  let drain_rx () =
+    let continue = ref true in
+    while !continue do
+      match World.rx_pop t.world with
+      | None -> continue := false
+      | Some payload -> (
+          moved := true;
+          match Td_net.Tcp_lite.decode_segment payload with
+          | Some seg -> Td_net.Tcp_lite.on_segment t.server seg
+          | None -> ())
+    done
+  in
+  drain_rx ();
   (* client -> wire -> receive path -> guest -> server *)
   while not (Queue.is_empty t.client_out) do
     moved := true;
@@ -42,13 +57,7 @@ let relay_once t =
       ~payload:(Td_net.Tcp_lite.encode_segment (Queue.pop t.client_out));
     t.frames <- t.frames + 1;
     World.pump t.world;
-    match
-      Option.bind
-        (World.rx_last_payload t.world)
-        Td_net.Tcp_lite.decode_segment
-    with
-    | Some seg -> Td_net.Tcp_lite.on_segment t.server seg
-    | None -> ()
+    drain_rx ()
   done;
   !moved
 

@@ -28,6 +28,7 @@ type nic_port = {
 
 type t = {
   cfg : Config.t;
+  tuning : Config.tuning;
   phys : Phys_mem.t;
   dom0_space : Addr_space.t;
   xen_space : Addr_space.t;
@@ -48,6 +49,8 @@ type t = {
   dom0_driver : driver_image;
   hyp_driver : driver_image option;
   svm_hyp : Td_svm.Runtime.t option;
+  svm_vm : (Td_svm.Runtime.t * int) option;
+      (** VM-instance identity runtime and its stlb vaddr, Xen_twin only *)
   twin : Td_rewriter.Twin.t option;
   skb_pool : Skb_pool.t option;
   mutable netios : Xen_netio.t array;  (** one per NIC, Xen_domU only *)
@@ -60,8 +63,18 @@ type t = {
   mutable rx_frames : int;
   mutable rx_bytes : int;
   mutable rx_last : string option;
+  rx_queue : string Queue.t;
+      (** every delivered payload, in order, until a consumer pops it *)
+  mutable rx_drops : int;  (** frames lost because [rx_queue] was full *)
   mutable tx_drops : int;
+  mutable twin_tx_pushes : int;
+      (** twin TX ring pushes since the last doorbell hypercall *)
 }
+
+(* Guest payloads queue here until the consumer (netchannel, tests) pops
+   them; beyond this the stack would push back in a real system, so we
+   drop — but count the drop instead of losing the frame silently. *)
+let rx_queue_capacity = 4096
 
 let config t = t.cfg
 let nic_count t = Array.length t.nics
@@ -121,8 +134,10 @@ let needs_guest = function
 
 let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
     ?(costs = Sys_costs.default) ?spill_everything ?rewrite_style
-    ?cache_probes ?(map_pairs = true) cfg =
+    ?cache_probes ?(map_pairs = true) ?(tuning = Config.default_tuning) cfg =
   if guests < 1 then invalid_arg "World.create: guests must be >= 1";
+  if tuning.Config.notify_batch < 1 then
+    invalid_arg "World.create: notify_batch must be >= 1";
   let phys = Phys_mem.create ~frames:200_000 () in
   let dom0_space = Addr_space.create ~name:"dom0" phys in
   Addr_space.heap_init dom0_space ~base:Layout.dom0_heap_base
@@ -202,7 +217,7 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
   (* support natives & driver images *)
   Support.register_dom0_natives sup natives;
   let dom0_support n = Support.dom0_symtab sup natives n in
-  let twin, dom0_driver, hyp_driver, svm_hyp, skb_pool =
+  let twin, dom0_driver, hyp_driver, svm_hyp, svm_vm, skb_pool =
     match cfg with
     | Config.Native_linux | Config.Xen_dom0 | Config.Xen_domU ->
         let prog =
@@ -210,7 +225,7 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
             ~source:(Td_driver.E1000_driver.source ())
             ~base:Layout.vm_driver_code_base ~symbols:dom0_support ~registry
         in
-        (None, entries_of prog, None, None, None)
+        (None, entries_of prog, None, None, None, None)
     | Config.Xen_twin ->
         let twin =
           Td_rewriter.Twin.derive ?spill_everything ?style:rewrite_style
@@ -244,7 +259,8 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
         (* hypervisor instance *)
         let h = Option.get hyp and d0 = Option.get dom0 in
         let hyp_rt =
-          Td_svm.Runtime.create_hypervisor ~map_pairs ~dom0:dom0_space
+          Td_svm.Runtime.create_hypervisor ~map_pairs
+            ~window_pages:tuning.Config.map_window_pages ~dom0:dom0_space
             ~hyp:xen_space ()
         in
         Td_svm.Runtime.register_natives hyp_rt natives;
@@ -309,11 +325,13 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
           entries_of vm_prog,
           Some (entries_of hyp_prog),
           Some hyp_rt,
+          Some (vm_rt, vm_stlb),
           Some pool )
   in
   let w =
     {
       cfg;
+      tuning;
       phys;
       dom0_space;
       xen_space;
@@ -334,6 +352,7 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
       dom0_driver;
       hyp_driver;
       svm_hyp;
+      svm_vm;
       twin;
       skb_pool;
       netios = [||];
@@ -349,7 +368,10 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
       rx_frames = 0;
       rx_bytes = 0;
       rx_last = None;
+      rx_queue = Queue.create ();
+      rx_drops = 0;
       tx_drops = 0;
+      twin_tx_pushes = 0;
     }
   in
   (* every (guest, nic) vif MAC demuxes to its guest *)
@@ -419,7 +441,12 @@ let count_rx ?(guest = 0) w payload =
   w.rx_bytes <- w.rx_bytes + String.length payload;
   if guest < Array.length w.rx_by_guest then
     w.rx_by_guest.(guest) <- w.rx_by_guest.(guest) + 1;
-  w.rx_last <- Some payload
+  w.rx_last <- Some payload;
+  if Queue.length w.rx_queue >= rx_queue_capacity then begin
+    w.rx_drops <- w.rx_drops + 1;
+    if Td_obs.Control.enabled () then Td_obs.Metrics.bump "world.rx_drops"
+  end
+  else Queue.push payload w.rx_queue
 
 let free_any_skb w skb =
   match w.skb_pool with
@@ -427,6 +454,30 @@ let free_any_skb w skb =
   | Some _ | None -> Skb.free w.km skb
 
 let init (w : t) =
+  (* reclaims evict a mapped pair synchronously inside the hypervisor:
+     charge the shootdown against Xen's ledger category *)
+  Option.iter
+    (fun rt ->
+      Td_svm.Runtime.set_reclaim_hook rt (fun () ->
+          charge_xen_cat w w.costs.Sys_costs.window_reclaim))
+    w.svm_hyp;
+  (* exact stlb.hit accounting: the inline probe's hit path is the xor
+     against an stlb entry's second word (offset +4) — watch for it in the
+     interpreter and credit the runtime that owns that stlb. The watched
+     register still holds the pre-xor dom0 address when the hook fires. *)
+  (match (w.svm_hyp, w.svm_vm) with
+  | Some hyp_rt, Some (vm_rt, vm_stlb) ->
+      let hyp_hit = Layout.stlb_base + 4 and vm_hit = vm_stlb + 4 in
+      Interp.add_hook w.interp (fun st insn ->
+          match insn with
+          | Insn.Alu (Insn.Xor, Operand.Mem m, Operand.Reg r)
+            when m.Operand.sym = None && m.Operand.base <> None ->
+              if m.Operand.disp = hyp_hit then
+                Td_svm.Runtime.note_inline_hit hyp_rt (State.get st r)
+              else if m.Operand.disp = vm_hit then
+                Td_svm.Runtime.note_inline_hit vm_rt (State.get st r)
+          | _ -> ())
+  | _ -> ());
   (* run e1000_init for every NIC using the dom0-side instance (the VM
      driver "performs the initialization of the NIC and the driver data
      structures", §3.1) *)
@@ -474,7 +525,8 @@ let init (w : t) =
         Array.mapi
           (fun i p ->
             let netio =
-              Xen_netio.create ~hyp:h ~dom0:d0 ~guest:g ~kmem:w.km
+              Xen_netio.create ~batch:w.tuning.Config.notify_batch ~hyp:h
+                ~dom0:d0 ~guest:g ~kmem:w.km
                 ~driver_tx:(fun skb ->
                   ignore
                     (run_driver w ~entry:w.dom0_driver.e_xmit
@@ -546,10 +598,10 @@ let init (w : t) =
   w
 
 let create ?nics ?guests ?upcall_set ?pool_entries ?costs ?spill_everything
-    ?rewrite_style ?cache_probes ?map_pairs cfg =
+    ?rewrite_style ?cache_probes ?map_pairs ?tuning cfg =
   init
     (create ?nics ?guests ?upcall_set ?pool_entries ?costs ?spill_everything
-       ?rewrite_style ?cache_probes ?map_pairs cfg)
+       ?rewrite_style ?cache_probes ?map_pairs ?tuning cfg)
 
 (* ---- traffic ---- *)
 
@@ -581,7 +633,16 @@ let transmit w ~nic ~payload =
   | Config.Xen_twin -> (
       charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
       let h = Option.get w.hyp in
-      Hypervisor.hypercall h ();
+      (* doorbell suppression: with batching only every [notify_batch]th
+         ring push traps into the hypervisor; the others just set the
+         producer index (the packet is still handled synchronously, so the
+         wire stream is bit-identical to the unbatched system) *)
+      w.twin_tx_pushes <- w.twin_tx_pushes + 1;
+      if
+        w.tuning.Config.notify_batch <= 1
+        || (w.twin_tx_pushes - 1) mod w.tuning.Config.notify_batch = 0
+      then Hypervisor.hypercall h ()
+      else charge_xen_cat w w.costs.Sys_costs.notify_coalesce;
       charge_xen_cat w w.costs.Sys_costs.twin_skb_acquire;
       match Skb_pool.alloc (Option.get w.skb_pool) with
       | None ->
@@ -683,15 +744,29 @@ let deliver_pending w =
         | Some dom ->
             let gi = Option.get (guest_index dom) in
             let q = w.rx_pending.(gi) in
+            let batch = max 1 w.tuning.Config.notify_batch in
+            (* one virtual interrupt announces up to [batch] queued packets;
+               the copies still happen per packet, in queue order *)
             while not (Queue.is_empty q) do
-              let payload = Queue.pop q in
-              charge_xen_cat w
-                (int_of_float
-                   (float_of_int (String.length payload)
-                   *. w.costs.Sys_costs.copy_per_byte));
+              let n = min batch (Queue.length q) in
+              let group = ref [] in
+              for _ = 1 to n do
+                let payload = Queue.pop q in
+                charge_xen_cat w
+                  (int_of_float
+                     (float_of_int (String.length payload)
+                     *. w.costs.Sys_costs.copy_per_byte));
+                group := payload :: !group
+              done;
+              if n > 1 then
+                charge_xen_cat w ((n - 1) * w.costs.Sys_costs.notify_coalesce);
+              let group = List.rev !group in
               Hypervisor.send_virq h dom (fun () ->
-                  charge_domU_cat w w.costs.Sys_costs.kernel_rx_path;
-                  count_rx ~guest:gi w payload)
+                  List.iter
+                    (fun payload ->
+                      charge_domU_cat w w.costs.Sys_costs.kernel_rx_path;
+                      count_rx ~guest:gi w payload)
+                    group)
             done
       done
 
@@ -707,6 +782,15 @@ let pump w =
           service_interrupt w p
         end)
       w.nics;
+    (* ring pressure / end-of-poll flush: push out partial notification
+       batches so frames can never sit staged forever *)
+    Array.iter
+      (fun io ->
+        if Xen_netio.staged io > 0 then begin
+          progress := true;
+          Xen_netio.flush io
+        end)
+      w.netios;
     deliver_pending w
   done
 
@@ -723,6 +807,9 @@ let delivered_rx_frames_to w ~guest = w.rx_by_guest.(guest)
 let guest_count w = Array.length w.guests
 let delivered_rx_bytes w = w.rx_bytes
 let rx_last_payload w = w.rx_last
+let rx_pop w = Queue.take_opt w.rx_queue
+let rx_queued w = Queue.length w.rx_queue
+let rx_drops w = w.rx_drops
 
 let reset_measurement w =
   (* zero the whole registry and trace first, then the ledger (whose reset
@@ -743,7 +830,10 @@ let reset_measurement w =
   w.rx_bytes <- 0;
   Array.fill w.rx_by_guest 0 (Array.length w.rx_by_guest) 0;
   w.rx_last <- None;
-  w.tx_drops <- 0
+  Queue.clear w.rx_queue;
+  w.rx_drops <- 0;
+  w.tx_drops <- 0;
+  w.twin_tx_pushes <- 0
 
 (* ---- housekeeping ---- *)
 
@@ -775,6 +865,8 @@ let run_set_mtu w ~nic ~mtu =
        ~args:[ w.nics.(nic).nd.Netdev.addr; mtu ])
 
 let tick w =
+  (* the timer flush bounds how long a partial batch can stay staged *)
+  Array.iter Xen_netio.flush w.netios;
   Timer_wheel.tick w.timers
 
 let mask_dom0_interrupts w =

@@ -21,6 +21,7 @@ val create :
   ?rewrite_style:Td_rewriter.Rewrite.style ->
   ?cache_probes:bool ->
   ?map_pairs:bool ->
+  ?tuning:Config.tuning ->
   Config.t ->
   t
 (** [guests] (default 1) creates that many guest domains (Xen_twin: the
@@ -29,7 +30,10 @@ val create :
     routines that are demoted to upcalls — the Figure 10 experiment.
     [pool_entries] sizes the hypervisor's preallocated sk_buff pool.
     [spill_everything], [rewrite_style] and [map_pairs] select the
-    DESIGN.md ablations (Xen_twin only). *)
+    DESIGN.md ablations (Xen_twin only). [tuning] (default
+    {!Config.default_tuning}) sets the SVM map-window size and the
+    notification batch factor; batching changes only when notifications
+    are sent, never the frame payloads or their order. *)
 
 val config : t -> Config.t
 val nic_count : t -> int
@@ -75,7 +79,24 @@ val delivered_rx_frames : t -> int
 val delivered_rx_frames_to : t -> guest:int -> int
 val guest_count : t -> int
 val delivered_rx_bytes : t -> int
+
 val rx_last_payload : t -> string option
+(** Most recent payload delivered to the consumer. Kept for diagnostics:
+    use {!rx_pop} to drain frames without losing any. *)
+
+val rx_pop : t -> string option
+(** Pop the oldest undelivered received payload. Every frame handed to
+    the consumer is queued here in delivery order; popping is how
+    netchannel (and tests) consume traffic without dropping frames that
+    arrived in the same pump. *)
+
+val rx_queued : t -> int
+(** Payloads currently waiting in the receive queue. *)
+
+val rx_drops : t -> int
+(** Frames discarded because the receive queue was full (each also bumps
+    the ["world.rx_drops"] counter when observability is on). *)
+
 val reset_measurement : t -> unit
 (** Zero the ledger and traffic counters (driver/NIC state persists).
     When observability is enabled this also resets the {!Td_obs.Metrics}

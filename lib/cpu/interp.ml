@@ -10,6 +10,11 @@ type t = {
 
 let create ?hook state registry natives = { state; registry; natives; hook }
 
+let add_hook t h =
+  match t.hook with
+  | None -> t.hook <- Some h
+  | Some g -> t.hook <- Some (fun st insn -> g st insn; h st insn)
+
 let ret_sentinel = 0xFFFF_FFF0
 let mask32 v = v land 0xFFFFFFFF
 let sign_bit = 0x80000000

@@ -24,6 +24,13 @@ val create :
   ?hook:(State.t -> Td_misa.Insn.t -> unit) ->
   State.t -> Code_registry.t -> Native.t -> t
 
+val add_hook : t -> (State.t -> Td_misa.Insn.t -> unit) -> unit
+(** Compose a per-instruction hook with any already installed (existing
+    hooks run first). Hooks fire before the instruction executes, so
+    register reads observe pre-execution state. Use this instead of
+    assigning [hook] directly — a profiler and an instrumentation watcher
+    must not clobber each other. *)
+
 val ret_sentinel : int
 (** Pseudo return address marking the bottom of a simulated call; popping
     it ends {!call}. *)

@@ -69,7 +69,7 @@ let attach interp =
         in
         t.current <- Some region
   in
-  interp.Interp.hook <- Some hook;
+  Interp.add_hook interp hook;
   t
 
 let cycles_by_label t =

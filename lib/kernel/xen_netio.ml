@@ -7,30 +7,43 @@ type t = {
   kmem : Kmem.t;
   driver_tx : Skb.t -> unit;
   grants : Grant_table.t;
-  tx_page : int;  (** guest page used to stage transmitted frames *)
-  tx_grant : Grant_table.grant_ref;
+  batch : int;  (** notifications coalesced per kick (1 = every frame) *)
+  tx_pages : (int * Grant_table.grant_ref) array;
+      (** [batch] granted guest pages used to stage transmitted frames *)
+  tx_staged : (int * Grant_table.grant_ref * int) Queue.t;
+      (** (guest vaddr, grant, length) pushed on the ring, kick pending *)
   mutable map_cursor : int;  (** dom0 vaddr window for grant maps *)
   rx_posted : (Grant_table.grant_ref * int) Queue.t;
+  rx_staged : (Grant_table.grant_ref * int * int) Queue.t;
+      (** (grant, guest vaddr, length) copied in, notification pending *)
   mutable guest_rx : string -> unit;
   mutable tx_count : int;
   mutable rx_count : int;
   mutable rx_dropped : int;
+  mutable flush_count : int;
 }
 
 (* dom0 virtual window where granted guest pages are temporarily mapped *)
 let grant_map_base = 0xC7F0_0000
 
-let create ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
+let create ?(batch = 1) ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
+  if batch < 1 then invalid_arg "Xen_netio: batch must be >= 1";
   let gspace = Domain.space guest in
-  let tx_page = Td_mem.Addr_space.heap_alloc gspace Td_mem.Layout.page_size in
   let grants = Grant_table.create ~owner:guest in
-  let frame =
-    match
-      Td_mem.Addr_space.frame_of_vpage gspace
-        ~vpage:(Td_mem.Layout.page_of tx_page)
-    with
-    | Some f -> f
-    | None -> assert false
+  let tx_pages =
+    Array.init batch (fun _ ->
+        let page =
+          Td_mem.Addr_space.heap_alloc gspace Td_mem.Layout.page_size
+        in
+        let frame =
+          match
+            Td_mem.Addr_space.frame_of_vpage gspace
+              ~vpage:(Td_mem.Layout.page_of page)
+          with
+          | Some f -> f
+          | None -> assert false
+        in
+        (page, Grant_table.grant grants ~frame))
   in
   {
     hyp;
@@ -39,14 +52,17 @@ let create ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
     kmem;
     driver_tx;
     grants;
-    tx_page;
-    tx_grant = Grant_table.grant grants ~frame;
+    batch;
+    tx_pages;
+    tx_staged = Queue.create ();
     map_cursor = grant_map_base;
     rx_posted = Queue.create ();
+    rx_staged = Queue.create ();
     guest_rx = (fun _ -> ());
     tx_count = 0;
     rx_count = 0;
     rx_dropped = 0;
+    flush_count = 0;
   }
 
 let set_guest_rx t fn = t.guest_rx <- fn
@@ -54,37 +70,54 @@ let set_guest_rx t fn = t.guest_rx <- fn
 let charge_dom0 t n = Hypervisor.charge_domain t.hyp t.dom0 n
 let charge_guest t n = Hypervisor.charge_domain t.hyp t.guest n
 
+(* One kick drains every staged request: the backend runs once in dom0,
+   mapping, forwarding and unmapping each granted frame in ring order. *)
+let flush_tx t =
+  if not (Queue.is_empty t.tx_staged) then begin
+    let costs = Hypervisor.costs t.hyp in
+    t.flush_count <- t.flush_count + 1;
+    if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.flush";
+    Hypervisor.hypercall t.hyp ();
+    Hypervisor.run_in t.hyp t.dom0 (fun () ->
+        while not (Queue.is_empty t.tx_staged) do
+          let gvaddr, gref, len = Queue.pop t.tx_staged in
+          ignore gvaddr;
+          let vaddr = t.map_cursor in
+          Grant_table.map t.grants ~hyp:t.hyp ~into:t.dom0
+            ~at_vpage:(Td_mem.Layout.page_of vaddr)
+            gref;
+          charge_dom0 t costs.Sys_costs.netback;
+          let skb = Skb.alloc t.kmem (Domain.space t.dom0) ~size:(len + 64) in
+          Skb.put skb
+            (Td_mem.Addr_space.read_block (Domain.space t.dom0) vaddr len);
+          charge_dom0 t costs.Sys_costs.bridge;
+          t.driver_tx skb;
+          Grant_table.unmap t.grants ~hyp:t.hyp ~from:t.dom0
+            ~at_vpage:(Td_mem.Layout.page_of vaddr)
+            gref;
+          t.tx_count <- t.tx_count + 1;
+          if Td_obs.Control.enabled () then begin
+            Td_obs.Metrics.bump "netio.tx";
+            Td_obs.Trace.emit (Td_obs.Trace.Netio_tx { bytes = len })
+          end
+        done)
+  end
+
 let guest_transmit t frame =
   let costs = Hypervisor.costs t.hyp in
   let len = String.length frame in
   if len > Td_mem.Layout.page_size then invalid_arg "Xen_netio: frame too large";
-  (* frontend: stage the frame in the granted guest page, push a request
-     on the I/O channel, notify dom0 *)
+  (* frontend: stage the frame in a granted guest page and push a request
+     on the I/O channel; the notifying hypercall is sent only when the
+     ring holds [batch] requests (or at the next explicit flush) *)
   charge_guest t costs.Sys_costs.netfront;
-  Td_mem.Addr_space.write_block (Domain.space t.guest) t.tx_page
+  let page, gref = t.tx_pages.(Queue.length t.tx_staged) in
+  Td_mem.Addr_space.write_block (Domain.space t.guest) page
     (Bytes.of_string frame);
   Hypervisor.charge_xen t.hyp costs.Sys_costs.io_channel;
-  Hypervisor.hypercall t.hyp ();
-  (* backend runs in dom0: map the grant, build an sk_buff, bridge it into
-     the physical driver *)
-  Hypervisor.run_in t.hyp t.dom0 (fun () ->
-      let vaddr = t.map_cursor in
-      Grant_table.map t.grants ~hyp:t.hyp ~into:t.dom0
-        ~at_vpage:(Td_mem.Layout.page_of vaddr)
-        t.tx_grant;
-      charge_dom0 t costs.Sys_costs.netback;
-      let skb = Skb.alloc t.kmem (Domain.space t.dom0) ~size:(len + 64) in
-      Skb.put skb (Td_mem.Addr_space.read_block (Domain.space t.dom0) vaddr len);
-      charge_dom0 t costs.Sys_costs.bridge;
-      t.driver_tx skb;
-      Grant_table.unmap t.grants ~hyp:t.hyp ~from:t.dom0
-        ~at_vpage:(Td_mem.Layout.page_of vaddr)
-        t.tx_grant);
-  t.tx_count <- t.tx_count + 1;
-  if Td_obs.Control.enabled () then begin
-    Td_obs.Metrics.bump "netio.tx";
-    Td_obs.Trace.emit (Td_obs.Trace.Netio_tx { bytes = len })
-  end
+  Queue.push (page, gref, len) t.tx_staged;
+  if Queue.length t.tx_staged >= t.batch then flush_tx t
+  else Hypervisor.charge_xen t.hyp costs.Sys_costs.notify_coalesce
 
 let post_rx_buffers t n =
   let gspace = Domain.space t.guest in
@@ -103,6 +136,36 @@ let post_rx_buffers t n =
   done
 
 let rx_buffers_posted t = Queue.length t.rx_posted
+
+(* One virtual interrupt announces every copied-in frame: the frontend
+   handler walks the completions in order, handing each frame to the guest
+   stack and re-posting its buffer. *)
+let flush_rx t =
+  if not (Queue.is_empty t.rx_staged) then begin
+    let costs = Hypervisor.costs t.hyp in
+    t.flush_count <- t.flush_count + 1;
+    if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.flush";
+    let completions = ref [] in
+    while not (Queue.is_empty t.rx_staged) do
+      completions := Queue.pop t.rx_staged :: !completions
+    done;
+    let completions = List.rev !completions in
+    Hypervisor.send_virq t.hyp t.guest (fun () ->
+        List.iter
+          (fun (gref, gvaddr, len) ->
+            charge_guest t costs.Sys_costs.netfront;
+            let frame =
+              Td_mem.Addr_space.read_block (Domain.space t.guest) gvaddr len
+            in
+            t.rx_count <- t.rx_count + 1;
+            if Td_obs.Control.enabled () then begin
+              Td_obs.Metrics.bump "netio.rx";
+              Td_obs.Trace.emit (Td_obs.Trace.Netio_rx { bytes = len })
+            end;
+            t.guest_rx (Bytes.to_string frame);
+            Queue.push (gref, gvaddr) t.rx_posted)
+          completions)
+  end
 
 let deliver_to_guest t skb =
   let costs = Hypervisor.costs t.hyp in
@@ -123,24 +186,17 @@ let deliver_to_guest t skb =
     Grant_table.copy_to t.grants ~hyp:t.hyp gref ~offset:0 ~src:payload;
     Hypervisor.charge_xen t.hyp costs.Sys_costs.io_channel;
     Skb.free t.kmem skb;
-    (* notify the guest; frontend hands the frame to the guest stack and
-       immediately re-posts the buffer (as real netfront does) *)
-    Hypervisor.send_virq t.hyp t.guest (fun () ->
-        charge_guest t costs.Sys_costs.netfront;
-        let frame =
-          Td_mem.Addr_space.read_block (Domain.space t.guest) gvaddr
-            (Bytes.length payload)
-        in
-        t.rx_count <- t.rx_count + 1;
-        if Td_obs.Control.enabled () then begin
-          Td_obs.Metrics.bump "netio.rx";
-          Td_obs.Trace.emit
-            (Td_obs.Trace.Netio_rx { bytes = Bytes.length payload })
-        end;
-        t.guest_rx (Bytes.to_string frame);
-        Queue.push (gref, gvaddr) t.rx_posted)
+    Queue.push (gref, gvaddr, Bytes.length payload) t.rx_staged;
+    if Queue.length t.rx_staged >= t.batch then flush_rx t
+    else Hypervisor.charge_xen t.hyp costs.Sys_costs.notify_coalesce
   end
 
+let flush t =
+  flush_tx t;
+  flush_rx t
+
+let staged t = Queue.length t.tx_staged + Queue.length t.rx_staged
 let tx_count t = t.tx_count
 let rx_count t = t.rx_count
 let rx_dropped t = t.rx_dropped
+let flushes t = t.flush_count

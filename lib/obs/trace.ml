@@ -2,6 +2,8 @@ type event =
   | Stlb_hit of { addr : int }
   | Stlb_miss of { addr : int; refill : bool }
   | Stlb_evict of { victim_page : int; new_page : int }
+  | Stlb_invalidate of { dom0_page : int }
+  | Window_reclaim of { victim_page : int; mapped : int }
   | Svm_validate of { addr : int; ok : bool }
   | Svm_fault of { addr : int; reason : string }
   | Upcall_enter of { routine : string }
@@ -66,6 +68,8 @@ let event_name = function
   | Stlb_hit _ -> "stlb.hit"
   | Stlb_miss _ -> "stlb.miss"
   | Stlb_evict _ -> "stlb.evict"
+  | Stlb_invalidate _ -> "stlb.invalidate"
+  | Window_reclaim _ -> "svm.window_reclaim"
   | Svm_validate _ -> "svm.validate"
   | Svm_fault _ -> "svm.fault"
   | Upcall_enter _ -> "upcall.enter"
@@ -93,6 +97,9 @@ let fields = function
       [ ("addr", Json.Int addr); ("refill", Json.Bool true) ]
   | Stlb_evict { victim_page; new_page } ->
       [ ("victim_page", Json.Int victim_page); ("new_page", Json.Int new_page) ]
+  | Stlb_invalidate { dom0_page } -> [ ("dom0_page", Json.Int dom0_page) ]
+  | Window_reclaim { victim_page; mapped } ->
+      [ ("victim_page", Json.Int victim_page); ("mapped", Json.Int mapped) ]
   | Svm_validate { addr; ok } ->
       [ ("addr", Json.Int addr); ("ok", Json.Bool ok) ]
   | Svm_fault { addr; reason } ->
@@ -142,7 +149,10 @@ let pp_record fmt r =
       let s =
         match v with
         | Json.Int n ->
-            if k = "addr" || k = "victim_page" || k = "new_page" then
+            if
+              k = "addr" || k = "victim_page" || k = "new_page"
+              || k = "dom0_page" || k = "mapped"
+            then
               Printf.sprintf "0x%x" n
             else string_of_int n
         | Json.String s -> s

@@ -16,6 +16,13 @@ type event =
           the hash chain (a direct-mapped collision, not a new page). *)
   | Stlb_evict of { victim_page : int; new_page : int }
       (** installing [new_page] overwrote a live colliding entry. *)
+  | Stlb_invalidate of { dom0_page : int }
+      (** a live entry was dropped ({!Td_svm.Stlb.invalidate}) — page
+          reclaim or an explicit {!Td_svm.Runtime.invalidate_page}. *)
+  | Window_reclaim of { victim_page : int; mapped : int }
+      (** the mapped-page window was full: the clock hand evicted the
+          page-pair holding dom0 page [victim_page] from window slot
+          [mapped] to make room. *)
   | Svm_validate of { addr : int; ok : bool }
       (** slow-path validation of a first-touch page against the dom0
           address space (§4.2). *)

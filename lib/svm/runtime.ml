@@ -2,6 +2,14 @@ exception Fault of { addr : int; reason : string }
 
 type mode = Translate | Identity
 
+(* One pair of consecutive window pages (the unit of mapping: every miss
+   maps two pages so unaligned accesses may straddle, §4.2). *)
+type slot = {
+  mutable dom0_page : int;  (** dom0 page base this pair currently maps *)
+  mutable referenced : bool;  (** clock second-chance bit *)
+  mutable pinned : bool;  (** persistent_map'ed — never reclaimed *)
+}
+
 type t = {
   mode : mode;
   map_pairs : bool;
@@ -9,13 +17,23 @@ type t = {
   target : Td_mem.Addr_space.t;  (** space receiving window mappings *)
   stlb : Stlb.t;
   chain : (int, int) Hashtbl.t;  (** dom0 page base -> mapped page base *)
-  mutable window_next : int;  (** next free page index in the window *)
+  window_pages : int;  (** window size in pages (2 per slot) *)
+  slots : slot option array;
+  slot_of_page : (int, int) Hashtbl.t;  (** dom0 page base -> slot index *)
+  mutable window_next : int;  (** next never-used slot index *)
+  mutable free_slots : int list;  (** released by invalidate_page *)
+  mutable clock_hand : int;
+  mutable reclaim_count : int;
+  mutable reclaim_hook : (unit -> unit) option;
   mutable miss_count : int;
   mutable collision_count : int;
   mutable fault_count : int;
 }
 
-let create_hypervisor ?(map_pairs = true) ~dom0 ~hyp () =
+let create_hypervisor ?(map_pairs = true)
+    ?(window_pages = Td_mem.Layout.map_window_pages) ~dom0 ~hyp () =
+  if window_pages < 2 || window_pages land 1 <> 0 then
+    invalid_arg "Svm.Runtime: window_pages must be even and >= 2";
   {
     mode = Translate;
     map_pairs;
@@ -23,7 +41,14 @@ let create_hypervisor ?(map_pairs = true) ~dom0 ~hyp () =
     target = hyp;
     stlb = Stlb.create ~space:hyp ~vaddr:Td_mem.Layout.stlb_base;
     chain = Hashtbl.create 256;
+    window_pages;
+    slots = Array.make (window_pages / 2) None;
+    slot_of_page = Hashtbl.create 256;
     window_next = 0;
+    free_slots = [];
+    clock_hand = 0;
+    reclaim_count = 0;
+    reclaim_hook = None;
     miss_count = 0;
     collision_count = 0;
     fault_count = 0;
@@ -37,7 +62,14 @@ let create_identity ~dom0 ~stlb_vaddr =
     target = dom0;
     stlb = Stlb.create ~space:dom0 ~vaddr:stlb_vaddr;
     chain = Hashtbl.create 256;
+    window_pages = 0;
+    slots = [||];
+    slot_of_page = Hashtbl.create 1;
     window_next = 0;
+    free_slots = [];
+    clock_hand = 0;
+    reclaim_count = 0;
+    reclaim_hook = None;
     miss_count = 0;
     collision_count = 0;
     fault_count = 0;
@@ -45,6 +77,10 @@ let create_identity ~dom0 ~stlb_vaddr =
 
 let mode t = t.mode
 let stlb t = t.stlb
+let window_pages t = t.window_pages
+let window_reclaims t = t.reclaim_count
+let window_pages_in_use t = 2 * Hashtbl.length t.slot_of_page
+let set_reclaim_hook t f = t.reclaim_hook <- Some f
 
 let fault t addr reason =
   t.fault_count <- t.fault_count + 1;
@@ -61,28 +97,118 @@ let valid_dom0_page t addr =
   Td_mem.Layout.in_dom0_range addr
   && Option.is_some (dom0_mapping t (Td_mem.Layout.page_base addr))
 
+let mapped_base idx =
+  Td_mem.Layout.map_window_base + (2 * idx * Td_mem.Layout.page_size)
+
+let mark_referenced t page =
+  match Hashtbl.find_opt t.slot_of_page page with
+  | Some i -> (
+      match t.slots.(i) with Some s -> s.referenced <- true | None -> ())
+  | None -> ()
+
+let update_inuse_gauge t =
+  if Td_obs.Control.enabled () then
+    Td_obs.Metrics.set
+      (Td_obs.Metrics.gauge "svm.window_inuse")
+      (float_of_int (window_pages_in_use t))
+
+(* Evict the page-pair in [idx]: drop its translation from the hash chain
+   and the stlb and unmap both window pages — the software analogue of a
+   TLB shootdown, charged through the reclaim hook. *)
+let evict_slot t idx =
+  let s = match t.slots.(idx) with Some s -> s | None -> assert false in
+  let victim = s.dom0_page in
+  Hashtbl.remove t.chain victim;
+  Hashtbl.remove t.slot_of_page victim;
+  Stlb.invalidate t.stlb ~dom0_page:victim;
+  let vpage = Td_mem.Layout.page_of (mapped_base idx) in
+  Td_mem.Addr_space.unmap t.target ~vpage;
+  Td_mem.Addr_space.unmap t.target ~vpage:(vpage + 1);
+  t.slots.(idx) <- None;
+  t.reclaim_count <- t.reclaim_count + 1;
+  (match t.reclaim_hook with Some f -> f () | None -> ());
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "svm.window_reclaim";
+    Td_obs.Trace.emit
+      (Td_obs.Trace.Window_reclaim
+         { victim_page = victim; mapped = mapped_base idx })
+  end
+
+(* Pick the slot for a new pair: a never-used one, a released one, or —
+   when the window is full — the first cold unpinned pair under the clock
+   hand (second chance: a referenced pair gets its bit cleared and is
+   skipped once). *)
+let take_slot t =
+  let nslots = Array.length t.slots in
+  if t.window_next < nslots then begin
+    let i = t.window_next in
+    t.window_next <- i + 1;
+    i
+  end
+  else
+    match t.free_slots with
+    | i :: rest ->
+        t.free_slots <- rest;
+        i
+    | [] ->
+        let rec sweep budget =
+          if budget = 0 then
+            failwith
+              "Svm.Runtime: mapped-page window exhausted (all pages pinned)";
+          let i = t.clock_hand in
+          t.clock_hand <- (i + 1) mod nslots;
+          match t.slots.(i) with
+          | None -> sweep (budget - 1)
+          | Some s ->
+              if s.pinned then sweep (budget - 1)
+              else if s.referenced then begin
+                s.referenced <- false;
+                sweep (budget - 1)
+              end
+              else begin
+                evict_slot t i;
+                i
+              end
+        in
+        sweep (2 * nslots)
+
+(* A window page backing a dom0 page with no mapped successor: any access
+   reaching it is a straddle past the edge of the dom0 range and must
+   fault — never read whatever a previously reclaimed pair left behind. *)
+let poison_device t succ_page =
+  {
+    Td_mem.Addr_space.dev_read =
+      (fun offset _w ->
+        fault t (succ_page + offset) "straddling access beyond dom0 range");
+    dev_write =
+      (fun offset _w _v ->
+        fault t (succ_page + offset) "straddling access beyond dom0 range");
+  }
+
 (* Allocate window pages mapping dom0 [page] (and its successor, because
    unaligned accesses may straddle a page boundary). *)
 let map_pair t page =
-  if t.window_next + 2 > Td_mem.Layout.map_window_pages then
-    failwith "Svm.Runtime: mapped-page window exhausted (16 MB)";
-  let mapped =
-    Td_mem.Layout.map_window_base + (t.window_next * Td_mem.Layout.page_size)
-  in
-  t.window_next <- t.window_next + 2;
-  let install vpage = function
-    | Td_mem.Addr_space.Frame f -> Td_mem.Addr_space.map t.target ~vpage f
+  let idx = take_slot t in
+  let mapped = mapped_base idx in
+  let vpage = Td_mem.Layout.page_of mapped in
+  let install vp = function
+    | Td_mem.Addr_space.Frame f -> Td_mem.Addr_space.map t.target ~vpage:vp f
     | Td_mem.Addr_space.Device d ->
         (* MMIO pages (the NIC register window) are mapped through too *)
-        Td_mem.Addr_space.map_device t.target ~vpage d
+        Td_mem.Addr_space.map_device t.target ~vpage:vp d
   in
   (match dom0_mapping t page with
-  | Some m -> install (Td_mem.Layout.page_of mapped) m
+  | Some m -> install vpage m
   | None -> assert false);
-  (if t.map_pairs then
-     match dom0_mapping t (page + Td_mem.Layout.page_size) with
-     | Some m -> install (Td_mem.Layout.page_of mapped + 1) m
-     | None -> ());
+  let succ_page = page + Td_mem.Layout.page_size in
+  (match if t.map_pairs then dom0_mapping t succ_page else None with
+  | Some m -> install (vpage + 1) m
+  | None ->
+      Td_mem.Addr_space.map_device t.target ~vpage:(vpage + 1)
+        (poison_device t succ_page));
+  t.slots.(idx) <- Some { dom0_page = page; referenced = true; pinned = false };
+  Hashtbl.replace t.slot_of_page page idx;
+  update_inuse_gauge t;
   mapped
 
 let miss t addr =
@@ -98,6 +224,7 @@ let miss t addr =
         Td_obs.Metrics.bump "stlb.refill";
         Td_obs.Trace.emit (Td_obs.Trace.Stlb_miss { addr; refill = true })
       end;
+      mark_referenced t page;
       Stlb.install t.stlb ~dom0_page:page ~mapped_page:mapped;
       addr lxor (page lxor mapped)
   | None ->
@@ -126,6 +253,7 @@ let miss t addr =
 let translate t addr =
   match Stlb.lookup t.stlb addr with
   | Some a ->
+      mark_referenced t (Td_mem.Layout.page_base addr);
       if Td_obs.Control.enabled () then begin
         Td_obs.Metrics.bump "stlb.hit";
         Td_obs.Trace.emit (Td_obs.Trace.Stlb_hit { addr })
@@ -133,12 +261,41 @@ let translate t addr =
       a
   | None -> miss t addr
 
-let persistent_map = translate
+let persistent_map t addr =
+  let mapped = translate t addr in
+  (match Hashtbl.find_opt t.slot_of_page (Td_mem.Layout.page_base addr) with
+  | Some i -> (
+      match t.slots.(i) with Some s -> s.pinned <- true | None -> ())
+  | None -> ());
+  mapped
+
+let note_inline_hit t addr =
+  (* An interpreted inline probe (the ten-instruction xor-compare of §4.2)
+     matched: mark the pair hot for the clock — always, so reclaim
+     behaviour is independent of observability — and credit the hit. *)
+  mark_referenced t (Td_mem.Layout.page_base addr);
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "stlb.hit";
+    Td_obs.Trace.emit (Td_obs.Trace.Stlb_hit { addr })
+  end
 
 let invalidate_page t addr =
   let page = Td_mem.Layout.page_base addr in
   Hashtbl.remove t.chain page;
-  Stlb.invalidate t.stlb ~dom0_page:page
+  Stlb.invalidate t.stlb ~dom0_page:page;
+  (* release the window pair so the slot can be reused — otherwise a stale
+     slot still claiming [page] could later be reclaimed and tear down a
+     NEWER translation of the same page *)
+  (match Hashtbl.find_opt t.slot_of_page page with
+  | Some i ->
+      Hashtbl.remove t.slot_of_page page;
+      let vpage = Td_mem.Layout.page_of (mapped_base i) in
+      Td_mem.Addr_space.unmap t.target ~vpage;
+      Td_mem.Addr_space.unmap t.target ~vpage:(vpage + 1);
+      t.slots.(i) <- None;
+      t.free_slots <- i :: t.free_slots
+  | None -> ());
+  update_inuse_gauge t
 
 let misses t = t.miss_count
 let collisions t = t.collision_count

@@ -11,6 +11,13 @@
       original data addresses and functions correctly as before, except
       that it runs a little slower".
 
+    The mapped-page window is finite; when it fills, a clock (second
+    chance) policy reclaims a cold page-pair — dropping its hash-chain
+    entry, invalidating its stlb entry and unmapping the window pages — so
+    an unbounded dom0 working set runs in steady state instead of
+    exhausting the window. Pairs installed via {!persistent_map} are
+    pinned and never reclaimed.
+
     Accesses outside the dom0 address space raise {!Fault} — this is the
     memory-safety property of the whole design. *)
 
@@ -22,6 +29,7 @@ type t
 
 val create_hypervisor :
   ?map_pairs:bool ->
+  ?window_pages:int ->
   dom0:Td_mem.Addr_space.t ->
   hyp:Td_mem.Addr_space.t ->
   unit ->
@@ -30,7 +38,12 @@ val create_hypervisor :
     hypervisor space; mapped pages drawn from the mapped-page window.
     [map_pairs] (default true) maps two consecutive pages per miss as the
     paper prescribes; disabling it is the ablation that makes
-    page-straddling accesses fault. *)
+    page-straddling accesses fault. [window_pages] (default
+    {!Td_mem.Layout.map_window_pages}, must be even) bounds the window;
+    smaller windows reclaim sooner. When the successor page of a mapped
+    pair has no dom0 mapping (edge of the dom0 range, or [map_pairs]
+    off), its window page is backed by a poison device so a straddling
+    access raises {!Fault} instead of reading stale window contents. *)
 
 val create_identity : dom0:Td_mem.Addr_space.t -> stlb_vaddr:int -> t
 (** VM instance runtime: stlb at [stlb_vaddr] in dom0 space. *)
@@ -51,11 +64,32 @@ val translate : t -> int -> int
 val persistent_map : t -> int -> int
 (** Pre-install a translation for a dom0 address and return the mapped
     address; used for packet buffers that are "persistently mapped into
-    hypervisor address space" (§5.3). *)
+    hypervisor address space" (§5.3). The window pair is pinned: the
+    reclaim clock skips it. *)
 
 val invalidate_page : t -> int -> unit
 (** Drop the translation for the page containing the given dom0 address
-    (stlb entry and hash chain). The window pages remain allocated. *)
+    (stlb entry, hash chain, and window pair — the slot is released for
+    reuse). *)
+
+val note_inline_hit : t -> int -> unit
+(** An interpreted inline fast-path probe hit for dom0 address [addr]:
+    marks the window pair referenced for the clock and credits
+    [stlb.hit]. Wired to the interpreter by the world so inline hits are
+    counted exactly (see docs/METRICS.md). *)
+
+(* window lifecycle *)
+
+val window_pages : t -> int
+val window_reclaims : t -> int
+(** Page-pairs evicted by the clock since creation. *)
+
+val window_pages_in_use : t -> int
+
+val set_reclaim_hook : t -> (unit -> unit) -> unit
+(** Called once per reclaimed pair — the world charges the shootdown cost
+    ({!Td_xen.Sys_costs}.[window_reclaim]) to the cycle ledger here, since
+    this library cannot depend on the ledger. *)
 
 (* statistics *)
 

@@ -49,7 +49,11 @@ let invalidate t ~dom0_page =
   let tag = Td_mem.Addr_space.read t.space ea Td_misa.Width.W32 in
   if tag = dom0_page then begin
     Td_mem.Addr_space.write t.space ea Td_misa.Width.W32 0;
-    Td_mem.Addr_space.write t.space (ea + 4) Td_misa.Width.W32 0
+    Td_mem.Addr_space.write t.space (ea + 4) Td_misa.Width.W32 0;
+    if Td_obs.Control.enabled () then begin
+      Td_obs.Metrics.bump "stlb.invalidate";
+      Td_obs.Trace.emit (Td_obs.Trace.Stlb_invalidate { dom0_page })
+    end
   end
 
 let clear t =

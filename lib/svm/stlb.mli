@@ -38,7 +38,9 @@ val install : t -> dom0_page:int -> mapped_page:int -> unit
     to [mapped_page]; overwrites any colliding entry. *)
 
 val invalidate : t -> dom0_page:int -> unit
-(** Clear the entry if it currently holds [dom0_page]. *)
+(** Clear the entry if it currently holds [dom0_page]. Bumps the
+    [stlb.invalidate] counter and emits a trace event when the entry was
+    live (observability on). *)
 
 val clear : t -> unit
 val valid_entries : t -> int

@@ -49,6 +49,19 @@ type t = {
   upcall_return : int;
   (* support routines executed natively in a kernel *)
   support_routine : int;  (** average cost of a support routine body *)
+  (* mapped-page window lifecycle *)
+  window_reclaim : int;
+      (** evicting one page-pair from the SVM map window: stlb
+          invalidation, two unmaps, hash-chain maintenance and the invlpg
+          fallout — the software-shootdown cost the reclaim policy
+          amortises over cold pages *)
+  (* batched notifications *)
+  notify_coalesce : int;
+      (** per frame staged without a kick when notifications are batched:
+          the producer checks the consumer's pending bit instead of
+          trapping. With batch size N the notification cost per frame is
+          [notify_coalesce + (hypercall or event_channel) / N] — the
+          amortisation the window×batch bench sweep measures *)
 }
 
 val default : t
