@@ -519,6 +519,53 @@ let bechamel () =
       );
     ]
 
+let json_of_recovery_point (p : Experiments.recovery_point) =
+  Json.Obj
+    [
+      ("policy", Json.String (Config.recovery_name p.Experiments.policy));
+      ("fault_rate", Json.Float p.Experiments.fault_rate);
+      ("offered", Json.Int p.Experiments.offered);
+      ("delivered", Json.Int p.Experiments.delivered);
+      ("availability", Json.Float p.Experiments.availability);
+      ("injected", Json.Int p.Experiments.injected);
+      ("recoveries", Json.Int p.Experiments.recoveries);
+      ("replayed", Json.Int p.Experiments.replayed);
+      ("lost_frames", Json.Int p.Experiments.lost);
+      ("guest_faults", Json.Int p.Experiments.guest_faults);
+      ("frames_to_recover", Json.Float p.Experiments.frames_to_recover);
+      ("all_nics_serviceable", Json.Bool p.Experiments.serviceable);
+    ]
+
+let print_recovery_point (p : Experiments.recovery_point) =
+  Printf.printf "%-15s %9.4f %8d %9d %10.4f%% %9d %11d %9d %6d %13.1f  %s\n"
+    (Config.recovery_name p.Experiments.policy)
+    p.Experiments.fault_rate p.Experiments.offered p.Experiments.delivered
+    (100. *. p.Experiments.availability)
+    p.Experiments.injected p.Experiments.recoveries p.Experiments.replayed
+    p.Experiments.lost p.Experiments.frames_to_recover
+    (if p.Experiments.serviceable then "serviceable" else "QUARANTINED")
+
+let recovery () =
+  header "Fault-injection recovery sweep (docs/FAULTS.md)";
+  Printf.printf "%-15s %9s %8s %9s %11s %9s %11s %9s %6s %13s\n" "policy"
+    "rate" "offered" "delivered" "avail" "injected" "recoveries" "replayed"
+    "lost" "frames/recov";
+  let sweep = Experiments.recovery_sweep () in
+  List.iter print_recovery_point sweep;
+  (* headline: the acceptance soak — 50 k frames under a non-trivial plan
+     with the restart-replay supervisor *)
+  print_endline "\n50k-frame soak, restart-replay:";
+  let headline =
+    Experiments.recovery_soak ~frames:50_000
+      ~policy:Config.Restart_replay ~rate:0.004 ()
+  in
+  print_recovery_point headline;
+  bench_json "recovery"
+    [
+      ("sweep", Json.List (List.map json_of_recovery_point sweep));
+      ("headline", json_of_recovery_point headline);
+    ]
+
 let experiments =
   [
     ("fig5", fig5);
@@ -535,6 +582,7 @@ let experiments =
     ("sensitivity", sensitivity);
     ("ablations", ablations);
     ("window_batch", window_batch);
+    ("recovery", recovery);
     ("bechamel", bechamel);
   ]
 

@@ -500,6 +500,77 @@ let table1_cmd =
   let doc = "trace the support routines used on the error-free fast path" in
   Cmd.v (Cmd.info "table1" ~doc) Term.(const run $ const ())
 
+(* --- faults --- *)
+
+let faults_cmd =
+  let policy_conv =
+    let parse s =
+      match Twindrivers.Config.recovery_of_string s with
+      | Some p -> Ok p
+      | None -> Error (`Msg ("unknown recovery policy " ^ s))
+    in
+    Arg.conv
+      ( parse,
+        fun fmt p ->
+          Format.pp_print_string fmt (Twindrivers.Config.recovery_name p) )
+  in
+  let policy =
+    Arg.(
+      value
+      & opt policy_conv Twindrivers.Config.Restart_replay
+      & info [ "p"; "policy" ] ~docv:"POLICY"
+          ~doc:"Recovery policy: fail-stop, restart or restart-replay.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 0.004
+      & info [ "r"; "rate" ] ~docv:"RATE"
+          ~doc:
+            "Fault-rate knob feeding the per-site plan (0 disables \
+             injection entirely).")
+  in
+  let frames =
+    Arg.(
+      value & opt int 10_000
+      & info [ "n"; "frames" ] ~docv:"N" ~doc:"Frames to offer in the soak.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 42
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Deterministic seed: same seed + same workload, same faults.")
+  in
+  let run policy rate frames seed =
+    Td_obs.Control.enable ();
+    let p =
+      Twindrivers.Experiments.recovery_soak ~frames ~seed ~policy ~rate ()
+    in
+    let e = p.Twindrivers.Experiments.availability in
+    Format.printf "policy            %s@."
+      (Twindrivers.Config.recovery_name p.Twindrivers.Experiments.policy);
+    Format.printf "fault rate        %g (seed %d)@."
+      p.Twindrivers.Experiments.fault_rate seed;
+    Format.printf "offered           %d frames@."
+      p.Twindrivers.Experiments.offered;
+    Format.printf "delivered         %d frames (availability %.4f%%)@."
+      p.Twindrivers.Experiments.delivered (100. *. e);
+    Format.printf "faults injected   %d@." p.Twindrivers.Experiments.injected;
+    Format.printf "recoveries        %d (mean %.1f frames to recover)@."
+      p.Twindrivers.Experiments.recoveries
+      p.Twindrivers.Experiments.frames_to_recover;
+    Format.printf "frames replayed   %d@." p.Twindrivers.Experiments.replayed;
+    Format.printf "frames lost       %d@." p.Twindrivers.Experiments.lost;
+    Format.printf "guest faults      %d@."
+      p.Twindrivers.Experiments.guest_faults;
+    Format.printf "end state         %s@."
+      (if p.Twindrivers.Experiments.serviceable then
+         "all NICs serviceable"
+       else "NIC(s) quarantined");
+    if p.Twindrivers.Experiments.serviceable then 0 else 1
+  in
+  let doc = "run a fault-injection soak and report the recovery ledger" in
+  Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ policy $ rate $ frames $ seed)
+
 let () =
   let doc = "TwinDrivers: derive fast and safe hypervisor drivers" in
   let info = Cmd.info "tdctl" ~version:"1.0.0" ~doc in
@@ -509,5 +580,5 @@ let () =
           [
             rewrite_cmd; bench_cmd; inspect_cmd; table1_cmd; verify_cmd;
             assemble_cmd; disasm_cmd; profile_cmd; run_cmd; metrics_cmd;
-            trace_cmd;
+            trace_cmd; faults_cmd;
           ]))

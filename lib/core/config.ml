@@ -15,7 +15,30 @@ let of_string = function
   | "domU-twin" | "twin" -> Some Xen_twin
   | _ -> None
 
-type tuning = { map_window_pages : int; notify_batch : int }
+type recovery = Fail_stop | Restart | Restart_replay
+
+let recovery_name = function
+  | Fail_stop -> "fail-stop"
+  | Restart -> "restart"
+  | Restart_replay -> "restart-replay"
+
+let recovery_of_string = function
+  | "fail-stop" | "fail_stop" | "failstop" -> Some Fail_stop
+  | "restart" -> Some Restart
+  | "restart-replay" | "restart_replay" | "replay" -> Some Restart_replay
+  | _ -> None
+
+let all_recoveries = [ Fail_stop; Restart; Restart_replay ]
+
+type tuning = {
+  map_window_pages : int;
+  notify_batch : int;
+  recovery : recovery;
+}
 
 let default_tuning =
-  { map_window_pages = Td_mem.Layout.map_window_pages; notify_batch = 1 }
+  {
+    map_window_pages = Td_mem.Layout.map_window_pages;
+    notify_batch = 1;
+    recovery = Fail_stop;
+  }

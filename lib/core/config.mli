@@ -10,6 +10,24 @@ val name : t -> string
 val all : t list
 val of_string : string -> t option
 
+(** What the supervisor does when a driver instance aborts (SVM fault,
+    page fault, watchdog timeout, failed upcall). *)
+type recovery =
+  | Fail_stop
+      (** historical behaviour: the abort propagates as
+          {!World.Driver_aborted} and the NIC stays quarantined. *)
+  | Restart
+      (** quarantine, tear down the twin instance, reload + re-init from
+          shadow state; in-flight TX frames are dropped and counted in
+          [fault.lost_frames]. *)
+  | Restart_replay
+      (** like [Restart], but the frame whose transmit aborted is
+          replayed once on the fresh instance ([fault.replayed]). *)
+
+val recovery_name : recovery -> string
+val recovery_of_string : string -> recovery option
+val all_recoveries : recovery list
+
 (** Performance knobs orthogonal to the configuration choice. *)
 type tuning = {
   map_window_pages : int;
@@ -19,8 +37,9 @@ type tuning = {
       (** TX/RX event notifications coalesced per hypercall / virtual
           interrupt (1 = kick every frame, the paper's baseline).
           Flushed on ring pressure, {!World.pump} and {!World.tick}. *)
+  recovery : recovery;  (** driver supervisor policy on abort. *)
 }
 
 val default_tuning : tuning
-(** Full 16 MB window, batch 1 — identical behaviour to the unbatched
-    system. *)
+(** Full 16 MB window, batch 1, fail-stop — identical behaviour to the
+    pre-supervisor system. *)

@@ -238,7 +238,13 @@ let window_batch ?(packets = 250) ?(windows = [ 512; 1024; 4096 ])
     (fun window_pages ->
       List.map
         (fun batch ->
-          let tuning = { Config.map_window_pages = window_pages; notify_batch = batch } in
+          let tuning =
+            {
+              Config.default_tuning with
+              Config.map_window_pages = window_pages;
+              notify_batch = batch;
+            }
+          in
           (* small pool: its packet buffers are pinned in the window and
              can never be reclaimed, so the sweep's smallest window must
              still hold them all (96 entries pin ~430 pages) while keeping
@@ -337,3 +343,102 @@ let ablations ?(packets = 400) () =
         }
   in
   [ baseline; cached; spill; helper; single_page ]
+
+(* ---- fault-injection recovery sweep ---- *)
+
+type recovery_point = {
+  policy : Config.recovery;
+  fault_rate : float;
+  offered : int;
+  delivered : int;
+  availability : float;
+  injected : int;
+  recoveries : int;
+  replayed : int;
+  lost : int;
+  guest_faults : int;
+  frames_to_recover : float;
+  serviceable : bool;
+}
+
+(* Per-site rates derived from one knob. The knob is the probability per
+   *coarse* opportunity (a frame-ish unit of work); sites whose
+   opportunities occur much more often are scaled down so each class
+   still fires but no class dominates:
+   - interp_bitflip fires per executed instruction (hundreds per frame);
+   - svm_wild_access fires per SVM slow-path miss (rare after the stlb
+     warms up), so it is scaled *up* to keep the class represented. *)
+let soak_plan ~seed rate =
+  {
+    Td_fault.seed;
+    svm_wild_access = min 0.5 (rate *. 50.0);
+    interp_bitflip = rate /. 500.0;
+    nic_stuck_dma = rate /. 4.0;
+    nic_lost_irq = rate;
+    nic_corrupt_rx = rate;
+    upcall_fail = rate;
+  }
+
+let recovery_soak ?(frames = 2_000) ?(seed = 42) ~policy ~rate () =
+  let tuning = { Config.default_tuning with Config.recovery = policy } in
+  (* a demoted fast-path routine keeps the upcall site hot on every
+     transmit; world construction happens before the plan is installed so
+     boot is never perturbed *)
+  let w =
+    World.create ~nics:5 ~upcall_set:[ "spin_trylock" ] ~tuning
+      Config.Xen_twin
+  in
+  let payload = String.init 1500 (fun i -> Char.chr (i land 0xff)) in
+  let nics = World.nic_count w in
+  if rate > 0.0 then Td_fault.Engine.install (soak_plan ~seed rate)
+  else Td_fault.Engine.clear ();
+  Td_fault.Engine.reset_counters ();
+  let guest_faults_before = Td_xen.Guest_fault.total () in
+  Fun.protect
+    ~finally:(fun () -> Td_fault.Engine.clear ())
+    (fun () ->
+      for i = 0 to frames - 1 do
+        (match World.transmit w ~nic:(i mod nics) ~payload with
+        | (_ : bool) -> ()
+        | exception World.Driver_aborted _ -> ()
+        | exception World.Nic_quarantined _ -> ());
+        (* keep the receive path hot too: its losses are counted in
+           fault.lost_frames, not in TX availability *)
+        if i mod 16 = 15 then begin
+          (try World.inject_rx w ~nic:(i mod nics) ~payload:"rx probe"
+           with World.Driver_aborted _ | World.Nic_quarantined _ -> ());
+          try World.pump w
+          with World.Driver_aborted _ | World.Nic_quarantined _ -> ()
+        end;
+        (* frequent ticks bound the watchdog's hang-detection latency and
+           with it the frames lost to a stuck TX DMA engine *)
+        if i mod 2 = 1 then
+          try World.tick w
+          with World.Driver_aborted _ | World.Nic_quarantined _ -> ()
+      done;
+      (try World.pump w
+       with World.Driver_aborted _ | World.Nic_quarantined _ -> ());
+      let delivered = World.wire_tx_frames w in
+      let recoveries = World.recoveries w in
+      {
+        policy;
+        fault_rate = rate;
+        offered = frames;
+        delivered;
+        availability = float_of_int delivered /. float_of_int (max 1 frames);
+        injected = Td_fault.Engine.injected ();
+        recoveries;
+        replayed = World.replayed_frames w;
+        lost = Td_fault.Engine.lost_frames ();
+        guest_faults = Td_xen.Guest_fault.total () - guest_faults_before;
+        frames_to_recover =
+          float_of_int (frames - delivered) /. float_of_int (max 1 recoveries);
+        serviceable = World.all_serviceable w;
+      })
+
+let recovery_sweep ?(frames = 2_000) ?(rates = [ 0.0; 0.002; 0.01 ])
+    ?(policies = Config.all_recoveries) ?(seed = 42) () =
+  List.concat_map
+    (fun policy ->
+      List.map (fun rate -> recovery_soak ~frames ~seed ~policy ~rate ()) rates)
+    policies

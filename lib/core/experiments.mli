@@ -106,3 +106,41 @@ val window_batch :
 type ablation = { label : string; tx_cpu_scaled_mbps : float; note : string }
 
 val ablations : ?packets:int -> unit -> ablation list
+
+(** Fault-injection recovery sweep (docs/FAULTS.md): a transmit soak with
+    periodic receive traffic and timer ticks, run for each (recovery
+    policy, fault rate) cell. [rate] 0.0 runs with no plan installed at
+    all — the bit-identity baseline. Availability is wire-delivered TX
+    frames over offered frames; receive-side losses show up in [lost]
+    instead. *)
+
+type recovery_point = {
+  policy : Config.recovery;
+  fault_rate : float;  (** the sweep knob feeding the per-site plan *)
+  offered : int;
+  delivered : int;  (** frames that reached the wire *)
+  availability : float;  (** delivered / offered *)
+  injected : int;  (** faults actually fired, all sites *)
+  recoveries : int;
+  replayed : int;
+  lost : int;  (** frames charged to [fault.lost_frames] *)
+  guest_faults : int;  (** typed guest faults contained during the soak *)
+  frames_to_recover : float;  (** mean undelivered frames per recovery *)
+  serviceable : bool;  (** no NIC left quarantined at soak end *)
+}
+
+val recovery_soak :
+  ?frames:int ->
+  ?seed:int ->
+  policy:Config.recovery ->
+  rate:float ->
+  unit ->
+  recovery_point
+
+val recovery_sweep :
+  ?frames:int ->
+  ?rates:float list ->
+  ?policies:Config.recovery list ->
+  ?seed:int ->
+  unit ->
+  recovery_point list

@@ -5,6 +5,13 @@ open Td_xen
 open Td_kernel
 
 exception Driver_aborted of string
+exception Nic_quarantined of { nic : int }
+
+let () =
+  Printexc.register_printer (function
+    | Driver_aborted r -> Some (Printf.sprintf "Driver_aborted(%s)" r)
+    | Nic_quarantined { nic } -> Some (Printf.sprintf "Nic_quarantined(%d)" nic)
+    | _ -> None)
 
 type driver_image = {
   prog : Program.t;
@@ -17,6 +24,16 @@ type driver_image = {
   e_set_rx_mode : int;
 }
 
+(* shadow state (§4.5): the little configuration the supervisor needs to
+   rebuild a twin instance after an abort. Ring geometry is not stored —
+   re-running e1000_init re-derives it; what cannot be re-derived is the
+   configuration the guest applied through the driver since boot. *)
+type shadow_state = {
+  s_mmio_base : int;
+  mutable s_mtu : int;
+  mutable s_promisc : bool;
+}
+
 type nic_port = {
   dev : Td_nic.E1000_dev.t;
   nd : Netdev.t;
@@ -24,6 +41,8 @@ type nic_port = {
   gmac : string;
   wire : Td_nic.Wire.counters;
   mutable pending_irq : int;
+  mutable quarantined : bool;
+  shadow : shadow_state;
 }
 
 type t = {
@@ -46,8 +65,15 @@ type t = {
   dom0_stack_top : int;
   costs : Sys_costs.t;
   nics : nic_port array;
-  dom0_driver : driver_image;
-  hyp_driver : driver_image option;
+  mutable dom0_driver : driver_image;
+  mutable hyp_driver : driver_image option;
+  reload_dom0 : unit -> driver_image;
+      (** re-run the MISA loader for the dom0/VM instance (same base,
+          fresh image) — the supervisor's restart path *)
+  reload_hyp : (unit -> driver_image) option;  (** Xen_twin only *)
+  mutable in_recovery : bool;
+  mutable recoveries : int;
+  mutable replayed : int;
   svm_hyp : Td_svm.Runtime.t option;
   svm_vm : (Td_svm.Runtime.t * int) option;
       (** VM-instance identity runtime and its stlb vaddr, Xen_twin only *)
@@ -207,7 +233,16 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
         let mmio = Td_nic.E1000_dev.mmio_vaddr i in
         Td_nic.E1000_dev.attach dev ~space:dom0_space ~vaddr:mmio;
         let nd = Netdev.alloc km dom0_space ~mmio_base:mmio ~mac in
-        { dev; nd; mac; gmac = vif_mac 0 i; wire; pending_irq = 0 })
+        {
+          dev;
+          nd;
+          mac;
+          gmac = vif_mac 0 i;
+          wire;
+          pending_irq = 0;
+          quarantined = false;
+          shadow = { s_mmio_base = mmio; s_mtu = 1500; s_promisc = false };
+        })
   in
   Array.iter
     (fun p ->
@@ -217,15 +252,24 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
   (* support natives & driver images *)
   Support.register_dom0_natives sup natives;
   let dom0_support n = Support.dom0_symtab sup natives n in
-  let twin, dom0_driver, hyp_driver, svm_hyp, svm_vm, skb_pool =
+  let twin, dom0_driver, hyp_driver, svm_hyp, svm_vm, skb_pool, reload_dom0,
+      reload_hyp =
     match cfg with
     | Config.Native_linux | Config.Xen_dom0 | Config.Xen_domU ->
-        let prog =
-          Td_rewriter.Loader.load ~name:"e1000"
-            ~source:(Td_driver.E1000_driver.source ())
-            ~base:Layout.vm_driver_code_base ~symbols:dom0_support ~registry
+        let load f =
+          entries_of
+            (f ~name:"e1000"
+               ~source:(Td_driver.E1000_driver.source ())
+               ~base:Layout.vm_driver_code_base ~symbols:dom0_support ~registry)
         in
-        (None, entries_of prog, None, None, None, None)
+        ( None,
+          load Td_rewriter.Loader.load,
+          None,
+          None,
+          None,
+          None,
+          (fun () -> load Td_rewriter.Loader.reload),
+          None )
     | Config.Xen_twin ->
         let twin =
           Td_rewriter.Twin.derive ?spill_everything ?style:rewrite_style
@@ -316,17 +360,23 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
                  else None)
                (fun n -> Support.hyp_symtab sup natives n))
         in
-        let hyp_prog =
-          Td_rewriter.Loader.load ~name:"e1000.hyp"
-            ~source:twin.Td_rewriter.Twin.rewritten
-            ~base:Layout.hyp_driver_code_base ~symbols:hyp_syms ~registry
+        let load_hyp f =
+          entries_of
+            (f ~name:"e1000.hyp" ~source:twin.Td_rewriter.Twin.rewritten
+               ~base:Layout.hyp_driver_code_base ~symbols:hyp_syms ~registry)
         in
         ( Some twin,
           entries_of vm_prog,
-          Some (entries_of hyp_prog),
+          Some (load_hyp Td_rewriter.Loader.load),
           Some hyp_rt,
           Some (vm_rt, vm_stlb),
-          Some pool )
+          Some pool,
+          (fun () ->
+            entries_of
+              (Td_rewriter.Loader.reload ~name:"e1000.vm"
+                 ~source:twin.Td_rewriter.Twin.rewritten
+                 ~base:Layout.vm_driver_code_base ~symbols:vm_syms ~registry)),
+          Some (fun () -> load_hyp Td_rewriter.Loader.reload) )
   in
   let w =
     {
@@ -351,6 +401,11 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
       nics = ports;
       dom0_driver;
       hyp_driver;
+      reload_dom0;
+      reload_hyp;
+      in_recovery = false;
+      recoveries = 0;
+      replayed = 0;
       svm_hyp;
       svm_vm;
       twin;
@@ -397,23 +452,29 @@ let observe_invocation w before =
 let run_driver w ~entry ~args ~stack =
   State.set w.cpu Reg.ESP stack;
   let before = w.cpu.State.cycles in
+  let abort reason =
+    Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
+    observe_invocation w before;
+    raise (Driver_aborted reason)
+  in
   let result =
     try Interp.call (interp w) ~entry ~args with
     | Td_svm.Runtime.Fault { addr; reason } ->
-        Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
-        observe_invocation w before;
-        raise
-          (Driver_aborted (Printf.sprintf "SVM fault at 0x%x: %s" addr reason))
-    | Interp.Timeout _ ->
-        Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
-        observe_invocation w before;
-        raise (Driver_aborted "watchdog timeout")
+        abort (Printf.sprintf "SVM fault at 0x%x: %s" addr reason)
+    | Interp.Timeout _ -> abort "watchdog timeout"
     | Addr_space.Page_fault { space; addr } ->
-        Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
-        observe_invocation w before;
-        raise
-          (Driver_aborted
-             (Printf.sprintf "page fault in %s at 0x%x" space addr))
+        abort (Printf.sprintf "page fault in %s at 0x%x" space addr)
+    | Upcall.Upcall_failed { routine } ->
+        abort (Printf.sprintf "upcall %s failed in dom0" routine)
+    | Guest_fault.Fault { op; reason } ->
+        abort (Printf.sprintf "guest fault in %s: %s" op reason)
+    (* under fault injection a corrupted driver can drive the model into
+       states the pristine system never reaches (bogus register numbers,
+       unresolved indirect calls); contain them as aborts — but only when
+       a plan is installed, so genuine model bugs still crash loudly *)
+    | (Invalid_argument _ | Failure _ | Interp.Fault _) as e
+      when Option.is_some (Td_fault.Engine.plan ()) ->
+        abort (Printf.sprintf "model fault: %s" (Printexc.to_string e))
   in
   Ledger.charge w.led Ledger.Driver (w.cpu.State.cycles - before);
   observe_invocation w before;
@@ -429,6 +490,198 @@ let run_dom0_driver w ~entry ~args =
 let run_hyp_driver w ~entry ~args =
   (* no domain switch: the hypervisor driver runs from any guest context *)
   run_driver w ~entry ~args ~stack:Layout.hyp_stack_top
+
+(* ---- driver supervisor (§4.5) ---- *)
+
+let recovery_enabled w = w.tuning.Config.recovery <> Config.Fail_stop
+let is_quarantined w ~nic = w.nics.(nic).quarantined
+let all_serviceable w = Array.for_all (fun p -> not p.quarantined) w.nics
+
+(* function pointers in shared data always hold VM-instance code
+   addresses; reinstalled after every (re)init of the dom0 instance *)
+let install_link_fn w (p : nic_port) =
+  let a = Td_driver.Adapter.of_netdev p.nd in
+  Td_driver.Adapter.set_field a Td_driver.Adapter.o_link_fn
+    (Program.addr_of_label w.dom0_driver.prog
+       Td_driver.E1000_driver.entry_check_link)
+
+(* Free the dead instance's kernel memory — adapter, descriptor rings,
+   shadow sk_buff arrays and the ring sk_buffs they reference — so
+   repeated recoveries cannot exhaust the dom0 heap. Best-effort: the
+   walk trusts the adapter only while its ring sizes still hold their
+   init-time constants (a corrupted instance may have scribbled
+   anywhere); on any doubt it leaks a little instead of poisoning the
+   allocator. Pool-owned sk_buffs are skipped — {!Skb_pool.reset}
+   reclaims those wholesale. *)
+let teardown_driver_memory w (q : nic_port) =
+  let pooled addr =
+    match w.skb_pool with
+    | Some pool -> Skb_pool.owns pool (Skb.of_addr w.dom0_space addr)
+    | None -> false
+  in
+  let free_skb addr =
+    if addr <> 0 && not (pooled addr) then
+      try
+        let skb = Skb.of_addr w.dom0_space addr in
+        if Skb.capacity skb > 0 && Skb.capacity skb <= Layout.page_size then begin
+          Skb.set_refcnt skb 1;
+          Skb.free w.km skb
+        end
+      with _ -> ()
+  in
+  try
+    let priv = Netdev.priv q.nd in
+    if priv <> 0 then begin
+      let a = Td_driver.Adapter.of_netdev q.nd in
+      let fld = Td_driver.Adapter.field a in
+      let tx_size = fld Td_driver.Adapter.o_tx_size
+      and rx_size = fld Td_driver.Adapter.o_rx_size in
+      if
+        tx_size = Td_driver.E1000_driver.tx_ring_entries
+        && rx_size = Td_driver.E1000_driver.rx_ring_entries
+      then begin
+        let rd addr = Addr_space.read w.dom0_space addr Width.W32 in
+        let rx_arr = fld Td_driver.Adapter.o_rx_skb
+        and tx_arr = fld Td_driver.Adapter.o_tx_skb in
+        if rx_arr <> 0 then begin
+          for i = 0 to rx_size - 1 do
+            free_skb (rd (rx_arr + (4 * i)))
+          done;
+          Kmem.free w.km rx_arr (4 * rx_size)
+        end;
+        if tx_arr <> 0 then begin
+          for i = 0 to tx_size - 1 do
+            (* 0 = empty slot, 1 = fragment marker, else an sk_buff *)
+            let v = rd (tx_arr + (4 * i)) in
+            if v > 1 then free_skb v
+          done;
+          Kmem.free w.km tx_arr (4 * tx_size)
+        end;
+        let tx_ring = fld Td_driver.Adapter.o_tx_ring
+        and rx_ring = fld Td_driver.Adapter.o_rx_ring in
+        if tx_ring <> 0 then
+          Kmem.free w.km tx_ring (tx_size * Td_nic.Regs.desc_bytes);
+        if rx_ring <> 0 then
+          Kmem.free w.km rx_ring (rx_size * Td_nic.Regs.desc_bytes)
+      end;
+      Kmem.free w.km priv Td_driver.Adapter.struct_bytes;
+      Netdev.set_priv q.nd 0
+    end
+  with _ -> ()
+
+(* Tear the twin down and rebuild it from shadow state. The blast radius
+   of a corrupted instance is the shared driver state (both instances run
+   the same data structures, §3.1), so every port is quarantined for the
+   duration and re-initialised before service resumes. Injection is
+   masked throughout: recovery must make forward progress even under an
+   aggressive plan. *)
+let recover w ~nic ~reason =
+  w.in_recovery <- true;
+  Array.iter (fun q -> q.quarantined <- true) w.nics;
+  Fun.protect
+    ~finally:(fun () -> w.in_recovery <- false)
+    (fun () ->
+      Td_fault.Engine.suspend (fun () ->
+          (* 1. invalidate all translations and unmap the window pairs *)
+          Option.iter Td_svm.Runtime.flush w.svm_hyp;
+          (match w.svm_vm with
+          | Some (rt, _) -> Td_svm.Runtime.flush rt
+          | None -> ());
+          (* 2. reclaim every sk_buff pool slot, in flight or not *)
+          Option.iter Skb_pool.reset w.skb_pool;
+          (* 3. re-run the MISA loader over the dead instance(s) *)
+          w.dom0_driver <- w.reload_dom0 ();
+          (match w.reload_hyp with
+          | Some f -> w.hyp_driver <- Some (f ())
+          | None -> ());
+          (* 4. re-pin the packet-buffer pool into the hypervisor *)
+          (match (w.svm_hyp, w.skb_pool) with
+          | Some rt, Some pool ->
+              Skb_pool.iter pool (fun skb ->
+                  ignore (Td_svm.Runtime.persistent_map rt skb.Skb.addr);
+                  ignore (Td_svm.Runtime.persistent_map rt (Skb.head skb));
+                  ignore
+                    (Td_svm.Runtime.persistent_map rt
+                       (Skb_pool.frag_buffer pool skb)))
+          | _ -> ());
+          (* 5. per NIC: device reset, driver re-init, shadow restore *)
+          Array.iter
+            (fun q ->
+              teardown_driver_memory w q;
+              Td_fault.Engine.note_lost (Td_nic.E1000_dev.reset q.dev);
+              q.pending_irq <- 0;
+              Netdev.repair q.nd ~mmio_base:q.shadow.s_mmio_base ~mac:q.mac
+                ~mtu:q.shadow.s_mtu;
+              ignore
+                (run_dom0_driver w ~entry:w.dom0_driver.e_init
+                   ~args:[ q.nd.Netdev.addr ]);
+              install_link_fn w q;
+              (* restore captured configuration through the driver's own
+                 entry points, exactly as the guest originally applied it *)
+              if q.shadow.s_mtu <> 1500 then
+                ignore
+                  (run_dom0_driver w ~entry:w.dom0_driver.e_set_mtu
+                     ~args:[ q.nd.Netdev.addr; q.shadow.s_mtu ]);
+              if q.shadow.s_promisc then
+                ignore
+                  (run_dom0_driver w ~entry:w.dom0_driver.e_set_rx_mode
+                     ~args:[ q.nd.Netdev.addr; 1 ]);
+              q.quarantined <- false)
+            w.nics));
+  w.recoveries <- w.recoveries + 1;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "fault.recoveries";
+    Td_obs.Trace.emit (Td_obs.Trace.Driver_recovery { nic; reason })
+  end
+
+(* Wrap one driver invocation on behalf of [nic]. [None] means the
+   invocation aborted and the system recovered; under [Fail_stop] the
+   abort propagates unchanged (with the port left quarantined). *)
+let supervised w ~nic f =
+  try Some (f ())
+  with Driver_aborted reason when not w.in_recovery ->
+    w.nics.(nic).quarantined <- true;
+    if recovery_enabled w then begin
+      recover w ~nic ~reason;
+      None
+    end
+    else raise (Driver_aborted reason)
+
+(* watchdog hang detection: a latched TX DMA engine never completes a
+   send, so the watchdog declares the instance hung and restarts it *)
+let check_hang w ~nic =
+  if Td_nic.E1000_dev.dma_stuck w.nics.(nic).dev && not w.in_recovery then begin
+    let reason = "watchdog declared hang: TX DMA stuck" in
+    w.nics.(nic).quarantined <- true;
+    if recovery_enabled w then recover w ~nic ~reason
+    else raise (Driver_aborted reason)
+  end
+
+(* TX abort policy: [Restart] drops the in-flight frame (counted lost);
+   [Restart_replay] retries it once on the fresh instance, with injection
+   masked so the replay itself cannot be re-aborted by the plan *)
+let replay_tx w attempt =
+  match w.tuning.Config.recovery with
+  | Config.Fail_stop -> false (* unreachable: supervised re-raised *)
+  | Config.Restart ->
+      Td_fault.Engine.note_lost 1;
+      false
+  | Config.Restart_replay -> (
+      w.replayed <- w.replayed + 1;
+      if Td_obs.Control.enabled () then Td_obs.Metrics.bump "fault.replayed";
+      match
+        Td_fault.Engine.suspend (fun () ->
+            try Some (attempt ()) with Driver_aborted _ -> None)
+      with
+      | Some ok -> ok
+      | None ->
+          Td_fault.Engine.note_lost 1;
+          false)
+
+let run_tx w ~nic attempt =
+  match supervised w ~nic attempt with
+  | Some ok -> ok
+  | None -> replay_tx w attempt
 
 (* ---- late initialisation (driver init + hooks) ---- *)
 
@@ -486,23 +739,25 @@ let init (w : t) =
       ignore
         (run_dom0_driver w ~entry:w.dom0_driver.e_init ~args:[ p.nd.Netdev.addr ]);
       (* the kernel installs the link-check ops pointer after
-         register_netdev; function pointers in shared data always hold
-         VM-instance code addresses *)
-      let a = Td_driver.Adapter.of_netdev p.nd in
-      Td_driver.Adapter.set_field a Td_driver.Adapter.o_link_fn
-        (Program.addr_of_label w.dom0_driver.prog
-           Td_driver.E1000_driver.entry_check_link))
+         register_netdev *)
+      install_link_fn w p)
     w.nics;
   (* the driver's mod_timer keeps the watchdog running in dom0 — always on
-     the VM instance, never in the hypervisor (§3.1) *)
+     the VM instance, never in the hypervisor (§3.1); the supervisor rides
+     the same timer for hang detection *)
   Array.iteri
     (fun i p ->
       Timer_wheel.add w.timers ~period:10
         ~name:(Printf.sprintf "e1000-watchdog-%d" i)
         (fun () ->
-          ignore
-            (run_dom0_driver w ~entry:w.dom0_driver.e_watchdog
-               ~args:[ p.nd.Netdev.addr ])))
+          if not p.quarantined then begin
+            check_hang w ~nic:i;
+            if not p.quarantined then
+              ignore
+                (supervised w ~nic:i (fun () ->
+                     run_dom0_driver w ~entry:w.dom0_driver.e_watchdog
+                       ~args:[ p.nd.Netdev.addr ]))
+          end))
     w.nics;
   (* configuration-specific receive plumbing *)
   (match w.cfg with
@@ -528,10 +783,17 @@ let init (w : t) =
               Xen_netio.create ~batch:w.tuning.Config.notify_batch ~hyp:h
                 ~dom0:d0 ~guest:g ~kmem:w.km
                 ~driver_tx:(fun skb ->
-                  ignore
-                    (run_driver w ~entry:w.dom0_driver.e_xmit
-                       ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
-                       ~stack:w.dom0_stack_top))
+                  (* netback's call into the driver: the sk_buff is kmem
+                     memory and survives a restart, so replay can re-run
+                     the transmit on the fresh instance *)
+                  let attempt () =
+                    ignore
+                      (run_driver w ~entry:w.dom0_driver.e_xmit
+                         ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
+                         ~stack:w.dom0_stack_top);
+                    true
+                  in
+                  ignore (run_tx w ~nic:i attempt))
                 ()
             in
             Xen_netio.set_guest_rx netio (fun frame ->
@@ -607,30 +869,35 @@ let create ?nics ?guests ?upcall_set ?pool_entries ?costs ?spill_everything
 
 let transmit w ~nic ~payload =
   let p = w.nics.(nic) in
+  if p.quarantined then raise (Nic_quarantined { nic });
   let frame = build_frame ~dst:(client_mac nic) ~src:p.mac ~payload in
   match w.cfg with
   | Config.Native_linux | Config.Xen_dom0 ->
       charge_dom0_cat w w.costs.Sys_costs.kernel_tx_path;
       if w.cfg = Config.Xen_dom0 then
         charge_xen_cat w w.costs.Sys_costs.virt_overhead_tx;
-      let skb =
-        Skb.alloc w.km w.dom0_space ~size:(String.length frame + 64)
+      let attempt () =
+        let skb =
+          Skb.alloc w.km w.dom0_space ~size:(String.length frame + 64)
+        in
+        Skb.put skb (Bytes.of_string frame);
+        let r =
+          run_dom0_driver w ~entry:w.dom0_driver.e_xmit
+            ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
+        in
+        if r <> 0 then w.tx_drops <- w.tx_drops + 1;
+        r = 0
       in
-      Skb.put skb (Bytes.of_string frame);
-      let r =
-        run_dom0_driver w ~entry:w.dom0_driver.e_xmit
-          ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
-      in
-      if r <> 0 then w.tx_drops <- w.tx_drops + 1;
-      r = 0
+      run_tx w ~nic attempt
   | Config.Xen_domU ->
       charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
       charge_dom0_cat w w.costs.Sys_costs.dom0_tx_kernel;
       if Array.length w.netios = 0 then
         failwith "World: domU configuration without netio";
+      (* the driver runs from netback's flush, already supervised there *)
       Xen_netio.guest_transmit w.netios.(nic) frame;
       true
-  | Config.Xen_twin -> (
+  | Config.Xen_twin ->
       charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
       let h = Option.get w.hyp in
       (* doorbell suppression: with batching only every [notify_batch]th
@@ -643,38 +910,43 @@ let transmit w ~nic ~payload =
         || (w.twin_tx_pushes - 1) mod w.tuning.Config.notify_batch = 0
       then Hypervisor.hypercall h ()
       else charge_xen_cat w w.costs.Sys_costs.notify_coalesce;
-      charge_xen_cat w w.costs.Sys_costs.twin_skb_acquire;
-      match Skb_pool.alloc (Option.get w.skb_pool) with
-      | None ->
-          w.tx_drops <- w.tx_drops + 1;
-          false
-      | Some skb ->
-          (* header copy (up to 96 bytes) into the sk_buff's linear area;
-             the rest of the guest packet is chained through the page
-             fragment pointer using a preallocated dom0 frame (§5.3) *)
-          let pool = Option.get w.skb_pool in
-          let hdr = min 96 (String.length frame) in
-          charge_xen_cat w
-            (int_of_float (float_of_int hdr *. w.costs.Sys_costs.copy_per_byte));
-          Skb.put skb (Bytes.of_string (String.sub frame 0 hdr));
-          if String.length frame > hdr then begin
-            charge_xen_cat w w.costs.Sys_costs.twin_frag_chain;
-            let rest = String.length frame - hdr in
-            let frag = Skb_pool.frag_buffer pool skb in
-            (* chaining is a remap in the paper, not a copy: the bytes are
-               placed functionally but only the constant chain cost is
-               charged *)
-            Addr_space.write_block w.dom0_space frag
-              (Bytes.of_string (String.sub frame hdr rest));
-            Skb.set_frag skb ~page:frag ~len:rest
-          end;
-          let img = Option.get w.hyp_driver in
-          let r =
-            run_hyp_driver w ~entry:img.e_xmit
-              ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
-          in
-          if r <> 0 then w.tx_drops <- w.tx_drops + 1;
-          r = 0)
+      let attempt () =
+        charge_xen_cat w w.costs.Sys_costs.twin_skb_acquire;
+        match Skb_pool.alloc (Option.get w.skb_pool) with
+        | None ->
+            w.tx_drops <- w.tx_drops + 1;
+            false
+        | Some skb ->
+            (* header copy (up to 96 bytes) into the sk_buff's linear area;
+               the rest of the guest packet is chained through the page
+               fragment pointer using a preallocated dom0 frame (§5.3) *)
+            let pool = Option.get w.skb_pool in
+            let hdr = min 96 (String.length frame) in
+            charge_xen_cat w
+              (int_of_float
+                 (float_of_int hdr *. w.costs.Sys_costs.copy_per_byte));
+            Skb.put skb (Bytes.of_string (String.sub frame 0 hdr));
+            if String.length frame > hdr then begin
+              charge_xen_cat w w.costs.Sys_costs.twin_frag_chain;
+              let rest = String.length frame - hdr in
+              let frag = Skb_pool.frag_buffer pool skb in
+              (* chaining is a remap in the paper, not a copy: the bytes are
+                 placed functionally but only the constant chain cost is
+                 charged *)
+              Addr_space.write_block w.dom0_space frag
+                (Bytes.of_string (String.sub frame hdr rest));
+              Skb.set_frag skb ~page:frag ~len:rest
+            end;
+            (* refetch the image: a recovery may have reloaded it *)
+            let img = Option.get w.hyp_driver in
+            let r =
+              run_hyp_driver w ~entry:img.e_xmit
+                ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
+            in
+            if r <> 0 then w.tx_drops <- w.tx_drops + 1;
+            r = 0
+      in
+      run_tx w ~nic attempt
 
 let inject_rx ?(guest = 0) w ~nic ~payload =
   let p = w.nics.(nic) in
@@ -687,34 +959,39 @@ let inject_rx ?(guest = 0) w ~nic ~payload =
   let frame = build_frame ~dst ~src:(client_mac nic) ~payload in
   Td_nic.E1000_dev.receive_frame p.dev frame
 
-let service_interrupt w (p : nic_port) =
-  match w.cfg with
-  | Config.Native_linux ->
-      charge_dom0_cat w w.costs.Sys_costs.interrupt_dispatch;
-      ignore
-        (run_dom0_driver w ~entry:w.dom0_driver.e_intr ~args:[ p.nd.Netdev.addr ])
-  | Config.Xen_dom0 ->
-      charge_xen_cat w
-        (w.costs.Sys_costs.interrupt_dispatch + w.costs.Sys_costs.event_channel);
-      ignore
-        (run_dom0_driver w ~entry:w.dom0_driver.e_intr ~args:[ p.nd.Netdev.addr ])
-  | Config.Xen_domU ->
-      charge_xen_cat w
-        (w.costs.Sys_costs.interrupt_dispatch + w.costs.Sys_costs.event_channel);
-      ignore
-        (run_dom0_driver w ~entry:w.dom0_driver.e_intr ~args:[ p.nd.Netdev.addr ])
-  | Config.Xen_twin ->
-      charge_xen_cat w
-        (w.costs.Sys_costs.interrupt_dispatch
-        + w.costs.Sys_costs.softirq_schedule);
-      let img = Option.get w.hyp_driver in
-      let invoke () =
-        ignore (run_hyp_driver w ~entry:img.e_intr ~args:[ p.nd.Netdev.addr ])
-      in
-      let d0 = Option.get w.dom0 in
-      (* §4.4: the hypervisor respects dom0's virtual interrupt flag *)
-      if Domain.interrupts_masked d0 then Domain.defer d0 invoke
-      else invoke ()
+let service_interrupt w ~nic =
+  let p = w.nics.(nic) in
+  if p.quarantined then ()
+  else
+    match w.cfg with
+    | Config.Native_linux ->
+        charge_dom0_cat w w.costs.Sys_costs.interrupt_dispatch;
+        ignore
+          (supervised w ~nic (fun () ->
+               run_dom0_driver w ~entry:w.dom0_driver.e_intr
+                 ~args:[ p.nd.Netdev.addr ]))
+    | Config.Xen_dom0 | Config.Xen_domU ->
+        charge_xen_cat w
+          (w.costs.Sys_costs.interrupt_dispatch + w.costs.Sys_costs.event_channel);
+        ignore
+          (supervised w ~nic (fun () ->
+               run_dom0_driver w ~entry:w.dom0_driver.e_intr
+                 ~args:[ p.nd.Netdev.addr ]))
+    | Config.Xen_twin ->
+        charge_xen_cat w
+          (w.costs.Sys_costs.interrupt_dispatch
+          + w.costs.Sys_costs.softirq_schedule);
+        let invoke () =
+          (* refetch the image: a recovery may have reloaded it *)
+          let img = Option.get w.hyp_driver in
+          ignore
+            (supervised w ~nic (fun () ->
+                 run_hyp_driver w ~entry:img.e_intr ~args:[ p.nd.Netdev.addr ]))
+        in
+        let d0 = Option.get w.dom0 in
+        (* §4.4: the hypervisor respects dom0's virtual interrupt flag *)
+        if Domain.interrupts_masked d0 then Domain.defer d0 invoke
+        else invoke ()
 
 (* twin receive completion: each queued packet is copied into its guest's
    buffers and announced with a virtual interrupt once that guest runs *)
@@ -774,12 +1051,22 @@ let pump w =
   let progress = ref true in
   while !progress do
     progress := false;
-    Array.iter
-      (fun p ->
+    Array.iteri
+      (fun i p ->
+        (* lost-interrupt rescue: an injected lost IRQ leaves its cause
+           latched in ICR with no handler call; the pump's poll sweep
+           re-kicks it. Gated on an installed plan so unplanned runs keep
+           their exact interrupt timing. *)
+        if
+          Td_fault.Engine.active ()
+          && p.pending_irq = 0
+          && (not p.quarantined)
+          && Td_nic.E1000_dev.irq_pending p.dev
+        then p.pending_irq <- 1;
         if p.pending_irq > 0 then begin
           p.pending_irq <- 0;
           progress := true;
-          service_interrupt w p
+          service_interrupt w ~nic:i
         end)
       w.nics;
     (* ring pressure / end-of-poll flush: push out partial notification
@@ -810,6 +1097,10 @@ let rx_last_payload w = w.rx_last
 let rx_pop w = Queue.take_opt w.rx_queue
 let rx_queued w = Queue.length w.rx_queue
 let rx_drops w = w.rx_drops
+let recoveries w = w.recoveries
+let replayed_frames w = w.replayed
+let shadow_mtu w ~nic = w.nics.(nic).shadow.s_mtu
+let shadow_promisc w ~nic = w.nics.(nic).shadow.s_promisc
 
 let reset_measurement w =
   (* zero the whole registry and trace first, then the ledger (whose reset
@@ -833,36 +1124,70 @@ let reset_measurement w =
   Queue.clear w.rx_queue;
   w.rx_drops <- 0;
   w.tx_drops <- 0;
-  w.twin_tx_pushes <- 0
+  w.twin_tx_pushes <- 0;
+  w.recoveries <- 0;
+  w.replayed <- 0;
+  Td_fault.Engine.reset_counters ()
 
 (* ---- housekeeping ---- *)
 
+(* retry once with injection masked after a recovery: the caller asked
+   for a real result (stats, a config change), and the fresh instance
+   should provide it; a second abort quarantines for good *)
+let supervised_retry w ~nic attempt =
+  match supervised w ~nic attempt with
+  | Some out -> out
+  | None -> (
+      match
+        Td_fault.Engine.suspend (fun () ->
+            try Some (attempt ()) with Driver_aborted _ -> None)
+      with
+      | Some out -> out
+      | None ->
+          w.nics.(nic).quarantined <- true;
+          raise (Nic_quarantined { nic }))
+
 let run_watchdog w ~nic =
-  ignore
-    (run_dom0_driver w ~entry:w.dom0_driver.e_watchdog
-       ~args:[ w.nics.(nic).nd.Netdev.addr ])
+  if w.nics.(nic).quarantined then raise (Nic_quarantined { nic });
+  check_hang w ~nic;
+  if not w.nics.(nic).quarantined then
+    ignore
+      (supervised w ~nic (fun () ->
+           run_dom0_driver w ~entry:w.dom0_driver.e_watchdog
+             ~args:[ w.nics.(nic).nd.Netdev.addr ]))
 
 let read_stats w ~nic =
-  let dest = Kmem.alloc w.km 32 in
-  ignore
-    (run_dom0_driver w ~entry:w.dom0_driver.e_get_stats
-       ~args:[ w.nics.(nic).nd.Netdev.addr; dest ]);
-  let out =
-    Array.init 8 (fun i ->
-        Addr_space.read w.dom0_space (dest + (4 * i)) Width.W32)
-  in
-  Kmem.free w.km dest 32;
-  out
+  if w.nics.(nic).quarantined then raise (Nic_quarantined { nic });
+  supervised_retry w ~nic (fun () ->
+      let dest = Kmem.alloc w.km 32 in
+      ignore
+        (run_dom0_driver w ~entry:w.dom0_driver.e_get_stats
+           ~args:[ w.nics.(nic).nd.Netdev.addr; dest ]);
+      let out =
+        Array.init 8 (fun i ->
+            Addr_space.read w.dom0_space (dest + (4 * i)) Width.W32)
+      in
+      Kmem.free w.km dest 32;
+      out)
 
 let run_set_rx_mode w ~nic ~promisc =
-  ignore
-    (run_dom0_driver w ~entry:w.dom0_driver.e_set_rx_mode
-       ~args:[ w.nics.(nic).nd.Netdev.addr; (if promisc then 1 else 0) ])
+  let p = w.nics.(nic) in
+  if p.quarantined then raise (Nic_quarantined { nic });
+  supervised_retry w ~nic (fun () ->
+      ignore
+        (run_dom0_driver w ~entry:w.dom0_driver.e_set_rx_mode
+           ~args:[ p.nd.Netdev.addr; (if promisc then 1 else 0) ]));
+  (* shadow capture on the live path: recovery re-applies this *)
+  p.shadow.s_promisc <- promisc
 
 let run_set_mtu w ~nic ~mtu =
-  ignore
-    (run_dom0_driver w ~entry:w.dom0_driver.e_set_mtu
-       ~args:[ w.nics.(nic).nd.Netdev.addr; mtu ])
+  let p = w.nics.(nic) in
+  if p.quarantined then raise (Nic_quarantined { nic });
+  supervised_retry w ~nic (fun () ->
+      ignore
+        (run_dom0_driver w ~entry:w.dom0_driver.e_set_mtu
+           ~args:[ p.nd.Netdev.addr; mtu ]));
+  p.shadow.s_mtu <- mtu
 
 let tick w =
   (* the timer flush bounds how long a partial batch can stay staged *)

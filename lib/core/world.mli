@@ -130,4 +130,34 @@ val interp : t -> Td_cpu.Interp.t
 
 exception Driver_aborted of string
 (** Raised when the hypervisor driver instance faults (SVM violation or
-    watchdog timeout); the hypervisor survives — only the driver dies. *)
+    watchdog timeout); the hypervisor survives — only the driver dies.
+    Under the {!Config.Fail_stop} recovery policy the abort propagates to
+    the caller and the NIC stays quarantined; under [Restart] /
+    [Restart_replay] the supervisor restarts the twin and callers see
+    [None]-style degradation (a dropped frame, a retried config call)
+    instead of the exception. *)
+
+(* driver supervisor (§4.5) *)
+
+exception Nic_quarantined of { nic : int }
+(** Raised by the traffic and housekeeping entry points when the named
+    NIC's driver instance has been quarantined after an unrecovered
+    abort. *)
+
+val recoveries : t -> int
+(** Completed supervisor recoveries since the last
+    {!reset_measurement}. *)
+
+val replayed_frames : t -> int
+(** TX frames replayed on a fresh instance ([Restart_replay] only). *)
+
+val is_quarantined : t -> nic:int -> bool
+
+val all_serviceable : t -> bool
+(** No NIC is quarantined — the 50k-frame soak's exit criterion. *)
+
+val shadow_mtu : t -> nic:int -> int
+val shadow_promisc : t -> nic:int -> bool
+(** The supervisor's shadow copy of guest-applied configuration, captured
+    on the live {!run_set_mtu} / {!run_set_rx_mode} paths and re-applied
+    after a restart. *)

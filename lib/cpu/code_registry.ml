@@ -16,6 +16,13 @@ let register t p =
   | None -> ());
   t.programs <- p :: t.programs
 
+(* Reload semantics: the driver supervisor re-runs the MISA loader at the
+   same base after an abort, so any program the newcomer overlaps is the
+   dead instance's image and gets unregistered first. *)
+let replace t p =
+  t.programs <- List.filter (fun q -> not (overlaps p q)) t.programs;
+  t.programs <- p :: t.programs
+
 let find t addr =
   List.find_opt (fun p -> Td_misa.Program.contains p addr) t.programs
 

@@ -11,6 +11,11 @@ val register : t -> Td_misa.Program.t -> unit
 (** Raises [Invalid_argument] when the program's range overlaps an already
     registered program. *)
 
+val replace : t -> Td_misa.Program.t -> unit
+(** Like {!register}, but any overlapping programs are unregistered
+    first — the supervisor reloading a fresh driver image over an
+    aborted instance's address range. *)
+
 val find : t -> int -> Td_misa.Program.t option
 (** Program containing the given code address. *)
 

@@ -365,6 +365,20 @@ let exec_insn t (prog : Program.t) insn =
   | Insn.Nop -> next ()
   | Insn.Hlt -> st.State.pc <- ret_sentinel
 
+(* fault-injection site: flip one bit of architectural state before the
+   next instruction executes — a soft error in the register file or the
+   flags, the kind of corruption the SVM containment story must absorb *)
+let flip_regs = Reg.[| EAX; EBX; ECX; EDX; ESI; EDI |]
+
+let inject_bitflip st =
+  match Td_fault.Engine.pick Td_fault.Interp_bitflip 8 with
+  | 6 -> st.State.zf <- not st.State.zf
+  | 7 -> st.State.cf <- not st.State.cf
+  | r ->
+      let reg = flip_regs.(r) in
+      let bit = Td_fault.Engine.pick Td_fault.Interp_bitflip 32 in
+      State.set st reg (State.get st reg lxor (1 lsl bit))
+
 let step t =
   let st = t.state in
   let prog, idx =
@@ -374,6 +388,10 @@ let step t =
   in
   let insn = prog.Program.code.(idx) in
   (match t.hook with Some h -> h st insn | None -> ());
+  if
+    Td_fault.Engine.active ()
+    && Td_fault.Engine.fire Td_fault.Interp_bitflip
+  then inject_bitflip st;
   st.State.steps <- st.State.steps + 1;
   exec_insn t prog insn
 

@@ -25,6 +25,16 @@ let set_priv t v = wr t 8 v
 let mac t = Bytes.to_string (Td_mem.Addr_space.read_block t.space (t.addr + 12) 6)
 let mtu t = rd t 20
 let set_mtu t v = wr t 20 v
+(* supervisor restart: rewrite every field a corrupted driver instance
+   could have scribbled on, except priv — re-running init allocates a
+   fresh adapter and overwrites it *)
+let repair t ~mmio_base ~mac ~mtu =
+  wr t 0 mmio_base;
+  wr t 4 0;
+  Td_mem.Addr_space.write_block t.space (t.addr + 12) (Bytes.of_string mac);
+  wr t 20 mtu;
+  wr t 24 0
+
 let queue_stopped t = rd t 4 land 1 <> 0
 let stop_queue t = wr t 4 (rd t 4 lor 1)
 let wake_queue t = wr t 4 (rd t 4 land lnot 1)

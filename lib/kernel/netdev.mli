@@ -24,6 +24,11 @@ val mac : t -> string
 val mtu : t -> int
 val set_mtu : t -> int -> unit
 
+val repair : t -> mmio_base:int -> mac:string -> mtu:int -> unit
+(** Rewrite every driver-reachable field from known-good (shadow) values
+    before re-initialising a restarted driver instance; [priv] is left
+    for the driver's own init to replace. *)
+
 val queue_stopped : t -> bool
 val stop_queue : t -> unit
 val wake_queue : t -> unit

@@ -40,27 +40,49 @@ let alloc t =
 
 let owns t skb = Hashtbl.mem t.all skb.Skb.addr
 
+(* reset to a pristine buffer holding only the pool's base reference *)
+let make_pristine skb =
+  Skb.set_refcnt skb 1;
+  Skb.set_data skb (Skb.head skb);
+  Skb.set_len skb 0;
+  Skb.set_frag skb ~page:0 ~len:0;
+  Skb.set_protocol skb 0
+
 let release t skb =
-  if not (owns t skb) then failwith "Skb_pool.release: foreign sk_buff";
+  (* a foreign sk_buff here is driver-supplied data, reachable from a
+     corrupted or malicious driver instance: typed fault, not a crash *)
+  if not (owns t skb) then
+    Td_xen.Guest_fault.fail ~op:"Skb_pool.release" "foreign sk_buff 0x%x"
+      skb.Skb.addr;
   if Td_obs.Control.enabled () then begin
     Td_obs.Metrics.bump "skb.pool.release";
     Td_obs.Trace.emit
       (Td_obs.Trace.Skb_free { addr = skb.Skb.addr; pooled = true })
   end;
-  (* reset to a pristine buffer holding only the pool's base reference *)
-  Skb.set_refcnt skb 1;
-  Skb.set_data skb (Skb.head skb);
-  Skb.set_len skb 0;
-  Skb.set_frag skb ~page:0 ~len:0;
-  Skb.set_protocol skb 0;
+  make_pristine skb;
   t.free <- skb :: t.free
 
 let iter t f = Hashtbl.iter (fun addr _ -> f (Skb.of_addr t.space addr)) t.all
 
+(* Reclaim every slot, in flight or not: when the supervisor tears down
+   an aborted driver instance nothing can tell which in-flight buffers
+   the dead instance still referenced, so all of them come home and every
+   consumer (rx rings and the like) must be re-initialised afterwards. *)
+let reset t =
+  t.free <- [];
+  Hashtbl.iter
+    (fun addr _ ->
+      let skb = Skb.of_addr t.space addr in
+      make_pristine skb;
+      t.free <- skb :: t.free)
+    t.all
+
 let frag_buffer t skb =
   match Hashtbl.find_opt t.all skb.Skb.addr with
   | Some frag -> frag
-  | None -> failwith "Skb_pool.frag_buffer: foreign sk_buff"
+  | None ->
+      Td_xen.Guest_fault.fail ~op:"Skb_pool.frag_buffer" "foreign sk_buff 0x%x"
+        skb.Skb.addr
 
 let available t = List.length t.free
 let size t = t.size

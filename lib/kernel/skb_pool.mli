@@ -16,14 +16,22 @@ val create : Kmem.t -> Td_mem.Addr_space.t -> entries:int -> buf_size:int -> t
 
 val frag_buffer : t -> Skb.t -> int
 (** The sk_buff's preallocated fragment buffer (page-sized). Raises
-    [Failure] for a foreign sk_buff. *)
+    {!Td_xen.Guest_fault.Fault} for a foreign sk_buff. *)
 
 val alloc : t -> Skb.t option
 (** [None] when the pool is empty (the driver will drop the packet). *)
 
 val release : t -> Skb.t -> unit
-(** Return an sk_buff to the pool; resets data/len. Raises [Failure] for
-    an sk_buff the pool does not own. *)
+(** Return an sk_buff to the pool; resets data/len. Raises
+    {!Td_xen.Guest_fault.Fault} (counted, survivable) for an sk_buff
+    the pool does not own — foreign pointers are driver-supplied input,
+    not a hypervisor invariant. *)
+
+val reset : t -> unit
+(** Reclaim every sk_buff — free or in flight — back to the free list in
+    pristine state. The driver supervisor calls this while destroying an
+    aborted twin instance; any structure that held pool buffers (NIC rx
+    rings especially) must be re-initialised before traffic resumes. *)
 
 val owns : t -> Skb.t -> bool
 val iter : t -> (Skb.t -> unit) -> unit

@@ -11,6 +11,7 @@ type t = {
   mutable rx_count : int;
   mutable dropped : int;
   mutable irq_count : int;
+  mutable dma_stuck : bool;  (** injected: TX DMA engine wedged *)
 }
 
 let mmio_vaddr i = 0xC0F0_0000 + (i * Td_mem.Layout.page_size)
@@ -45,6 +46,7 @@ let create ?(ring_entries = 256) ~dma ~mac ~tx_frame () =
       rx_count = 0;
       dropped = 0;
       irq_count = 0;
+      dma_stuck = false;
     }
   in
   set t Regs.status 0x3;
@@ -60,6 +62,9 @@ let tx_count t = t.tx_count
 let rx_count t = t.rx_count
 let dropped t = t.dropped
 let irq_count t = t.irq_count
+let dma_stuck t = t.dma_stuck
+
+let irq_pending t = get t Regs.icr land get t Regs.ims <> 0
 
 let raise_cause t cause =
   set t Regs.icr (get t Regs.icr lor cause);
@@ -68,9 +73,18 @@ let raise_cause t cause =
     let throttle = get t Regs.itr in
     if throttle = 0 || t.itr_pending >= throttle then begin
       t.itr_pending <- 0;
-      t.irq_count <- t.irq_count + 1;
-      Td_obs.Metrics.bump "nic.irq";
-      match t.irq_handler with Some fn -> fn () | None -> ()
+      (* fault-injection site: the assertion edge is dropped on the
+         floor — the cause stays latched in ICR ([irq_pending]), so a
+         poll can still find and service it, as real drivers do *)
+      if
+        Td_fault.Engine.active ()
+        && Td_fault.Engine.fire Td_fault.Nic_lost_irq
+      then ()
+      else begin
+        t.irq_count <- t.irq_count + 1;
+        Td_obs.Metrics.bump "nic.irq";
+        match t.irq_handler with Some fn -> fn () | None -> ()
+      end
     end
   end
 
@@ -84,12 +98,27 @@ let desc_addr base i = base + (i * Regs.desc_bytes)
 (* --- transmit path --- *)
 
 let process_tx t =
+  (* fault-injection site: the DMA engine wedges — doorbells are ignored
+     until the supervisor resets the device, and the frames queued in
+     the ring never reach the wire *)
+  if
+    (not t.dma_stuck)
+    && Td_fault.Engine.active ()
+    && Td_fault.Engine.fire Td_fault.Nic_stuck_dma
+  then t.dma_stuck <- true;
+  if t.dma_stuck then ()
+  else begin
   let base = get t Regs.tdbal in
   let tail = get t Regs.tdt in
   let entries = min t.ring_entries (max 1 (get t Regs.tdlen / Regs.desc_bytes)) in
   let head = ref (get t Regs.tdh) in
   let any = ref false in
-  while !head <> tail do
+  (* a corrupted TDT (e.g. an injected bit-flip upstream of the doorbell
+     write) may never equal any in-range head value: bound the walk to
+     one full ring so the device cannot spin forever *)
+  let budget = ref entries in
+  while !head <> tail && !budget > 0 do
+    decr budget;
     let d = desc_addr base !head in
     let buf = dma_read32 t (d + Regs.d_buf) in
     let len = dma_read32 t (d + Regs.d_len) in
@@ -120,6 +149,7 @@ let process_tx t =
   done;
   set t Regs.tdh !head;
   if !any then raise_cause t Regs.icr_txdw
+  end
 
 (* --- receive path --- *)
 
@@ -135,6 +165,20 @@ let receive_frame t frame =
       Td_obs.Metrics.bump "nic.rx.dropped";
       Td_obs.Trace.emit
         (Td_obs.Trace.Nic_drop { reason = "no free rx descriptor" })
+    end;
+    set t Regs.mpc (get t Regs.mpc + 1)
+  end
+  else if
+    Td_fault.Engine.active () && Td_fault.Engine.fire Td_fault.Nic_corrupt_rx
+  then begin
+    (* fault-injection site: the descriptor is corrupted in flight — the
+       device discards the frame as a bad packet and counts it missed *)
+    t.dropped <- t.dropped + 1;
+    Td_fault.Engine.note_lost 1;
+    if Td_obs.Control.enabled () then begin
+      Td_obs.Metrics.bump "nic.rx.dropped";
+      Td_obs.Trace.emit
+        (Td_obs.Trace.Nic_drop { reason = "injected corrupt rx descriptor" })
     end;
     set t Regs.mpc (get t Regs.mpc + 1)
   end
@@ -156,6 +200,39 @@ let receive_frame t frame =
     set t Regs.gprc (get t Regs.gprc + 1);
     raise_cause t Regs.icr_rxt0
   end
+
+(* --- supervisor reset --- *)
+
+(* Frames still queued between TDH and TDT (wedged DMA, or an abort
+   between descriptor writes and doorbell service): these are the
+   in-flight frames a device reset discards. *)
+let pending_tx_frames t =
+  let base = get t Regs.tdbal in
+  let entries = min t.ring_entries (max 1 (get t Regs.tdlen / Regs.desc_bytes)) in
+  let tail = get t Regs.tdt in
+  let head = ref (get t Regs.tdh) in
+  let frames = ref 0 in
+  let budget = ref entries in
+  if base <> 0 then
+    while !head <> tail && !budget > 0 do
+      decr budget;
+      let cmd = dma_read32 t (desc_addr base !head + Regs.d_cmd) in
+      if cmd land Regs.cmd_eop <> 0 then incr frames;
+      head := (!head + 1) mod entries
+    done;
+  !frames
+
+let reset t =
+  let lost = pending_tx_frames t in
+  Array.fill t.regs 0 (Array.length t.regs) 0;
+  set t Regs.status 0x3;
+  let b i = Char.code t.mac.[i] in
+  set t Regs.ral (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24));
+  set t Regs.rah (b 4 lor (b 5 lsl 8) lor 0x8000_0000);
+  t.itr_pending <- 0;
+  t.dma_stuck <- false;
+  Buffer.clear t.tx_acc;
+  lost
 
 (* --- MMIO dispatch --- *)
 

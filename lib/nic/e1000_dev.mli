@@ -55,6 +55,25 @@ val receive_frame : t -> string -> unit
 
 val mac : t -> string
 
+(* fault handling (driver supervisor interface) *)
+
+val dma_stuck : t -> bool
+(** The injected stuck-DMA fault is latched: doorbell writes are ignored
+    until {!reset}. The supervisor's watchdog polls this to declare a
+    hang. *)
+
+val irq_pending : t -> bool
+(** An unmasked cause is latched in ICR but no handler ran — the
+    signature of an injected lost interrupt. Pollers (the world's pump)
+    use this to re-kick servicing without a fresh edge. *)
+
+val reset : t -> int
+(** Power-on reset for recovery: zero every register (keeping link
+    status and the programmed MAC), clear the stuck-DMA latch, drop any
+    partially assembled TX frame. Returns the number of complete frames
+    still queued between TDH and TDT — the in-flight frames the reset
+    discarded, which the supervisor must account as replayed or lost. *)
+
 (* observable statistics *)
 
 val tx_count : t -> int

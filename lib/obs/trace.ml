@@ -22,6 +22,9 @@ type event =
   | Skb_free of { addr : int; pooled : bool }
   | Netio_tx of { bytes : int }
   | Netio_rx of { bytes : int }
+  | Fault_injected of { site : string }
+  | Driver_recovery of { nic : int; reason : string }
+  | Guest_fault of { op : string }
   | Custom of { name : string; value : int }
 
 type record = { seq : int; event : event }
@@ -88,6 +91,9 @@ let event_name = function
   | Skb_free _ -> "skb.free"
   | Netio_tx _ -> "netio.tx"
   | Netio_rx _ -> "netio.rx"
+  | Fault_injected _ -> "fault.injected"
+  | Driver_recovery _ -> "fault.recovery"
+  | Guest_fault _ -> "xen.guest_fault"
   | Custom { name; _ } -> name
 
 let fields = function
@@ -124,6 +130,10 @@ let fields = function
     ->
       [ ("bytes", Json.Int bytes) ]
   | Nic_drop { reason } -> [ ("reason", Json.String reason) ]
+  | Fault_injected { site } -> [ ("site", Json.String site) ]
+  | Driver_recovery { nic; reason } ->
+      [ ("nic", Json.Int nic); ("reason", Json.String reason) ]
+  | Guest_fault { op } -> [ ("op", Json.String op) ]
   | Skb_alloc { addr; pooled } | Skb_free { addr; pooled } ->
       [ ("addr", Json.Int addr); ("pooled", Json.Bool pooled) ]
   | Custom { value; _ } -> [ ("value", Json.Int value) ]

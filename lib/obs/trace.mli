@@ -51,6 +51,15 @@ type event =
   | Skb_free of { addr : int; pooled : bool }
   | Netio_tx of { bytes : int }
   | Netio_rx of { bytes : int }
+  | Fault_injected of { site : string }
+      (** the fault engine fired at the named injection site
+          ({!Td_fault.Engine.fire}). *)
+  | Driver_recovery of { nic : int; reason : string }
+      (** the supervisor restarted the driver complex after NIC [nic]
+          aborted with [reason]. *)
+  | Guest_fault of { op : string }
+      (** a guest-reachable validation failure was contained as a typed
+          fault instead of killing the process ({!Td_xen.Guest_fault}). *)
   | Custom of { name : string; value : int }
       (** escape hatch for experiments and tests. *)
 

@@ -11,12 +11,18 @@ let of_list l =
 
 let overlay a b name = match a name with Some v -> Some v | None -> b name
 
+let assemble ~name ~source ~base ~symbols =
+  try Td_misa.Program.assemble ~symbols ~base { source with name }
+  with Td_misa.Program.Unresolved s -> raise (Undefined_symbol s)
+
 let load ~name ~source ~base ~symbols ~registry =
-  let program =
-    try Td_misa.Program.assemble ~symbols ~base { source with name }
-    with Td_misa.Program.Unresolved s -> raise (Undefined_symbol s)
-  in
+  let program = assemble ~name ~source ~base ~symbols in
   Td_cpu.Code_registry.register registry program;
+  program
+
+let reload ~name ~source ~base ~symbols ~registry =
+  let program = assemble ~name ~source ~base ~symbols in
+  Td_cpu.Code_registry.replace registry program;
   program
 
 let svm_symbols ~runtime ~natives ~stlb_vaddr ~scratch_vaddr =

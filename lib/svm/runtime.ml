@@ -232,6 +232,13 @@ let miss t addr =
         Td_obs.Metrics.bump "stlb.miss";
         Td_obs.Trace.emit (Td_obs.Trace.Stlb_miss { addr; refill = false })
       end;
+      (* fault-injection site: a planned wild access manifests exactly
+         like a driver bug — a first-touch address past the dom0 range
+         failing validation on the slow path *)
+      if
+        Td_fault.Engine.active ()
+        && Td_fault.Engine.fire Td_fault.Svm_wild_access
+      then fault t addr "injected wild access outside dom0 range";
       let ok = valid_dom0_page t addr in
       if Td_obs.Control.enabled () then begin
         Td_obs.Metrics.bump "svm.validate";
@@ -295,6 +302,29 @@ let invalidate_page t addr =
       t.slots.(i) <- None;
       t.free_slots <- i :: t.free_slots
   | None -> ());
+  update_inuse_gauge t
+
+(* Tear down every translation the instance ever established: the
+   supervisor's "invalidate stlb, unmap window pairs" step before it
+   restarts an aborted driver. Pinned pairs go too — the caller re-pins
+   whatever must persist (the sk_buff pool) on the fresh instance. *)
+let flush t =
+  Hashtbl.reset t.chain;
+  Stlb.clear t.stlb;
+  Array.iteri
+    (fun i slot ->
+      match slot with
+      | None -> ()
+      | Some _ ->
+          let vpage = Td_mem.Layout.page_of (mapped_base i) in
+          Td_mem.Addr_space.unmap t.target ~vpage;
+          Td_mem.Addr_space.unmap t.target ~vpage:(vpage + 1);
+          t.slots.(i) <- None)
+    t.slots;
+  Hashtbl.reset t.slot_of_page;
+  t.window_next <- 0;
+  t.free_slots <- [];
+  t.clock_hand <- 0;
   update_inuse_gauge t
 
 let misses t = t.miss_count

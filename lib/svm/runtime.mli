@@ -72,6 +72,13 @@ val invalidate_page : t -> int -> unit
     (stlb entry, hash chain, and window pair — the slot is released for
     reuse). *)
 
+val flush : t -> unit
+(** Tear down {e every} translation: clear the stlb and hash chain and
+    unmap all window pairs, including pinned ones. The driver
+    supervisor calls this when it destroys an aborted twin instance;
+    persistent mappings must be re-established (and re-pinned) on the
+    replacement instance. Counters survive; the window restarts empty. *)
+
 val note_inline_hit : t -> int -> unit
 (** An interpreted inline fast-path probe hit for dom0 address [addr]:
     marks the window pair referenced for the clock and credits

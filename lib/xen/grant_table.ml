@@ -18,18 +18,22 @@ let grant t ~frame =
   Hashtbl.replace t.entries r { frame; mapped = 0 };
   r
 
-let find t r =
+(* a bad ref is guest-controlled input, not an invariant violation: the
+   hypervisor validates, counts and survives it (typed Guest_fault) *)
+let find t ~op r =
   match Hashtbl.find_opt t.entries r with
   | Some e -> e
-  | None -> failwith (Printf.sprintf "Grant_table: bad grant ref %d" r)
+  | None -> Guest_fault.fail ~op "bad grant ref %d" r
 
 let revoke t r =
-  let e = find t r in
-  if e.mapped > 0 then failwith "Grant_table: revoking a mapped grant";
+  let e = find t ~op:"Grant_table.revoke" r in
+  if e.mapped > 0 then
+    Guest_fault.fail ~op:"Grant_table.revoke"
+      "revoking grant ref %d while mapped %d time(s)" r e.mapped;
   Hashtbl.remove t.entries r
 
 let map t ~hyp ~into ~at_vpage r =
-  let e = find t r in
+  let e = find t ~op:"Grant_table.map" r in
   Hypervisor.charge_xen hyp (Hypervisor.costs hyp).Sys_costs.grant_map;
   Td_mem.Addr_space.map (Domain.space into) ~vpage:at_vpage e.frame;
   e.mapped <- e.mapped + 1;
@@ -40,7 +44,7 @@ let map t ~hyp ~into ~at_vpage r =
   end
 
 let unmap t ~hyp ~from ~at_vpage r =
-  let e = find t r in
+  let e = find t ~op:"Grant_table.unmap" r in
   Hypervisor.charge_xen hyp (Hypervisor.costs hyp).Sys_costs.grant_unmap;
   Td_mem.Addr_space.unmap (Domain.space from) ~vpage:at_vpage;
   if e.mapped > 0 then e.mapped <- e.mapped - 1;
@@ -52,7 +56,7 @@ let unmap t ~hyp ~from ~at_vpage r =
 let phys t = Td_mem.Addr_space.phys (Domain.space t.owner)
 
 let copy_to t ~hyp r ~offset ~src =
-  let e = find t r in
+  let e = find t ~op:"Grant_table.copy_to" r in
   let cost =
     int_of_float
       (float_of_int (Bytes.length src)
@@ -67,7 +71,7 @@ let copy_to t ~hyp r ~offset ~src =
   Td_mem.Phys_mem.write_bytes (phys t) e.frame offset src
 
 let copy_from t ~hyp r ~offset ~len =
-  let e = find t r in
+  let e = find t ~op:"Grant_table.copy_from" r in
   let cost =
     int_of_float
       (float_of_int len *. (Hypervisor.costs hyp).Sys_costs.grant_copy_per_byte)

@@ -1,0 +1,30 @@
+(* A guest-reachable validation failure: malformed grant refs, foreign
+   sk_buffs, revoke-while-mapped. The SPEC-RG hypercall-vulnerability
+   survey's lesson is that these are *expected events* — a malicious or
+   buggy guest must be able to trigger them at will without taking the
+   hypervisor down. So they raise a typed exception the caller contains
+   (dropping the offending request, aborting the offending driver), and
+   every occurrence is counted. *)
+
+exception Fault of { op : string; reason : string }
+
+let count = ref 0
+let total () = !count
+let reset () = count := 0
+
+let fail ~op fmt =
+  Printf.ksprintf
+    (fun reason ->
+      incr count;
+      if Td_obs.Control.enabled () then begin
+        Td_obs.Metrics.bump "xen.guest_faults";
+        Td_obs.Trace.emit (Td_obs.Trace.Guest_fault { op })
+      end;
+      raise (Fault { op; reason }))
+    fmt
+
+let () =
+  Printexc.register_printer (function
+    | Fault { op; reason } ->
+        Some (Printf.sprintf "Td_xen.Guest_fault.Fault(%s: %s)" op reason)
+    | _ -> None)

@@ -20,10 +20,10 @@ let add_domain t d =
   t.domains <- t.domains @ [ d ];
   if t.current = None then t.current <- Some d
 
-let current t =
+let current ?(op = "current") t =
   match t.current with
   | Some d -> d
-  | None -> failwith "Hypervisor: no domains"
+  | None -> failwith (Printf.sprintf "Hypervisor.%s: no domains" op)
 
 let domains t = t.domains
 let switches t = t.switches
@@ -64,7 +64,7 @@ let hypercall t ?cost () =
   charge_xen t cost
 
 let run_in t dom f =
-  let prev = current t in
+  let prev = current ~op:"run_in" t in
   if Domain.id prev = Domain.id dom then f ()
   else begin
     switch_to t dom;

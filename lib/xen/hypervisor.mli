@@ -18,7 +18,12 @@ val xen_space : t -> Td_mem.Addr_space.t
 val cpu : t -> Td_cpu.State.t
 
 val add_domain : t -> Domain.t -> unit
-val current : t -> Domain.t
+
+(** [current ?op t] is the running domain. Raises
+    [Failure "Hypervisor.<op>: no domains"] before {!add_domain}; pass
+    [op] so the error names the operation that needed a current
+    domain. *)
+val current : ?op:string -> t -> Domain.t
 val domains : t -> Domain.t list
 val switches : t -> int
 

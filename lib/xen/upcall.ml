@@ -2,6 +2,14 @@ type stats = { mutable invocations : int; mutable switches_incurred : int }
 
 let fresh_stats () = { invocations = 0; switches_incurred = 0 }
 
+exception Upcall_failed of { routine : string }
+
+let () =
+  Printexc.register_printer (function
+    | Upcall_failed { routine } ->
+        Some (Printf.sprintf "Td_xen.Upcall.Upcall_failed(%s)" routine)
+    | _ -> None)
+
 let make_stub ~hyp ~dom0 ~name ~impl stats : Td_cpu.Native.fn =
   (* pre-register the counters so snapshots report an explicit zero for
      runs that never leave the fast path (the paper's headline case) *)
@@ -15,7 +23,7 @@ let make_stub ~hyp ~dom0 ~name ~impl stats : Td_cpu.Native.fn =
   (* the stub saves parameters and switches off the hypervisor stack
      (whose contents are not preserved across the domain transition) *)
   Hypervisor.charge_xen hyp costs.Sys_costs.upcall_stack_switch;
-  let prev = Hypervisor.current hyp in
+  let prev = Hypervisor.current ~op:"upcall" hyp in
   let needs_switch = Domain.id prev <> Domain.id dom0 in
   if needs_switch then stats.switches_incurred <- stats.switches_incurred + 2;
   if Td_obs.Control.enabled () then begin
@@ -23,6 +31,12 @@ let make_stub ~hyp ~dom0 ~name ~impl stats : Td_cpu.Native.fn =
     if needs_switch then Td_obs.Metrics.bump_by "upcall.switches" 2;
     Td_obs.Trace.emit (Td_obs.Trace.Upcall_enter { routine = name })
   end;
+  (* fault-injection site: dom0 fails or times out the upcall — the
+     world switch was paid, but the support routine never ran and the
+     hypervisor driver instance cannot make progress *)
+  if
+    Td_fault.Engine.active () && Td_fault.Engine.fire Td_fault.Upcall_fail
+  then raise (Upcall_failed { routine = name });
   Hypervisor.run_in hyp dom0 (fun () ->
       (* synchronous virtual interrupt into dom0: the registered handler
          recovers parameters and invokes the support routine *)

@@ -13,6 +13,11 @@ type stats = {
   mutable switches_incurred : int;
 }
 
+exception Upcall_failed of { routine : string }
+(** dom0 failed or timed out the upcall (fault injection,
+    {!Td_fault.Upcall_fail}): the support routine never ran, so the
+    hypervisor driver instance aborts and the supervisor restarts it. *)
+
 val make_stub :
   hyp:Hypervisor.t ->
   dom0:Domain.t ->

@@ -1,0 +1,241 @@
+(* Fault-injection engine and driver-supervisor tests: deterministic
+   seeded injection, zero-plan bit-identity, abort containment,
+   shadow-state restoration, quarantine errors, typed guest faults. *)
+
+open Twindrivers
+
+let check = Alcotest.check
+let int_c = Alcotest.int
+let bool_c = Alcotest.bool
+
+let payload = "fault soak frame " ^ String.make 600 'f'
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  go 0
+
+let with_plan plan f =
+  Td_fault.Engine.install plan;
+  Fun.protect ~finally:(fun () -> Td_fault.Engine.clear ()) f
+
+(* --- engine: same plan, same stream --- *)
+
+let test_engine_deterministic () =
+  let sample () =
+    with_plan { (Td_fault.uniform_plan ~seed:7 0.3) with interp_bitflip = 0.3 }
+      (fun () ->
+        List.init 200 (fun _ -> Td_fault.Engine.fire Td_fault.Interp_bitflip))
+  in
+  let a = sample () and b = sample () in
+  check bool_c "same seed, same injection sequence" true (a = b);
+  check bool_c "some fired" true (List.mem true a);
+  check bool_c "some did not" true (List.mem false a);
+  let c =
+    with_plan { (Td_fault.uniform_plan ~seed:8 0.3) with interp_bitflip = 0.3 }
+      (fun () ->
+        List.init 200 (fun _ -> Td_fault.Engine.fire Td_fault.Interp_bitflip))
+  in
+  check bool_c "different seed, different sequence" true (a <> c)
+
+let test_engine_counters () =
+  with_plan (Td_fault.uniform_plan ~seed:3 1.0) (fun () ->
+      ignore (Td_fault.Engine.fire Td_fault.Nic_corrupt_rx);
+      ignore (Td_fault.Engine.fire Td_fault.Upcall_fail);
+      check int_c "two injections counted" 2 (Td_fault.Engine.injected ());
+      check int_c "per-site count" 1
+        (Td_fault.Engine.injected_at Td_fault.Nic_corrupt_rx);
+      Td_fault.Engine.suspend (fun () ->
+          check bool_c "suspended engine never fires" false
+            (Td_fault.Engine.fire Td_fault.Nic_corrupt_rx));
+      Td_fault.Engine.note_lost 3;
+      check int_c "lost frames ledger" 3 (Td_fault.Engine.lost_frames ());
+      Td_fault.Engine.reset_counters ();
+      check int_c "counters reset" 0 (Td_fault.Engine.injected ()))
+
+(* --- zero plan: bit-identical to no plan at all --- *)
+
+let run_workload w =
+  for i = 0 to 39 do
+    ignore (World.transmit w ~nic:(i mod 2) ~payload);
+    World.inject_rx w ~nic:(i mod 2) ~payload;
+    if i mod 8 = 7 then World.pump w
+  done;
+  World.pump w;
+  World.tick w;
+  ( List.map (fun c -> Td_xen.Ledger.total (World.ledger w) c)
+      Td_xen.Ledger.categories,
+    World.wire_tx_frames w,
+    World.wire_tx_bytes w,
+    World.delivered_rx_frames w,
+    World.delivered_rx_bytes w )
+
+let test_zero_plan_bit_identical () =
+  let baseline = run_workload (World.create ~nics:2 Config.Xen_twin) in
+  let zeroed =
+    with_plan Td_fault.zero_plan (fun () ->
+        run_workload (World.create ~nics:2 Config.Xen_twin))
+  in
+  check bool_c "ledger and wire identical under zero plan" true
+    (baseline = zeroed);
+  check int_c "zero plan injected nothing" 0 (Td_fault.Engine.injected ())
+
+(* --- SVM wild access: abort contained, hypervisor survives --- *)
+
+let wild_only = { Td_fault.zero_plan with Td_fault.svm_wild_access = 1.0 }
+
+let test_wild_access_contained () =
+  let w = World.create ~nics:2 Config.Xen_twin in
+  with_plan wild_only (fun () ->
+      check bool_c "transmit aborts" true
+        (match World.transmit w ~nic:0 ~payload with
+        | exception World.Driver_aborted reason ->
+            (* the injected wild access surfaces as an SVM fault *)
+            contains ~sub:"fault" reason || contains ~sub:"injected" reason
+        | _ -> false));
+  (* fail-stop: the NIC is quarantined, with typed errors *)
+  check bool_c "nic quarantined" true (World.is_quarantined w ~nic:0);
+  check bool_c "read_stats raises typed error" true
+    (match World.read_stats w ~nic:0 with
+    | exception World.Nic_quarantined { nic = 0 } -> true
+    | _ -> false);
+  check bool_c "run_watchdog raises typed error" true
+    (match World.run_watchdog w ~nic:0 with
+    | exception World.Nic_quarantined { nic = 0 } -> true
+    | _ -> false);
+  (* containment: the hypervisor and the other NIC keep working *)
+  check bool_c "other NIC unaffected" true (World.transmit w ~nic:1 ~payload);
+  World.pump w;
+  check bool_c "frames still reach the wire" true (World.wire_tx_frames w >= 1)
+
+(* --- recovery: shadow state restored after restart --- *)
+
+let test_recovery_restores_shadow () =
+  let tuning = { Config.default_tuning with Config.recovery = Config.Restart } in
+  let w = World.create ~nics:2 ~tuning Config.Xen_twin in
+  World.run_set_mtu w ~nic:0 ~mtu:1400;
+  World.run_set_rx_mode w ~nic:0 ~promisc:true;
+  check int_c "shadow captured mtu" 1400 (World.shadow_mtu w ~nic:0);
+  check bool_c "shadow captured promisc" true (World.shadow_promisc w ~nic:0);
+  (* scribble the netdev's mtu as a corrupted instance would, then force
+     an abort so the supervisor restarts and repairs from shadow *)
+  Td_kernel.Netdev.set_mtu (World.netdev w ~nic:0) 9999;
+  with_plan wild_only (fun () ->
+      check bool_c "restart absorbs the abort" false
+        (World.transmit w ~nic:0 ~payload));
+  check bool_c "a recovery ran" true (World.recoveries w >= 1);
+  check bool_c "all NICs serviceable again" true (World.all_serviceable w);
+  check int_c "netdev mtu restored from shadow" 1400
+    (Td_kernel.Netdev.mtu (World.netdev w ~nic:0));
+  check bool_c "promisc restored via the driver" true
+    (World.shadow_promisc w ~nic:0);
+  (* the restarted instance still moves packets *)
+  check bool_c "transmit works after recovery" true
+    (World.transmit w ~nic:0 ~payload);
+  World.pump w;
+  check bool_c "frame delivered" true (World.wire_tx_frames w >= 1)
+
+let test_replay_policy_delivers () =
+  let tuning =
+    { Config.default_tuning with Config.recovery = Config.Restart_replay }
+  in
+  let w = World.create ~nics:1 ~tuning Config.Xen_twin in
+  with_plan wild_only (fun () ->
+      (* the abort recovers and the frame is replayed on the fresh twin *)
+      check bool_c "replayed transmit succeeds" true
+        (World.transmit w ~nic:0 ~payload));
+  World.pump w;
+  check int_c "replayed frame reached the wire" 1 (World.wire_tx_frames w);
+  check bool_c "replay counted" true (World.replayed_frames w >= 1);
+  check bool_c "recovery counted" true (World.recoveries w >= 1)
+
+(* --- seeded world soak: reproducible end-to-end --- *)
+
+let test_soak_reproducible () =
+  let run () =
+    let p =
+      Experiments.recovery_soak ~frames:300 ~seed:11
+        ~policy:Config.Restart_replay ~rate:0.01 ()
+    in
+    ( p.Experiments.delivered,
+      p.Experiments.injected,
+      p.Experiments.recoveries,
+      p.Experiments.replayed,
+      p.Experiments.lost )
+  in
+  let a = run () and b = run () in
+  check bool_c "same seed, same soak outcome" true (a = b);
+  let d, i, r, _, _ = a in
+  check bool_c "faults were injected" true (i > 0);
+  check bool_c "recoveries happened" true (r > 0);
+  check bool_c "most frames delivered" true (d > 200)
+
+let test_soak_availability () =
+  let p =
+    Experiments.recovery_soak ~frames:500 ~seed:5
+      ~policy:Config.Restart_replay ~rate:0.004 ()
+  in
+  check bool_c "availability >= 99%" true (p.Experiments.availability >= 0.99);
+  check bool_c "all NICs serviceable at end" true p.Experiments.serviceable;
+  check bool_c "recoveries > 0" true (p.Experiments.recoveries > 0)
+
+(* --- typed guest faults --- *)
+
+let bare_hypervisor () =
+  let phys = Td_mem.Phys_mem.create () in
+  let xen_space = Td_mem.Addr_space.create ~name:"xen" phys in
+  let dom0_space = Td_mem.Addr_space.create ~name:"dom0" phys in
+  let cpu = Td_cpu.State.create ~hyp_space:xen_space dom0_space in
+  let h =
+    Td_xen.Hypervisor.create
+      ~ledger:(Td_xen.Ledger.create ())
+      ~xen_space ~cpu ()
+  in
+  (h, dom0_space)
+
+let test_guest_fault_bad_grant () =
+  let h, space = bare_hypervisor () in
+  let owner =
+    Td_xen.Domain.create ~id:9 ~name:"g" ~kind:Td_xen.Domain.Guest ~space
+  in
+  let gt = Td_xen.Grant_table.create ~owner in
+  (* a bad grant reference is a typed, counted fault — not a crash *)
+  let before = Td_xen.Guest_fault.total () in
+  check bool_c "bad ref typed fault" true
+    (match Td_xen.Grant_table.copy_from gt ~hyp:h 999 ~offset:0 ~len:1 with
+    | exception Td_xen.Guest_fault.Fault { op = "Grant_table.copy_from"; _ } ->
+        true
+    | _ -> false);
+  check int_c "fault counted" (before + 1) (Td_xen.Guest_fault.total ())
+
+let test_no_domains_names_operation () =
+  let h, space = bare_hypervisor () in
+  let dom =
+    Td_xen.Domain.create ~id:1 ~name:"d" ~kind:Td_xen.Domain.Guest ~space
+  in
+  (* dom was never added: the error must say which operation tripped *)
+  check bool_c "error names the operation" true
+    (match Td_xen.Hypervisor.run_in h dom (fun () -> ()) with
+    | exception Failure msg ->
+        contains ~sub:"run_in" msg && contains ~sub:"no domains" msg
+    | _ -> false)
+
+let suite =
+  [
+    Alcotest.test_case "engine deterministic" `Quick test_engine_deterministic;
+    Alcotest.test_case "engine counters" `Quick test_engine_counters;
+    Alcotest.test_case "zero plan bit-identical" `Quick
+      test_zero_plan_bit_identical;
+    Alcotest.test_case "wild access contained" `Quick
+      test_wild_access_contained;
+    Alcotest.test_case "recovery restores shadow" `Quick
+      test_recovery_restores_shadow;
+    Alcotest.test_case "replay delivers the frame" `Quick
+      test_replay_policy_delivers;
+    Alcotest.test_case "soak reproducible" `Quick test_soak_reproducible;
+    Alcotest.test_case "soak availability" `Quick test_soak_availability;
+    Alcotest.test_case "guest fault: bad grant ref" `Quick
+      test_guest_fault_bad_grant;
+    Alcotest.test_case "no-domains error names op" `Quick
+      test_no_domains_names_operation;
+  ]

@@ -124,7 +124,7 @@ let test_pool_foreign_rejected () =
   let foreign = Skb.alloc km m.Harness.dom0 ~size:128 in
   check bool_c "foreign release rejected" true
     (match Skb_pool.release pool foreign with
-    | exception Failure _ -> true
+    | exception Td_xen.Guest_fault.Fault { op = "Skb_pool.release"; _ } -> true
     | _ -> false);
   check bool_c "frag buffer exists for pool skbs" true
     (Skb_pool.iter pool (fun skb -> assert (Skb_pool.frag_buffer pool skb > 0));

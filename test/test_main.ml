@@ -23,4 +23,5 @@ let () =
       ("netchannel", Test_netchannel.suite);
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
+      ("fault", Test_fault.suite);
     ]

@@ -106,10 +106,12 @@ let test_grant_map_copy () =
   Grant_table.map gt ~hyp ~into:dom0 ~at_vpage r;
   check int_c "shared via grant" 0xFEED
     (Td_mem.Addr_space.read m.Harness.dom0 (at_vpage * 4096) Td_misa.Width.W32);
+  let faults_before = Guest_fault.total () in
   check bool_c "revoke while mapped fails" true
     (match Grant_table.revoke gt r with
-    | exception Failure _ -> true
+    | exception Guest_fault.Fault { op = "Grant_table.revoke"; _ } -> true
     | _ -> false);
+  check int_c "guest fault counted" (faults_before + 1) (Guest_fault.total ());
   Grant_table.unmap gt ~hyp ~from:dom0 ~at_vpage r;
   (* gnttab_copy moves data and charges Xen *)
   let before = Ledger.total (Hypervisor.ledger hyp) Ledger.Xen in
