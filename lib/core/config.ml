@@ -34,6 +34,7 @@ type tuning = {
   map_window_pages : int;
   notify_batch : int;
   recovery : recovery;
+  stlb_exact_hits : bool;
 }
 
 let default_tuning =
@@ -41,4 +42,5 @@ let default_tuning =
     map_window_pages = Td_mem.Layout.map_window_pages;
     notify_batch = 1;
     recovery = Fail_stop;
+    stlb_exact_hits = true;
   }

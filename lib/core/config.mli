@@ -38,6 +38,13 @@ type tuning = {
           interrupt (1 = kick every frame, the paper's baseline).
           Flushed on ring pressure, {!World.pump} and {!World.tick}. *)
   recovery : recovery;  (** driver supervisor policy on abort. *)
+  stlb_exact_hits : bool;
+      (** Install the interpreter watcher that counts inline stlb probe
+          hits exactly ([stlb.hit]). On by default; switching it off
+          removes the only always-installed hook, putting the interpreter
+          on its closure-free basic-block fast path (the [interp] bench
+          measures the difference). Simulated cycles are identical either
+          way — only the [stlb.hit] metric and host wall-clock change. *)
 }
 
 val default_tuning : tuning

@@ -719,7 +719,7 @@ let init (w : t) =
      interpreter and credit the runtime that owns that stlb. The watched
      register still holds the pre-xor dom0 address when the hook fires. *)
   (match (w.svm_hyp, w.svm_vm) with
-  | Some hyp_rt, Some (vm_rt, vm_stlb) ->
+  | Some hyp_rt, Some (vm_rt, vm_stlb) when w.tuning.Config.stlb_exact_hits ->
       let hyp_hit = Layout.stlb_base + 4 and vm_hit = vm_stlb + 4 in
       Interp.add_hook w.interp (fun st insn ->
           match insn with

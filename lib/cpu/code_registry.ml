@@ -1,32 +1,97 @@
-type t = { mutable programs : Td_misa.Program.t list }
+(* Programs are kept sorted by base address so instruction fetch is a
+   binary search, and every mutation bumps [generation] so the
+   interpreter's block cache can tell when a cached (program, index)
+   pair may refer to an unregistered image (the supervisor reloading a
+   fresh driver over a dead twin's range). *)
+type t = {
+  mutable programs : Td_misa.Program.t array; (* sorted by base, ascending *)
+  mutable linear : Td_misa.Program.t list;
+      (* registration-ordered mirror (newest first), kept so
+         [find_linear] reproduces the pre-block-engine lookup — same data
+         structure, same traversal — as the measured baseline *)
+  mutable generation : int;
+}
 
-let create () = { programs = [] }
+let create () = { programs = [||]; linear = []; generation = 1 }
+let generation t = t.generation
 
 let overlaps (a : Td_misa.Program.t) (b : Td_misa.Program.t) =
   let a_end = a.Td_misa.Program.base + Td_misa.Program.size_bytes a in
   let b_end = b.Td_misa.Program.base + Td_misa.Program.size_bytes b in
   a.Td_misa.Program.base < b_end && b.Td_misa.Program.base < a_end
 
+let find_overlap t p =
+  let found = ref None in
+  Array.iter
+    (fun q -> if !found = None && overlaps p q then found := Some q)
+    t.programs;
+  !found
+
+let insert_sorted t p =
+  let old = t.programs in
+  let n = Array.length old in
+  let arr = Array.make (n + 1) p in
+  let i = ref 0 in
+  while !i < n && old.(!i).Td_misa.Program.base < p.Td_misa.Program.base do
+    arr.(!i) <- old.(!i);
+    incr i
+  done;
+  for j = !i to n - 1 do
+    arr.(j + 1) <- old.(j)
+  done;
+  t.programs <- arr;
+  t.generation <- t.generation + 1
+
 let register t p =
-  (match List.find_opt (overlaps p) t.programs with
+  (match find_overlap t p with
   | Some q ->
       invalid_arg
         (Printf.sprintf "Code_registry: %s overlaps %s" p.Td_misa.Program.name
            q.Td_misa.Program.name)
   | None -> ());
-  t.programs <- p :: t.programs
+  t.linear <- p :: t.linear;
+  insert_sorted t p
 
 (* Reload semantics: the driver supervisor re-runs the MISA loader at the
    same base after an abort, so any program the newcomer overlaps is the
    dead instance's image and gets unregistered first. *)
 let replace t p =
-  t.programs <- List.filter (fun q -> not (overlaps p q)) t.programs;
-  t.programs <- p :: t.programs
+  t.programs <-
+    Array.of_list
+      (List.filter
+         (fun q -> not (overlaps p q))
+         (Array.to_list t.programs));
+  t.linear <- p :: List.filter (fun q -> not (overlaps p q)) t.linear;
+  insert_sorted t p
 
+(* rightmost program whose base is <= addr; containment decides the rest
+   (programs never overlap, so at most one candidate exists) *)
 let find t addr =
-  List.find_opt (fun p -> Td_misa.Program.contains p addr) t.programs
+  let arr = t.programs in
+  let lo = ref 0 and hi = ref (Array.length arr - 1) and best = ref (-1) in
+  while !lo <= !hi do
+    let mid = (!lo + !hi) / 2 in
+    if arr.(mid).Td_misa.Program.base <= addr then begin
+      best := mid;
+      lo := mid + 1
+    end
+    else hi := mid - 1
+  done;
+  if !best >= 0 && Td_misa.Program.contains arr.(!best) addr then
+    Some arr.(!best)
+  else None
 
 let resolve t addr =
   match find t addr with
+  | Some p -> (p, Td_misa.Program.index_of_addr p addr)
+  | None -> raise Not_found
+
+(* the verbatim pre-engine implementation: a closure-allocating scan of a
+   registration-ordered linked list *)
+let find_linear t addr =
+  List.find_opt (fun p -> Td_misa.Program.contains p addr) t.linear
+
+let resolve_linear t addr =
+  match find_linear t addr with
   | Some p -> (p, Td_misa.Program.index_of_addr p addr)
   | None -> raise Not_found

@@ -2,7 +2,10 @@
 
     Programs do not live in simulated RAM; a code address identifies
     [(program, instruction index)] through this registry, which plays the
-    role of the instruction fetch path. *)
+    role of the instruction fetch path. Programs are kept sorted by base
+    so lookup is a binary search, and every mutation bumps a generation
+    stamp that the interpreter's block cache checks before trusting a
+    cached resolution. *)
 
 type t
 
@@ -14,10 +17,21 @@ val register : t -> Td_misa.Program.t -> unit
 val replace : t -> Td_misa.Program.t -> unit
 (** Like {!register}, but any overlapping programs are unregistered
     first — the supervisor reloading a fresh driver image over an
-    aborted instance's address range. *)
+    aborted instance's address range. Bumps the {!generation}, so blocks
+    the interpreter cached from the dead image can never execute. *)
+
+val generation : t -> int
+(** Monotonic stamp, bumped by {!register} and {!replace}. Consumers
+    holding resolutions across calls (the interpreter's block cache)
+    compare stamps and re-resolve on mismatch. *)
 
 val find : t -> int -> Td_misa.Program.t option
-(** Program containing the given code address. *)
+(** Program containing the given code address (binary search). *)
 
 val resolve : t -> int -> Td_misa.Program.t * int
 (** [(program, index)] for a code address. Raises [Not_found]. *)
+
+val resolve_linear : t -> int -> Td_misa.Program.t * int
+(** Like {!resolve} but via a linear scan of the registered programs —
+    the pre-block-engine fetch path, kept as the measured baseline for
+    the [interp] benchmark. Raises [Not_found]. *)

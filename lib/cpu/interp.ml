@@ -1,14 +1,52 @@
 exception Fault of string
 exception Timeout of int
 
+type dispatch = Block | Per_step
+
+(* Direct-mapped block cache: pc -> (program, index), valid only while
+   [bc_gen] matches the registry generation. 512 slots keyed on the
+   instruction index bits of the pc; collisions just re-resolve. *)
+let bc_size = 512
+
 type t = {
   state : State.t;
   registry : Code_registry.t;
   natives : Native.t;
   mutable hook : (State.t -> Td_misa.Insn.t -> unit) option;
+  mutable dispatch : dispatch;
+  mutable fuel : int;
+      (* instruction budget of the innermost [call]; charged per executed
+         instruction and per [rep] element so a corrupted huge ECX cannot
+         defeat the watchdog *)
+  mutable fuel_cap : int;
+  mutable bc_gen : int;
+  bc_addr : int array; (* -1 = empty slot *)
+  bc_prog : Td_misa.Program.t option array;
+  bc_idx : int array;
+  mutable block_hits : int;
+  mutable block_misses : int;
+  mutable invalidations : int;
 }
 
-let create ?hook state registry natives = { state; registry; natives; hook }
+let create ?hook state registry natives =
+  {
+    state;
+    registry;
+    natives;
+    hook;
+    dispatch = Block;
+    fuel = max_int;
+    fuel_cap = max_int;
+    bc_gen = 0;
+    bc_addr = Array.make bc_size (-1);
+    bc_prog = Array.make bc_size None;
+    bc_idx = Array.make bc_size 0;
+    block_hits = 0;
+    block_misses = 0;
+    invalidations = 0;
+  }
+
+let set_dispatch t d = t.dispatch <- d
 
 let add_hook t h =
   match t.hook with
@@ -76,6 +114,20 @@ let assign t w dst v =
   | Operand.Reg r -> State.set_narrow t.state w r v
   | Operand.Mem m -> store t (addr_of_mem t.state m) w v
 
+(* 32-bit specialisations of [eval]/[assign] for the dominant case:
+   registers are kept 32-bit by [State.set], so the width mask is
+   redundant, and W32 [set_narrow] is just [set] *)
+let eval32 t = function
+  | Operand.Imm n -> n land 0xFFFFFFFF
+  | Operand.Reg r -> State.get t.state r
+  | Operand.Mem m -> load t (addr_of_mem t.state m) Width.W32
+
+let assign32 t dst v =
+  match dst with
+  | Operand.Imm _ -> raise (Fault "store to immediate")
+  | Operand.Reg r -> State.set t.state r v
+  | Operand.Mem m -> store t (addr_of_mem t.state m) Width.W32 v
+
 (* --- flags --- *)
 
 let set_zs st v =
@@ -116,7 +168,7 @@ let cond_true st = function
 let target_addr t = function
   | Insn.Lbl l -> raise (Fault ("unresolved label: " ^ l))
   | Insn.Abs a -> a
-  | Insn.Ind o -> eval t Width.W32 o
+  | Insn.Ind o -> eval32 t o
 
 let do_call t dest =
   let st = t.state in
@@ -175,6 +227,10 @@ let exec_str t op w rep =
   if not rep then str_step t op w
   else
     while State.get st Reg.ECX <> 0 do
+      (* each element consumes call budget: a corrupted (or hostile) huge
+         ECX must trip the timeout guard, not spin the watchdog forever *)
+      if t.fuel <= 0 then raise (Timeout t.fuel_cap);
+      t.fuel <- t.fuel - 1;
       str_step t op w;
       State.set st Reg.ECX (State.get st Reg.ECX - 1)
     done
@@ -198,30 +254,33 @@ let is_simple = function
       true
   | _ -> false
 
-let exec_insn t (prog : Program.t) insn =
+(* top-level so the hot loop does not allocate a closure per instruction *)
+let advance st = st.State.pc <- st.State.pc + 4
+
+let exec_insn t insn =
   let st = t.state in
-  (if is_simple insn && st.State.pair_slot then
+  let simple = is_simple insn in
+  (if simple && st.State.pair_slot then
      (* issues in the previous instruction's empty slot *)
      st.State.pair_slot <- false
    else begin
      State.add_cycles st st.State.costs.Cost_model.insn;
-     st.State.pair_slot <- is_simple insn
+     st.State.pair_slot <- simple
    end);
-  let next () = st.State.pc <- st.State.pc + 4 in
   match insn with
   | Insn.Mov (w, src, dst) ->
       let v = eval t w src in
       assign t w dst v;
-      next ()
+      advance st
   | Insn.Movzx (w, src, r) ->
       let v = eval t w src in
       State.set st r (v land Width.mask w);
-      next ()
+      advance st
   | Insn.Lea (m, r) ->
       State.set st r (addr_of_mem st m);
-      next ()
+      advance st
   | Insn.Alu (op, src, dst) ->
-      let a = eval t Width.W32 src and b = eval t Width.W32 dst in
+      let a = eval32 t src and b = eval32 t dst in
       let r =
         match op with
         | Insn.Add ->
@@ -259,11 +318,11 @@ let exec_insn t (prog : Program.t) insn =
             flags_logic st r;
             r
       in
-      assign t Width.W32 dst r;
-      next ()
+      assign32 t dst r;
+      advance st
   | Insn.Shift (op, cnt, dst) ->
-      let c = eval t Width.W32 cnt land 31 in
-      let v = eval t Width.W32 dst in
+      let c = eval32 t cnt land 31 in
+      let v = eval32 t dst in
       let r =
         if c = 0 then v
         else
@@ -280,62 +339,68 @@ let exec_insn t (prog : Program.t) insn =
               mask32 (signed asr c)
       in
       if c <> 0 then set_zs st r;
-      assign t Width.W32 dst r;
-      next ()
+      assign32 t dst r;
+      advance st
   | Insn.Cmp (src, dst) ->
-      let a = eval t Width.W32 src and b = eval t Width.W32 dst in
+      let a = eval32 t src and b = eval32 t dst in
       flags_sub st b a (mask32 (b - a));
-      next ()
+      advance st
   | Insn.Test (src, dst) ->
-      let a = eval t Width.W32 src and b = eval t Width.W32 dst in
+      let a = eval32 t src and b = eval32 t dst in
       flags_logic st (a land b);
-      next ()
+      advance st
   | Insn.Inc o ->
-      let v = mask32 (eval t Width.W32 o + 1) in
+      let v = mask32 (eval32 t o + 1) in
       set_zs st v;
-      assign t Width.W32 o v;
-      next ()
+      assign32 t o v;
+      advance st
   | Insn.Dec o ->
-      let v = mask32 (eval t Width.W32 o - 1) in
+      let v = mask32 (eval32 t o - 1) in
       set_zs st v;
-      assign t Width.W32 o v;
-      next ()
+      assign32 t o v;
+      advance st
   | Insn.Neg o ->
-      let v = eval t Width.W32 o in
+      let v = eval32 t o in
       let r = mask32 (-v) in
       set_zs st r;
       st.State.cf <- v <> 0;
-      assign t Width.W32 o r;
-      next ()
+      assign32 t o r;
+      advance st
   | Insn.Not o ->
-      assign t Width.W32 o (mask32 (lnot (eval t Width.W32 o)));
-      next ()
+      assign32 t o (mask32 (lnot (eval32 t o)));
+      advance st
   | Insn.Imul (src, r) ->
-      let v = mask32 (eval t Width.W32 src * State.get st r) in
+      let signed v = if v land sign_bit <> 0 then v - 0x1_0000_0000 else v in
+      let full = signed (eval32 t src) * signed (State.get st r) in
+      let v = mask32 full in
       set_zs st v;
+      (* x86: CF = OF = 1 when the signed product does not fit in 32 bits *)
+      let overflow = full < -0x8000_0000 || full > 0x7FFF_FFFF in
+      st.State.cf <- overflow;
+      st.State.ovf <- overflow;
       State.set st r v;
-      next ()
+      advance st
   | Insn.Xchg (o, r) ->
-      let ov = eval t Width.W32 o in
+      let ov = eval32 t o in
       let rv = State.get st r in
-      assign t Width.W32 o rv;
+      assign32 t o rv;
       State.set st r ov;
-      next ()
+      advance st
   | Insn.Push o ->
-      let v = eval t Width.W32 o in
+      let v = eval32 t o in
       charge_access t (State.get st Reg.ESP - 4) Width.W32;
       State.push st v;
-      next ()
+      advance st
   | Insn.Pop o ->
       charge_access t (State.get st Reg.ESP) Width.W32;
       let v = State.pop st in
-      assign t Width.W32 o v;
-      next ()
+      assign32 t o v;
+      advance st
   | Insn.Jmp tgt -> do_jump t (target_addr t tgt)
-  | Insn.Jcc (c, lbl) ->
-      if cond_true st c then
-        st.State.pc <- Program.addr_of_label prog lbl
-      else next ()
+  | Insn.Jcc (c, tgt) ->
+      (* [tgt] is a pre-resolved [Abs] after assembly, so a taken branch
+         costs an assignment, not a label-string hash *)
+      if cond_true st c then st.State.pc <- target_addr t tgt else advance st
   | Insn.Call tgt -> do_call t (target_addr t tgt)
   | Insn.Ret ->
       charge_access t (State.get st Reg.ESP) Width.W32;
@@ -343,7 +408,7 @@ let exec_insn t (prog : Program.t) insn =
       st.State.pc <- State.pop st
   | Insn.Str (op, w, rep) ->
       exec_str t op w rep;
-      next ()
+      advance st
   | Insn.Pushf ->
       let v =
         (if st.State.zf then 1 else 0)
@@ -353,7 +418,7 @@ let exec_insn t (prog : Program.t) insn =
       in
       charge_access t (State.get st Reg.ESP - 4) Width.W32;
       State.push st v;
-      next ()
+      advance st
   | Insn.Popf ->
       charge_access t (State.get st Reg.ESP) Width.W32;
       let v = State.pop st in
@@ -361,8 +426,8 @@ let exec_insn t (prog : Program.t) insn =
       st.State.sf <- v land 2 <> 0;
       st.State.cf <- v land 4 <> 0;
       st.State.ovf <- v land 8 <> 0;
-      next ()
-  | Insn.Nop -> next ()
+      advance st
+  | Insn.Nop -> advance st
   | Insn.Hlt -> st.State.pc <- ret_sentinel
 
 (* fault-injection site: flip one bit of architectural state before the
@@ -379,12 +444,66 @@ let inject_bitflip st =
       let bit = Td_fault.Engine.pick Td_fault.Interp_bitflip 32 in
       State.set st reg (State.get st reg lxor (1 lsl bit))
 
+(* --- instruction fetch --- *)
+
+(* A jump into unmapped, misaligned or out-of-range code is a driver
+   fault, not a simulator crash: everything surfaces as [Fault] so the
+   supervisor's recovery policies apply. *)
+let unmapped pc =
+  raise (Fault (Printf.sprintf "execution at unmapped address 0x%x" pc))
+
+let resolve_uncached t pc =
+  match Code_registry.find t.registry pc with
+  | None -> unmapped pc
+  | Some p ->
+      let off = pc - p.Program.base in
+      if off land 3 <> 0 then
+        raise
+          (Fault
+             (Printf.sprintf "execution at misaligned code address 0x%x" pc));
+      (p, off lsr 2)
+
+(* the pre-block-engine fetch path, selectable as the [Per_step]
+   dispatch mode so the interp benchmark can measure the old cost with
+   the same harness *)
+let resolve_legacy t pc =
+  match Code_registry.resolve_linear t.registry pc with
+  | res -> res
+  | exception Not_found -> unmapped pc
+  | exception Invalid_argument msg -> raise (Fault msg)
+
+let resolve_cached t pc =
+  let gen = Code_registry.generation t.registry in
+  if t.bc_gen <> gen then begin
+    (* a program was registered or replaced: drop every cached block so a
+       dead twin's image can never execute after a supervised reload *)
+    Array.fill t.bc_addr 0 bc_size (-1);
+    Array.fill t.bc_prog 0 bc_size None;
+    t.bc_gen <- gen;
+    t.invalidations <- t.invalidations + 1
+  end;
+  let slot = (pc lsr 2) land (bc_size - 1) in
+  if Array.unsafe_get t.bc_addr slot = pc then begin
+    t.block_hits <- t.block_hits + 1;
+    match Array.unsafe_get t.bc_prog slot with
+    | Some p -> (p, Array.unsafe_get t.bc_idx slot)
+    | None -> assert false
+  end
+  else begin
+    t.block_misses <- t.block_misses + 1;
+    let ((p, i) as res) = resolve_uncached t pc in
+    t.bc_addr.(slot) <- pc;
+    t.bc_prog.(slot) <- Some p;
+    t.bc_idx.(slot) <- i;
+    res
+  end
+
 let step t =
   let st = t.state in
   let prog, idx =
-    try Code_registry.resolve t.registry st.State.pc
-    with Not_found ->
-      raise (Fault (Printf.sprintf "execution at unmapped address 0x%x" st.State.pc))
+    match t.dispatch with
+    | Block -> resolve_cached t st.State.pc
+    | Per_step -> resolve_legacy t st.State.pc
   in
   let insn = prog.Program.code.(idx) in
   (match t.hook with Some h -> h st insn | None -> ());
@@ -393,19 +512,83 @@ let step t =
     && Td_fault.Engine.fire Td_fault.Interp_bitflip
   then inject_bitflip st;
   st.State.steps <- st.State.steps + 1;
-  exec_insn t prog insn
+  exec_insn t insn
+
+(* Watchers (profiler, stlb-hit counter, fault injection) need to observe
+   every instruction; without them dispatch is closure-free. Hooks are
+   installed and fault plans change only outside driver execution, and a
+   [Call] ends a block, so checking once per control transfer is exactly
+   equivalent to the old per-instruction checks. *)
+let needs_slow_path t =
+  (match t.hook with Some _ -> true | None -> false)
+  || (match t.dispatch with Per_step -> true | Block -> false)
+  || Td_fault.Engine.active ()
 
 let call ?(max_steps = 1_000_000) t ~entry ~args =
   let st = t.state in
   List.iter (State.push st) (List.rev args);
   State.push st ret_sentinel;
   st.State.pc <- entry;
-  let budget = ref max_steps in
-  while st.State.pc <> ret_sentinel do
-    if !budget <= 0 then raise (Timeout max_steps);
-    decr budget;
-    step t
-  done;
+  (* natives re-enter the interpreter (upcalls), so each nested call gets
+     its own budget and the outer one is restored on the way out *)
+  let saved_fuel = t.fuel and saved_cap = t.fuel_cap in
+  t.fuel <- max_steps;
+  t.fuel_cap <- max_steps;
+  Fun.protect
+    ~finally:(fun () ->
+      t.fuel <- saved_fuel;
+      t.fuel_cap <- saved_cap)
+    (fun () ->
+      while st.State.pc <> ret_sentinel do
+        if t.fuel <= 0 then raise (Timeout t.fuel_cap);
+        if needs_slow_path t then begin
+          t.fuel <- t.fuel - 1;
+          step t
+        end
+        else begin
+          (* straight-line fast path: resolve once, execute to the end of
+             the basic block by array index. In-block instructions only
+             fall through (control transfers end blocks), so the pc needs
+             no sentinel or bounds re-check until the block is done. *)
+          let prog, idx = resolve_cached t st.State.pc in
+          let stop = Array.unsafe_get prog.Program.block_end idx in
+          let avail = stop - idx + 1 in
+          let n = if avail > t.fuel then t.fuel else avail in
+          t.fuel <- t.fuel - n;
+          let code = prog.Program.code in
+          let last = idx + n - 1 in
+          (* steps are bulk-charged, with the uncommon abort path giving
+             back the instructions after the faulting one so the count
+             matches per-step execution exactly *)
+          st.State.steps <- st.State.steps + n;
+          let i = ref idx in
+          (try
+             while !i <= last do
+               exec_insn t (Array.unsafe_get code !i);
+               incr i
+             done
+           with e ->
+             st.State.steps <- st.State.steps - (last - !i);
+             raise e)
+        end
+      done);
   (* pop the arguments (caller cleans up, cdecl) *)
   State.set st Reg.ESP (State.get st Reg.ESP + (4 * List.length args));
   State.get st Reg.EAX
+
+(* --- engine introspection (interp bench) --- *)
+
+let block_hits t = t.block_hits
+let block_misses t = t.block_misses
+let invalidations t = t.invalidations
+
+(* Gauges are published on demand only: the global metrics registry is
+   snapshotted wholesale into every Measure result, so registering these
+   during normal runs would perturb the bit-identical bench exports. *)
+let publish_metrics t =
+  let set name v =
+    Td_obs.Metrics.set (Td_obs.Metrics.gauge name) (float_of_int v)
+  in
+  set "interp.block_hits" t.block_hits;
+  set "interp.block_misses" t.block_misses;
+  set "interp.invalidations" t.invalidations

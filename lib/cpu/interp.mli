@@ -13,16 +13,40 @@ exception Timeout of int
 (** Raised when [max_steps] is exceeded — the resource-hoarding guard the
     paper delegates to VINO-style timeouts (§4.5.2). *)
 
+type dispatch =
+  | Block
+      (** resolve the program once per control transfer through a
+          generation-stamped block cache, then execute straight-line by
+          array index (the default) *)
+  | Per_step
+      (** resolve every instruction through a linear registry scan — the
+          pre-block-engine fetch path, kept as the measured baseline for
+          the [interp] benchmark *)
+
 type t = {
   state : State.t;
   registry : Code_registry.t;
   natives : Native.t;
   mutable hook : (State.t -> Td_misa.Insn.t -> unit) option;
+  mutable dispatch : dispatch;
+  mutable fuel : int;
+  mutable fuel_cap : int;
+  mutable bc_gen : int;
+  bc_addr : int array;
+  bc_prog : Td_misa.Program.t option array;
+  bc_idx : int array;
+  mutable block_hits : int;
+  mutable block_misses : int;
+  mutable invalidations : int;
 }
+(** Construct only through {!create}; the cache fields are exposed for
+    the record type's sake and are not part of the stable API. *)
 
 val create :
   ?hook:(State.t -> Td_misa.Insn.t -> unit) ->
   State.t -> Code_registry.t -> Native.t -> t
+
+val set_dispatch : t -> dispatch -> unit
 
 val add_hook : t -> (State.t -> Td_misa.Insn.t -> unit) -> unit
 (** Compose a per-instruction hook with any already installed (existing
@@ -39,7 +63,28 @@ val call : ?max_steps:int -> t -> entry:int -> args:int list -> int
 (** [call t ~entry ~args] pushes [args] (cdecl, right-to-left), invokes the
     routine at code address [entry] and runs to completion; returns [EAX].
     [ESP] must already point to a valid stack. Default [max_steps] is
-    1_000_000. *)
+    1_000_000. The budget is charged per executed instruction and per
+    [rep] string element, so a corrupted huge ECX times out rather than
+    spinning forever. Without a hook or an active fault plan, execution
+    proceeds a basic block at a time (see {!dispatch}); simulated cycles,
+    steps and metrics are identical on both paths, only host wall-clock
+    differs. *)
 
-val exec_insn : t -> Td_misa.Program.t -> Td_misa.Insn.t -> unit
+val exec_insn : t -> Td_misa.Insn.t -> unit
 (** Execute one instruction (for tests); [state.pc] must identify it. *)
+
+(* engine introspection (the [interp] bench) *)
+
+val block_hits : t -> int
+val block_misses : t -> int
+
+val invalidations : t -> int
+(** Whole-cache flushes triggered by a registry generation change
+    ({!Code_registry.register} / {!Code_registry.replace}). *)
+
+val publish_metrics : t -> unit
+(** Export the three counters above as [interp.block_hits] /
+    [interp.block_misses] / [interp.invalidations] gauges. Called
+    explicitly by the interp benchmark — never during normal runs, so
+    the registry snapshot embedded in every Measure result stays
+    bit-identical with pre-engine exports. *)

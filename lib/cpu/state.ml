@@ -34,8 +34,11 @@ let create ?(costs = Cost_model.default) ?hyp_space space =
   }
 
 let mask32 v = v land 0xFFFFFFFF
-let get t r = t.regs.(Td_misa.Reg.index r)
-let set t r v = t.regs.(Td_misa.Reg.index r) <- mask32 v
+
+(* [Reg.index] is total over the 8-register file and [regs] always has
+   length 8, so the bounds check is provably dead on the hot path *)
+let get t r = Array.unsafe_get t.regs (Td_misa.Reg.index r)
+let set t r v = Array.unsafe_set t.regs (Td_misa.Reg.index r) (mask32 v)
 
 let set_narrow t w r v =
   match w with

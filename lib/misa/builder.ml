@@ -43,7 +43,7 @@ let pushl b o = ins b (Insn.Push o)
 let popl b o = ins b (Insn.Pop o)
 let jmp b l = ins b (Insn.Jmp (Insn.Lbl l))
 let jmp_ind b o = ins b (Insn.Jmp (Insn.Ind o))
-let jcc b c l = ins b (Insn.Jcc (c, l))
+let jcc b c l = ins b (Insn.Jcc (c, Insn.Lbl l))
 let je b l = jcc b Cond.E l
 let jne b l = jcc b Cond.NE l
 let call b l = ins b (Insn.Call (Insn.Lbl l))

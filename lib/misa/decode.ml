@@ -194,7 +194,7 @@ let decode ?(name = "disassembled") data =
         | Jcc_to (cond, a) ->
             if not (in_range a) then
               raise (Malformed "conditional jump out of program range");
-            Insn.Jcc (cond, label_of ((a - base) / 4))
+            Insn.Jcc (cond, Insn.Lbl (label_of ((a - base) / 4)))
       in
       items := Program.Ins insn :: !items)
     raws;

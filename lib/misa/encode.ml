@@ -172,10 +172,14 @@ let put_insn buf prog insn =
   | Insn.Jmp t ->
       op op_jmp_abs;
       target t
-  | Insn.Jcc (c, l) ->
+  | Insn.Jcc (c, t) ->
       op op_jcc;
       put_u8 buf (cond_code c);
-      put_u32 buf (Program.addr_of_label prog l)
+      put_u32 buf
+        (match t with
+        | Insn.Abs a -> a
+        | Insn.Lbl l -> Program.addr_of_label prog l
+        | Insn.Ind _ -> invalid_arg "encode: indirect conditional jump")
   | Insn.Call (Insn.Ind o) ->
       op op_call_ind;
       put_operand buf o

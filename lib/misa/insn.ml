@@ -21,7 +21,7 @@ type t =
   | Push of Operand.t
   | Pop of Operand.t
   | Jmp of target
-  | Jcc of Cond.t * string
+  | Jcc of Cond.t * target
   | Call of target
   | Ret
   | Str of str_op * Width.t * bool
@@ -40,11 +40,9 @@ let mem_operands = function
       mem_of_operand a @ mem_of_operand b
   | Movzx (_, a, _) | Imul (a, _) | Xchg (a, _) -> mem_of_operand a
   | Inc a | Dec a | Neg a | Not a | Push a | Pop a -> mem_of_operand a
-  | Jmp (Ind a) | Call (Ind a) -> mem_of_operand a
-  | Jmp (Lbl _ | Abs _) | Call (Lbl _ | Abs _) -> []
-  | Lea (_, _) | Jcc (_, _) | Ret | Str (_, _, _) | Pushf | Popf | Nop | Hlt
-    ->
-      []
+  | Jmp (Ind a) | Call (Ind a) | Jcc (_, Ind a) -> mem_of_operand a
+  | Jmp (Lbl _ | Abs _) | Call (Lbl _ | Abs _) | Jcc (_, (Lbl _ | Abs _)) -> []
+  | Lea (_, _) | Ret | Str (_, _, _) | Pushf | Popf | Nop | Hlt -> []
 
 let references_heap i =
   List.exists (fun m -> not (Operand.is_stack_relative m)) (mem_operands i)
@@ -76,8 +74,7 @@ let regs_read = function
   | Xchg (o, r) -> r :: op_reads o
   | Push o -> Reg.ESP :: op_reads o
   | Pop o -> Reg.ESP :: op_addr o
-  | Jmp t | Call t -> target_reads t
-  | Jcc (_, _) -> []
+  | Jmp t | Call t | Jcc (_, t) -> target_reads t
   | Ret -> [ Reg.ESP ]
   | Str (Movs, _, rep) ->
       Reg.ESI :: Reg.EDI :: (if rep then [ Reg.ECX ] else [])
@@ -134,6 +131,14 @@ let is_terminator = function
   | Str (_, _, _) | Pushf | Popf | Nop ->
       false
 
+let is_control_transfer = function
+  | Jmp _ | Jcc (_, _) | Call _ | Ret | Hlt -> true
+  | Mov (_, _, _) | Movzx (_, _, _) | Lea (_, _) | Alu (_, _, _)
+  | Shift (_, _, _) | Cmp (_, _) | Test (_, _) | Inc _ | Dec _ | Neg _ | Not _
+  | Imul (_, _) | Xchg (_, _) | Push _ | Pop _ | Str (_, _, _) | Pushf | Popf
+  | Nop ->
+      false
+
 let equal (a : t) (b : t) = a = b
 
 let alu_name = function
@@ -176,7 +181,7 @@ let pp fmt insn =
   | Push a -> one "pushl" a
   | Pop a -> one "popl" a
   | Jmp t -> Format.fprintf fmt "jmp %a" pp_target t
-  | Jcc (c, l) -> Format.fprintf fmt "j%s %s" (Cond.to_string c) l
+  | Jcc (c, t) -> Format.fprintf fmt "j%s %a" (Cond.to_string c) pp_target t
   | Call t -> Format.fprintf fmt "call %a" pp_target t
   | Ret -> Format.pp_print_string fmt "ret"
   | Str (op, w, rep) ->

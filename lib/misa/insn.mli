@@ -31,7 +31,10 @@ type t =
   | Push of Operand.t
   | Pop of Operand.t
   | Jmp of target
-  | Jcc of Cond.t * string
+  | Jcc of Cond.t * target
+      (** conditional jump; written as a [Lbl] and lowered to a pre-resolved
+          [Abs] address by {!Program.assemble} (always a local label — see
+          {!Program.assemble}); [Ind] is rejected *)
   | Call of target
   | Ret
   | Str of str_op * Width.t * bool  (** string op; [true] = [rep] prefix *)
@@ -62,6 +65,12 @@ val reads_flags : t -> bool
 
 val is_terminator : t -> bool
 (** True for instructions that end a basic block: jumps, returns, [Hlt]. *)
+
+val is_control_transfer : t -> bool
+(** True for every instruction that can move the pc away from fall-through:
+    {!is_terminator} plus [Jcc] and [Call]. The interpreter's block engine
+    cuts straight-line runs at these (a [Call] may dispatch to a native or
+    re-enter the registry, so it ends a block even though it returns). *)
 
 val equal : t -> t -> bool
 val pp : Format.formatter -> t -> unit

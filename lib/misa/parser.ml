@@ -205,7 +205,10 @@ let parse_insn line mnemonic args =
       (* conditional jumps: j<cc> label *)
       if String.length mnemonic > 1 && mnemonic.[0] = 'j' then
         match Cond.of_string (String.sub mnemonic 1 (String.length mnemonic - 1)) with
-        | Some c -> Insn.Jcc (c, strip args)
+        | Some c -> (
+            match parse_target line args with
+            | Insn.Ind _ -> fail line "indirect conditional jump"
+            | t -> Insn.Jcc (c, t))
         | None -> fail line ("unknown mnemonic: " ^ mnemonic)
       else fail line ("unknown mnemonic: " ^ mnemonic))
 

@@ -7,6 +7,7 @@ type t = {
   base : int;
   code : Insn.t array;
   label_index : (string, int) Hashtbl.t;
+  block_end : int array;
 }
 
 exception Unresolved of string
@@ -75,9 +76,19 @@ let assemble ?(symbols = fun _ -> None) ~base (src : source) =
     | Insn.Pop a -> Insn.Pop (r a)
     | Insn.Jmp t -> Insn.Jmp (resolve_target t)
     | Insn.Call t -> Insn.Call (resolve_target t)
-    | Insn.Jcc (c, l) ->
-        if not (Hashtbl.mem labels l) then raise (Unresolved l);
-        Insn.Jcc (c, l)
+    | Insn.Jcc (c, t) -> (
+        (* Conditional jumps must target local labels; they are lowered to
+           pre-resolved absolute addresses so execution never re-hashes the
+           label string on a taken branch. *)
+        match t with
+        | Insn.Lbl l -> (
+            match addr_of_label l with
+            | Some a -> Insn.Jcc (c, Insn.Abs a)
+            | None -> raise (Unresolved l))
+        | Insn.Abs a -> Insn.Jcc (c, Insn.Abs a)
+        | Insn.Ind _ ->
+            invalid_arg
+              (Printf.sprintf "%s: indirect conditional jump" src.name))
     | (Insn.Ret | Insn.Str (_, _, _) | Insn.Pushf | Insn.Popf | Insn.Nop
       | Insn.Hlt) as i ->
         i
@@ -88,7 +99,19 @@ let assemble ?(symbols = fun _ -> None) ~base (src : source) =
       src.items
     |> Array.of_list
   in
-  { name = src.name; base; code; label_index = labels }
+  (* Basic-block map: block_end.(i) is the index of the last instruction of
+     the straight-line run starting at i — the first control transfer at or
+     after i (or the last instruction when execution would fall off the
+     end). Computed once here so the interpreter's block engine can execute
+     [i .. block_end.(i)] without per-instruction address decoding. *)
+  let n = Array.length code in
+  let block_end = Array.make n 0 in
+  for i = n - 1 downto 0 do
+    block_end.(i) <-
+      (if i = n - 1 || Insn.is_control_transfer code.(i) then i
+       else block_end.(i + 1))
+  done;
+  { name = src.name; base; code; label_index = labels; block_end }
 
 let size_bytes p = 4 * Array.length p.code
 

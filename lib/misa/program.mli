@@ -17,6 +17,12 @@ type t = {
   base : int;
   code : Insn.t array;
   label_index : (string, int) Hashtbl.t;  (** label -> instruction index *)
+  block_end : int array;
+      (** [block_end.(i)] is the index of the last instruction of the
+          straight-line run starting at [i]: the first control transfer
+          ([Insn.is_control_transfer]) at or after [i], or the last
+          instruction of the program. Precomputed at assembly for the
+          interpreter's basic-block execution engine. *)
 }
 
 exception Unresolved of string
@@ -28,7 +34,8 @@ val assemble : ?symbols:(string -> int option) -> base:int -> source -> t
 (** [assemble ~symbols ~base src] lays out [src] at [base]. [symbols] is
     consulted for call/jump targets that are not local labels and for
     symbolic memory displacements; unresolved names raise {!Unresolved}.
-    Conditional jumps must target local labels. *)
+    Conditional jumps must target local labels; their [Lbl] targets are
+    lowered to pre-resolved [Abs] addresses in the assembled code. *)
 
 val size_bytes : t -> int
 (** Size of the code range: [4 * Array.length code]. *)

@@ -46,10 +46,11 @@ let analyse (src : Program.source) =
         | Some j -> ([ j ], false)
         | None -> ([], true) (* tail call to external symbol *))
     | Insn.Jmp (Insn.Abs _ | Insn.Ind _) -> ([], true)
-    | Insn.Jcc (_, l) -> (
+    | Insn.Jcc (_, Insn.Lbl l) -> (
         match Hashtbl.find_opt labels l with
         | Some j -> ((if i + 1 < n then [ j; i + 1 ] else [ j ]), false)
         | None -> ([], true))
+    | Insn.Jcc (_, (Insn.Abs _ | Insn.Ind _)) -> ([], true)
     | Insn.Ret | Insn.Hlt -> ([], false)
     | _ -> if i + 1 < n then ([ i + 1 ], false) else ([], false)
   in

@@ -75,13 +75,13 @@ let rewrite ~free ~flags_live ~op ~width ~rep =
     and l_min2 = Builder.gensym "smin2" in
     lbl l_loop;
     ins (Insn.Cmp (Operand.Imm 0, rg Reg.ECX));
-    ins (Insn.Jcc (Cond.E, l_end));
+    ins (Insn.Jcc (Cond.E, Insn.Lbl l_end));
     (* r1 = min over the pointers of bytes-to-page-end *)
     if uses_esi op then room Reg.ESI r1 else room Reg.EDI r1;
     if uses_esi op && uses_edi op then begin
       room Reg.EDI r2;
       ins (Insn.Cmp (rg r2, rg r1));
-      ins (Insn.Jcc (Cond.BE, l_min1));
+      ins (Insn.Jcc (Cond.BE, Insn.Lbl l_min1));
       mov (rg r2) (rg r1);
       lbl l_min1
     end;
@@ -92,12 +92,12 @@ let rewrite ~free ~flags_live ~op ~width ~rep =
     if k > 0 then begin
       ins (Insn.Shift (Insn.Shr, Operand.Imm k, rg r3));
       ins (Insn.Cmp (Operand.Imm 0, rg r3));
-      ins (Insn.Jcc (Cond.NE, l_nz));
+      ins (Insn.Jcc (Cond.NE, Insn.Lbl l_nz));
       mov (Operand.Imm 1) (rg r3);
       lbl l_nz
     end;
     ins (Insn.Cmp (rg Reg.ECX, rg r3));
-    ins (Insn.Jcc (Cond.BE, l_min2));
+    ins (Insn.Jcc (Cond.BE, Insn.Lbl l_min2));
     mov (rg Reg.ECX) (rg r3);
     lbl l_min2;
     (* stash original pointers, switch to translated ones *)

@@ -80,7 +80,7 @@ let rewrite_heap_access_into ~free ~flags_live ~insn ~mem ~rebuild ~avoid =
   ins (Insn.Alu (Insn.And, Operand.Imm 0xFFF000, Operand.Reg r1));
   ins (Insn.Shift (Insn.Shr, Operand.Imm 9, Operand.Reg r1));
   ins (Insn.Cmp (stlb_entry r1 0, Operand.Reg r3));
-  ins (Insn.Jcc (Cond.NE, l_slow));
+  ins (Insn.Jcc (Cond.NE, Insn.Lbl l_slow));
   ins (Insn.Alu (Insn.Xor, stlb_entry r1 4, Operand.Reg r2));
   lbl l_go;
   List.iter

@@ -64,7 +64,9 @@ let inspect (src : Program.source) =
                     "indirect jump: control-flow integrity depends on the \
                      stlb_call translation";
                 }
-          | Insn.Jmp (Insn.Abs a) | Insn.Call (Insn.Abs a) ->
+          | Insn.Jmp (Insn.Abs a)
+          | Insn.Call (Insn.Abs a)
+          | Insn.Jcc (_, Insn.Abs a) ->
               (* native-range addresses are resolved support-routine
                  bindings (normal in pre-linked binaries); the hypervisor's
                  own region below them is never a legitimate target *)

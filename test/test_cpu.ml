@@ -265,6 +265,151 @@ let test_tlb_flush_on_switch () =
   check bool_c "tlb cold after switch" false
     (Tlb.access st.State.tlb (Td_mem.Layout.page_of va))
 
+(* pushf encoding: ZF=1, SF=2, CF=4, OF=8 *)
+let flags_after f =
+  ret_of (fun b m ->
+      f b m;
+      Builder.ins b Insn.Pushf;
+      Builder.popl b (Builder.reg Reg.EAX);
+      Builder.ret b)
+
+let test_imul_overflow_flags () =
+  let fl =
+    flags_after (fun b _ ->
+        Builder.movl b (Builder.imm 0x10000) (Builder.reg Reg.EBX);
+        Builder.imull b (Builder.imm 0x10000) Reg.EBX)
+  in
+  check bool_c "cf set on signed overflow" true (fl land 4 <> 0);
+  check bool_c "of set on signed overflow" true (fl land 8 <> 0);
+  let fl =
+    flags_after (fun b _ ->
+        Builder.movl b (Builder.imm 1000) (Builder.reg Reg.EBX);
+        Builder.imull b (Builder.imm 1000) Reg.EBX)
+  in
+  check bool_c "cf clear when product fits" false (fl land 4 <> 0);
+  check bool_c "of clear when product fits" false (fl land 8 <> 0);
+  (* -2 * 2^30 = -2^31: the most negative int32 still fits *)
+  let fl =
+    flags_after (fun b _ ->
+        Builder.movl b (Builder.imm 0x40000000) (Builder.reg Reg.EBX);
+        Builder.imull b (Builder.imm 0xFFFFFFFE) Reg.EBX)
+  in
+  check bool_c "min-int32 product fits" false (fl land (4 lor 8) <> 0)
+
+let test_rep_consumes_call_budget () =
+  (* a corrupted huge ECX must trip the per-call watchdog, not spin it *)
+  let m = Harness.make_machine () in
+  let buf = Td_mem.Addr_space.heap_alloc m.Harness.dom0 8192 in
+  let b = Builder.create "rep" in
+  Builder.label b "entry";
+  Builder.movl b (Builder.imm buf) (Builder.reg Reg.EDI);
+  Builder.movl b (Builder.imm 0) (Builder.reg Reg.EAX);
+  Builder.movl b (Builder.imm 10_000_000) (Builder.reg Reg.ECX);
+  Builder.rep_stosl b;
+  Builder.ret b;
+  let prog =
+    Program.assemble ~base:Td_mem.Layout.vm_driver_code_base (Builder.finish b)
+  in
+  Code_registry.register m.Harness.registry prog;
+  let st = Harness.dom0_cpu m in
+  let interp = Harness.interp_of m st in
+  check bool_c "huge rep ECX trips the timeout" true
+    (match
+       Interp.call ~max_steps:500 interp
+         ~entry:(Program.addr_of_label prog "entry")
+         ~args:[]
+     with
+    | exception Interp.Timeout _ -> true
+    | _ -> false)
+
+(* a driver jumping to a misaligned or out-of-range address must surface
+   as [Interp.Fault] (so recovery policies apply), never as the
+   [Invalid_argument] that [Program.index_of_addr] raises internally *)
+let test_fault_on_bad_jump () =
+  let faults dispatch target =
+    let m = Harness.make_machine () in
+    let b = Builder.create "mis" in
+    Builder.label b "entry";
+    Builder.jmp_ind b (Builder.imm target);
+    let prog =
+      Program.assemble ~base:Td_mem.Layout.vm_driver_code_base
+        (Builder.finish b)
+    in
+    Code_registry.register m.Harness.registry prog;
+    let st = Harness.dom0_cpu m in
+    let interp = Harness.interp_of m st in
+    Interp.set_dispatch interp dispatch;
+    match
+      Interp.call interp
+        ~entry:(Program.addr_of_label prog "entry")
+        ~args:[]
+    with
+    | exception Interp.Fault _ -> true
+    | exception Invalid_argument _ -> false
+    | _ -> false
+  in
+  let misaligned = Td_mem.Layout.vm_driver_code_base + 2 in
+  let out_of_range = Td_mem.Layout.vm_driver_code_base + 0x1000 in
+  check bool_c "misaligned, block engine" true (faults Interp.Block misaligned);
+  check bool_c "misaligned, per-step engine" true
+    (faults Interp.Per_step misaligned);
+  check bool_c "out of range, block engine" true
+    (faults Interp.Block out_of_range);
+  check bool_c "out of range, per-step engine" true
+    (faults Interp.Per_step out_of_range)
+
+let test_block_cache_invalidation_on_replace () =
+  let m = Harness.make_machine () in
+  let base = Td_mem.Layout.vm_driver_code_base in
+  let image v =
+    let b = Builder.create (Printf.sprintf "img%d" v) in
+    Builder.label b "entry";
+    Builder.movl b (Builder.imm v) (Builder.reg Reg.EAX);
+    Builder.ret b;
+    Program.assemble ~base (Builder.finish b)
+  in
+  let p1 = image 1 in
+  Code_registry.register m.Harness.registry p1;
+  let st = Harness.dom0_cpu m in
+  let interp = Harness.interp_of m st in
+  let entry = Program.addr_of_label p1 "entry" in
+  check int_c "first image" 1 (Interp.call interp ~entry ~args:[]);
+  Code_registry.replace m.Harness.registry (image 2);
+  check int_c "replacement executes, not the cached block" 2
+    (Interp.call interp ~entry ~args:[]);
+  check bool_c "block cache was flushed" true (Interp.invalidations interp >= 1)
+
+let test_engine_modes_identical_results () =
+  let run_mode ?hook dispatch =
+    let m = Harness.make_machine () in
+    let b = Builder.create "sum" in
+    Builder.label b "entry";
+    Builder.movl b (Builder.imm 0) (Builder.reg Reg.EAX);
+    Builder.movl b (Builder.imm 10) (Builder.reg Reg.ECX);
+    Builder.label b "loop";
+    Builder.addl b (Builder.reg Reg.ECX) (Builder.reg Reg.EAX);
+    Builder.decl b (Builder.reg Reg.ECX);
+    Builder.jne b "loop";
+    Builder.ret b;
+    let prog =
+      Program.assemble ~base:Td_mem.Layout.vm_driver_code_base
+        (Builder.finish b)
+    in
+    Code_registry.register m.Harness.registry prog;
+    let st = Harness.dom0_cpu m in
+    let interp = Interp.create ?hook st m.Harness.registry m.Harness.natives in
+    Interp.set_dispatch interp dispatch;
+    let r =
+      Interp.call interp ~entry:(Program.addr_of_label prog "entry") ~args:[]
+    in
+    (r, st.State.cycles, st.State.steps)
+  in
+  let free = run_mode Interp.Block in
+  let hooked = run_mode ~hook:(fun _ _ -> ()) Interp.Block in
+  let legacy = run_mode Interp.Per_step in
+  check bool_c "watcher does not change simulated results" true (free = hooked);
+  check bool_c "per-step does not change simulated results" true (free = legacy)
+
 let suite =
   [
     Alcotest.test_case "mov imm" `Quick test_mov_imm;
@@ -288,4 +433,12 @@ let suite =
     Alcotest.test_case "fault unmapped code" `Quick test_fault_on_unmapped_code;
     Alcotest.test_case "cycles accumulate" `Quick test_cycles_accumulate;
     Alcotest.test_case "tlb flush on switch" `Quick test_tlb_flush_on_switch;
+    Alcotest.test_case "imul overflow flags" `Quick test_imul_overflow_flags;
+    Alcotest.test_case "rep consumes call budget" `Quick
+      test_rep_consumes_call_budget;
+    Alcotest.test_case "fault on bad jump" `Quick test_fault_on_bad_jump;
+    Alcotest.test_case "block cache invalidation" `Quick
+      test_block_cache_invalidation_on_replace;
+    Alcotest.test_case "engine modes identical" `Quick
+      test_engine_modes_identical_results;
   ]

@@ -179,6 +179,49 @@ let test_soak_availability () =
   check bool_c "all NICs serviceable at end" true p.Experiments.serviceable;
   check bool_c "recoveries > 0" true (p.Experiments.recoveries > 0)
 
+(* --- execution faults are typed and recoverable --- *)
+
+(* A corrupted function pointer sends the driver to a misaligned code
+   address. That must surface as the typed [Interp.Fault] the supervisor
+   contains as an abort — not the bare [Invalid_argument] that
+   [Program.index_of_addr] raises internally — and after the supervisor
+   reloads a fresh image over the dead instance's range, the same warm
+   interpreter must execute the replacement, never a stale cached block. *)
+let test_misaligned_jump_recovery_cycle () =
+  let open Td_misa in
+  let m = Harness.make_machine () in
+  let base = Td_mem.Layout.vm_driver_code_base in
+  let bad =
+    let b = Builder.create "drv" in
+    Builder.label b "entry";
+    Builder.jmp_ind b (Builder.imm (base + 2));
+    Builder.finish b
+  in
+  let good =
+    let b = Builder.create "drv" in
+    Builder.label b "entry";
+    Builder.movl b (Builder.imm 42) (Builder.reg Reg.EAX);
+    Builder.ret b;
+    Builder.finish b
+  in
+  let prog =
+    Td_rewriter.Loader.load ~name:"drv" ~source:bad ~base
+      ~symbols:Td_rewriter.Loader.empty ~registry:m.Harness.registry
+  in
+  let st = Harness.dom0_cpu m in
+  let interp = Harness.interp_of m st in
+  let entry = Program.addr_of_label prog "entry" in
+  check bool_c "misaligned jump is a typed interpreter fault" true
+    (match Td_cpu.Interp.call interp ~entry ~args:[] with
+    | exception Td_cpu.Interp.Fault _ -> true
+    | exception Invalid_argument _ -> false
+    | _ -> false);
+  ignore
+    (Td_rewriter.Loader.reload ~name:"drv" ~source:good ~base
+       ~symbols:Td_rewriter.Loader.empty ~registry:m.Harness.registry);
+  check int_c "reloaded image executes on the warm interpreter" 42
+    (Td_cpu.Interp.call interp ~entry ~args:[])
+
 (* --- typed guest faults --- *)
 
 let bare_hypervisor () =
@@ -234,6 +277,8 @@ let suite =
       test_replay_policy_delivers;
     Alcotest.test_case "soak reproducible" `Quick test_soak_reproducible;
     Alcotest.test_case "soak availability" `Quick test_soak_availability;
+    Alcotest.test_case "misaligned jump recovery cycle" `Quick
+      test_misaligned_jump_recovery_cycle;
     Alcotest.test_case "guest fault: bad grant ref" `Quick
       test_guest_fault_bad_grant;
     Alcotest.test_case "no-domains error names op" `Quick

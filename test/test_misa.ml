@@ -256,7 +256,7 @@ let arbitrary_insn : Insn.t QCheck.Gen.t =
           (oneofl [ Width.W8; Width.W32 ])
           bool );
       ( 2,
-        map2 (fun c n -> Insn.Jcc (c, "l" ^ string_of_int n))
+        map2 (fun c n -> Insn.Jcc (c, Insn.Lbl ("l" ^ string_of_int n)))
           (oneofl [ Cond.E; Cond.NE; Cond.L; Cond.A; Cond.BE ])
           (int_range 0 9) );
     ]
@@ -303,7 +303,7 @@ let test_pp_stable () =
           ( Operand.Mem (Operand.mem ~base:Reg.ECX ~sym:"__stlb" 0),
             Operand.Reg Reg.EDX ),
         "cmpl __stlb(%ecx), %edx" );
-      (Insn.Jcc (Cond.NE, ".L1"), "jne .L1");
+      (Insn.Jcc (Cond.NE, Insn.Lbl ".L1"), "jne .L1");
     ]
   in
   List.iter

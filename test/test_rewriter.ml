@@ -484,7 +484,7 @@ let gen_branchy : Program.source QCheck.Gen.t =
             Program.Ins
               (Insn.Cmp
                  (Builder.imm (List.nth cmp_vals i), Builder.mem ~base:Reg.EBX 0));
-            Program.Ins (Insn.Jcc (List.nth conds i, skip));
+            Program.Ins (Insn.Jcc (List.nth conds i, Insn.Lbl skip));
             Program.Ins (Insn.Push (Builder.mem ~base:Reg.EBX 4));
             Program.Ins (Insn.Call (Insn.Lbl "helper"));
             Program.Ins (Insn.Alu (Insn.Add, Operand.Imm 4, Builder.reg Reg.ESP));
