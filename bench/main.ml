@@ -599,20 +599,27 @@ let interp_rig () =
     movl b (imm 100_000) (reg Reg.ECX);
     movl b (imm 0) (reg Reg.EAX);
     movl b (imm 1) (reg Reg.EDX);
-    (* register move / ALU / flag-test mix, the same instruction profile
-       as the rewritten SVM fast path the engine exists to speed up *)
+    movl b (imm (interp_stack_top - 64)) (reg Reg.EBP);
+    (* register move / ALU / flag-test / descriptor-touch mix, the same
+       instruction profile as the rewritten SVM fast path the engine
+       exists to speed up; the two same-base memory accesses give the
+       compiled tier's stlb-redundancy elimination something to elide *)
     label b "loop";
-    addl b (reg Reg.EDX) (reg Reg.EAX);
-    movl b (reg Reg.EAX) (reg Reg.EBX);
-    xorl b (reg Reg.EDX) (reg Reg.EBX);
-    testl b (reg Reg.EBX) (reg Reg.EBX);
-    movl b (reg Reg.EBX) (reg Reg.EDI);
-    incl b (reg Reg.EDI);
-    addl b (reg Reg.EDI) (reg Reg.EDX);
-    testl b (reg Reg.EDX) (reg Reg.EDX);
-    movl b (reg Reg.EAX) (reg Reg.ESI);
-    incl b (reg Reg.ESI);
-    cmpl b (imm 3) (reg Reg.ESI);
+    for _ = 1 to 2 do
+      addl b (reg Reg.EDX) (reg Reg.EAX);
+      movl b (reg Reg.EAX) (reg Reg.EBX);
+      xorl b (reg Reg.EDX) (reg Reg.EBX);
+      testl b (reg Reg.EBX) (reg Reg.EBX);
+      movl b (reg Reg.EBX) (reg Reg.EDI);
+      incl b (reg Reg.EDI);
+      addl b (reg Reg.EDI) (reg Reg.EDX);
+      testl b (reg Reg.EDX) (reg Reg.EDX);
+      movl b (reg Reg.EAX) (reg Reg.ESI);
+      incl b (reg Reg.ESI);
+      cmpl b (imm 3) (reg Reg.ESI)
+    done;
+    movl b (reg Reg.ESI) (mem ~base:Reg.EBP 0);
+    addl b (mem ~base:Reg.EBP 0) (reg Reg.ESI);
     decl b (reg Reg.ECX);
     jne b "loop";
     ret b);
@@ -653,7 +660,10 @@ let interp_measure (st, i, entry) =
 let interp () =
   header
     "Interp engine: host wall-clock throughput (simulated results unchanged)";
-  let block, sig_block, eng =
+  let compiled, sig_compiled, eng =
+    interp_measure (interp_variant Td_cpu.Interp.Compiled)
+  in
+  let block, sig_block, beng =
     interp_measure (interp_variant Td_cpu.Interp.Block)
   in
   let watcher, sig_watch, _ =
@@ -662,27 +672,35 @@ let interp () =
   let legacy, sig_legacy, _ =
     interp_measure (interp_variant Td_cpu.Interp.Per_step)
   in
-  let identical = sig_block = sig_watch && sig_block = sig_legacy in
+  let identical =
+    sig_block = sig_watch && sig_block = sig_legacy
+    && sig_block = sig_compiled
+  in
   let speedup = block /. legacy in
+  let speedup_compiled = compiled /. legacy in
   Printf.printf "%-42s %10s\n" "engine mode" "Minsn/s";
+  Printf.printf "%-42s %10.1f\n" "compiled superblocks, hook-free" compiled;
   Printf.printf "%-42s %10.1f\n" "basic-block, hook-free" block;
   Printf.printf "%-42s %10.1f\n" "basic-block, no-op watcher installed" watcher;
   Printf.printf "%-42s %10.1f\n" "per-step resolve (pre-engine baseline)"
     legacy;
   Printf.printf
-    "\nblock engine vs per-step baseline: %.1fx   (acceptance floor: 3x)\n\
+    "\nblock engine vs per-step baseline:    %.1fx   (informational)\n\
+     compiled engine vs per-step baseline: %.1fx   (acceptance floor: 10x)\n\
      simulated (cycles, steps) per call identical across modes: %b\n"
-    speedup identical;
+    speedup speedup_compiled identical;
   Td_cpu.Interp.publish_metrics eng;
-  (* fig8-style simulated receive throughput, watcher on vs off: the stlb
-     watcher is the only always-installed hook, so switching it off via
-     tuning puts the whole world on the closure-free fast path. Simulated
-     cycles per packet must not move. *)
-  let rx ~exact =
+  (* fig8-style simulated receive throughput: first watcher on vs off (the
+     stlb watcher is the only always-installed hook, so switching it off
+     via tuning puts the whole world on the closure-free fast path), then
+     the hook-free run repeated under every dispatch engine. Simulated
+     cycles per packet must not move in either dimension. *)
+  let rx ~exact ~mode =
     let tuning =
       { Config.default_tuning with Config.stlb_exact_hits = exact }
     in
     let w = World.create ~nics:1 ~tuning Config.Xen_twin in
+    Td_cpu.Interp.set_dispatch (World.interp w) mode;
     let payload = String.make 1500 'r' in
     let t0 = Sys.time () in
     for i = 1 to 2000 do
@@ -699,32 +717,51 @@ let interp () =
     let frames = World.delivered_rx_frames w in
     (float_of_int cycles /. float_of_int frames, frames, host)
   in
-  let cpp_on, frames_on, host_on = rx ~exact:true in
-  let cpp_off, frames_off, host_off = rx ~exact:false in
+  let cpp_on, frames_on, host_on = rx ~exact:true ~mode:Td_cpu.Interp.Compiled in
+  let cpp_off, frames_off, host_off =
+    rx ~exact:false ~mode:Td_cpu.Interp.Compiled
+  in
+  let cpp_blk, frames_blk, _ = rx ~exact:false ~mode:Td_cpu.Interp.Block in
+  let cpp_ps, frames_ps, _ = rx ~exact:false ~mode:Td_cpu.Interp.Per_step in
+  let rx_identical =
+    cpp_on = cpp_off && cpp_on = cpp_blk && cpp_on = cpp_ps
+    && frames_on = frames_off && frames_on = frames_blk
+    && frames_on = frames_ps
+  in
   Printf.printf
     "\nfig8-style rx, 2000 frames: %.0f cycles/pkt with the stlb watcher, \
      %.0f without\n\
-     (identical: %b); host %.2fs -> %.2fs\n"
-    cpp_on cpp_off
-    (cpp_on = cpp_off && frames_on = frames_off)
-    host_on host_off;
+     (identical across watcher on/off and all three engines: %b); \
+     host %.2fs -> %.2fs\n"
+    cpp_on cpp_off rx_identical host_on host_off;
   bench_json "interp"
     [
       ( "host",
         Json.Obj
           [
+            ("compiled_hook_free_minsn_s", Json.Float compiled);
             ("block_hook_free_minsn_s", Json.Float block);
             ("block_watcher_minsn_s", Json.Float watcher);
             ("per_step_resolve_minsn_s", Json.Float legacy);
             ("speedup_block_over_per_step", Json.Float speedup);
+            ("speedup_compiled_over_per_step", Json.Float speedup_compiled);
           ] );
       ("simulated_identical_across_modes", Json.Bool identical);
       ( "block_cache",
         Json.Obj
           [
-            ("hits", Json.Int (Td_cpu.Interp.block_hits eng));
-            ("misses", Json.Int (Td_cpu.Interp.block_misses eng));
-            ("invalidations", Json.Int (Td_cpu.Interp.invalidations eng));
+            ("hits", Json.Int (Td_cpu.Interp.block_hits beng));
+            ("misses", Json.Int (Td_cpu.Interp.block_misses beng));
+            ("invalidations", Json.Int (Td_cpu.Interp.invalidations beng));
+          ] );
+      ( "compiled_cache",
+        Json.Obj
+          [
+            ("compiled_blocks", Json.Int (Td_cpu.Interp.compiled_blocks eng));
+            ("compiled_hits", Json.Int (Td_cpu.Interp.compiled_hits eng));
+            ( "compiled_bailouts",
+              Json.Int (Td_cpu.Interp.compiled_bailouts eng) );
+            ("stlb_elided", Json.Int (Td_cpu.Interp.stlb_elided eng));
           ] );
       ( "simulated_rx",
         Json.Obj
@@ -732,8 +769,9 @@ let interp () =
             ("frames", Json.Int frames_on);
             ("cycles_per_packet_watcher", Json.Float cpp_on);
             ("cycles_per_packet_hook_free", Json.Float cpp_off);
-            ( "bit_identical_cycles",
-              Json.Bool (cpp_on = cpp_off && frames_on = frames_off) );
+            ("cycles_per_packet_block", Json.Float cpp_blk);
+            ("cycles_per_packet_per_step", Json.Float cpp_ps);
+            ("bit_identical_cycles", Json.Bool rx_identical);
             ("host_s_watcher", Json.Float host_on);
             ("host_s_hook_free", Json.Float host_off);
           ] );

@@ -35,6 +35,8 @@ type tuning = {
   notify_batch : int;
   recovery : recovery;
   stlb_exact_hits : bool;
+  compile_threshold : int;
+  superblock_cap : int;
 }
 
 let default_tuning =
@@ -43,4 +45,6 @@ let default_tuning =
     notify_batch = 1;
     recovery = Fail_stop;
     stlb_exact_hits = true;
+    compile_threshold = 8;
+    superblock_cap = 64;
   }

@@ -45,6 +45,16 @@ type tuning = {
           on its closure-free basic-block fast path (the [interp] bench
           measures the difference). Simulated cycles are identical either
           way — only the [stlb.hit] metric and host wall-clock change. *)
+  compile_threshold : int;
+      (** Dispatches of a block entry before the interpreter promotes it
+          to a compiled superblock (default 8). Only observable with
+          [stlb_exact_hits = false] — the watcher forces the
+          per-instruction slow path. Simulated cycles are identical
+          either way. *)
+  superblock_cap : int;
+      (** Maximum instructions traced into one compiled superblock,
+          including blocks stitched across unconditional jumps and
+          fallthrough edges (default 64). *)
 }
 
 val default_tuning : tuning

@@ -412,7 +412,11 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
       skb_pool;
       netios = [||];
       gmac_index = Hashtbl.create 8;
-      interp = Interp.create cpu registry natives;
+      interp =
+        (let i = Interp.create cpu registry natives in
+         Interp.set_compile_threshold i tuning.Config.compile_threshold;
+         Interp.set_superblock_cap i tuning.Config.superblock_cap;
+         i);
       timers = Timer_wheel.create ();
       sched =
         (let sc = Scheduler.create () in

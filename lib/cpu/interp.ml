@@ -1,12 +1,22 @@
-exception Fault of string
-exception Timeout of int
+(* The interpreter proper: dispatch policy, instruction-fetch caches and
+   engine counters layered over the shared per-instruction semantics
+   ([Semantics]) and the compiled tier ([Superblock]). The execution
+   pipeline is documented in docs/INTERPRETER.md. *)
 
-type dispatch = Block | Per_step
+exception Fault = Semantics.Fault
+exception Timeout = Semantics.Timeout
+
+type dispatch = Block | Per_step | Compiled
 
 (* Direct-mapped block cache: pc -> (program, index), valid only while
    [bc_gen] matches the registry generation. 512 slots keyed on the
-   instruction index bits of the pc; collisions just re-resolve. *)
+   instruction index bits of the pc; collisions just re-resolve. The
+   compiled-code cache below uses the same geometry, keyed on superblock
+   entry addresses. *)
 let bc_size = 512
+
+let default_compile_threshold = 8
+let default_superblock_cap = 64
 
 type t = {
   state : State.t;
@@ -14,11 +24,6 @@ type t = {
   natives : Native.t;
   mutable hook : (State.t -> Td_misa.Insn.t -> unit) option;
   mutable dispatch : dispatch;
-  mutable fuel : int;
-      (* instruction budget of the innermost [call]; charged per executed
-         instruction and per [rep] element so a corrupted huge ECX cannot
-         defeat the watchdog *)
-  mutable fuel_cap : int;
   mutable bc_gen : int;
   bc_addr : int array; (* -1 = empty slot *)
   bc_prog : Td_misa.Program.t option array;
@@ -26,6 +31,17 @@ type t = {
   mutable block_hits : int;
   mutable block_misses : int;
   mutable invalidations : int;
+  (* compiled tier: entry hotness and compiled superblocks, flushed on
+     the same generation bumps as the block cache *)
+  cc_addr : int array; (* -1 = empty slot *)
+  cc_hot : int array; (* min_int = known uncompilable *)
+  cc_blk : Superblock.t option array;
+  mutable compile_threshold : int;
+  mutable superblock_cap : int;
+  mutable compiled_blocks : int;
+  mutable compiled_hits : int;
+  mutable compiled_bailouts : int;
+  stlb_elided : int ref;
 }
 
 let create ?hook state registry natives =
@@ -34,9 +50,7 @@ let create ?hook state registry natives =
     registry;
     natives;
     hook;
-    dispatch = Block;
-    fuel = max_int;
-    fuel_cap = max_int;
+    dispatch = Compiled;
     bc_gen = 0;
     bc_addr = Array.make bc_size (-1);
     bc_prog = Array.make bc_size None;
@@ -44,396 +58,34 @@ let create ?hook state registry natives =
     block_hits = 0;
     block_misses = 0;
     invalidations = 0;
+    cc_addr = Array.make bc_size (-1);
+    cc_hot = Array.make bc_size 0;
+    cc_blk = Array.make bc_size None;
+    compile_threshold = default_compile_threshold;
+    superblock_cap = default_superblock_cap;
+    compiled_blocks = 0;
+    compiled_hits = 0;
+    compiled_bailouts = 0;
+    stlb_elided = ref 0;
   }
 
 let set_dispatch t d = t.dispatch <- d
+let set_compile_threshold t n = t.compile_threshold <- max 1 n
+let set_superblock_cap t n = t.superblock_cap <- max 1 n
 
 let add_hook t h =
   match t.hook with
   | None -> t.hook <- Some h
   | Some g -> t.hook <- Some (fun st insn -> g st insn; h st insn)
 
-let ret_sentinel = 0xFFFF_FFF0
-let mask32 v = v land 0xFFFFFFFF
-let sign_bit = 0x80000000
+let ret_sentinel = Semantics.ret_sentinel
 
-open Td_misa
-
-(* --- memory access with cost accounting --- *)
-
-let charge_access t addr w =
-  let st = t.state in
-  let cost = ref st.State.costs.Cost_model.mem_access in
-  if not (Tlb.access st.State.tlb (Td_mem.Layout.page_of addr)) then
-    cost := !cost + st.State.costs.Cost_model.tlb_miss;
-  (let space = State.space_for st addr in
-   match
-     Td_mem.Addr_space.frame_of_vpage space ~vpage:(Td_mem.Layout.page_of addr)
-   with
-   | Some frame ->
-       let paddr = (frame * Td_mem.Layout.page_size) + Td_mem.Layout.offset_of addr in
-       if not (Cache.access st.State.cache paddr) then
-         cost := !cost + st.State.costs.Cost_model.cache_miss
-   | None ->
-       (* device page or unmapped (the access itself will fault if
-          unmapped); MMIO is an uncached PCI transaction *)
-       cost := !cost + st.State.costs.Cost_model.mmio);
-  ignore w;
-  State.add_cycles st !cost
-
-let load t addr w =
-  charge_access t addr w;
-  State.read_mem t.state addr w
-
-let store t addr w v =
-  charge_access t addr w;
-  State.write_mem t.state addr w v
-
-(* --- operand evaluation --- *)
-
-let addr_of_mem st (m : Operand.mem) =
-  let base = match m.Operand.base with Some r -> State.get st r | None -> 0 in
-  let index =
-    match m.Operand.index with
-    | Some (r, s) -> State.get st r * Operand.scale_factor s
-    | None -> 0
-  in
-  (match m.Operand.sym with
-  | Some s -> raise (Fault ("unresolved symbol in operand: " ^ s))
-  | None -> ());
-  mask32 (m.Operand.disp + base + index)
-
-let eval t w = function
-  | Operand.Imm n -> n land Width.mask w
-  | Operand.Reg r -> State.get t.state r land Width.mask w
-  | Operand.Mem m -> load t (addr_of_mem t.state m) w
-
-let assign t w dst v =
-  match dst with
-  | Operand.Imm _ -> raise (Fault "store to immediate")
-  | Operand.Reg r -> State.set_narrow t.state w r v
-  | Operand.Mem m -> store t (addr_of_mem t.state m) w v
-
-(* 32-bit specialisations of [eval]/[assign] for the dominant case:
-   registers are kept 32-bit by [State.set], so the width mask is
-   redundant, and W32 [set_narrow] is just [set] *)
-let eval32 t = function
-  | Operand.Imm n -> n land 0xFFFFFFFF
-  | Operand.Reg r -> State.get t.state r
-  | Operand.Mem m -> load t (addr_of_mem t.state m) Width.W32
-
-let assign32 t dst v =
-  match dst with
-  | Operand.Imm _ -> raise (Fault "store to immediate")
-  | Operand.Reg r -> State.set t.state r v
-  | Operand.Mem m -> store t (addr_of_mem t.state m) Width.W32 v
-
-(* --- flags --- *)
-
-let set_zs st v =
-  st.State.zf <- mask32 v = 0;
-  st.State.sf <- v land sign_bit <> 0
-
-let flags_logic st v =
-  set_zs st v;
-  st.State.cf <- false;
-  st.State.ovf <- false
-
-let flags_add st a b r =
-  set_zs st r;
-  st.State.cf <- a + b > 0xFFFFFFFF;
-  st.State.ovf <- (a lxor r) land (b lxor r) land sign_bit <> 0
-
-let flags_sub st dst src r =
-  set_zs st r;
-  st.State.cf <- dst < src;
-  st.State.ovf <- (dst lxor src) land (dst lxor r) land sign_bit <> 0
-
-let cond_true st = function
-  | Cond.E -> st.State.zf
-  | Cond.NE -> not st.State.zf
-  | Cond.L -> st.State.sf <> st.State.ovf
-  | Cond.LE -> st.State.zf || st.State.sf <> st.State.ovf
-  | Cond.G -> (not st.State.zf) && st.State.sf = st.State.ovf
-  | Cond.GE -> st.State.sf = st.State.ovf
-  | Cond.B -> st.State.cf
-  | Cond.BE -> st.State.cf || st.State.zf
-  | Cond.A -> (not st.State.cf) && not st.State.zf
-  | Cond.AE -> not st.State.cf
-  | Cond.S -> st.State.sf
-  | Cond.NS -> not st.State.sf
-
-(* --- control transfer --- *)
-
-let target_addr t = function
-  | Insn.Lbl l -> raise (Fault ("unresolved label: " ^ l))
-  | Insn.Abs a -> a
-  | Insn.Ind o -> eval32 t o
-
-let do_call t dest =
-  let st = t.state in
-  State.add_cycles st st.State.costs.Cost_model.call;
-  if Native.is_native_addr dest then begin
-    match Native.lookup t.natives dest with
-    | Some fn ->
-        State.add_cycles st st.State.costs.Cost_model.native_call;
-        (* Native routines may re-enter the interpreter (upcalls), which
-           clobbers [pc]; resume at the instruction after the call. The
-           return address is pushed so that [State.stack_arg] sees the
-           same frame layout as in a simulated call, and popped here in
-           lieu of the callee's [ret]. *)
-        let resume = st.State.pc + 4 in
-        State.push st resume;
-        fn st;
-        ignore (State.pop st);
-        st.State.pc <- resume
-    | None -> raise (Fault (Printf.sprintf "call to unregistered native 0x%x" dest))
-  end
-  else begin
-    State.push st (st.State.pc + 4);
-    st.State.pc <- dest
-  end
-
-let do_jump t dest =
-  if Native.is_native_addr dest then
-    raise (Fault (Printf.sprintf "jump to native address 0x%x" dest));
-  t.state.State.pc <- dest
-
-(* --- string operations --- *)
-
-let str_step t op w =
-  let st = t.state in
-  let n = Width.bytes w in
-  State.add_cycles st st.State.costs.Cost_model.str_unit;
-  (match op with
-  | Insn.Movs ->
-      let src = State.get st Reg.ESI and dst = State.get st Reg.EDI in
-      let v = load t src w in
-      store t dst w v;
-      State.set st Reg.ESI (src + n);
-      State.set st Reg.EDI (dst + n)
-  | Insn.Stos ->
-      let dst = State.get st Reg.EDI in
-      store t dst w (State.get st Reg.EAX land Width.mask w);
-      State.set st Reg.EDI (dst + n)
-  | Insn.Lods ->
-      let src = State.get st Reg.ESI in
-      let v = load t src w in
-      State.set_narrow st w Reg.EAX v;
-      State.set st Reg.ESI (src + n))
-
-let exec_str t op w rep =
-  let st = t.state in
-  if not rep then str_step t op w
-  else
-    while State.get st Reg.ECX <> 0 do
-      (* each element consumes call budget: a corrupted (or hostile) huge
-         ECX must trip the timeout guard, not spin the watchdog forever *)
-      if t.fuel <= 0 then raise (Timeout t.fuel_cap);
-      t.fuel <- t.fuel - 1;
-      str_step t op w;
-      State.set st Reg.ECX (State.get st Reg.ECX - 1)
-    done
-
-(* --- main dispatch --- *)
-
-(* Dual-issue model: a register-only move/ALU instruction pairs with an
-   immediately preceding simple instruction and issues for free. This is
-   the superscalar effect that keeps the SVM fast path (mostly simple ALU
-   work) cheaper than ten sequential cycles. *)
-let is_simple = function
-  | Insn.Mov (_, (Operand.Imm _ | Operand.Reg _), Operand.Reg _)
-  | Insn.Lea (_, _)
-  | Insn.Alu (_, (Operand.Imm _ | Operand.Reg _), Operand.Reg _)
-  | Insn.Shift (_, (Operand.Imm _ | Operand.Reg _), Operand.Reg _)
-  | Insn.Cmp ((Operand.Imm _ | Operand.Reg _), Operand.Reg _)
-  | Insn.Test ((Operand.Imm _ | Operand.Reg _), Operand.Reg _)
-  | Insn.Inc (Operand.Reg _)
-  | Insn.Dec (Operand.Reg _)
-  | Insn.Nop ->
-      true
-  | _ -> false
-
-(* top-level so the hot loop does not allocate a closure per instruction *)
-let advance st = st.State.pc <- st.State.pc + 4
-
-let exec_insn t insn =
-  let st = t.state in
-  let simple = is_simple insn in
-  (if simple && st.State.pair_slot then
-     (* issues in the previous instruction's empty slot *)
-     st.State.pair_slot <- false
-   else begin
-     State.add_cycles st st.State.costs.Cost_model.insn;
-     st.State.pair_slot <- simple
-   end);
-  match insn with
-  | Insn.Mov (w, src, dst) ->
-      let v = eval t w src in
-      assign t w dst v;
-      advance st
-  | Insn.Movzx (w, src, r) ->
-      let v = eval t w src in
-      State.set st r (v land Width.mask w);
-      advance st
-  | Insn.Lea (m, r) ->
-      State.set st r (addr_of_mem st m);
-      advance st
-  | Insn.Alu (op, src, dst) ->
-      let a = eval32 t src and b = eval32 t dst in
-      let r =
-        match op with
-        | Insn.Add ->
-            let r = mask32 (b + a) in
-            flags_add st a b r;
-            r
-        | Insn.Sub ->
-            let r = mask32 (b - a) in
-            flags_sub st b a r;
-            r
-        | Insn.Adc ->
-            let carry = if st.State.cf then 1 else 0 in
-            let r = mask32 (b + a + carry) in
-            set_zs st r;
-            st.State.cf <- b + a + carry > 0xFFFFFFFF;
-            st.State.ovf <- (a lxor r) land (b lxor r) land sign_bit <> 0;
-            r
-        | Insn.Sbb ->
-            let borrow = if st.State.cf then 1 else 0 in
-            let r = mask32 (b - a - borrow) in
-            set_zs st r;
-            st.State.cf <- b < a + borrow;
-            st.State.ovf <- (b lxor a) land (b lxor r) land sign_bit <> 0;
-            r
-        | Insn.And ->
-            let r = b land a in
-            flags_logic st r;
-            r
-        | Insn.Or ->
-            let r = b lor a in
-            flags_logic st r;
-            r
-        | Insn.Xor ->
-            let r = b lxor a in
-            flags_logic st r;
-            r
-      in
-      assign32 t dst r;
-      advance st
-  | Insn.Shift (op, cnt, dst) ->
-      let c = eval32 t cnt land 31 in
-      let v = eval32 t dst in
-      let r =
-        if c = 0 then v
-        else
-          match op with
-          | Insn.Shl ->
-              st.State.cf <- (v lsr (32 - c)) land 1 = 1;
-              mask32 (v lsl c)
-          | Insn.Shr ->
-              st.State.cf <- (v lsr (c - 1)) land 1 = 1;
-              v lsr c
-          | Insn.Sar ->
-              let signed = if v land sign_bit <> 0 then v - 0x1_0000_0000 else v in
-              st.State.cf <- (signed asr (c - 1)) land 1 = 1;
-              mask32 (signed asr c)
-      in
-      if c <> 0 then set_zs st r;
-      assign32 t dst r;
-      advance st
-  | Insn.Cmp (src, dst) ->
-      let a = eval32 t src and b = eval32 t dst in
-      flags_sub st b a (mask32 (b - a));
-      advance st
-  | Insn.Test (src, dst) ->
-      let a = eval32 t src and b = eval32 t dst in
-      flags_logic st (a land b);
-      advance st
-  | Insn.Inc o ->
-      let v = mask32 (eval32 t o + 1) in
-      set_zs st v;
-      assign32 t o v;
-      advance st
-  | Insn.Dec o ->
-      let v = mask32 (eval32 t o - 1) in
-      set_zs st v;
-      assign32 t o v;
-      advance st
-  | Insn.Neg o ->
-      let v = eval32 t o in
-      let r = mask32 (-v) in
-      set_zs st r;
-      st.State.cf <- v <> 0;
-      assign32 t o r;
-      advance st
-  | Insn.Not o ->
-      assign32 t o (mask32 (lnot (eval32 t o)));
-      advance st
-  | Insn.Imul (src, r) ->
-      let signed v = if v land sign_bit <> 0 then v - 0x1_0000_0000 else v in
-      let full = signed (eval32 t src) * signed (State.get st r) in
-      let v = mask32 full in
-      set_zs st v;
-      (* x86: CF = OF = 1 when the signed product does not fit in 32 bits *)
-      let overflow = full < -0x8000_0000 || full > 0x7FFF_FFFF in
-      st.State.cf <- overflow;
-      st.State.ovf <- overflow;
-      State.set st r v;
-      advance st
-  | Insn.Xchg (o, r) ->
-      let ov = eval32 t o in
-      let rv = State.get st r in
-      assign32 t o rv;
-      State.set st r ov;
-      advance st
-  | Insn.Push o ->
-      let v = eval32 t o in
-      charge_access t (State.get st Reg.ESP - 4) Width.W32;
-      State.push st v;
-      advance st
-  | Insn.Pop o ->
-      charge_access t (State.get st Reg.ESP) Width.W32;
-      let v = State.pop st in
-      assign32 t o v;
-      advance st
-  | Insn.Jmp tgt -> do_jump t (target_addr t tgt)
-  | Insn.Jcc (c, tgt) ->
-      (* [tgt] is a pre-resolved [Abs] after assembly, so a taken branch
-         costs an assignment, not a label-string hash *)
-      if cond_true st c then st.State.pc <- target_addr t tgt else advance st
-  | Insn.Call tgt -> do_call t (target_addr t tgt)
-  | Insn.Ret ->
-      charge_access t (State.get st Reg.ESP) Width.W32;
-      State.add_cycles st st.State.costs.Cost_model.call;
-      st.State.pc <- State.pop st
-  | Insn.Str (op, w, rep) ->
-      exec_str t op w rep;
-      advance st
-  | Insn.Pushf ->
-      let v =
-        (if st.State.zf then 1 else 0)
-        lor (if st.State.sf then 2 else 0)
-        lor (if st.State.cf then 4 else 0)
-        lor if st.State.ovf then 8 else 0
-      in
-      charge_access t (State.get st Reg.ESP - 4) Width.W32;
-      State.push st v;
-      advance st
-  | Insn.Popf ->
-      charge_access t (State.get st Reg.ESP) Width.W32;
-      let v = State.pop st in
-      st.State.zf <- v land 1 <> 0;
-      st.State.sf <- v land 2 <> 0;
-      st.State.cf <- v land 4 <> 0;
-      st.State.ovf <- v land 8 <> 0;
-      advance st
-  | Insn.Nop -> advance st
-  | Insn.Hlt -> st.State.pc <- ret_sentinel
+let exec_insn t insn = Semantics.exec_insn ~natives:t.natives t.state insn
 
 (* fault-injection site: flip one bit of architectural state before the
    next instruction executes — a soft error in the register file or the
    flags, the kind of corruption the SVM containment story must absorb *)
-let flip_regs = Reg.[| EAX; EBX; ECX; EDX; ESI; EDI |]
+let flip_regs = Td_misa.Reg.[| EAX; EBX; ECX; EDX; ESI; EDI |]
 
 let inject_bitflip st =
   match Td_fault.Engine.pick Td_fault.Interp_bitflip 8 with
@@ -445,6 +97,8 @@ let inject_bitflip st =
       State.set st reg (State.get st reg lxor (1 lsl bit))
 
 (* --- instruction fetch --- *)
+
+open Td_misa
 
 (* A jump into unmapped, misaligned or out-of-range code is a driver
    fault, not a simulator crash: everything surfaces as [Fault] so the
@@ -472,16 +126,24 @@ let resolve_legacy t pc =
   | exception Not_found -> unmapped pc
   | exception Invalid_argument msg -> raise (Fault msg)
 
-let resolve_cached t pc =
+(* A program was registered or replaced: drop every cached block AND
+   every compiled superblock, so a dead twin's image can never execute
+   after a supervised reload — not even a closure compiled in the same
+   pump as the reload. *)
+let check_generation t =
   let gen = Code_registry.generation t.registry in
   if t.bc_gen <> gen then begin
-    (* a program was registered or replaced: drop every cached block so a
-       dead twin's image can never execute after a supervised reload *)
     Array.fill t.bc_addr 0 bc_size (-1);
     Array.fill t.bc_prog 0 bc_size None;
+    Array.fill t.cc_addr 0 bc_size (-1);
+    Array.fill t.cc_hot 0 bc_size 0;
+    Array.fill t.cc_blk 0 bc_size None;
     t.bc_gen <- gen;
     t.invalidations <- t.invalidations + 1
-  end;
+  end
+
+let resolve_cached t pc =
+  check_generation t;
   let slot = (pc lsr 2) land (bc_size - 1) in
   if Array.unsafe_get t.bc_addr slot = pc then begin
     t.block_hits <- t.block_hits + 1;
@@ -502,7 +164,7 @@ let step t =
   let st = t.state in
   let prog, idx =
     match t.dispatch with
-    | Block -> resolve_cached t st.State.pc
+    | Block | Compiled -> resolve_cached t st.State.pc
     | Per_step -> resolve_legacy t st.State.pc
   in
   let insn = prog.Program.code.(idx) in
@@ -521,8 +183,88 @@ let step t =
    equivalent to the old per-instruction checks. *)
 let needs_slow_path t =
   (match t.hook with Some _ -> true | None -> false)
-  || (match t.dispatch with Per_step -> true | Block -> false)
+  || (match t.dispatch with Per_step -> true | Block | Compiled -> false)
   || Td_fault.Engine.active ()
+
+(* straight-line fast path: resolve once, execute to the end of the
+   basic block by array index. In-block instructions only fall through
+   (control transfers end blocks), so the pc needs no sentinel or bounds
+   re-check until the block is done. *)
+let exec_block t =
+  let st = t.state in
+  let prog, idx = resolve_cached t st.State.pc in
+  let stop = Array.unsafe_get prog.Program.block_end idx in
+  let avail = stop - idx + 1 in
+  let n = if avail > st.State.fuel then st.State.fuel else avail in
+  st.State.fuel <- st.State.fuel - n;
+  let code = prog.Program.code in
+  let last = idx + n - 1 in
+  (* steps are bulk-charged, with the uncommon abort path giving back
+     the instructions after the faulting one so the count matches
+     per-step execution exactly *)
+  st.State.steps <- st.State.steps + n;
+  let natives = t.natives in
+  let i = ref idx in
+  try
+    while !i <= last do
+      Semantics.exec_insn ~natives st (Array.unsafe_get code !i);
+      incr i
+    done
+  with e ->
+    st.State.steps <- st.State.steps - (last - !i);
+    raise e
+
+let compile_at t pc =
+  match resolve_uncached t pc with
+  | prog, idx ->
+      Superblock.compile ~natives:t.natives ~costs:t.state.State.costs
+        ~elided:t.stlb_elided ~cap:t.superblock_cap prog idx
+  | exception Fault _ -> None
+
+(* Compiled dispatch: count the entry hot, promote it to a superblock at
+   the threshold, and from then on run the fused closure whenever its
+   entry conditions hold (pair slot clear, enough fuel for a worst-case
+   pass); otherwise bail out to the identical-semantics block engine.
+   [check_generation] runs before every lookup, which is what makes a
+   promote-then-reload in the same pump safe: the stale closure is
+   flushed before it could ever be dispatched again. *)
+let exec_compiled t =
+  check_generation t;
+  let st = t.state in
+  let pc = st.State.pc in
+  let slot = (pc lsr 2) land (bc_size - 1) in
+  if Array.unsafe_get t.cc_addr slot = pc then begin
+    match Array.unsafe_get t.cc_blk slot with
+    | Some blk ->
+        if (not st.State.pair_slot) && st.State.fuel >= Superblock.max_steps blk
+        then begin
+          t.compiled_hits <- t.compiled_hits + 1;
+          Superblock.run blk st
+        end
+        else begin
+          t.compiled_bailouts <- t.compiled_bailouts + 1;
+          exec_block t
+        end
+    | None ->
+        let h = t.cc_hot.(slot) in
+        if h >= 0 then
+          if h + 1 >= t.compile_threshold then begin
+            match compile_at t pc with
+            | Some blk ->
+                t.cc_blk.(slot) <- Some blk;
+                t.compiled_blocks <- t.compiled_blocks + 1
+            | None -> t.cc_hot.(slot) <- min_int (* never compilable *)
+          end
+          else t.cc_hot.(slot) <- h + 1;
+        exec_block t
+  end
+  else begin
+    (* take over the slot (cold entry or direct-mapped eviction) *)
+    t.cc_addr.(slot) <- pc;
+    t.cc_hot.(slot) <- 1;
+    t.cc_blk.(slot) <- None;
+    exec_block t
+  end
 
 let call ?(max_steps = 1_000_000) t ~entry ~args =
   let st = t.state in
@@ -531,46 +273,24 @@ let call ?(max_steps = 1_000_000) t ~entry ~args =
   st.State.pc <- entry;
   (* natives re-enter the interpreter (upcalls), so each nested call gets
      its own budget and the outer one is restored on the way out *)
-  let saved_fuel = t.fuel and saved_cap = t.fuel_cap in
-  t.fuel <- max_steps;
-  t.fuel_cap <- max_steps;
+  let saved_fuel = st.State.fuel and saved_cap = st.State.fuel_cap in
+  st.State.fuel <- max_steps;
+  st.State.fuel_cap <- max_steps;
   Fun.protect
     ~finally:(fun () ->
-      t.fuel <- saved_fuel;
-      t.fuel_cap <- saved_cap)
+      st.State.fuel <- saved_fuel;
+      st.State.fuel_cap <- saved_cap)
     (fun () ->
       while st.State.pc <> ret_sentinel do
-        if t.fuel <= 0 then raise (Timeout t.fuel_cap);
+        if st.State.fuel <= 0 then raise (Timeout st.State.fuel_cap);
         if needs_slow_path t then begin
-          t.fuel <- t.fuel - 1;
+          st.State.fuel <- st.State.fuel - 1;
           step t
         end
-        else begin
-          (* straight-line fast path: resolve once, execute to the end of
-             the basic block by array index. In-block instructions only
-             fall through (control transfers end blocks), so the pc needs
-             no sentinel or bounds re-check until the block is done. *)
-          let prog, idx = resolve_cached t st.State.pc in
-          let stop = Array.unsafe_get prog.Program.block_end idx in
-          let avail = stop - idx + 1 in
-          let n = if avail > t.fuel then t.fuel else avail in
-          t.fuel <- t.fuel - n;
-          let code = prog.Program.code in
-          let last = idx + n - 1 in
-          (* steps are bulk-charged, with the uncommon abort path giving
-             back the instructions after the faulting one so the count
-             matches per-step execution exactly *)
-          st.State.steps <- st.State.steps + n;
-          let i = ref idx in
-          (try
-             while !i <= last do
-               exec_insn t (Array.unsafe_get code !i);
-               incr i
-             done
-           with e ->
-             st.State.steps <- st.State.steps - (last - !i);
-             raise e)
-        end
+        else
+          match t.dispatch with
+          | Compiled -> exec_compiled t
+          | Block | Per_step -> exec_block t
       done);
   (* pop the arguments (caller cleans up, cdecl) *)
   State.set st Reg.ESP (State.get st Reg.ESP + (4 * List.length args));
@@ -581,6 +301,10 @@ let call ?(max_steps = 1_000_000) t ~entry ~args =
 let block_hits t = t.block_hits
 let block_misses t = t.block_misses
 let invalidations t = t.invalidations
+let compiled_blocks t = t.compiled_blocks
+let compiled_hits t = t.compiled_hits
+let compiled_bailouts t = t.compiled_bailouts
+let stlb_elided t = !(t.stlb_elided)
 
 (* Gauges are published on demand only: the global metrics registry is
    snapshotted wholesale into every Measure result, so registering these
@@ -591,4 +315,8 @@ let publish_metrics t =
   in
   set "interp.block_hits" t.block_hits;
   set "interp.block_misses" t.block_misses;
-  set "interp.invalidations" t.invalidations
+  set "interp.invalidations" t.invalidations;
+  set "interp.compiled_blocks" t.compiled_blocks;
+  set "interp.compiled_hits" t.compiled_hits;
+  set "interp.compiled_bailouts" t.compiled_bailouts;
+  set "interp.stlb_elided" !(t.stlb_elided)

@@ -1,0 +1,76 @@
+(** Single-instruction execution semantics for MISA.
+
+    The primitives shared by the two execution engines: {!Interp}'s
+    per-step / basic-block dispatch and {!Superblock}'s compiled
+    closures. Everything operates directly on the architectural
+    {!State.t}; cycle costs (TLB, cache, MMIO models included) are
+    charged as a side effect of execution, so both engines produce
+    bit-identical simulated (cycles, steps) by construction wherever
+    they share these helpers. *)
+
+exception Fault of string
+(** Execution fault: unresolved target, call into unmapped code, etc. *)
+
+exception Timeout of int
+(** Raised when the fuel budget of the innermost {!Interp.call} is
+    exhausted — the resource-hoarding guard the paper delegates to
+    VINO-style timeouts (§4.5.2). *)
+
+val ret_sentinel : int
+(** Pseudo return address marking the bottom of a simulated call. *)
+
+val mask32 : int -> int
+val sign_bit : int
+
+val charge_access : State.t -> int -> Td_misa.Width.t -> unit
+(** Charge the cycle cost of one memory access at the given address:
+    base cost, TLB model, physical cache model, MMIO surcharge for
+    device or unmapped pages. Mutates the TLB and cache. *)
+
+val load : State.t -> int -> Td_misa.Width.t -> int
+(** {!charge_access} + {!State.read_mem}. *)
+
+val store : State.t -> int -> Td_misa.Width.t -> int -> unit
+
+val addr_of_mem : State.t -> Td_misa.Operand.mem -> int
+val eval : State.t -> Td_misa.Width.t -> Td_misa.Operand.t -> int
+val assign : State.t -> Td_misa.Width.t -> Td_misa.Operand.t -> int -> unit
+val eval32 : State.t -> Td_misa.Operand.t -> int
+val assign32 : State.t -> Td_misa.Operand.t -> int -> unit
+
+val set_zs : State.t -> int -> unit
+val flags_logic : State.t -> int -> unit
+val flags_add : State.t -> int -> int -> int -> unit
+val flags_sub : State.t -> int -> int -> int -> unit
+val cond_true : State.t -> Td_misa.Cond.t -> bool
+
+val target_addr : State.t -> Td_misa.Insn.target -> int
+val do_call : natives:Native.t -> State.t -> int -> unit
+val do_jump : State.t -> int -> unit
+
+val exec_str : State.t -> Td_misa.Insn.str_op -> Td_misa.Width.t -> bool -> unit
+(** String op, optionally [rep]-prefixed; each element charges one unit
+    of [State.fuel] so a corrupted huge ECX trips the watchdog. *)
+
+val is_simple : Td_misa.Insn.t -> bool
+(** Dual-issue model: register-only move/ALU instructions pair with an
+    immediately preceding simple instruction and issue for free. *)
+
+val advance : State.t -> unit
+(** [pc <- pc + 4]. *)
+
+val issue : State.t -> Td_misa.Insn.t -> unit
+(** The issue/pairing preamble: charge the instruction's issue cost
+    (or pair it into the previous empty slot) and update
+    [State.pair_slot]. Separated from {!exec_body} so superblock
+    compilation can aggregate issue cycles statically — the pair-slot
+    evolution depends only on the instruction sequence and the entry
+    slot state, never on data. *)
+
+val exec_body : natives:Native.t -> State.t -> Td_misa.Insn.t -> unit
+(** Execute one instruction's effects (operand evaluation, memory
+    traffic, flags, control transfer, [pc] update) {e without} the
+    issue preamble. *)
+
+val exec_insn : natives:Native.t -> State.t -> Td_misa.Insn.t -> unit
+(** {!issue} followed by {!exec_body}. *)

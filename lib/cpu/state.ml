@@ -13,6 +13,8 @@ type t = {
   mutable cycles : int;
   mutable steps : int;
   mutable pair_slot : bool;
+  mutable fuel : int;
+  mutable fuel_cap : int;
 }
 
 let create ?(costs = Cost_model.default) ?hyp_space space =
@@ -31,6 +33,8 @@ let create ?(costs = Cost_model.default) ?hyp_space space =
     cycles = 0;
     steps = 0;
     pair_slot = false;
+    fuel = max_int;
+    fuel_cap = max_int;
   }
 
 let mask32 v = v land 0xFFFFFFFF

@@ -23,6 +23,12 @@ type t = {
   mutable pair_slot : bool;
       (** dual-issue model: set when the previous instruction was a simple
           ALU/move that left an empty pairing slot *)
+  mutable fuel : int;
+      (** instruction budget of the innermost {!Interp.call}; charged per
+          executed instruction and per [rep] element so a corrupted huge
+          ECX cannot defeat the watchdog. Lives on the state (not the
+          interpreter) so compiled superblocks can charge it directly. *)
+  mutable fuel_cap : int;  (** the budget [fuel] started from *)
 }
 
 val create :

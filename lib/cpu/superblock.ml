@@ -1,0 +1,693 @@
+(* Superblock compiler: lowers a hot straight-line region of MISA code
+   into a single fused OCaml closure.
+
+   A superblock starts at a basic-block head and extends through
+   unconditional [Jmp]/fallthrough edges (stitching) up to a size cap;
+   conditional branches become side exits, and anything the closure
+   cannot fuse (calls, returns, indirect jumps, [Hlt]) ends the trace
+   just before itself so the interpreter's per-block engine executes it.
+
+   Three optimisations over per-instruction dispatch, all invisible in
+   the simulated (cycles, steps):
+
+   - issue cycles and step counts are aggregated statically per trace
+     (the dual-issue pairing evolution is data-independent given the
+     instruction sequence and the entry pair-slot state, which [run]
+     demands to be clear);
+
+   - flag computation is lazy: a flag-setting instruction whose flags
+     are provably dead (overwritten before any read, side exit or
+     possible fault) skips materialising them;
+
+   - redundant stlb translations are eliminated: two accesses through
+     the same base register to the same page reuse the translated
+     frame, skipping the page-table walks while still driving the TLB
+     and cache models with the exact per-access arguments.
+
+   Abort accounting: a fault inside the closure charges the cycles,
+   steps and fuel of the prefix up to and including the faulting
+   instruction and restores its pc, exactly as per-step execution
+   would, then re-raises. *)
+
+open Td_misa
+
+let mask32 = Semantics.mask32
+let pshift = Td_mem.Layout.page_shift
+let pmask = Td_mem.Layout.page_size - 1
+let pmax32 = Td_mem.Layout.page_size - 4
+
+let rd st i = Array.unsafe_get st.State.regs i
+let wr st i v = Array.unsafe_set st.State.regs i v
+
+(* --- trace construction --- *)
+
+type ekind =
+  | K_straight
+  | K_stitch  (* in-program [Jmp Abs]: one issued step, zero runtime work *)
+  | K_cond of Cond.t * int  (* [Jcc]: taken -> side exit to the address *)
+
+type entry = { e_insn : Insn.t; e_pc : int; e_kind : ekind }
+
+(* Walk forward from [idx], stitching through unconditional jumps that
+   stay inside the program (a backward jump re-enters the trace, so a
+   small loop unrolls until the cap). Returns the executed entries and
+   the code address control reaches when the trace runs off its end. *)
+let build_trace ~cap (prog : Program.t) idx =
+  let code = prog.Program.code in
+  let n = Array.length code in
+  let base = prog.Program.base in
+  let pc_of i = base + (4 * i) in
+  let rec go acc count i =
+    if i >= n || count >= cap then (List.rev acc, pc_of i)
+    else
+      let insn = code.(i) in
+      let pc = pc_of i in
+      match insn with
+      | Insn.Jmp (Insn.Abs a)
+        when a >= base && a < base + (4 * n) && (a - base) land 3 = 0 ->
+          go
+            ({ e_insn = insn; e_pc = pc; e_kind = K_stitch } :: acc)
+            (count + 1)
+            ((a - base) lsr 2)
+      | Insn.Jcc (c, Insn.Abs a) ->
+          go
+            ({ e_insn = insn; e_pc = pc; e_kind = K_cond (c, a) } :: acc)
+            (count + 1) (i + 1)
+      | Insn.Jmp _ | Insn.Jcc (_, _) | Insn.Call _ | Insn.Ret | Insn.Hlt ->
+          (* terminators run on the interpreter's block engine: the
+             trace ends just before them *)
+          (List.rev acc, pc)
+      | _ ->
+          go
+            ({ e_insn = insn; e_pc = pc; e_kind = K_straight } :: acc)
+            (count + 1) (i + 1)
+  in
+  go [] 0 idx
+
+(* --- flag liveness --- *)
+
+(* Flag bitmask: Z=1, S=2, C=4, O=8. *)
+let fl_all = 0b1111
+
+let fl_writes = function
+  | Insn.Alu (_, _, _) | Insn.Cmp (_, _) | Insn.Test (_, _) | Insn.Imul (_, _)
+    ->
+      fl_all
+  | Insn.Inc _ | Insn.Dec _ -> 0b0011
+  | Insn.Neg _ -> 0b0111
+  | Insn.Shift (_, _, _) -> 0b0111 (* only when the count is non-zero *)
+  | Insn.Popf -> fl_all
+  | _ -> 0
+
+(* Flags an instruction overwrites unconditionally and before any point
+   where it could fault — only these may kill a pending dead store. *)
+let fl_kills = function
+  | Insn.Shift (_, _, _) -> 0 (* writes nothing when the count is zero *)
+  | Insn.Popf -> 0 (* the pop may fault first *)
+  | i -> fl_writes i
+
+let fl_reads = function
+  | Insn.Jcc (_, _) | Insn.Pushf -> fl_all
+  | Insn.Alu ((Insn.Adc | Insn.Sbb), _, _) -> 0b0100
+  | _ -> 0
+
+let imm_dst = function
+  | Insn.Mov (_, _, Operand.Imm _)
+  | Insn.Alu (_, _, Operand.Imm _)
+  | Insn.Shift (_, _, Operand.Imm _)
+  | Insn.Inc (Operand.Imm _)
+  | Insn.Dec (Operand.Imm _)
+  | Insn.Neg (Operand.Imm _)
+  | Insn.Not (Operand.Imm _)
+  | Insn.Xchg (Operand.Imm _, _)
+  | Insn.Pop (Operand.Imm _) ->
+      true
+  | _ -> false
+
+(* Conservative: can executing this instruction raise (Fault, Page_fault,
+   Timeout)? Stitched jumps and in-trace [Jcc] are pre-resolved [Abs]
+   and never raise. *)
+let may_raise insn =
+  match insn with
+  | Insn.Nop -> false
+  | Insn.Lea (m, _) -> m.Operand.sym <> None
+  | Insn.Push _ | Insn.Pop _ | Insn.Pushf | Insn.Popf | Insn.Str (_, _, _)
+  | Insn.Call _ | Insn.Ret ->
+      true
+  | Insn.Jmp (Insn.Abs _) | Insn.Jcc (_, Insn.Abs _) -> false
+  | Insn.Jmp _ | Insn.Jcc (_, _) -> true
+  | _ -> imm_dst insn || Insn.mem_operands insn <> []
+
+(* An instruction's flag write may be skipped only if nothing inside the
+   instruction itself can fault after the flags move — a memory (or
+   immediate) destination is stored after the flags are set, so a store
+   fault would leave per-step flags written but compiled flags not. *)
+let flag_write_final = function
+  | Insn.Alu (_, _, (Operand.Mem _ | Operand.Imm _))
+  | Insn.Shift (_, _, (Operand.Mem _ | Operand.Imm _))
+  | Insn.Inc (Operand.Mem _ | Operand.Imm _)
+  | Insn.Dec (Operand.Mem _ | Operand.Imm _)
+  | Insn.Neg (Operand.Mem _ | Operand.Imm _)
+  | Insn.Popf ->
+      false
+  | _ -> true
+
+(* May step [s] skip materialising its flags? True iff every flag it
+   writes is overwritten before any read — where side exits, faults and
+   the end of the trace all count as reads, since the next consumer is
+   outside the block. *)
+let elide_flags ents s =
+  let e = ents.(s) in
+  let w = fl_writes e.e_insn in
+  let rec scan live t =
+    if live = 0 then true
+    else if t >= Array.length ents then false (* escapes the trace *)
+    else
+      let it = ents.(t).e_insn in
+      if live land fl_reads it <> 0 then false
+      else if may_raise it then false
+      else scan (live land lnot (fl_kills it)) (t + 1)
+  in
+  w <> 0 && flag_write_final e.e_insn && scan w (s + 1)
+
+(* --- stlb-redundancy elimination --- *)
+
+(* One memo per base register: the last page translated through it and
+   the frame/buffer it resolved to. Valid only while [c_stamp] matches —
+   the stamp is bumped at every block entry and after any device access
+   (a device hook may remap pages, e.g. the SVM window reclaim). *)
+type slot = {
+  mutable s_stamp : int;
+  mutable s_page : int;
+  mutable s_frame : int;
+  mutable s_bytes : Bytes.t;
+}
+
+type ctx = {
+  c_costs : Cost_model.t;
+  c_stamp : int ref;
+  c_elided : int ref;
+  c_slots : (int, slot) Hashtbl.t; (* base-register index -> memo *)
+}
+
+let slot_for ctx ri =
+  match Hashtbl.find_opt ctx.c_slots ri with
+  | Some s -> s
+  | None ->
+      let s = { s_stamp = -1; s_page = -1; s_frame = 0; s_bytes = Bytes.empty } in
+      Hashtbl.add ctx.c_slots ri s;
+      s
+
+(* Memoisable access: one base register, no index, resolved symbol, full
+   width. Everything else takes the ordinary [Semantics] path. *)
+let memo_mem (m : Operand.mem) =
+  match (m.Operand.base, m.Operand.index, m.Operand.sym) with
+  | Some r, None, None -> Some (Reg.index r, m.Operand.disp)
+  | _ -> None
+
+(* Replicates [Semantics.charge_access] + [Addr_space.read_within] with a
+   single page-table lookup, filling the memo on frame-backed pages. *)
+let load32_miss ctx slot st addr page off =
+  let costs = ctx.c_costs in
+  let cost = ref costs.Cost_model.mem_access in
+  if not (Tlb.access st.State.tlb page) then
+    cost := !cost + costs.Cost_model.tlb_miss;
+  let space = State.space_for st addr in
+  match Td_mem.Addr_space.lookup space ~vpage:page with
+  | Some (Td_mem.Addr_space.Frame f) ->
+      if not (Cache.access st.State.cache ((f lsl pshift) lor off)) then
+        cost := !cost + costs.Cost_model.cache_miss;
+      State.add_cycles st !cost;
+      let b = Td_mem.Phys_mem.page (Td_mem.Addr_space.phys space) f in
+      slot.s_stamp <- !(ctx.c_stamp);
+      slot.s_page <- page;
+      slot.s_frame <- f;
+      slot.s_bytes <- b;
+      Int32.to_int (Bytes.get_int32_le b off) land 0xFFFFFFFF
+  | Some (Td_mem.Addr_space.Device d) ->
+      cost := !cost + costs.Cost_model.mmio;
+      State.add_cycles st !cost;
+      incr ctx.c_stamp;
+      d.Td_mem.Addr_space.dev_read off Width.W32
+  | None ->
+      cost := !cost + costs.Cost_model.mmio;
+      State.add_cycles st !cost;
+      raise
+        (Td_mem.Addr_space.Page_fault
+           { space = Td_mem.Addr_space.name space; addr })
+
+let store32_miss ctx slot st addr page off v =
+  let costs = ctx.c_costs in
+  let cost = ref costs.Cost_model.mem_access in
+  if not (Tlb.access st.State.tlb page) then
+    cost := !cost + costs.Cost_model.tlb_miss;
+  let space = State.space_for st addr in
+  match Td_mem.Addr_space.lookup space ~vpage:page with
+  | Some (Td_mem.Addr_space.Frame f) ->
+      if not (Cache.access st.State.cache ((f lsl pshift) lor off)) then
+        cost := !cost + costs.Cost_model.cache_miss;
+      State.add_cycles st !cost;
+      let b = Td_mem.Phys_mem.page (Td_mem.Addr_space.phys space) f in
+      slot.s_stamp <- !(ctx.c_stamp);
+      slot.s_page <- page;
+      slot.s_frame <- f;
+      slot.s_bytes <- b;
+      Bytes.set_int32_le b off (Int32.of_int v)
+  | Some (Td_mem.Addr_space.Device d) ->
+      cost := !cost + costs.Cost_model.mmio;
+      State.add_cycles st !cost;
+      incr ctx.c_stamp;
+      d.Td_mem.Addr_space.dev_write off Width.W32 v
+  | None ->
+      cost := !cost + costs.Cost_model.mmio;
+      State.add_cycles st !cost;
+      raise
+        (Td_mem.Addr_space.Page_fault
+           { space = Td_mem.Addr_space.name space; addr })
+
+let gen_load32 ctx (m : Operand.mem) : State.t -> int =
+  match memo_mem m with
+  | None -> fun st -> Semantics.load st (Semantics.addr_of_mem st m) Width.W32
+  | Some (ri, disp) ->
+      let slot = slot_for ctx ri in
+      let costs = ctx.c_costs in
+      let stamp = ctx.c_stamp in
+      let elided = ctx.c_elided in
+      fun st ->
+        let addr = (rd st ri + disp) land 0xFFFFFFFF in
+        let off = addr land pmask in
+        if off <= pmax32 then begin
+          let page = addr lsr pshift in
+          if slot.s_stamp = !stamp && slot.s_page = page then begin
+            (* translation reused: the TLB and cache models still see
+               the access (simulated cycles are bit-identical), only the
+               two page-table hashtable walks are skipped *)
+            let cost = ref costs.Cost_model.mem_access in
+            if not (Tlb.access st.State.tlb page) then
+              cost := !cost + costs.Cost_model.tlb_miss;
+            if
+              not (Cache.access st.State.cache ((slot.s_frame lsl pshift) lor off))
+            then cost := !cost + costs.Cost_model.cache_miss;
+            State.add_cycles st !cost;
+            incr elided;
+            Int32.to_int (Bytes.get_int32_le slot.s_bytes off) land 0xFFFFFFFF
+          end
+          else load32_miss ctx slot st addr page off
+        end
+        else Semantics.load st addr Width.W32 (* page straddle: slow path *)
+
+let gen_store32 ctx (m : Operand.mem) : State.t -> int -> unit =
+  match memo_mem m with
+  | None ->
+      fun st v -> Semantics.store st (Semantics.addr_of_mem st m) Width.W32 v
+  | Some (ri, disp) ->
+      let slot = slot_for ctx ri in
+      let costs = ctx.c_costs in
+      let stamp = ctx.c_stamp in
+      let elided = ctx.c_elided in
+      fun st v ->
+        let addr = (rd st ri + disp) land 0xFFFFFFFF in
+        let off = addr land pmask in
+        if off <= pmax32 then begin
+          let page = addr lsr pshift in
+          if slot.s_stamp = !stamp && slot.s_page = page then begin
+            let cost = ref costs.Cost_model.mem_access in
+            if not (Tlb.access st.State.tlb page) then
+              cost := !cost + costs.Cost_model.tlb_miss;
+            if
+              not (Cache.access st.State.cache ((slot.s_frame lsl pshift) lor off))
+            then cost := !cost + costs.Cost_model.cache_miss;
+            State.add_cycles st !cost;
+            incr elided;
+            Bytes.set_int32_le slot.s_bytes off (Int32.of_int v)
+          end
+          else store32_miss ctx slot st addr page off v
+        end
+        else Semantics.store st addr Width.W32 v
+
+let gen_eval32 ctx : Operand.t -> State.t -> int = function
+  | Operand.Imm n ->
+      let n = n land 0xFFFFFFFF in
+      fun _ -> n
+  | Operand.Reg r ->
+      let i = Reg.index r in
+      fun st -> rd st i
+  | Operand.Mem m -> gen_load32 ctx m
+
+(* --- per-instruction code generation --- *)
+
+(* Lower one straight-line instruction into a closure continuing with
+   [k]. [flags] = materialise the flag writes (false only when liveness
+   proved them dead). Anything without a specialised template falls back
+   to [Semantics.exec_body], which is exactly the per-step semantics
+   minus the (statically accounted) issue preamble; its [pc] advance is
+   harmless — nothing inside a trace reads [pc], and every exit
+   overwrites it. *)
+let gen_straight ctx ~natives ~flags insn (k : State.t -> unit) : State.t -> unit
+    =
+  let generic () st =
+    Semantics.exec_body ~natives st insn;
+    k st
+  in
+  match insn with
+  | Insn.Nop -> k
+  | Insn.Mov (Width.W32, src, Operand.Reg d) -> (
+      let di = Reg.index d in
+      match src with
+      | Operand.Imm n ->
+          let n = n land 0xFFFFFFFF in
+          fun st ->
+            wr st di n;
+            k st
+      | Operand.Reg s ->
+          let si = Reg.index s in
+          fun st ->
+            wr st di (rd st si);
+            k st
+      | Operand.Mem m ->
+          let ld = gen_load32 ctx m in
+          fun st ->
+            wr st di (ld st);
+            k st)
+  | Insn.Mov (Width.W32, ((Operand.Imm _ | Operand.Reg _) as src), Operand.Mem m)
+    ->
+      let v = gen_eval32 ctx src in
+      let stw = gen_store32 ctx m in
+      fun st ->
+        let x = v st in
+        stw st x;
+        k st
+  | Insn.Lea (m, d) when m.Operand.sym = None -> (
+      let di = Reg.index d in
+      match (m.Operand.base, m.Operand.index) with
+      | Some b, None ->
+          let bi = Reg.index b and disp = m.Operand.disp in
+          fun st ->
+            wr st di ((rd st bi + disp) land 0xFFFFFFFF);
+            k st
+      | _ ->
+          fun st ->
+            wr st di (Semantics.addr_of_mem st m);
+            k st)
+  | Insn.Alu (((Insn.Add | Insn.Sub | Insn.And | Insn.Or | Insn.Xor) as op),
+              src, Operand.Reg d) -> (
+      let di = Reg.index d in
+      let a = gen_eval32 ctx src in
+      match (op, flags) with
+      | Insn.Add, false ->
+          fun st ->
+            let av = a st in
+            wr st di ((rd st di + av) land 0xFFFFFFFF);
+            k st
+      | Insn.Add, true ->
+          fun st ->
+            let av = a st in
+            let bv = rd st di in
+            let r = (bv + av) land 0xFFFFFFFF in
+            Semantics.flags_add st av bv r;
+            wr st di r;
+            k st
+      | Insn.Sub, false ->
+          fun st ->
+            let av = a st in
+            wr st di ((rd st di - av) land 0xFFFFFFFF);
+            k st
+      | Insn.Sub, true ->
+          fun st ->
+            let av = a st in
+            let bv = rd st di in
+            let r = (bv - av) land 0xFFFFFFFF in
+            Semantics.flags_sub st bv av r;
+            wr st di r;
+            k st
+      | Insn.And, false ->
+          fun st ->
+            let av = a st in
+            wr st di (rd st di land av);
+            k st
+      | Insn.And, true ->
+          fun st ->
+            let av = a st in
+            let r = rd st di land av in
+            Semantics.flags_logic st r;
+            wr st di r;
+            k st
+      | Insn.Or, false ->
+          fun st ->
+            let av = a st in
+            wr st di (rd st di lor av);
+            k st
+      | Insn.Or, true ->
+          fun st ->
+            let av = a st in
+            let r = rd st di lor av in
+            Semantics.flags_logic st r;
+            wr st di r;
+            k st
+      | Insn.Xor, false ->
+          fun st ->
+            let av = a st in
+            wr st di (rd st di lxor av);
+            k st
+      | Insn.Xor, true ->
+          fun st ->
+            let av = a st in
+            let r = rd st di lxor av in
+            Semantics.flags_logic st r;
+            wr st di r;
+            k st
+      | (Insn.Adc | Insn.Sbb), _ -> generic ())
+  | Insn.Cmp ((Operand.Mem _ as src), (Operand.Mem _ as dst))
+  | Insn.Test ((Operand.Mem _ as src), (Operand.Mem _ as dst)) ->
+      (* two memory operands: the model-mutation order of the two loads
+         must match [exec_body] exactly — don't re-derive it here *)
+      ignore src;
+      ignore dst;
+      generic ()
+  | Insn.Cmp (src, dst) ->
+      if not flags then
+        match (src, dst) with
+        | (Operand.Imm _ | Operand.Reg _), (Operand.Imm _ | Operand.Reg _) -> k
+        | _ ->
+            let a = gen_eval32 ctx src and b = gen_eval32 ctx dst in
+            fun st ->
+              ignore (a st : int);
+              ignore (b st : int);
+              k st
+      else
+        let a = gen_eval32 ctx src and b = gen_eval32 ctx dst in
+        fun st ->
+          let av = a st in
+          let bv = b st in
+          Semantics.flags_sub st bv av ((bv - av) land 0xFFFFFFFF);
+          k st
+  | Insn.Test (src, dst) ->
+      if not flags then
+        match (src, dst) with
+        | (Operand.Imm _ | Operand.Reg _), (Operand.Imm _ | Operand.Reg _) -> k
+        | _ ->
+            let a = gen_eval32 ctx src and b = gen_eval32 ctx dst in
+            fun st ->
+              ignore (a st : int);
+              ignore (b st : int);
+              k st
+      else
+        let a = gen_eval32 ctx src and b = gen_eval32 ctx dst in
+        fun st ->
+          let av = a st in
+          let bv = b st in
+          Semantics.flags_logic st (av land bv);
+          k st
+  | Insn.Inc (Operand.Reg d) ->
+      let di = Reg.index d in
+      if flags then fun st ->
+        let v = (rd st di + 1) land 0xFFFFFFFF in
+        Semantics.set_zs st v;
+        wr st di v;
+        k st
+      else fun st ->
+        wr st di ((rd st di + 1) land 0xFFFFFFFF);
+        k st
+  | Insn.Dec (Operand.Reg d) ->
+      let di = Reg.index d in
+      if flags then fun st ->
+        let v = (rd st di - 1) land 0xFFFFFFFF in
+        Semantics.set_zs st v;
+        wr st di v;
+        k st
+      else fun st ->
+        wr st di ((rd st di - 1) land 0xFFFFFFFF);
+        k st
+  | Insn.Neg (Operand.Reg d) ->
+      let di = Reg.index d in
+      if flags then fun st ->
+        let v = rd st di in
+        let r = mask32 (-v) in
+        Semantics.set_zs st r;
+        st.State.cf <- v <> 0;
+        wr st di r;
+        k st
+      else fun st ->
+        wr st di (mask32 (-rd st di));
+        k st
+  | Insn.Not (Operand.Reg d) ->
+      let di = Reg.index d in
+      fun st ->
+        wr st di (mask32 (lnot (rd st di)));
+        k st
+  | Insn.Shift (op, Operand.Imm n, Operand.Reg d) -> (
+      let di = Reg.index d in
+      let c = n land 0xFFFFFFFF land 31 in
+      if c = 0 then k (* neither flags nor value change *)
+      else
+        match (op, flags) with
+        | Insn.Shl, false ->
+            fun st ->
+              wr st di ((rd st di lsl c) land 0xFFFFFFFF);
+              k st
+        | Insn.Shl, true ->
+            fun st ->
+              let v = rd st di in
+              st.State.cf <- (v lsr (32 - c)) land 1 = 1;
+              let r = (v lsl c) land 0xFFFFFFFF in
+              Semantics.set_zs st r;
+              wr st di r;
+              k st
+        | Insn.Shr, false ->
+            fun st ->
+              wr st di (rd st di lsr c);
+              k st
+        | Insn.Shr, true ->
+            fun st ->
+              let v = rd st di in
+              st.State.cf <- (v lsr (c - 1)) land 1 = 1;
+              let r = v lsr c in
+              Semantics.set_zs st r;
+              wr st di r;
+              k st
+        | Insn.Sar, false ->
+            fun st ->
+              let v = rd st di in
+              let sv = if v land Semantics.sign_bit <> 0 then v - 0x1_0000_0000 else v in
+              wr st di (mask32 (sv asr c));
+              k st
+        | Insn.Sar, true ->
+            fun st ->
+              let v = rd st di in
+              let sv = if v land Semantics.sign_bit <> 0 then v - 0x1_0000_0000 else v in
+              st.State.cf <- (sv asr (c - 1)) land 1 = 1;
+              let r = mask32 (sv asr c) in
+              Semantics.set_zs st r;
+              wr st di r;
+              k st)
+  | _ -> generic ()
+
+(* --- the compiled block --- *)
+
+type t = {
+  entry_pc : int;
+  max_steps : int;  (* fuel needed for a worst-case (full) pass *)
+  fused : State.t -> unit;
+  stamp : int ref;
+  cur : int ref;  (* step index currently executing, for abort accounting *)
+  exc_cycles : int array;  (* issue-cycle prefix through step s *)
+  exc_slot : bool array;  (* pair_slot after step s *)
+  exc_pc : int array;  (* pc of step s *)
+}
+
+let entry_pc blk = blk.entry_pc
+let max_steps blk = blk.max_steps
+
+let compile ~natives ~costs ~elided ~cap (prog : Program.t) idx =
+  let trace, exit_pc = build_trace ~cap prog idx in
+  match trace with
+  | [] -> None
+  | _ ->
+      let ents = Array.of_list trace in
+      let s_count = Array.length ents in
+      (* static issue/pairing tables, assuming entry pair_slot = false
+         ([run] is only entered with the slot clear) *)
+      let exc_cycles = Array.make s_count 0 in
+      let exc_slot = Array.make s_count false in
+      let exc_pc = Array.make s_count 0 in
+      let cyc = ref 0 and slot_state = ref false in
+      Array.iteri
+        (fun s e ->
+          let simple = Semantics.is_simple e.e_insn in
+          if simple && !slot_state then slot_state := false
+          else begin
+            cyc := !cyc + costs.Cost_model.insn;
+            slot_state := simple
+          end;
+          exc_cycles.(s) <- !cyc;
+          exc_slot.(s) <- !slot_state;
+          exc_pc.(s) <- e.e_pc)
+        ents;
+      let stamp = ref 0 and cur = ref 0 in
+      let ctx =
+        { c_costs = costs; c_stamp = stamp; c_elided = elided;
+          c_slots = Hashtbl.create 4 }
+      in
+      let mk_exit ~steps ~cycles ~pslot ~pc st =
+        st.State.cycles <- st.State.cycles + cycles;
+        st.State.steps <- st.State.steps + steps;
+        st.State.fuel <- st.State.fuel - steps;
+        st.State.pair_slot <- pslot;
+        st.State.pc <- pc
+      in
+      let fused =
+        ref
+          (mk_exit ~steps:s_count ~cycles:exc_cycles.(s_count - 1)
+             ~pslot:exc_slot.(s_count - 1) ~pc:exit_pc)
+      in
+      for s = s_count - 1 downto 0 do
+        let e = ents.(s) in
+        let k = !fused in
+        let op =
+          match e.e_kind with
+          | K_stitch -> k
+          | K_cond (c, target) ->
+              let taken =
+                mk_exit ~steps:(s + 1) ~cycles:exc_cycles.(s)
+                  ~pslot:exc_slot.(s) ~pc:target
+              in
+              fun st -> if Semantics.cond_true st c then taken st else k st
+          | K_straight ->
+              gen_straight ctx ~natives ~flags:(not (elide_flags ents s))
+                e.e_insn k
+        in
+        (* only faulting-capable steps pay for position tracking *)
+        let op =
+          if may_raise e.e_insn then fun st ->
+            cur := s;
+            op st
+          else op
+        in
+        fused := op
+      done;
+      Some
+        {
+          entry_pc = prog.Program.base + (4 * idx);
+          max_steps = s_count;
+          fused = !fused;
+          stamp;
+          cur;
+          exc_cycles;
+          exc_slot;
+          exc_pc;
+        }
+
+let run blk st =
+  incr blk.stamp; (* memoised translations never survive between runs *)
+  blk.cur := 0;
+  try blk.fused st
+  with e ->
+    (* abort: charge the prefix through the faulting step and restore its
+       pc, matching per-step execution exactly *)
+    let s = !(blk.cur) in
+    st.State.cycles <- st.State.cycles + Array.unsafe_get blk.exc_cycles s;
+    st.State.steps <- st.State.steps + s + 1;
+    st.State.fuel <- st.State.fuel - (s + 1);
+    st.State.pair_slot <- Array.unsafe_get blk.exc_slot s;
+    st.State.pc <- Array.unsafe_get blk.exc_pc s;
+    raise e

@@ -18,6 +18,14 @@ val alloc_frame : t -> frame
 val free_frame : t -> frame -> unit
 val frames_allocated : t -> int
 
+val page : t -> frame -> bytes
+(** The backing buffer of an allocated frame. Exposed for the
+    interpreter's compiled superblocks, which cache the buffer of a
+    just-translated page so repeated accesses through the same base
+    register skip the page-table walk; the buffer stays valid (and
+    observes concurrent DMA writes) for as long as the frame is
+    allocated. Raises [Failure] on an unallocated frame. *)
+
 val read : t -> frame -> int -> Td_misa.Width.t -> int
 (** [read mem f off w] reads a little-endian value of width [w] at byte
     offset [off] of frame [f]. The access must not cross the frame

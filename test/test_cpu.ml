@@ -353,10 +353,14 @@ let test_fault_on_bad_jump () =
   check bool_c "misaligned, block engine" true (faults Interp.Block misaligned);
   check bool_c "misaligned, per-step engine" true
     (faults Interp.Per_step misaligned);
+  check bool_c "misaligned, compiled engine" true
+    (faults Interp.Compiled misaligned);
   check bool_c "out of range, block engine" true
     (faults Interp.Block out_of_range);
   check bool_c "out of range, per-step engine" true
-    (faults Interp.Per_step out_of_range)
+    (faults Interp.Per_step out_of_range);
+  check bool_c "out of range, compiled engine" true
+    (faults Interp.Compiled out_of_range)
 
 let test_block_cache_invalidation_on_replace () =
   let m = Harness.make_machine () in
@@ -407,8 +411,84 @@ let test_engine_modes_identical_results () =
   let free = run_mode Interp.Block in
   let hooked = run_mode ~hook:(fun _ _ -> ()) Interp.Block in
   let legacy = run_mode Interp.Per_step in
+  let compiled = run_mode Interp.Compiled in
   check bool_c "watcher does not change simulated results" true (free = hooked);
-  check bool_c "per-step does not change simulated results" true (free = legacy)
+  check bool_c "per-step does not change simulated results" true (free = legacy);
+  check bool_c "compiled does not change simulated results" true
+    (free = compiled)
+
+(* Regression: a block promoted to a compiled superblock in the same pump
+   as a [Code_registry.replace] (the supervised-reload path) must never
+   execute its stale closure — the generation check flushes the compiled
+   cache together with the block cache before any compiled dispatch. *)
+let test_compiled_invalidation_on_replace () =
+  let m = Harness.make_machine () in
+  let base = Td_mem.Layout.vm_driver_code_base in
+  let image v =
+    let b = Builder.create (Printf.sprintf "img%d" v) in
+    Builder.label b "entry";
+    Builder.movl b (Builder.imm v) (Builder.reg Reg.EAX);
+    Builder.ret b;
+    Program.assemble ~base (Builder.finish b)
+  in
+  let p1 = image 1 in
+  Code_registry.register m.Harness.registry p1;
+  let st = Harness.dom0_cpu m in
+  let interp = Harness.interp_of m st in
+  Interp.set_dispatch interp Interp.Compiled;
+  Interp.set_compile_threshold interp 1;
+  let entry = Program.addr_of_label p1 "entry" in
+  (* warm: count hot, promote, then dispatch the compiled closure *)
+  for _ = 1 to 3 do
+    check int_c "first image" 1 (Interp.call interp ~entry ~args:[])
+  done;
+  check bool_c "entry was promoted" true (Interp.compiled_blocks interp >= 1);
+  check bool_c "compiled closure ran" true (Interp.compiled_hits interp >= 1);
+  Code_registry.replace m.Harness.registry (image 2);
+  check int_c "replacement executes, not the stale closure" 2
+    (Interp.call interp ~entry ~args:[]);
+  check bool_c "compiled cache was flushed" true
+    (Interp.invalidations interp >= 1)
+
+(* The in-block stlb-redundancy elimination must fire (two accesses
+   through the same base register to the same page) and must not change
+   the result or the simulated cycles vs the per-step engine. *)
+let test_compiled_stlb_elision () =
+  let run_mode dispatch =
+    let m = Harness.make_machine () in
+    let buf = Td_mem.Addr_space.heap_alloc m.Harness.dom0 64 in
+    let b = Builder.create "mem" in
+    Builder.label b "entry";
+    Builder.movl b (Builder.imm buf) (Builder.reg Reg.EDX);
+    Builder.movl b (Builder.imm 40) (Builder.mem ~base:Reg.EDX 0);
+    Builder.movl b (Builder.imm 2) (Builder.mem ~base:Reg.EDX 4);
+    Builder.movl b (Builder.mem ~base:Reg.EDX 0) (Builder.reg Reg.EAX);
+    Builder.addl b (Builder.mem ~base:Reg.EDX 4) (Builder.reg Reg.EAX);
+    Builder.ret b;
+    let prog =
+      Program.assemble ~base:Td_mem.Layout.vm_driver_code_base
+        (Builder.finish b)
+    in
+    Code_registry.register m.Harness.registry prog;
+    let st = Harness.dom0_cpu m in
+    let interp = Harness.interp_of m st in
+    Interp.set_dispatch interp dispatch;
+    Interp.set_compile_threshold interp 1;
+    let entry = Program.addr_of_label prog "entry" in
+    let r = ref 0 in
+    for _ = 1 to 3 do
+      r := Interp.call interp ~entry ~args:[]
+    done;
+    (!r, st.State.cycles, st.State.steps, Interp.stlb_elided interp)
+  in
+  let rc, cc, sc, elided = run_mode Interp.Compiled in
+  let rp, cp, sp, elided_ps = run_mode Interp.Per_step in
+  check int_c "compiled result" 42 rc;
+  check int_c "per-step result" 42 rp;
+  check bool_c "cycles identical" true (cc = cp);
+  check bool_c "steps identical" true (sc = sp);
+  check bool_c "compiled run elided stlb translations" true (elided > 0);
+  check int_c "per-step run elides nothing" 0 elided_ps
 
 let suite =
   [
@@ -441,4 +521,8 @@ let suite =
       test_block_cache_invalidation_on_replace;
     Alcotest.test_case "engine modes identical" `Quick
       test_engine_modes_identical_results;
+    Alcotest.test_case "compiled cache invalidation" `Quick
+      test_compiled_invalidation_on_replace;
+    Alcotest.test_case "compiled stlb elision" `Quick
+      test_compiled_stlb_elision;
   ]

@@ -112,6 +112,130 @@ let decode_valid_prefix_prop =
         | exception Invalid_argument _ -> false (* must not leak *)
       end)
 
+(* --- interpreter engines: one semantics, three dispatchers --- *)
+
+(* Random structured programs (forward-only control flow, so every
+   program terminates) must produce bit-identical architectural results —
+   EAX, every register, cycles, steps, all four flags and data memory —
+   under per-step, basic-block and compiled-superblock dispatch. The
+   generator emits multi-segment programs whose segments end in
+   unconditional jumps to the next segment, so compiled traces stitch
+   across block boundaries, and conditional forward jumps give the
+   superblocks side exits. *)
+
+let prop_dst = Td_misa.Reg.[| EAX; EBX; EDX; ESI; EDI |]
+let prop_conds = Cond.[| NE; E; L; GE; A; BE |]
+
+(* Decode one generator int into one instruction (plus an optional
+   forward conditional jump). [nsegs] segments exist; jump targets are
+   always in [seg+1 .. nsegs], where [nsegs] is the final ret. *)
+let prop_emit b ~nsegs ~seg v =
+  let lbl j = if j >= nsegs then "done" else Printf.sprintf "seg%d" j in
+  let dst = prop_dst.((v / 7) mod 5) in
+  let src =
+    match (v / 12) mod 3 with
+    | 0 -> Builder.imm ((v / 36) land 0xFFFF)
+    | 1 -> Builder.reg prop_dst.((v / 36) mod 5)
+    | _ -> Builder.mem ~base:Td_misa.Reg.EBP (4 * ((v / 36) mod 8))
+  in
+  match v mod 12 with
+  | 0 -> Builder.addl b src (Builder.reg dst)
+  | 1 -> Builder.subl b src (Builder.reg dst)
+  | 2 -> Builder.xorl b src (Builder.reg dst)
+  | 3 -> Builder.andl b src (Builder.reg dst)
+  | 4 -> Builder.orl b src (Builder.reg dst)
+  | 5 -> Builder.movl b src (Builder.reg dst)
+  | 6 ->
+      let s =
+        if (v / 12) mod 2 = 0 then Builder.imm ((v / 36) land 0xFFFF)
+        else Builder.reg dst
+      in
+      Builder.movl b s (Builder.mem ~base:Td_misa.Reg.EBP (4 * ((v / 36) mod 8)))
+  | 7 -> Builder.incl b (Builder.reg dst)
+  | 8 -> Builder.decl b (Builder.reg dst)
+  | 9 ->
+      Builder.cmpl b src (Builder.reg dst);
+      Builder.jcc b
+        prop_conds.((v / 5) mod 6)
+        (lbl (seg + 1 + ((v / 36) mod (nsegs - seg))))
+  | 10 -> Builder.testl b src (Builder.reg dst)
+  | 11 -> (
+      let c = Builder.imm ((v / 108) mod 5) in
+      match (v / 36) mod 3 with
+      | 0 -> Builder.shll b c (Builder.reg dst)
+      | 1 -> Builder.shrl b c (Builder.reg dst)
+      | _ -> Builder.sarl b c (Builder.reg dst))
+  | _ -> Builder.nop b
+
+let prop_run dispatch segs =
+  let m = Harness.make_machine () in
+  let buf = Td_mem.Addr_space.heap_alloc m.Harness.dom0 64 in
+  let nsegs = List.length segs in
+  let b = Builder.create "prop" in
+  Builder.label b "entry";
+  Builder.movl b (Builder.imm buf) (Builder.reg Reg.EBP);
+  Array.iteri
+    (fun i r -> Builder.movl b (Builder.imm ((i * 77) + 5)) (Builder.reg r))
+    prop_dst;
+  List.iteri
+    (fun i ops ->
+      Builder.label b (Printf.sprintf "seg%d" i);
+      List.iter (prop_emit b ~nsegs ~seg:i) ops;
+      (* segment termination: explicit jump to the next segment (a
+         stitch edge for the superblock compiler) or plain fallthrough *)
+      if List.fold_left ( + ) i ops mod 2 = 0 then
+        Builder.jmp b (if i + 1 >= nsegs then "done" else Printf.sprintf "seg%d" (i + 1)))
+    segs;
+  Builder.label b "done";
+  Builder.ret b;
+  let prog =
+    Program.assemble ~base:Td_mem.Layout.vm_driver_code_base (Builder.finish b)
+  in
+  Td_cpu.Code_registry.register m.Harness.registry prog;
+  let st = Harness.dom0_cpu m in
+  let interp = Harness.interp_of m st in
+  Td_cpu.Interp.set_dispatch interp dispatch;
+  (* threshold 1 so the second call runs compiled code in Compiled mode *)
+  Td_cpu.Interp.set_compile_threshold interp 1;
+  let entry = Program.addr_of_label prog "entry" in
+  let r = ref 0 in
+  for _ = 1 to 3 do
+    r := Td_cpu.Interp.call interp ~entry ~args:[]
+  done;
+  let open Td_cpu in
+  let snapshot =
+    ( !r,
+      Array.to_list (Array.map (Td_cpu.State.get st) prop_dst),
+      st.State.cycles,
+      st.State.steps,
+      (st.State.zf, st.State.sf, st.State.cf, st.State.ovf) )
+  in
+  (* data memory readback after the architectural snapshot (the loads
+     charge cycles, but the snapshot above is already taken) *)
+  let mem =
+    List.init 8 (fun k ->
+        Semantics.load st (buf + (4 * k)) Td_misa.Width.W32)
+  in
+  (snapshot, mem)
+
+let engine_equivalence_prop =
+  QCheck.Test.make
+    ~name:"per-step, block and compiled engines are bit-identical" ~count:60
+    (QCheck.make
+       QCheck.Gen.(
+         list_size (int_range 2 5)
+           (list_size (int_range 1 10) (int_range 0 0xFF_FFFF)))
+       ~print:(fun segs ->
+         String.concat ";"
+           (List.map
+              (fun ops -> String.concat "," (List.map string_of_int ops))
+              segs)))
+    (fun segs ->
+      let per_step = prop_run Td_cpu.Interp.Per_step segs in
+      let block = prop_run Td_cpu.Interp.Block segs in
+      let compiled = prop_run Td_cpu.Interp.Compiled segs in
+      per_step = block && per_step = compiled)
+
 (* --- ledger arithmetic --- *)
 
 let ledger_prop =
@@ -148,6 +272,7 @@ let suite =
     QCheck_alcotest.to_alcotest kmem_no_overlap_prop;
     QCheck_alcotest.to_alcotest decode_fuzz_prop;
     QCheck_alcotest.to_alcotest decode_valid_prefix_prop;
+    QCheck_alcotest.to_alcotest engine_equivalence_prop;
     QCheck_alcotest.to_alcotest ledger_prop;
     Alcotest.test_case "stats percentile edges" `Quick
       test_stats_percentile_edge;
