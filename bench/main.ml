@@ -777,6 +777,57 @@ let interp () =
           ] );
     ]
 
+let doorbell () =
+  header
+    "Doorbell + adaptive polling: hypercalls and cycles per packet vs \
+     offered load";
+  let points = Experiments.doorbell () in
+  Printf.printf "%12s %6s %8s %12s %10s %10s %7s %8s %9s\n" "mode" "load"
+    "packets" "cyc/pkt" "hcall/pkt" "virq/pkt" "polls" "suppr" "final";
+  List.iter
+    (fun (p : Experiments.doorbell_point) ->
+      Printf.printf "%12s %6d %8d %12.0f %10.4f %10.4f %7d %8d %9s\n"
+        p.Experiments.db_mode p.Experiments.offered_per_window
+        p.Experiments.db_packets p.Experiments.db_cycles_per_packet
+        p.Experiments.hypercalls_per_packet p.Experiments.virqs_per_packet
+        p.Experiments.db_doorbell_polls
+        p.Experiments.db_suppressed_hypercalls p.Experiments.final_tx_mode)
+    points;
+  print_endline
+    "\nadaptive stays interrupt-driven (and cycle-identical) at idle, crosses\n\
+    \     into polling as the kick rate rises, and suppresses nearly every\n\
+    \     notifying hypercall at the top offered load.";
+  bench_json "doorbell"
+    [
+      ( "points",
+        Json.List
+          (List.map
+             (fun (p : Experiments.doorbell_point) ->
+               Json.Obj
+                 [
+                   ("mode", Json.String p.Experiments.db_mode);
+                   ( "offered_per_window",
+                     Json.Int p.Experiments.offered_per_window );
+                   ("packets", Json.Int p.Experiments.db_packets);
+                   ("cycles_total", Json.Int p.Experiments.db_cycles_total);
+                   ( "cycles_per_packet",
+                     Json.Float p.Experiments.db_cycles_per_packet );
+                   ( "hypercalls_per_packet",
+                     Json.Float p.Experiments.hypercalls_per_packet );
+                   ( "virqs_per_packet",
+                     Json.Float p.Experiments.virqs_per_packet );
+                   ( "doorbell_polls",
+                     Json.Int p.Experiments.db_doorbell_polls );
+                   ( "suppressed_hypercalls",
+                     Json.Int p.Experiments.db_suppressed_hypercalls );
+                   ( "suppressed_virqs",
+                     Json.Int p.Experiments.db_suppressed_virqs );
+                   ("mode_switches", Json.Int p.Experiments.db_mode_switches);
+                   ("final_tx_mode", Json.String p.Experiments.final_tx_mode);
+                 ])
+             points) );
+    ]
+
 let experiments =
   [
     ("fig5", fig5);
@@ -793,6 +844,7 @@ let experiments =
     ("sensitivity", sensitivity);
     ("ablations", ablations);
     ("window_batch", window_batch);
+    ("doorbell", doorbell);
     ("recovery", recovery);
     ("interp", interp);
     ("bechamel", bechamel);

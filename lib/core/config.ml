@@ -37,6 +37,10 @@ type tuning = {
   stlb_exact_hits : bool;
   compile_threshold : int;
   superblock_cap : int;
+  doorbell : bool;
+  poll_entry_kicks : int;
+  idle_hysteresis : int;
+  poll_budget : int;
 }
 
 let default_tuning =
@@ -47,4 +51,8 @@ let default_tuning =
     stlb_exact_hits = true;
     compile_threshold = 8;
     superblock_cap = 64;
+    doorbell = false;
+    poll_entry_kicks = 8;
+    idle_hysteresis = 3;
+    poll_budget = 16;
   }

@@ -55,8 +55,24 @@ type tuning = {
       (** Maximum instructions traced into one compiled superblock,
           including blocks stitched across unconditional jumps and
           fallthrough edges (default 64). *)
+  doorbell : bool;
+      (** Give each I/O channel a shared doorbell page with NAPI-style
+          adaptive mode switching (see {!Xen_netio.doorbell_cfg}). Off by
+          default — the channel is then bit-identical to the
+          pre-doorbell path. Xen_domU only. *)
+  poll_entry_kicks : int;
+      (** Notification boundaries per tick window before a direction
+          switches from interrupts to polling (default 8); [<= 0] pins
+          always-poll. Ignored unless [doorbell]. *)
+  idle_hysteresis : int;
+      (** Consecutive empty tick windows before a polling direction falls
+          back to interrupts (default 3). Ignored unless [doorbell]. *)
+  poll_budget : int;
+      (** Frames drained per doorbell visit — the NAPI weight bounding
+          how long one busy channel holds the pump (default 16). Ignored
+          unless [doorbell]. *)
 }
 
 val default_tuning : tuning
-(** Full 16 MB window, batch 1, fail-stop — identical behaviour to the
-    pre-supervisor system. *)
+(** Full 16 MB window, batch 1, fail-stop, doorbell off — identical
+    behaviour to the pre-supervisor system. *)

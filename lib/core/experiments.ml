@@ -291,6 +291,102 @@ let window_batch ?(packets = 250) ?(windows = [ 512; 1024; 4096 ])
         batches)
     windows
 
+(* ---- doorbell / adaptive polling sweep ---- *)
+
+type doorbell_point = {
+  db_mode : string;
+  offered_per_window : int;
+  db_packets : int;
+  db_cycles_total : int;
+  db_cycles_per_packet : float;
+  hypercalls_per_packet : float;
+  virqs_per_packet : float;
+  db_doorbell_polls : int;
+  db_suppressed_hypercalls : int;
+  db_suppressed_virqs : int;
+  db_mode_switches : int;
+  final_tx_mode : string;
+}
+
+let mode_name = function
+  | Td_kernel.Xen_netio.Interrupt -> "interrupt"
+  | Td_kernel.Xen_netio.Polling -> "polling"
+
+let doorbell ?(windows = 60) ?(warmup_windows = 4)
+    ?(loads = [ 0; 1; 4; 16; 64 ]) () =
+  let payload = String.init 1500 (fun i -> Char.chr (i land 0xff)) in
+  (* three notification disciplines over the same domU path: the seed's
+     interrupt-driven channel, the adaptive doorbell (NAPI-style), and
+     the always-poll upper bound *)
+  let modes =
+    [
+      ("interrupt", Config.default_tuning);
+      ("adaptive", { Config.default_tuning with Config.doorbell = true });
+      ( "always-poll",
+        {
+          Config.default_tuning with
+          Config.doorbell = true;
+          poll_entry_kicks = 0;
+        } );
+    ]
+  in
+  List.concat_map
+    (fun (db_mode, tuning) ->
+      List.map
+        (fun load ->
+          let w = World.create ~nics:1 ~tuning Config.Xen_domU in
+          (* one tick window: [load] frames with interrupt mitigation
+             every 8, then the timer tick (which is also the adaptive
+             state machine's window boundary) *)
+          let run_window () =
+            for i = 0 to load - 1 do
+              ignore (World.transmit w ~nic:0 ~payload);
+              if i mod 8 = 7 then World.pump w
+            done;
+            World.pump w;
+            World.tick w
+          in
+          for _ = 1 to warmup_windows do
+            run_window ()
+          done;
+          World.reset_measurement w;
+          for _ = 1 to windows do
+            run_window ()
+          done;
+          (* teardown invariant: quiescing the guest may leave a partial
+             batch staged — shutdown must deliver it, and nothing may
+             have been lost between frontend and backend *)
+          World.shutdown w;
+          if World.staged_frames w <> 0 then
+            failwith "Experiments.doorbell: frames staged after shutdown";
+          if not (World.netio_conserved w) then
+            failwith "Experiments.doorbell: frame conservation violated";
+          let packets = World.wire_tx_frames w in
+          let cycles = Td_xen.Ledger.grand_total (World.ledger w) in
+          let hypercalls = Td_obs.Metrics.counter_value "xen.hypercall" in
+          let virqs = Td_obs.Metrics.counter_value "xen.virq" in
+          let per_pkt v =
+            if packets = 0 then 0.0
+            else float_of_int v /. float_of_int packets
+          in
+          {
+            db_mode;
+            offered_per_window = load;
+            db_packets = packets;
+            db_cycles_total = cycles;
+            db_cycles_per_packet = per_pkt cycles;
+            hypercalls_per_packet = per_pkt hypercalls;
+            virqs_per_packet = per_pkt virqs;
+            db_doorbell_polls =
+              Td_obs.Metrics.counter_value "netio.doorbell_polls";
+            db_suppressed_hypercalls = World.netio_suppressed_hypercalls w;
+            db_suppressed_virqs = World.netio_suppressed_virqs w;
+            db_mode_switches = World.netio_mode_switches w;
+            final_tx_mode = mode_name (World.netio_tx_mode w ~nic:0);
+          })
+        loads)
+    modes
+
 (* ---- ablations ---- *)
 
 type ablation = { label : string; tx_cpu_scaled_mbps : float; note : string }
@@ -418,6 +514,15 @@ let recovery_soak ?(frames = 2_000) ?(seed = 42) ~policy ~rate () =
       done;
       (try World.pump w
        with World.Driver_aborted _ | World.Nic_quarantined _ -> ());
+      (* teardown invariant: nothing the soak staged may still be parked
+         on an I/O channel, and every staged frame must be accounted for
+         (completed or counted as dropped) after a full drain *)
+      (try World.shutdown w
+       with World.Driver_aborted _ | World.Nic_quarantined _ -> ());
+      if World.staged_frames w <> 0 then
+        failwith "Experiments.recovery_soak: frames staged after shutdown";
+      if not (World.netio_conserved w) then
+        failwith "Experiments.recovery_soak: frame conservation violated";
       let delivered = World.wire_tx_frames w in
       let recoveries = World.recoveries w in
       {

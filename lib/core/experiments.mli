@@ -101,6 +101,37 @@ val window_batch :
   unit ->
   window_batch_point list
 
+(** Doorbell / adaptive-polling sweep (docs/DOORBELL.md): the domU
+    transmit path at several offered loads (frames per tick window) under
+    three notification disciplines — the interrupt-driven seed channel,
+    the adaptive doorbell, and always-poll. Each point asserts the
+    teardown invariants (nothing staged after {!World.shutdown}, frame
+    conservation). Requires observability for the hypercall/virq rates. *)
+
+type doorbell_point = {
+  db_mode : string;  (** "interrupt" | "adaptive" | "always-poll" *)
+  offered_per_window : int;  (** frames transmitted per tick window *)
+  db_packets : int;  (** frames that reached the wire *)
+  db_cycles_total : int;
+      (** whole-run ledger total — the idle-cost comparator when
+          [offered_per_window = 0] *)
+  db_cycles_per_packet : float;  (** 0 at zero load *)
+  hypercalls_per_packet : float;
+  virqs_per_packet : float;
+  db_doorbell_polls : int;
+  db_suppressed_hypercalls : int;  (** kicks the doorbell made unnecessary *)
+  db_suppressed_virqs : int;
+  db_mode_switches : int;
+  final_tx_mode : string;  (** tx direction's mode when the run ended *)
+}
+
+val doorbell :
+  ?windows:int ->
+  ?warmup_windows:int ->
+  ?loads:int list ->
+  unit ->
+  doorbell_point list
+
 (** Ablations (DESIGN.md §5). *)
 
 type ablation = { label : string; tx_cpu_scaled_mbps : float; note : string }

@@ -7,10 +7,14 @@ open Td_kernel
 exception Driver_aborted of string
 exception Nic_quarantined of { nic : int }
 
+exception Config_error of { domain : string; reason : string }
+
 let () =
   Printexc.register_printer (function
     | Driver_aborted r -> Some (Printf.sprintf "Driver_aborted(%s)" r)
     | Nic_quarantined { nic } -> Some (Printf.sprintf "Nic_quarantined(%d)" nic)
+    | Config_error { domain; reason } ->
+        Some (Printf.sprintf "Config_error(%s: %s)" domain reason)
     | _ -> None)
 
 type driver_image = {
@@ -780,12 +784,32 @@ let init (w : t) =
       let h = Option.get w.hyp
       and d0 = Option.get w.dom0
       and g = Option.get w.guest in
+      (* a domU world without a NIC has no I/O channel to attach the
+         frontend to: a configuration error attributed to the guest, not
+         a crash on the first transmit *)
+      if Array.length w.nics = 0 then
+        raise
+          (Config_error
+             {
+               domain = Domain.name g;
+               reason = "domU configuration without netio (world has no NICs)";
+             });
+      let doorbell =
+        if w.tuning.Config.doorbell then
+          Some
+            {
+              Xen_netio.poll_entry_kicks = w.tuning.Config.poll_entry_kicks;
+              idle_hysteresis = w.tuning.Config.idle_hysteresis;
+              poll_budget = w.tuning.Config.poll_budget;
+            }
+        else None
+      in
       w.netios <-
         Array.mapi
           (fun i p ->
             let netio =
-              Xen_netio.create ~batch:w.tuning.Config.notify_batch ~hyp:h
-                ~dom0:d0 ~guest:g ~kmem:w.km
+              Xen_netio.create ~batch:w.tuning.Config.notify_batch ?doorbell
+                ~hyp:h ~dom0:d0 ~guest:g ~kmem:w.km
                 ~driver_tx:(fun skb ->
                   (* netback's call into the driver: the sk_buff is kmem
                      memory and survives a restart, so replay can re-run
@@ -896,8 +920,21 @@ let transmit w ~nic ~payload =
   | Config.Xen_domU ->
       charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
       charge_dom0_cat w w.costs.Sys_costs.dom0_tx_kernel;
-      if Array.length w.netios = 0 then
-        failwith "World: domU configuration without netio";
+      if Array.length w.netios = 0 then begin
+        let domain =
+          match w.guest with
+          | Some g -> Domain.name g
+          | None -> Config.name w.cfg
+        in
+        raise
+          (Config_error
+             {
+               domain;
+               reason =
+                 "domU configuration without netio (world not initialised \
+                  or created without NICs)";
+             })
+      end;
       (* the driver runs from netback's flush, already supervised there *)
       Xen_netio.guest_transmit w.netios.(nic) frame;
       true
@@ -1073,13 +1110,14 @@ let pump w =
           service_interrupt w ~nic:i
         end)
       w.nics;
-    (* ring pressure / end-of-poll flush: push out partial notification
-       batches so frames can never sit staged forever *)
+    (* ring pressure / end-of-poll service: push out partial notification
+       batches (or, in polling mode, visit the doorbell and drain up to
+       the poll budget) so frames can never sit staged forever *)
     Array.iter
       (fun io ->
         if Xen_netio.staged io > 0 then begin
           progress := true;
-          Xen_netio.flush io
+          Xen_netio.service io
         end)
       w.netios;
     deliver_pending w
@@ -1194,9 +1232,41 @@ let run_set_mtu w ~nic ~mtu =
   p.shadow.s_mtu <- mtu
 
 let tick w =
-  (* the timer flush bounds how long a partial batch can stay staged *)
-  Array.iter Xen_netio.flush w.netios;
+  (* the timer service bounds how long a partial batch can stay staged;
+     it is also the adaptive doorbell's window boundary (poll entry /
+     idle-hysteresis fallback) *)
+  Array.iter Xen_netio.on_tick w.netios;
   Timer_wheel.tick w.timers
+
+let shutdown w =
+  (* guest quiesce: drain every channel completely — partially staged
+     batches must not be dropped on teardown *)
+  Array.iter Xen_netio.teardown w.netios;
+  deliver_pending w
+
+let staged_frames w =
+  Array.fold_left (fun acc io -> acc + Xen_netio.staged io) 0 w.netios
+
+let netio_conserved w =
+  Array.for_all Xen_netio.conserved w.netios
+
+let netio_suppressed_hypercalls w =
+  Array.fold_left
+    (fun acc io -> acc + Xen_netio.suppressed_hypercalls io)
+    0 w.netios
+
+let netio_suppressed_virqs w =
+  Array.fold_left
+    (fun acc io -> acc + Xen_netio.suppressed_virqs io)
+    0 w.netios
+
+let netio_mode_switches w =
+  Array.fold_left
+    (fun acc io -> acc + Xen_netio.mode_switches io)
+    0 w.netios
+
+let netio_tx_mode w ~nic = Xen_netio.tx_mode w.netios.(nic)
+let netio_rx_mode w ~nic = Xen_netio.rx_mode w.netios.(nic)
 
 let mask_dom0_interrupts w =
   Option.iter Domain.mask_interrupts w.dom0

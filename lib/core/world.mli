@@ -108,7 +108,31 @@ val reset_measurement : t -> unit
 val tick : t -> unit
 (** Advance the dom0 kernel's timer wheel one tick; every ten ticks the
     driver watchdog runs for each NIC — in dom0, on the VM instance, as
-    §3.1 prescribes. *)
+    §3.1 prescribes. For Xen_domU the tick also services each I/O channel
+    and is the adaptive doorbell's window boundary (poll entry /
+    idle-hysteresis fallback, see {!Td_kernel.Xen_netio}). *)
+
+val shutdown : t -> unit
+(** Guest quiesce: drain every I/O channel completely (both directions,
+    whatever mode each is in) so partially staged notification batches
+    are delivered, not dropped. After shutdown [staged_frames t = 0].
+    Idempotent; the world remains usable. *)
+
+val staged_frames : t -> int
+(** Frames staged on all I/O channels awaiting notification or poll. *)
+
+val netio_conserved : t -> bool
+(** Frame conservation over all I/O channels
+    ({!Td_kernel.Xen_netio.conserved}). *)
+
+val netio_suppressed_hypercalls : t -> int
+val netio_suppressed_virqs : t -> int
+val netio_mode_switches : t -> int
+
+val netio_tx_mode : t -> nic:int -> Td_kernel.Xen_netio.mode
+val netio_rx_mode : t -> nic:int -> Td_kernel.Xen_netio.mode
+(** Per-channel adaptive state (always [Interrupt] with the doorbell
+    off). *)
 
 val run_watchdog : t -> nic:int -> unit
 val read_stats : t -> nic:int -> int array
@@ -143,6 +167,13 @@ exception Nic_quarantined of { nic : int }
 (** Raised by the traffic and housekeeping entry points when the named
     NIC's driver instance has been quarantined after an unrecovered
     abort. *)
+
+exception Config_error of { domain : string; reason : string }
+(** A structurally impossible configuration (e.g. a domU world with no
+    NIC, hence no I/O channel to attach the frontend to), attributed to
+    the domain it concerns. Raised from {!create} and from {!transmit} —
+    typed, so callers can report it instead of dying on a bare
+    [Failure]. *)
 
 val recoveries : t -> int
 (** Completed supervisor recoveries since the last

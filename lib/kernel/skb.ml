@@ -57,14 +57,26 @@ let free kmem t =
   end
   else set_refcnt t (r - 1)
 
+(* put/pull lengths are routinely derived from guest-writable descriptor
+   rings, so an out-of-range value is guest-controlled input, not an
+   invariant violation: raise a typed, counted Guest_fault (attributed to
+   the address space holding the buffer) that the driver supervisor
+   contains, never a bare failwith that would take dom0 down. *)
 let put t payload =
   let d = data t and l = len t in
-  if d + l + Bytes.length payload > end_ t then failwith "Skb.put: overflow";
+  if d + l + Bytes.length payload > end_ t then
+    Td_xen.Guest_fault.fail
+      ~domain:(Td_mem.Addr_space.name t.space)
+      ~op:"Skb.put" "overflow: %d staged + %d new > %d capacity" l
+      (Bytes.length payload) (capacity t);
   Td_mem.Addr_space.write_block t.space (d + l) payload;
   set_len t (l + Bytes.length payload)
 
 let pull t n =
-  if n > len t then failwith "Skb.pull: underflow";
+  if n > len t then
+    Td_xen.Guest_fault.fail
+      ~domain:(Td_mem.Addr_space.name t.space)
+      ~op:"Skb.pull" "underflow: pulling %d of %d bytes" n (len t);
   set_data t (data t + n);
   set_len t (len t - n)
 

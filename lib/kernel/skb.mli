@@ -47,11 +47,14 @@ val frag_len : t -> int
 val capacity : t -> int
 
 val put : t -> bytes -> unit
-(** Append payload bytes at [data + len]; extends [len]. Raises [Failure]
-    on overflow. *)
+(** Append payload bytes at [data + len]; extends [len]. Overflow —
+    lengths routinely come from guest-writable descriptor rings — raises
+    a typed, counted {!Td_xen.Guest_fault.Fault} attributed to the
+    buffer's address space, which the driver supervisor contains. *)
 
 val pull : t -> int -> unit
-(** Advance [data] by [n] (consume a header), shrinking [len]. *)
+(** Advance [data] by [n] (consume a header), shrinking [len]. Underflow
+    raises {!Td_xen.Guest_fault.Fault} like {!put}. *)
 
 val contents : t -> bytes
 (** The linear data area (not including chained fragments). *)

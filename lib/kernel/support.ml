@@ -192,7 +192,13 @@ let impl_writel t st =
 let impl_skb_put t st =
   let skb = skb_of t st 0 and n = arg st 1 in
   let tail = Skb.data skb + Skb.len skb in
-  if tail + n > Skb.end_ skb then failwith "skb_put: overflow";
+  (* the length argument can originate in a guest-writable descriptor
+     ring: contain it as a typed, accounted guest fault, not a crash *)
+  if n < 0 || tail + n > Skb.end_ skb then
+    Td_xen.Guest_fault.fail
+      ~domain:(Td_mem.Addr_space.name t.space)
+      ~op:"skb_put" "overflow: %d bytes at 0x%x exceeds end 0x%x" n tail
+      (Skb.end_ skb);
   Skb.set_len skb (Skb.len skb + n);
   ret st tail
 

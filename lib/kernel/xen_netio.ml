@@ -1,5 +1,38 @@
 open Td_xen
 
+type mode = Interrupt | Polling
+
+type doorbell_cfg = {
+  poll_entry_kicks : int;
+  idle_hysteresis : int;
+  poll_budget : int;
+}
+
+(* Per-direction adaptive state. [seq]/[seen] mirror the 32-bit sequence
+   word in the shared doorbell page: the producer increments [seq] and
+   stores it; the consumer compares the loaded word against [seen]. *)
+type dir_state = {
+  dir_name : string;
+  mutable mode : mode;
+  mutable seq : int;
+  mutable seen : int;
+  mutable window_kicks : int;  (** notification boundaries this tick window *)
+  mutable idle_windows : int;  (** consecutive windows with no boundary *)
+  mutable since_notify : int;  (** frames staged since the last boundary *)
+  mutable polls : int;
+  mutable suppressed : int;
+  mutable mode_switches : int;
+}
+
+type doorbell = {
+  cfg : doorbell_cfg;
+  page : int;  (** guest vaddr of the shared doorbell page *)
+  dom0_vaddr : int;  (** persistent dom0 mapping of the same frame *)
+  db_gref : Grant_table.grant_ref;
+  tx : dir_state;
+  rx : dir_state;
+}
+
 type t = {
   hyp : Hypervisor.t;
   dom0 : Domain.t;
@@ -9,9 +42,12 @@ type t = {
   grants : Grant_table.t;
   batch : int;  (** notifications coalesced per kick (1 = every frame) *)
   tx_pages : (int * Grant_table.grant_ref) array;
-      (** [batch] granted guest pages used to stage transmitted frames *)
+      (** granted guest pages used to stage transmitted frames; sized
+          [batch] without a doorbell, wider with one so budget-limited
+          drains never reuse a still-staged slot *)
   tx_staged : (int * Grant_table.grant_ref * int) Queue.t;
       (** (guest vaddr, grant, length) pushed on the ring, kick pending *)
+  mutable tx_prod : int;  (** producer cursor into [tx_pages] *)
   mutable map_cursor : int;  (** dom0 vaddr window for grant maps *)
   rx_posted : (Grant_table.grant_ref * int) Queue.t;
   rx_staged : (Grant_table.grant_ref * int * int) Queue.t;
@@ -21,29 +57,94 @@ type t = {
   mutable rx_count : int;
   mutable rx_dropped : int;
   mutable flush_count : int;
+  mutable tx_staged_total : int;
+  mutable rx_staged_total : int;
+  doorbell : doorbell option;
 }
 
 (* dom0 virtual window where granted guest pages are temporarily mapped *)
 let grant_map_base = 0xC7F0_0000
 
-let create ?(batch = 1) ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
+(* dom0 window for persistent doorbell-page mappings, just below the
+   transient grant-map window; one page per channel *)
+let doorbell_map_base = 0xC7E0_0000
+
+(* doorbell page layout: two little-endian 32-bit sequence words *)
+let tx_seq_off = 0 (* guest stores, dom0 loads *)
+let rx_seq_off = 4 (* dom0 stores, guest loads *)
+
+let alloc_doorbell_vaddr dom0_space =
+  let rec go vaddr =
+    if vaddr >= grant_map_base then
+      invalid_arg "Xen_netio: doorbell map window exhausted"
+    else if
+      Td_mem.Addr_space.is_mapped dom0_space
+        ~vpage:(Td_mem.Layout.page_of vaddr)
+    then go (vaddr + Td_mem.Layout.page_size)
+    else vaddr
+  in
+  go doorbell_map_base
+
+let grant_guest_page gspace grants =
+  let page = Td_mem.Addr_space.heap_alloc gspace Td_mem.Layout.page_size in
+  let frame =
+    match
+      Td_mem.Addr_space.frame_of_vpage gspace
+        ~vpage:(Td_mem.Layout.page_of page)
+    with
+    | Some f -> f
+    | None -> assert false
+  in
+  (page, Grant_table.grant grants ~frame)
+
+let create ?(batch = 1) ?doorbell ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
   if batch < 1 then invalid_arg "Xen_netio: batch must be >= 1";
   let gspace = Domain.space guest in
   let grants = Grant_table.create ~owner:guest in
-  let tx_pages =
-    Array.init batch (fun _ ->
-        let page =
-          Td_mem.Addr_space.heap_alloc gspace Td_mem.Layout.page_size
+  (* Without a doorbell the staging ring is exactly [batch] pages and the
+     producer cursor walks it in lockstep with the (always fully drained)
+     staged queue — page-for-page the historical layout. With one, drains
+     are budget-limited, so the ring is widened to keep the cursor from
+     lapping frames a partial drain left behind. *)
+  let ring_slots =
+    match doorbell with
+    | None -> batch
+    | Some cfg -> max batch (2 * max 1 cfg.poll_budget)
+  in
+  let tx_pages = Array.init ring_slots (fun _ -> grant_guest_page gspace grants) in
+  let doorbell =
+    match doorbell with
+    | None -> None
+    | Some cfg ->
+        if cfg.poll_budget < 1 then
+          invalid_arg "Xen_netio: poll_budget must be >= 1";
+        if cfg.idle_hysteresis < 1 then
+          invalid_arg "Xen_netio: idle_hysteresis must be >= 1";
+        let page, db_gref = grant_guest_page gspace grants in
+        Td_mem.Addr_space.write gspace (page + tx_seq_off) Td_misa.Width.W32 0;
+        Td_mem.Addr_space.write gspace (page + rx_seq_off) Td_misa.Width.W32 0;
+        let dom0_vaddr = alloc_doorbell_vaddr (Domain.space dom0) in
+        Grant_table.map grants ~hyp ~into:dom0
+          ~at_vpage:(Td_mem.Layout.page_of dom0_vaddr)
+          db_gref;
+        (* poll_entry_kicks <= 0 selects always-poll: start in Polling and
+           never fall back (the bench's upper-bound configuration) *)
+        let initial = if cfg.poll_entry_kicks <= 0 then Polling else Interrupt in
+        let mk dir_name =
+          {
+            dir_name;
+            mode = initial;
+            seq = 0;
+            seen = 0;
+            window_kicks = 0;
+            idle_windows = 0;
+            since_notify = 0;
+            polls = 0;
+            suppressed = 0;
+            mode_switches = 0;
+          }
         in
-        let frame =
-          match
-            Td_mem.Addr_space.frame_of_vpage gspace
-              ~vpage:(Td_mem.Layout.page_of page)
-          with
-          | Some f -> f
-          | None -> assert false
-        in
-        (page, Grant_table.grant grants ~frame))
+        Some { cfg; page; dom0_vaddr; db_gref; tx = mk "tx"; rx = mk "rx" }
   in
   {
     hyp;
@@ -55,6 +156,7 @@ let create ?(batch = 1) ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
     batch;
     tx_pages;
     tx_staged = Queue.create ();
+    tx_prod = 0;
     map_cursor = grant_map_base;
     rx_posted = Queue.create ();
     rx_staged = Queue.create ();
@@ -63,6 +165,9 @@ let create ?(batch = 1) ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
     rx_count = 0;
     rx_dropped = 0;
     flush_count = 0;
+    tx_staged_total = 0;
+    rx_staged_total = 0;
+    doorbell;
   }
 
 let set_guest_rx t fn = t.guest_rx <- fn
@@ -70,37 +175,89 @@ let set_guest_rx t fn = t.guest_rx <- fn
 let charge_dom0 t n = Hypervisor.charge_domain t.hyp t.dom0 n
 let charge_guest t n = Hypervisor.charge_domain t.hyp t.guest n
 
+(* The backend's per-frame work, always run in dom0: map the granted
+   frame, rebuild a dom0 sk_buff, hand it to the NIC driver, unmap. *)
+let backend_tx_one t costs =
+  let gvaddr, gref, len = Queue.pop t.tx_staged in
+  ignore gvaddr;
+  let vaddr = t.map_cursor in
+  Grant_table.map t.grants ~hyp:t.hyp ~into:t.dom0
+    ~at_vpage:(Td_mem.Layout.page_of vaddr)
+    gref;
+  charge_dom0 t costs.Sys_costs.netback;
+  let skb = Skb.alloc t.kmem (Domain.space t.dom0) ~size:(len + 64) in
+  Skb.put skb (Td_mem.Addr_space.read_block (Domain.space t.dom0) vaddr len);
+  charge_dom0 t costs.Sys_costs.bridge;
+  t.driver_tx skb;
+  Grant_table.unmap t.grants ~hyp:t.hyp ~from:t.dom0
+    ~at_vpage:(Td_mem.Layout.page_of vaddr)
+    gref;
+  t.tx_count <- t.tx_count + 1;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "netio.tx";
+    Td_obs.Trace.emit (Td_obs.Trace.Netio_tx { bytes = len })
+  end
+
+let backend_drain_tx t ~budget =
+  if not (Queue.is_empty t.tx_staged) then
+    Hypervisor.run_in t.hyp t.dom0 (fun () ->
+        let costs = Hypervisor.costs t.hyp in
+        let drained = ref 0 in
+        while !drained < budget && not (Queue.is_empty t.tx_staged) do
+          backend_tx_one t costs;
+          incr drained
+        done)
+
 (* One kick drains every staged request: the backend runs once in dom0,
    mapping, forwarding and unmapping each granted frame in ring order. *)
 let flush_tx t =
   if not (Queue.is_empty t.tx_staged) then begin
-    let costs = Hypervisor.costs t.hyp in
     t.flush_count <- t.flush_count + 1;
     if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.flush";
+    (match t.doorbell with
+    | Some db ->
+        db.tx.window_kicks <- db.tx.window_kicks + 1;
+        db.tx.since_notify <- 0
+    | None -> ());
     Hypervisor.hypercall t.hyp ();
-    Hypervisor.run_in t.hyp t.dom0 (fun () ->
-        while not (Queue.is_empty t.tx_staged) do
-          let gvaddr, gref, len = Queue.pop t.tx_staged in
-          ignore gvaddr;
-          let vaddr = t.map_cursor in
-          Grant_table.map t.grants ~hyp:t.hyp ~into:t.dom0
-            ~at_vpage:(Td_mem.Layout.page_of vaddr)
-            gref;
-          charge_dom0 t costs.Sys_costs.netback;
-          let skb = Skb.alloc t.kmem (Domain.space t.dom0) ~size:(len + 64) in
-          Skb.put skb
-            (Td_mem.Addr_space.read_block (Domain.space t.dom0) vaddr len);
-          charge_dom0 t costs.Sys_costs.bridge;
-          t.driver_tx skb;
-          Grant_table.unmap t.grants ~hyp:t.hyp ~from:t.dom0
-            ~at_vpage:(Td_mem.Layout.page_of vaddr)
-            gref;
-          t.tx_count <- t.tx_count + 1;
-          if Td_obs.Control.enabled () then begin
-            Td_obs.Metrics.bump "netio.tx";
-            Td_obs.Trace.emit (Td_obs.Trace.Netio_tx { bytes = len })
-          end
-        done)
+    backend_drain_tx t ~budget:max_int
+  end
+
+(* Producer side of a doorbell: bump the sequence number and store it in
+   the shared page — a cache-line write in place of a hypercall/virq. *)
+let ring_doorbell t d ~space ~vaddr ~charge =
+  let costs = Hypervisor.costs t.hyp in
+  d.seq <- (d.seq + 1) land 0xFFFF_FFFF;
+  Td_mem.Addr_space.write space vaddr Td_misa.Width.W32 d.seq;
+  charge t costs.Sys_costs.doorbell_write;
+  if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.doorbell_writes"
+
+(* Count the notification that coalescing would have sent at each [batch]
+   boundary; in polling mode the doorbell makes it unnecessary. *)
+let note_suppressed t d ~metric =
+  d.since_notify <- d.since_notify + 1;
+  if d.since_notify >= t.batch then begin
+    d.since_notify <- 0;
+    d.suppressed <- d.suppressed + 1;
+    d.window_kicks <- d.window_kicks + 1;
+    if Td_obs.Control.enabled () then Td_obs.Metrics.bump metric
+  end
+
+(* Consumer side: load the shared sequence word; on any advance (or
+   leftovers from a budget-limited previous visit) drain up to the poll
+   budget. Charged [doorbell_poll] whether or not there is work — the
+   price of polling, and why idle channels fall back to interrupts. *)
+let poll_tx t db =
+  db.tx.polls <- db.tx.polls + 1;
+  charge_dom0 t (Hypervisor.costs t.hyp).Sys_costs.doorbell_poll;
+  if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.doorbell_polls";
+  let seq =
+    Td_mem.Addr_space.read (Domain.space t.dom0)
+      (db.dom0_vaddr + tx_seq_off) Td_misa.Width.W32
+  in
+  if seq <> db.tx.seen || not (Queue.is_empty t.tx_staged) then begin
+    db.tx.seen <- seq;
+    backend_drain_tx t ~budget:db.cfg.poll_budget
   end
 
 let guest_transmit t frame =
@@ -109,33 +266,63 @@ let guest_transmit t frame =
   if len > Td_mem.Layout.page_size then invalid_arg "Xen_netio: frame too large";
   (* frontend: stage the frame in a granted guest page and push a request
      on the I/O channel; the notifying hypercall is sent only when the
-     ring holds [batch] requests (or at the next explicit flush) *)
+     ring holds [batch] requests (or at the next explicit flush) — or, in
+     polling mode, never: the stored sequence number is the signal *)
   charge_guest t costs.Sys_costs.netfront;
-  let page, gref = t.tx_pages.(Queue.length t.tx_staged) in
+  let slots = Array.length t.tx_pages in
+  (match t.doorbell with
+  | Some db when Queue.length t.tx_staged >= slots ->
+      (* ring full: the frontend stalls until the backend polls it *)
+      if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.ring_full";
+      poll_tx t db
+  | _ -> ());
+  let page, gref = t.tx_pages.(t.tx_prod mod slots) in
+  t.tx_prod <- t.tx_prod + 1;
   Td_mem.Addr_space.write_block (Domain.space t.guest) page
     (Bytes.of_string frame);
   Hypervisor.charge_xen t.hyp costs.Sys_costs.io_channel;
   Queue.push (page, gref, len) t.tx_staged;
-  if Queue.length t.tx_staged >= t.batch then flush_tx t
-  else Hypervisor.charge_xen t.hyp costs.Sys_costs.notify_coalesce
+  t.tx_staged_total <- t.tx_staged_total + 1;
+  match t.doorbell with
+  | Some db when db.tx.mode = Polling ->
+      ring_doorbell t db.tx ~space:(Domain.space t.guest)
+        ~vaddr:(db.page + tx_seq_off) ~charge:charge_guest;
+      note_suppressed t db.tx ~metric:"netio.suppressed_hypercalls"
+  | _ ->
+      if Queue.length t.tx_staged >= t.batch then flush_tx t
+      else Hypervisor.charge_xen t.hyp costs.Sys_costs.notify_coalesce
 
 let post_rx_buffers t n =
   let gspace = Domain.space t.guest in
   for _ = 1 to n do
-    let page = Td_mem.Addr_space.heap_alloc gspace Td_mem.Layout.page_size in
-    let frame =
-      match
-        Td_mem.Addr_space.frame_of_vpage gspace
-          ~vpage:(Td_mem.Layout.page_of page)
-      with
-      | Some f -> f
-      | None -> assert false
-    in
-    let r = Grant_table.grant t.grants ~frame in
+    let page, r = grant_guest_page gspace t.grants in
     Queue.push (r, page) t.rx_posted
   done
 
 let rx_buffers_posted t = Queue.length t.rx_posted
+
+(* The frontend's per-completion work, run in the guest: read the frame
+   out of the granted buffer, hand it to the stack, re-post the buffer. *)
+let frontend_rx_deliver t costs (gref, gvaddr, len) =
+  charge_guest t costs.Sys_costs.netfront;
+  let frame = Td_mem.Addr_space.read_block (Domain.space t.guest) gvaddr len in
+  t.rx_count <- t.rx_count + 1;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "netio.rx";
+    Td_obs.Trace.emit (Td_obs.Trace.Netio_rx { bytes = len })
+  end;
+  t.guest_rx (Bytes.to_string frame);
+  Queue.push (gref, gvaddr) t.rx_posted
+
+let frontend_drain_rx t ~budget =
+  if not (Queue.is_empty t.rx_staged) then
+    Hypervisor.run_in t.hyp t.guest (fun () ->
+        let costs = Hypervisor.costs t.hyp in
+        let drained = ref 0 in
+        while !drained < budget && not (Queue.is_empty t.rx_staged) do
+          frontend_rx_deliver t costs (Queue.pop t.rx_staged);
+          incr drained
+        done)
 
 (* One virtual interrupt announces every copied-in frame: the frontend
    handler walks the completions in order, handing each frame to the guest
@@ -145,26 +332,31 @@ let flush_rx t =
     let costs = Hypervisor.costs t.hyp in
     t.flush_count <- t.flush_count + 1;
     if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.flush";
+    (match t.doorbell with
+    | Some db ->
+        db.rx.window_kicks <- db.rx.window_kicks + 1;
+        db.rx.since_notify <- 0
+    | None -> ());
     let completions = ref [] in
     while not (Queue.is_empty t.rx_staged) do
       completions := Queue.pop t.rx_staged :: !completions
     done;
     let completions = List.rev !completions in
     Hypervisor.send_virq t.hyp t.guest (fun () ->
-        List.iter
-          (fun (gref, gvaddr, len) ->
-            charge_guest t costs.Sys_costs.netfront;
-            let frame =
-              Td_mem.Addr_space.read_block (Domain.space t.guest) gvaddr len
-            in
-            t.rx_count <- t.rx_count + 1;
-            if Td_obs.Control.enabled () then begin
-              Td_obs.Metrics.bump "netio.rx";
-              Td_obs.Trace.emit (Td_obs.Trace.Netio_rx { bytes = len })
-            end;
-            t.guest_rx (Bytes.to_string frame);
-            Queue.push (gref, gvaddr) t.rx_posted)
-          completions)
+        List.iter (frontend_rx_deliver t costs) completions)
+  end
+
+let poll_rx t db =
+  db.rx.polls <- db.rx.polls + 1;
+  charge_guest t (Hypervisor.costs t.hyp).Sys_costs.doorbell_poll;
+  if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.doorbell_polls";
+  let seq =
+    Td_mem.Addr_space.read (Domain.space t.guest)
+      (db.page + rx_seq_off) Td_misa.Width.W32
+  in
+  if seq <> db.rx.seen || not (Queue.is_empty t.rx_staged) then begin
+    db.rx.seen <- seq;
+    frontend_drain_rx t ~budget:db.cfg.poll_budget
   end
 
 let deliver_to_guest t skb =
@@ -187,16 +379,128 @@ let deliver_to_guest t skb =
     Hypervisor.charge_xen t.hyp costs.Sys_costs.io_channel;
     Skb.free t.kmem skb;
     Queue.push (gref, gvaddr, Bytes.length payload) t.rx_staged;
-    if Queue.length t.rx_staged >= t.batch then flush_rx t
-    else Hypervisor.charge_xen t.hyp costs.Sys_costs.notify_coalesce
+    t.rx_staged_total <- t.rx_staged_total + 1;
+    match t.doorbell with
+    | Some db when db.rx.mode = Polling ->
+        ring_doorbell t db.rx ~space:(Domain.space t.dom0)
+          ~vaddr:(db.dom0_vaddr + rx_seq_off) ~charge:charge_dom0;
+        note_suppressed t db.rx ~metric:"netio.suppressed_virqs"
+    | _ ->
+        if Queue.length t.rx_staged >= t.batch then flush_rx t
+        else Hypervisor.charge_xen t.hyp costs.Sys_costs.notify_coalesce
   end
 
 let flush t =
   flush_tx t;
   flush_rx t
 
+(* Mode-appropriate pump step: in interrupt mode force the pending batch
+   out (the historical flush); in polling mode visit the doorbell and
+   drain up to the poll budget. *)
+let service t =
+  match t.doorbell with
+  | None -> flush t
+  | Some db ->
+      (match db.tx.mode with
+      | Interrupt -> flush_tx t
+      | Polling -> poll_tx t db);
+      (match db.rx.mode with
+      | Interrupt -> flush_rx t
+      | Polling -> poll_rx t db)
+
+let switch_mode d to_mode =
+  if d.mode <> to_mode then begin
+    d.mode <- to_mode;
+    d.mode_switches <- d.mode_switches + 1;
+    d.idle_windows <- 0;
+    d.since_notify <- 0;
+    if Td_obs.Control.enabled () then begin
+      Td_obs.Metrics.bump "netio.mode_switches";
+      Td_obs.Trace.emit
+        (Td_obs.Trace.Custom
+           {
+             name = Printf.sprintf "netio.%s_mode" d.dir_name;
+             value = (match to_mode with Interrupt -> 0 | Polling -> 1);
+           })
+    end
+  end
+
+(* NAPI-style window decision, once per timer tick and per direction:
+   enough notification boundaries in the window pushes the direction into
+   polling; [idle_hysteresis] consecutive empty windows drops it back.
+   With poll_entry_kicks <= 0 (always-poll) the mode is pinned. *)
+let step_window db d =
+  (match d.mode with
+  | Interrupt ->
+      if db.cfg.poll_entry_kicks > 0 && d.window_kicks >= db.cfg.poll_entry_kicks
+      then switch_mode d Polling
+  | Polling ->
+      if db.cfg.poll_entry_kicks > 0 then
+        if d.window_kicks = 0 then begin
+          d.idle_windows <- d.idle_windows + 1;
+          if d.idle_windows >= db.cfg.idle_hysteresis then
+            switch_mode d Interrupt
+        end
+        else d.idle_windows <- 0);
+  d.window_kicks <- 0
+
+let on_tick t =
+  service t;
+  match t.doorbell with
+  | None -> ()
+  | Some db ->
+      step_window db db.tx;
+      step_window db db.rx
+
+(* Channel teardown: a partial batch staged when the guest quiesces must
+   still reach the wire (tx) or the guest stack (rx), whatever mode each
+   direction is in. Idempotent; loops because polling drains are
+   budget-limited. *)
+let teardown t =
+  match t.doorbell with
+  | None -> flush t
+  | Some db ->
+      while
+        not (Queue.is_empty t.tx_staged && Queue.is_empty t.rx_staged)
+      do
+        if not (Queue.is_empty t.tx_staged) then
+          (match db.tx.mode with
+          | Interrupt -> flush_tx t
+          | Polling -> poll_tx t db);
+        if not (Queue.is_empty t.rx_staged) then
+          match db.rx.mode with
+          | Interrupt -> flush_rx t
+          | Polling -> poll_rx t db
+      done
+
 let staged t = Queue.length t.tx_staged + Queue.length t.rx_staged
 let tx_count t = t.tx_count
 let rx_count t = t.rx_count
 let rx_dropped t = t.rx_dropped
 let flushes t = t.flush_count
+let tx_staged_total t = t.tx_staged_total
+let rx_staged_total t = t.rx_staged_total
+
+(* Frame conservation: everything staged was either completed or is still
+   queued — nothing silently dropped between frontend and backend. *)
+let conserved t =
+  t.tx_staged_total = t.tx_count + Queue.length t.tx_staged
+  && t.rx_staged_total = t.rx_count + Queue.length t.rx_staged
+
+let mode_of t dir =
+  match t.doorbell with
+  | None -> Interrupt
+  | Some db -> (match dir with `Tx -> db.tx.mode | `Rx -> db.rx.mode)
+
+let tx_mode t = mode_of t `Tx
+let rx_mode t = mode_of t `Rx
+
+let dir_stat t f =
+  match t.doorbell with None -> 0 | Some db -> f db
+
+let doorbell_polls t = dir_stat t (fun db -> db.tx.polls + db.rx.polls)
+let suppressed_hypercalls t = dir_stat t (fun db -> db.tx.suppressed)
+let suppressed_virqs t = dir_stat t (fun db -> db.rx.suppressed)
+
+let mode_switches t =
+  dir_stat t (fun db -> db.tx.mode_switches + db.rx.mode_switches)

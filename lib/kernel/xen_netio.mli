@@ -13,12 +13,50 @@
     interrupt, amortising its cost across the batch. Each deferred frame
     is charged {!Td_xen.Sys_costs.t.notify_coalesce} instead. [batch = 1]
     (the default) kicks on every frame and is cycle- and byte-identical to
-    the historical unbatched path. *)
+    the historical unbatched path.
+
+    {2 Doorbell page and adaptive polling}
+
+    With [~doorbell] the channel additionally shares one granted guest
+    page between frontend and backend, holding a 32-bit sequence word per
+    direction (tx at offset 0, written by the guest; rx at offset 4,
+    written by dom0). Each direction then runs a NAPI-style state machine:
+
+    - {b Interrupt} (initial): exactly today's behaviour — stage, kick at
+      the batch boundary. When the kick rate over a tick window reaches
+      [poll_entry_kicks], the direction switches to polling.
+    - {b Polling}: the producer bumps the shared sequence word
+      ({!Td_xen.Sys_costs.t.doorbell_write}) instead of hypercalling or
+      raising a virq; the consumer's {!service} visits compare the word
+      against the last seen value ({!Td_xen.Sys_costs.t.doorbell_poll})
+      and drain up to [poll_budget] frames per visit, bounding how long
+      one busy channel can hog the pump. After [idle_hysteresis]
+      consecutive windows with no traffic the direction falls back to
+      Interrupt, so an idle channel pays nothing.
+
+    [poll_entry_kicks <= 0] pins both directions in always-poll (the
+    bench's upper bound). Without [~doorbell] every code path, ledger
+    charge and page allocation is identical to the seed. *)
+
+type mode = Interrupt | Polling
+
+type doorbell_cfg = {
+  poll_entry_kicks : int;
+      (** notification boundaries per tick window that trigger the switch
+          to polling; [<= 0] pins always-poll *)
+  idle_hysteresis : int;
+      (** consecutive empty tick windows before falling back to
+          interrupts; must be >= 1 *)
+  poll_budget : int;
+      (** max frames drained per doorbell visit (NAPI weight); must be
+          >= 1 *)
+}
 
 type t
 
 val create :
   ?batch:int ->
+  ?doorbell:doorbell_cfg ->
   hyp:Td_xen.Hypervisor.t ->
   dom0:Td_xen.Domain.t ->
   guest:Td_xen.Domain.t ->
@@ -28,7 +66,9 @@ val create :
   t
 (** [driver_tx] invokes the dom0 NIC driver's transmit routine on a
     dom0-built sk_buff. [batch] (default 1) is the number of frames
-    staged per notification; raises [Invalid_argument] if < 1. *)
+    staged per notification; raises [Invalid_argument] if < 1. [doorbell]
+    enables the shared doorbell page and adaptive mode switching; omitted,
+    the channel is bit-identical to the pre-doorbell implementation. *)
 
 val set_guest_rx : t -> (string -> unit) -> unit
 (** Guest-side consumer of received frames. *)
@@ -37,7 +77,8 @@ val guest_transmit : t -> string -> unit
 (** Frontend transmit path for one frame: stage in a granted page, push
     on the I/O channel, and — once [batch] requests are pending — kick
     the backend, which maps, forwards and unmaps each staged frame in
-    ring order. *)
+    ring order. In polling mode the kick is replaced by a doorbell write;
+    a full staging ring stalls the frontend on an inline backend poll. *)
 
 val post_rx_buffers : t -> int -> unit
 (** Guest posts [n] granted receive buffers to the backend. *)
@@ -48,12 +89,30 @@ val deliver_to_guest : t -> Skb.t -> unit
 (** Backend receive path: grant-copy the packet into a posted guest
     buffer and stage the completion; once [batch] completions are pending
     a single virtual interrupt delivers them all in order (frees the
-    sk_buff). Drops (and counts) when no buffer is posted. *)
+    sk_buff). Drops (and counts) when no buffer is posted. In polling
+    mode the virq is replaced by a doorbell write and the guest drains
+    completions from {!service}. *)
 
 val flush : t -> unit
 (** Force out any staged transmit requests and receive completions even
     if the batch is not full — the timer/ring-pressure flush. No-op when
-    nothing is staged. *)
+    nothing is staged. Always notifies (hypercall/virq) regardless of
+    mode; prefer {!service} for the pump. *)
+
+val service : t -> unit
+(** Mode-appropriate pump step: {!flush} for interrupt-mode directions,
+    a doorbell poll (draining up to [poll_budget]) for polling-mode ones.
+    Identical to {!flush} when the doorbell is disabled. *)
+
+val on_tick : t -> unit
+(** Timer-tick entry point: runs {!service}, then advances each
+    direction's window state machine (poll entry / idle-hysteresis
+    fallback). Identical to {!flush} when the doorbell is disabled. *)
+
+val teardown : t -> unit
+(** Drain both directions completely — a partial batch staged when the
+    guest quiesces must still reach the wire / the guest stack. After
+    teardown [staged t = 0] and {!conserved}[ t] holds. Idempotent. *)
 
 val staged : t -> int
 (** Frames currently staged (both directions) awaiting a notification. *)
@@ -64,3 +123,31 @@ val rx_dropped : t -> int
 
 val flushes : t -> int
 (** Notifications actually sent (tx kicks + rx interrupts). *)
+
+val tx_staged_total : t -> int
+(** Frames ever staged on the transmit ring. *)
+
+val rx_staged_total : t -> int
+(** Completions ever staged on the receive ring (drops excluded — see
+    {!rx_dropped}). *)
+
+val conserved : t -> bool
+(** Frame conservation: [tx_staged_total = tx_count + staged_tx] and
+    [rx_staged_total = rx_count + staged_rx] — nothing lost between
+    frontend and backend. *)
+
+val tx_mode : t -> mode
+val rx_mode : t -> mode
+(** Current per-direction mode; [Interrupt] when the doorbell is off. *)
+
+val doorbell_polls : t -> int
+(** Doorbell visits by the consumers (both directions). *)
+
+val suppressed_hypercalls : t -> int
+(** Batch boundaries on tx where polling made the kick unnecessary. *)
+
+val suppressed_virqs : t -> int
+(** Batch boundaries on rx where polling made the virq unnecessary. *)
+
+val mode_switches : t -> int
+(** Interrupt<->Polling transitions (both directions). *)

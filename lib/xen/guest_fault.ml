@@ -1,21 +1,44 @@
 (* A guest-reachable validation failure: malformed grant refs, foreign
-   sk_buffs, revoke-while-mapped. The SPEC-RG hypercall-vulnerability
-   survey's lesson is that these are *expected events* — a malicious or
-   buggy guest must be able to trigger them at will without taking the
-   hypervisor down. So they raise a typed exception the caller contains
-   (dropping the offending request, aborting the offending driver), and
-   every occurrence is counted. *)
+   sk_buffs, revoke-while-mapped, descriptor-ring lengths outside the
+   buffer. The SPEC-RG hypercall-vulnerability survey's lesson is that
+   these are *expected events* — a malicious or buggy guest must be able
+   to trigger them at will without taking the hypervisor down. So they
+   raise a typed exception the caller contains (dropping the offending
+   request, aborting the offending driver), and every occurrence is
+   counted — globally and, when the raiser can attribute it, against the
+   offending domain. *)
 
 exception Fault of { op : string; reason : string }
 
 let count = ref 0
+let by_domain : (string, int ref) Hashtbl.t = Hashtbl.create 8
 let total () = !count
-let reset () = count := 0
 
-let fail ~op fmt =
+let total_for domain =
+  match Hashtbl.find_opt by_domain domain with Some r -> !r | None -> 0
+
+let reset () =
+  count := 0;
+  Hashtbl.reset by_domain
+
+let fail ?domain ~op fmt =
   Printf.ksprintf
     (fun reason ->
       incr count;
+      (match domain with
+      | Some d ->
+          let cell =
+            match Hashtbl.find_opt by_domain d with
+            | Some r -> r
+            | None ->
+                let r = ref 0 in
+                Hashtbl.replace by_domain d r;
+                r
+          in
+          incr cell;
+          if Td_obs.Control.enabled () then
+            Td_obs.Metrics.bump (Printf.sprintf "xen.guest_faults.%s" d)
+      | None -> ());
       if Td_obs.Control.enabled () then begin
         Td_obs.Metrics.bump "xen.guest_faults";
         Td_obs.Trace.emit (Td_obs.Trace.Guest_fault { op })

@@ -62,6 +62,16 @@ type t = {
           trapping. With batch size N the notification cost per frame is
           [notify_coalesce + (hypercall or event_channel) / N] — the
           amortisation the window×batch bench sweep measures *)
+  (* shared-memory doorbell data path *)
+  doorbell_write : int;
+      (** producer-side doorbell ring: a store of the next sequence
+          number into the shared doorbell page (plus the memory barrier),
+          replacing a [hypercall] / [event_channel] notification while
+          the consumer is polling *)
+  doorbell_poll : int;
+      (** consumer-side doorbell check: read the shared sequence word,
+          compare against the last observed value and branch — paid once
+          per poll-loop visit, whether or not work was found *)
 }
 
 val default : t

@@ -19,6 +19,7 @@ let () =
       ("rtl", Test_rtl.suite);
       ("world", Test_world.suite);
       ("netio", Test_netio.suite);
+      ("doorbell", Test_doorbell.suite);
       ("window", Test_window.suite);
       ("netchannel", Test_netchannel.suite);
       ("experiments", Test_experiments.suite);
