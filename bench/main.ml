@@ -828,6 +828,114 @@ let doorbell () =
              points) );
     ]
 
+let adversary () =
+  header
+    "Adversarial guest: fuzzed hypercall/grant/ring/doorbell ops + \
+     hostile-neighbour quotas";
+  let ops = 100_000 in
+  let seed = 42 in
+  (* tight enough that the fuzzer's own transmit pressure trips the rate
+     buckets, so quota denials are part of the exercised surface *)
+  let quota =
+    { Td_xen.Quota.default_limits with Td_xen.Quota.notifications_per_s = 5_000. }
+  in
+  let r = Td_adv.Fuzz.run ~seed ~quota ~ops () in
+  let r2 = Td_adv.Fuzz.run ~seed ~quota ~ops () in
+  let deterministic =
+    r.Td_adv.Fuzz.checksum = r2.Td_adv.Fuzz.checksum
+    && r.Td_adv.Fuzz.ok = r2.Td_adv.Fuzz.ok
+  in
+  Printf.printf
+    "fuzz: %d ops (seed %d)  ok %d  guest-faults %d  svm-faults %d  \
+     quota-denials %d\n\
+     checksum 0x%x  replay bit-identical: %b  violations: %d\n"
+    r.Td_adv.Fuzz.ops seed r.Td_adv.Fuzz.ok r.Td_adv.Fuzz.guest_faults
+    r.Td_adv.Fuzz.svm_faults r.Td_adv.Fuzz.quota_denials
+    r.Td_adv.Fuzz.checksum deterministic
+    (List.length r.Td_adv.Fuzz.violations);
+  List.iter (Printf.printf "  VIOLATION: %s\n") r.Td_adv.Fuzz.violations;
+  (* hostile neighbour: the victim's throughput on the shared simulated
+     CPU with and without rate quotas on the flooding attacker *)
+  let tight =
+    {
+      Td_xen.Quota.unlimited with
+      Td_xen.Quota.notifications_per_s = 25_000.;
+      burst = 16.;
+    }
+  in
+  let solo = Td_adv.Harness.contend ~attack_per_frame:0 () in
+  let protected_ = Td_adv.Harness.contend ~quota:tight () in
+  let unprotected = Td_adv.Harness.contend () in
+  (* victim goodput in Mb/s of simulated time: 1400-byte frames over the
+     run's grand-total cycles at the 3 GHz simulated clock *)
+  let mbps (c : Td_adv.Harness.contention) =
+    float_of_int (c.Td_adv.Harness.victim_wire * 1400 * 8)
+    /. (float_of_int c.Td_adv.Harness.grand_cycles /. 3e9)
+    /. 1e6
+  in
+  Printf.printf "\n%-12s %8s %8s %8s %10s %10s %14s %10s\n" "neighbour"
+    "vic-sent" "vic-wire" "vic-thr" "att-tries" "throttled" "grand-cycles"
+    "vic Mb/s";
+  let row name (c : Td_adv.Harness.contention) =
+    Printf.printf "%-12s %8d %8d %8d %10d %10d %14d %10.1f\n" name
+      c.Td_adv.Harness.victim_sent c.Td_adv.Harness.victim_wire
+      c.Td_adv.Harness.victim_throttled c.Td_adv.Harness.attacker_attempts
+      c.Td_adv.Harness.attacker_throttled c.Td_adv.Harness.grand_cycles
+      (mbps c)
+  in
+  row "solo" solo;
+  row "quota-on" protected_;
+  row "quota-off" unprotected;
+  let ratio_on = mbps protected_ /. mbps solo in
+  let ratio_off = mbps unprotected /. mbps solo in
+  Printf.printf
+    "\nvictim throughput with quotas: %.1f%% of solo (%.1f%% without) — \
+     denied\nattacker frames die at the frontend credit check before any \
+     skb or dom0\nbackend work exists.\n"
+    (100. *. ratio_on) (100. *. ratio_off);
+  let json_contend (c : Td_adv.Harness.contention) =
+    Json.Obj
+      [
+        ("victim_sent", Json.Int c.Td_adv.Harness.victim_sent);
+        ("victim_wire", Json.Int c.Td_adv.Harness.victim_wire);
+        ("victim_throttled", Json.Int c.Td_adv.Harness.victim_throttled);
+        ("attacker_attempts", Json.Int c.Td_adv.Harness.attacker_attempts);
+        ("attacker_throttled", Json.Int c.Td_adv.Harness.attacker_throttled);
+        ("attacker_row", Json.Int c.Td_adv.Harness.attacker_row);
+        ("other_cycles", Json.Int c.Td_adv.Harness.other_cycles);
+        ("grand_cycles", Json.Int c.Td_adv.Harness.grand_cycles);
+        ("victim_mbps", Json.Float (mbps c));
+      ]
+  in
+  bench_json "adversary"
+    [
+      ( "fuzz",
+        Json.Obj
+          [
+            ("seed", Json.Int seed);
+            ("ops", Json.Int r.Td_adv.Fuzz.ops);
+            ("ok", Json.Int r.Td_adv.Fuzz.ok);
+            ("guest_faults", Json.Int r.Td_adv.Fuzz.guest_faults);
+            ("svm_faults", Json.Int r.Td_adv.Fuzz.svm_faults);
+            ("quota_denials", Json.Int r.Td_adv.Fuzz.quota_denials);
+            ("checksum", Json.String (Printf.sprintf "0x%x" r.Td_adv.Fuzz.checksum));
+            ("replay_bit_identical", Json.Bool deterministic);
+            ( "violations",
+              Json.List
+                (List.map (fun v -> Json.String v) r.Td_adv.Fuzz.violations)
+            );
+          ] );
+      ( "neighbour",
+        Json.Obj
+          [
+            ("solo", json_contend solo);
+            ("quota_on", json_contend protected_);
+            ("quota_off", json_contend unprotected);
+            ("victim_throughput_ratio_quota_on", Json.Float ratio_on);
+            ("victim_throughput_ratio_quota_off", Json.Float ratio_off);
+          ] );
+    ]
+
 let experiments =
   [
     ("fig5", fig5);
@@ -847,6 +955,7 @@ let experiments =
     ("doorbell", doorbell);
     ("recovery", recovery);
     ("interp", interp);
+    ("adversary", adversary);
     ("bechamel", bechamel);
   ]
 

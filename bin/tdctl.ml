@@ -571,6 +571,65 @@ let faults_cmd =
   let doc = "run a fault-injection soak and report the recovery ledger" in
   Cmd.v (Cmd.info "faults" ~doc) Term.(const run $ policy $ rate $ frames $ seed)
 
+let quotas_cmd =
+  let ops =
+    Arg.(
+      value & opt int 20_000
+      & info [ "n"; "ops" ] ~docv:"N"
+          ~doc:"Adversarial ops to drive before reporting.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 1
+      & info [ "s"; "seed" ] ~docv:"SEED"
+          ~doc:"Deterministic seed: same seed, same op stream, same report.")
+  in
+  let rate =
+    Arg.(
+      value & opt float 5_000.
+      & info [ "r"; "rate" ] ~docv:"PER_S"
+          ~doc:
+            "Notification-rate cap per domain per simulated second (the \
+             other caps come from the defaults).")
+  in
+  let run ops seed rate =
+    let quota =
+      { Td_xen.Quota.default_limits with Td_xen.Quota.notifications_per_s = rate }
+    in
+    let r = Td_adv.Fuzz.run ~seed ~quota ~ops () in
+    Format.printf "adversarial ops   %d (seed %d)@." r.Td_adv.Fuzz.ops seed;
+    Format.printf "  ok              %d@." r.Td_adv.Fuzz.ok;
+    Format.printf "  guest faults    %d@." r.Td_adv.Fuzz.guest_faults;
+    Format.printf "  svm faults      %d@." r.Td_adv.Fuzz.svm_faults;
+    Format.printf "  quota denials   %d@." r.Td_adv.Fuzz.quota_denials;
+    Format.printf "  checksum        0x%x@." r.Td_adv.Fuzz.checksum;
+    List.iter
+      (fun v -> Format.printf "  VIOLATION       %s@." v)
+      r.Td_adv.Fuzz.violations;
+    Format.printf "@.%-10s %-18s %8s %10s@." "domain" "resource" "inuse"
+      "throttled";
+    List.iter
+      (fun domain ->
+        List.iter
+          (fun res ->
+            let inuse = Td_xen.Quota.inuse ~domain res in
+            let thr = Td_xen.Quota.throttled_for ~domain res in
+            if inuse > 0 || thr > 0 then
+              Format.printf "%-10s %-18s %8d %10d@." domain
+                (Td_xen.Quota.resource_name res)
+                inuse thr)
+          Td_xen.Quota.all_resources)
+      (Td_xen.Quota.domains ());
+    Format.printf "@.total throttled   %d@." (Td_xen.Quota.throttled ());
+    Td_xen.Quota.clear ();
+    if r.Td_adv.Fuzz.violations = [] then 0 else 1
+  in
+  let doc =
+    "drive the adversarial fuzzer against per-domain quotas and report \
+     in-use/throttled counters"
+  in
+  Cmd.v (Cmd.info "quotas" ~doc) Term.(const run $ ops $ seed $ rate)
+
 let () =
   let doc = "TwinDrivers: derive fast and safe hypervisor drivers" in
   let info = Cmd.info "tdctl" ~version:"1.0.0" ~doc in
@@ -580,5 +639,5 @@ let () =
           [
             rewrite_cmd; bench_cmd; inspect_cmd; table1_cmd; verify_cmd;
             assemble_cmd; disasm_cmd; profile_cmd; run_cmd; metrics_cmd;
-            trace_cmd; faults_cmd;
+            trace_cmd; faults_cmd; quotas_cmd;
           ]))

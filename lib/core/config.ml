@@ -41,6 +41,7 @@ type tuning = {
   poll_entry_kicks : int;
   idle_hysteresis : int;
   poll_budget : int;
+  quota : Td_xen.Quota.limits option;
 }
 
 let default_tuning =
@@ -55,4 +56,5 @@ let default_tuning =
     poll_entry_kicks = 8;
     idle_hysteresis = 3;
     poll_budget = 16;
+    quota = None;
   }

@@ -71,8 +71,14 @@ type tuning = {
       (** Frames drained per doorbell visit — the NAPI weight bounding
           how long one busy channel holds the pump (default 16). Ignored
           unless [doorbell]. *)
+  quota : Td_xen.Quota.limits option;
+      (** Per-domain resource quotas (map-window pages, grant entries and
+          maps, upcall/notification/doorbell rates), enforced against
+          every domain except dom0. [None] (the default) installs
+          nothing: all checks are no-ops and runs are bit-identical to
+          the pre-quota system. *)
 }
 
 val default_tuning : tuning
-(** Full 16 MB window, batch 1, fail-stop, doorbell off — identical
-    behaviour to the pre-supervisor system. *)
+(** Full 16 MB window, batch 1, fail-stop, doorbell off, no quotas —
+    identical behaviour to the pre-supervisor system. *)

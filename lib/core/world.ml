@@ -445,6 +445,20 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
       done;
       ignore i)
     ports;
+  (* per-domain quotas: the engine is process-global, so a quota-less
+     world explicitly clears whatever a previous world installed. dom0 is
+     exempt — throttling the driver domain's service work would deadlock
+     the paths that drain on behalf of throttled guests. Simulated time
+     for the token buckets is ledger cycles at the nominal 3 GHz. *)
+  (match tuning.Config.quota with
+  | Some l ->
+      let exempt =
+        match w.dom0 with Some d -> [ Domain.name d ] | None -> [ "dom0" ]
+      in
+      Quota.install
+        ~now:(fun () -> float_of_int (Ledger.grand_total w.led) /. 3e9)
+        ~exempt l
+  | None -> Quota.clear ());
   w
 
 (* ---- driver invocation ---- *)
@@ -476,6 +490,8 @@ let run_driver w ~entry ~args ~stack =
         abort (Printf.sprintf "upcall %s failed in dom0" routine)
     | Guest_fault.Fault { op; reason } ->
         abort (Printf.sprintf "guest fault in %s: %s" op reason)
+    | Quota.Quota_exceeded { domain; resource } ->
+        abort (Printf.sprintf "quota exceeded: %s for domain %s" resource domain)
     (* under fault injection a corrupted driver can drive the model into
        states the pristine system never reaches (bogus register numbers,
        unresolved indirect calls); contain them as aborts — but only when
@@ -722,6 +738,23 @@ let init (w : t) =
       Td_svm.Runtime.set_reclaim_hook rt (fun () ->
           charge_xen_cat w w.costs.Sys_costs.window_reclaim))
     w.svm_hyp;
+  (* with quotas installed, mapped-page window pairs are charged to the
+     domain on whose behalf the hypervisor driver is running; the guard
+     lives here because td_svm cannot depend on td_xen *)
+  (match (w.svm_hyp, w.hyp) with
+  | Some rt, Some h when w.tuning.Config.quota <> None ->
+      Td_svm.Runtime.set_window_guard rt
+        {
+          Td_svm.Runtime.acquire =
+            (fun ~pages ->
+              let domain = Domain.name (Hypervisor.current h) in
+              Quota.acquire ~domain Quota.Map_window_pages pages;
+              domain);
+          release =
+            (fun ~owner ~pages ->
+              Quota.release ~domain:owner Quota.Map_window_pages pages);
+        }
+  | _ -> ());
   (* exact stlb.hit accounting: the inline probe's hit path is the xor
      against an stlb entry's second word (offset +4) — watch for it in the
      interpreter and credit the runtime that owns that stlb. The watched
@@ -936,8 +969,15 @@ let transmit w ~nic ~payload =
              })
       end;
       (* the driver runs from netback's flush, already supervised there *)
-      Xen_netio.guest_transmit w.netios.(nic) frame;
-      true
+      (match Xen_netio.guest_transmit w.netios.(nic) frame with
+      | () -> true
+      | exception Quota.Quota_exceeded _ ->
+          (* throttled tenant: the frame dies at the frontend edge having
+             cost only the guest its own kernel+netfront cycles *)
+          w.tx_drops <- w.tx_drops + 1;
+          if Td_obs.Control.enabled () then
+            Td_obs.Metrics.bump "world.tx_throttled";
+          false)
   | Config.Xen_twin ->
       charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
       let h = Option.get w.hyp in

@@ -73,10 +73,13 @@ let doorbell_map_base = 0xC7E0_0000
 let tx_seq_off = 0 (* guest stores, dom0 loads *)
 let rx_seq_off = 4 (* dom0 stores, guest loads *)
 
-let alloc_doorbell_vaddr dom0_space =
+(* window exhaustion is reachable by a guest opening channels in a loop,
+   so it faults typed and attributed instead of invalid_arg *)
+let alloc_doorbell_vaddr ~guest dom0_space =
   let rec go vaddr =
     if vaddr >= grant_map_base then
-      invalid_arg "Xen_netio: doorbell map window exhausted"
+      Guest_fault.fail ~domain:(Domain.name guest)
+        ~op:"Xen_netio.alloc_doorbell_vaddr" "doorbell map window exhausted"
     else if
       Td_mem.Addr_space.is_mapped dom0_space
         ~vpage:(Td_mem.Layout.page_of vaddr)
@@ -123,7 +126,7 @@ let create ?(batch = 1) ?doorbell ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
         let page, db_gref = grant_guest_page gspace grants in
         Td_mem.Addr_space.write gspace (page + tx_seq_off) Td_misa.Width.W32 0;
         Td_mem.Addr_space.write gspace (page + rx_seq_off) Td_misa.Width.W32 0;
-        let dom0_vaddr = alloc_doorbell_vaddr (Domain.space dom0) in
+        let dom0_vaddr = alloc_doorbell_vaddr ~guest (Domain.space dom0) in
         Grant_table.map grants ~hyp ~into:dom0
           ~at_vpage:(Td_mem.Layout.page_of dom0_vaddr)
           db_gref;
@@ -263,11 +266,19 @@ let poll_tx t db =
 let guest_transmit t frame =
   let costs = Hypervisor.costs t.hyp in
   let len = String.length frame in
-  if len > Td_mem.Layout.page_size then invalid_arg "Xen_netio: frame too large";
+  if len > Td_mem.Layout.page_size then
+    Guest_fault.fail ~domain:(Domain.name t.guest)
+      ~op:"Xen_netio.guest_transmit" "frame of %d bytes exceeds the page" len;
   (* frontend: stage the frame in a granted guest page and push a request
      on the I/O channel; the notifying hypercall is sent only when the
      ring holds [batch] requests (or at the next explicit flush) — or, in
      polling mode, never: the stored sequence number is the signal *)
+  (* quota gate at the very top of the frontend: a throttled frame costs
+     (almost) nothing — the guest's credit check happens before the skb
+     is even built, so dom0 and Xen never see it, which is what keeps a
+     hostile neighbour from taxing the victim *)
+  if Quota.active () then
+    Quota.take ~domain:(Domain.name t.guest) Quota.Notifications;
   charge_guest t costs.Sys_costs.netfront;
   let slots = Array.length t.tx_pages in
   (match t.doorbell with
@@ -280,17 +291,27 @@ let guest_transmit t frame =
   t.tx_prod <- t.tx_prod + 1;
   Td_mem.Addr_space.write_block (Domain.space t.guest) page
     (Bytes.of_string frame);
-  Hypervisor.charge_xen t.hyp costs.Sys_costs.io_channel;
+  Hypervisor.charge_xen_for t.hyp ~domain:(Domain.name t.guest)
+    costs.Sys_costs.io_channel;
   Queue.push (page, gref, len) t.tx_staged;
   t.tx_staged_total <- t.tx_staged_total + 1;
   match t.doorbell with
   | Some db when db.tx.mode = Polling ->
-      ring_doorbell t db.tx ~space:(Domain.space t.guest)
-        ~vaddr:(db.page + tx_seq_off) ~charge:charge_guest;
+      (* doorbell kicks are rate-limited gracefully: a dry bucket skips
+         the store, and the consumer's leftover check (staged queue
+         non-empty) still drains the frame on the next poll *)
+      if
+        (not (Quota.active ()))
+        || Quota.try_take ~domain:(Domain.name t.guest) Quota.Doorbells
+      then
+        ring_doorbell t db.tx ~space:(Domain.space t.guest)
+          ~vaddr:(db.page + tx_seq_off) ~charge:charge_guest;
       note_suppressed t db.tx ~metric:"netio.suppressed_hypercalls"
   | _ ->
       if Queue.length t.tx_staged >= t.batch then flush_tx t
-      else Hypervisor.charge_xen t.hyp costs.Sys_costs.notify_coalesce
+      else
+        Hypervisor.charge_xen_for t.hyp ~domain:(Domain.name t.guest)
+          costs.Sys_costs.notify_coalesce
 
 let post_rx_buffers t n =
   let gspace = Domain.space t.guest in
@@ -376,18 +397,23 @@ let deliver_to_guest t skb =
     let payload = Skb.contents skb in
     (* hypervisor-mediated copy into the guest's granted frame *)
     Grant_table.copy_to t.grants ~hyp:t.hyp gref ~offset:0 ~src:payload;
-    Hypervisor.charge_xen t.hyp costs.Sys_costs.io_channel;
+    Hypervisor.charge_xen_for t.hyp ~domain:(Domain.name t.guest)
+      costs.Sys_costs.io_channel;
     Skb.free t.kmem skb;
     Queue.push (gref, gvaddr, Bytes.length payload) t.rx_staged;
     t.rx_staged_total <- t.rx_staged_total + 1;
     match t.doorbell with
     | Some db when db.rx.mode = Polling ->
+        (* rx doorbell is dom0-produced service work, never throttled —
+           consumer-side paths must always make progress (teardown loops) *)
         ring_doorbell t db.rx ~space:(Domain.space t.dom0)
           ~vaddr:(db.dom0_vaddr + rx_seq_off) ~charge:charge_dom0;
         note_suppressed t db.rx ~metric:"netio.suppressed_virqs"
     | _ ->
         if Queue.length t.rx_staged >= t.batch then flush_rx t
-        else Hypervisor.charge_xen t.hyp costs.Sys_costs.notify_coalesce
+        else
+          Hypervisor.charge_xen_for t.hyp ~domain:(Domain.name t.guest)
+            costs.Sys_costs.notify_coalesce
   end
 
 let flush t =
@@ -486,6 +512,8 @@ let rx_staged_total t = t.rx_staged_total
 let conserved t =
   t.tx_staged_total = t.tx_count + Queue.length t.tx_staged
   && t.rx_staged_total = t.rx_count + Queue.length t.rx_staged
+
+let doorbell_vaddr t = Option.map (fun db -> db.page) t.doorbell
 
 let mode_of t dir =
   match t.doorbell with

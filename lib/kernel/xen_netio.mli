@@ -140,6 +140,11 @@ val tx_mode : t -> mode
 val rx_mode : t -> mode
 (** Current per-direction mode; [Interrupt] when the doorbell is off. *)
 
+val doorbell_vaddr : t -> int option
+(** Guest virtual address of the shared doorbell page ([None] without a
+    doorbell). The page is guest-writable by construction — exposed so
+    adversarial harnesses can scribble on the sequence words. *)
+
 val doorbell_polls : t -> int
 (** Doorbell visits by the consumers (both directions). *)
 

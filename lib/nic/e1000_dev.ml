@@ -2,6 +2,9 @@ type t = {
   dma : Td_mem.Addr_space.t;
   mac : string;
   tx_frame : string -> unit;
+  fault_domain : unit -> string option;
+      (** attributes guest-reachable faults (ring contents are guest
+          memory when the device is driven by a domU) *)
   ring_entries : int;
   regs : int array;  (** 1024 32-bit registers = one 4 KiB page *)
   mutable irq_handler : (unit -> unit) option;
@@ -23,20 +26,32 @@ let effective_rate_bps ~packet_bytes =
   float_of_int link_rate_bps
   *. (float_of_int packet_bytes /. float_of_int (packet_bytes + overhead))
 
-let word = function
-  | off when off land 3 = 0 && off >= 0 && off < 4096 -> off / 4
-  | off -> invalid_arg (Printf.sprintf "E1000_dev: bad register offset 0x%x" off)
+(* register offsets and descriptor contents are guest-reachable input
+   when a domU drives the model directly: validation failures are typed,
+   attributed faults, not process-killing invalid_args *)
+let guest_err t ~op fmt =
+  Td_xen.Guest_fault.fail ?domain:(t.fault_domain ()) ~op fmt
 
-let get t off = t.regs.(word off)
-let set t off v = t.regs.(word off) <- v land 0xFFFFFFFF
+let word t off =
+  if off land 3 = 0 && off >= 0 && off < 4096 then off / 4
+  else guest_err t ~op:"E1000_dev.mmio" "bad register offset 0x%x" off
 
-let create ?(ring_entries = 256) ~dma ~mac ~tx_frame () =
+let get t off = t.regs.(word t off)
+let set t off v = t.regs.(word t off) <- v land 0xFFFFFFFF
+
+(* descriptor length cap: the register field is 16 bits on the chip; an
+   unvalidated 32-bit value from guest memory must not size an allocation *)
+let max_desc_len = 16384
+
+let create ?(ring_entries = 256) ?(fault_domain = fun () -> None) ~dma ~mac
+    ~tx_frame () =
   if String.length mac <> 6 then invalid_arg "E1000_dev.create: mac must be 6 bytes";
   let t =
     {
       dma;
       mac;
       tx_frame;
+      fault_domain;
       ring_entries;
       regs = Array.make 1024 0;
       irq_handler = None;
@@ -111,6 +126,14 @@ let process_tx t =
   let base = get t Regs.tdbal in
   let tail = get t Regs.tdt in
   let entries = min t.ring_entries (max 1 (get t Regs.tdlen / Regs.desc_bytes)) in
+  (* head/tail are guest-reachable ring state: an out-of-range cursor
+     would index descriptors past the programmed ring *)
+  if tail >= entries then
+    guest_err t ~op:"E1000_dev.process_tx" "TDT %d outside ring of %d entries"
+      tail entries;
+  if get t Regs.tdh >= entries then
+    guest_err t ~op:"E1000_dev.process_tx" "TDH %d outside ring of %d entries"
+      (get t Regs.tdh) entries;
   let head = ref (get t Regs.tdh) in
   let any = ref false in
   (* a corrupted TDT (e.g. an injected bit-flip upstream of the doorbell
@@ -120,10 +143,25 @@ let process_tx t =
   while !head <> tail && !budget > 0 do
     decr budget;
     let d = desc_addr base !head in
-    let buf = dma_read32 t (d + Regs.d_buf) in
-    let len = dma_read32 t (d + Regs.d_len) in
-    let cmd = dma_read32 t (d + Regs.d_cmd) in
-    Buffer.add_bytes t.tx_acc (Td_mem.Addr_space.read_block t.dma buf len);
+    let buf, len, cmd =
+      try
+        ( dma_read32 t (d + Regs.d_buf),
+          dma_read32 t (d + Regs.d_len),
+          dma_read32 t (d + Regs.d_cmd) )
+      with Td_mem.Addr_space.Page_fault { addr; _ } ->
+        guest_err t ~op:"E1000_dev.process_tx"
+          "descriptor %d DMA faulted at 0x%x" !head addr
+    in
+    if len > max_desc_len then
+      guest_err t ~op:"E1000_dev.process_tx"
+        "descriptor %d length %d exceeds %d" !head len max_desc_len;
+    (let payload =
+       try Td_mem.Addr_space.read_block t.dma buf len
+       with Td_mem.Addr_space.Page_fault { addr; _ } ->
+         guest_err t ~op:"E1000_dev.process_tx"
+           "descriptor %d buffer DMA faulted at 0x%x" !head addr
+     in
+     Buffer.add_bytes t.tx_acc payload);
     if Td_obs.Control.enabled () then begin
       Td_obs.Metrics.bump_by "nic.dma.read_bytes" len;
       Td_obs.Trace.emit (Td_obs.Trace.Nic_dma { dir = `Read; bytes = len })
@@ -143,7 +181,12 @@ let process_tx t =
       end;
       set t Regs.gptc (get t Regs.gptc + 1)
     end;
-    dma_write32 t (d + Regs.d_sta) (dma_read32 t (d + Regs.d_sta) lor Regs.sta_dd);
+    (try
+       dma_write32 t (d + Regs.d_sta)
+         (dma_read32 t (d + Regs.d_sta) lor Regs.sta_dd)
+     with Td_mem.Addr_space.Page_fault { addr; _ } ->
+       guest_err t ~op:"E1000_dev.process_tx"
+         "descriptor %d status DMA faulted at 0x%x" !head addr);
     head := (!head + 1) mod entries;
     any := true
   done;
@@ -182,24 +225,37 @@ let receive_frame t frame =
     end;
     set t Regs.mpc (get t Regs.mpc + 1)
   end
-  else begin
-    let d = desc_addr base head in
-    let buf = dma_read32 t (d + Regs.d_buf) in
-    Td_mem.Addr_space.write_block t.dma buf (Bytes.of_string frame);
-    dma_write32 t (d + Regs.d_len) (String.length frame);
-    dma_write32 t (d + Regs.d_sta) (Regs.sta_dd lor Regs.sta_eop);
-    set t Regs.rdh ((head + 1) mod entries);
-    t.rx_count <- t.rx_count + 1;
-    if Td_obs.Control.enabled () then begin
-      Td_obs.Metrics.bump "nic.rx.frames";
-      Td_obs.Metrics.bump_by "nic.dma.write_bytes" (String.length frame);
-      Td_obs.Trace.emit
-        (Td_obs.Trace.Nic_dma { dir = `Write; bytes = String.length frame });
-      Td_obs.Trace.emit (Td_obs.Trace.Nic_rx { bytes = String.length frame })
-    end;
-    set t Regs.gprc (get t Regs.gprc + 1);
-    raise_cause t Regs.icr_rxt0
-  end
+  else
+    (* a descriptor pointing outside mapped memory drops the frame like a
+       bad packet (the wire has no one to fault to) rather than letting
+       an untyped Page_fault escape the device model *)
+    match
+      let d = desc_addr base head in
+      let buf = dma_read32 t (d + Regs.d_buf) in
+      Td_mem.Addr_space.write_block t.dma buf (Bytes.of_string frame);
+      dma_write32 t (d + Regs.d_len) (String.length frame);
+      dma_write32 t (d + Regs.d_sta) (Regs.sta_dd lor Regs.sta_eop)
+    with
+    | () ->
+        set t Regs.rdh ((head + 1) mod entries);
+        t.rx_count <- t.rx_count + 1;
+        if Td_obs.Control.enabled () then begin
+          Td_obs.Metrics.bump "nic.rx.frames";
+          Td_obs.Metrics.bump_by "nic.dma.write_bytes" (String.length frame);
+          Td_obs.Trace.emit
+            (Td_obs.Trace.Nic_dma { dir = `Write; bytes = String.length frame });
+          Td_obs.Trace.emit (Td_obs.Trace.Nic_rx { bytes = String.length frame })
+        end;
+        set t Regs.gprc (get t Regs.gprc + 1);
+        raise_cause t Regs.icr_rxt0
+    | exception Td_mem.Addr_space.Page_fault _ ->
+        t.dropped <- t.dropped + 1;
+        if Td_obs.Control.enabled () then begin
+          Td_obs.Metrics.bump "nic.rx.dropped";
+          Td_obs.Trace.emit
+            (Td_obs.Trace.Nic_drop { reason = "rx descriptor DMA fault" })
+        end;
+        set t Regs.mpc (get t Regs.mpc + 1)
 
 (* --- supervisor reset --- *)
 
@@ -216,7 +272,13 @@ let pending_tx_frames t =
   if base <> 0 then
     while !head <> tail && !budget > 0 do
       decr budget;
-      let cmd = dma_read32 t (desc_addr base !head + Regs.d_cmd) in
+      (* tolerant of torn ring state: this runs during supervisor reset
+         of a possibly-hostile or wedged device — an unreadable
+         descriptor counts as no frame rather than aborting recovery *)
+      let cmd =
+        try dma_read32 t (desc_addr base !head + Regs.d_cmd)
+        with Td_mem.Addr_space.Page_fault _ -> 0
+      in
       if cmd land Regs.cmd_eop <> 0 then incr frames;
       head := (!head + 1) mod entries
     done;
@@ -253,7 +315,8 @@ let mmio_read t off (w : Td_misa.Width.t) =
 
 let mmio_write t off (w : Td_misa.Width.t) v =
   if w <> Td_misa.Width.W32 || off land 3 <> 0 then
-    invalid_arg "E1000_dev: MMIO writes must be 32-bit aligned";
+    guest_err t ~op:"E1000_dev.mmio_write"
+      "MMIO write at 0x%x must be 32-bit aligned" off;
   if off = Regs.ims then set t Regs.ims (get t Regs.ims lor v)
   else if off = Regs.imc then set t Regs.ims (get t Regs.ims land lnot v)
   else if off = Regs.icr then set t Regs.icr (get t Regs.icr land lnot v)

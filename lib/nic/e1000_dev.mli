@@ -29,6 +29,7 @@ val effective_rate_bps : packet_bytes:int -> float
 
 val create :
   ?ring_entries:int ->
+  ?fault_domain:(unit -> string option) ->
   dma:Td_mem.Addr_space.t ->
   mac:string ->
   tx_frame:(string -> unit) ->
@@ -36,7 +37,11 @@ val create :
   t
 (** [dma] is the address space the device's bus master sees (dom0);
     [mac] is a 6-byte string; [tx_frame] is the wire on the transmit
-    side. *)
+    side. [fault_domain] names the domain to which guest-reachable
+    validation faults (bad register offsets, out-of-range ring cursors,
+    descriptors pointing outside mapped memory) are attributed; they
+    raise the typed {!Td_xen.Guest_fault.Fault} instead of
+    [Invalid_argument]. *)
 
 val device_page : t -> Td_mem.Addr_space.device
 (** The MMIO register page, for mapping at {!mmio_vaddr}. *)

@@ -19,6 +19,8 @@ type t = {
   dma : Td_mem.Addr_space.t;
   mac : string;
   tx_frame : string -> unit;
+  fault_domain : unit -> string option;
+      (** attributes guest-reachable faults (see {!E1000_dev}) *)
   regs : int array;
   mutable irq_handler : (unit -> unit) option;
   mutable tx_count : int;
@@ -26,21 +28,27 @@ type t = {
   mutable dropped : int;
 }
 
-let word off =
+(* register offsets and TSAD buffer pointers are guest-reachable input:
+   validation failures are typed, attributed faults *)
+let guest_err t ~op fmt =
+  Td_xen.Guest_fault.fail ?domain:(t.fault_domain ()) ~op fmt
+
+let word t off =
   if off land 3 <> 0 || off < 0 || off >= 4096 then
-    invalid_arg (Printf.sprintf "Rtl_dev: bad register offset 0x%x" off);
-  off / 4
+    guest_err t ~op:"Rtl_dev.mmio" "bad register offset 0x%x" off
+  else off / 4
 
-let get t off = t.regs.(word off)
-let set t off v = t.regs.(word off) <- v land 0xFFFFFFFF
+let get t off = t.regs.(word t off)
+let set t off v = t.regs.(word t off) <- v land 0xFFFFFFFF
 
-let create ~dma ~mac ~tx_frame () =
+let create ?(fault_domain = fun () -> None) ~dma ~mac ~tx_frame () =
   if String.length mac <> 6 then invalid_arg "Rtl_dev.create: mac";
   let t =
     {
       dma;
       mac;
       tx_frame;
+      fault_domain;
       regs = Array.make 1024 0;
       irq_handler = None;
       tx_count = 0;
@@ -67,7 +75,12 @@ let raise_cause t cause =
 (* writing a size into TSDn (without OWN) starts transmission *)
 let start_tx t n size =
   let buf = get t (tsad n) in
-  let frame = Td_mem.Addr_space.read_block t.dma buf (size land 0x1FFF) in
+  let frame =
+    try Td_mem.Addr_space.read_block t.dma buf (size land 0x1FFF)
+    with Td_mem.Addr_space.Page_fault { addr; _ } ->
+      guest_err t ~op:"Rtl_dev.start_tx"
+        "TSAD%d buffer DMA faulted at 0x%x" n addr
+  in
   if Td_obs.Control.enabled () then begin
     Td_obs.Metrics.bump "nic.tx.frames";
     Td_obs.Metrics.bump_by "nic.dma.read_bytes" (Bytes.length frame);
@@ -115,20 +128,28 @@ let receive_frame t frame =
           (v land 0xff)
       in
       (* status16 (bit 0 = ROK), length16, frame bytes, dword padding *)
-      put_u8 0 1;
-      put_u8 1 0;
-      put_u8 2 (len land 0xff);
-      put_u8 3 (len lsr 8);
-      String.iteri (fun i c -> put_u8 (rx_hdr_bytes + i) (Char.code c)) frame;
-      set t cbr (w + need);
-      t.rx_count <- t.rx_count + 1;
-      if Td_obs.Control.enabled () then begin
-        Td_obs.Metrics.bump "nic.rx.frames";
-        Td_obs.Metrics.bump_by "nic.dma.write_bytes" len;
-        Td_obs.Trace.emit (Td_obs.Trace.Nic_dma { dir = `Write; bytes = len });
-        Td_obs.Trace.emit (Td_obs.Trace.Nic_rx { bytes = len })
-      end;
-      raise_cause t isr_rok
+      match
+        put_u8 0 1;
+        put_u8 1 0;
+        put_u8 2 (len land 0xff);
+        put_u8 3 (len lsr 8);
+        String.iteri (fun i c -> put_u8 (rx_hdr_bytes + i) (Char.code c)) frame
+      with
+      | () ->
+          set t cbr (w + need);
+          t.rx_count <- t.rx_count + 1;
+          if Td_obs.Control.enabled () then begin
+            Td_obs.Metrics.bump "nic.rx.frames";
+            Td_obs.Metrics.bump_by "nic.dma.write_bytes" len;
+            Td_obs.Trace.emit
+              (Td_obs.Trace.Nic_dma { dir = `Write; bytes = len });
+            Td_obs.Trace.emit (Td_obs.Trace.Nic_rx { bytes = len })
+          end;
+          raise_cause t isr_rok
+      | exception Td_mem.Addr_space.Page_fault _ ->
+          (* RBSTART pointing outside mapped memory drops the frame like
+             a bad packet instead of letting an untyped fault escape *)
+          drop "rx ring DMA fault"
     end
   end
 
@@ -139,7 +160,8 @@ let mmio_read t off (w : Td_misa.Width.t) =
 
 let mmio_write t off (w : Td_misa.Width.t) v =
   if w <> Td_misa.Width.W32 || off land 3 <> 0 then
-    invalid_arg "Rtl_dev: MMIO writes must be 32-bit aligned";
+    guest_err t ~op:"Rtl_dev.mmio_write"
+      "MMIO write at 0x%x must be 32-bit aligned" off;
   if off = isr then
     (* write-1-to-clear, unlike the e1000 *)
     set t isr (get t isr land lnot v)

@@ -41,7 +41,17 @@ val rx_hdr_bytes : int
 
 type t
 
-val create : dma:Td_mem.Addr_space.t -> mac:string -> tx_frame:(string -> unit) -> unit -> t
+val create :
+  ?fault_domain:(unit -> string option) ->
+  dma:Td_mem.Addr_space.t ->
+  mac:string ->
+  tx_frame:(string -> unit) ->
+  unit ->
+  t
+(** [fault_domain] as in {!E1000_dev.create}: guest-reachable validation
+    failures raise the typed {!Td_xen.Guest_fault.Fault}, attributed to
+    the named domain. *)
+
 val attach : t -> space:Td_mem.Addr_space.t -> vaddr:int -> unit
 val set_irq_handler : t -> (unit -> unit) -> unit
 val receive_frame : t -> string -> unit

@@ -8,6 +8,18 @@ type slot = {
   mutable dom0_page : int;  (** dom0 page base this pair currently maps *)
   mutable referenced : bool;  (** clock second-chance bit *)
   mutable pinned : bool;  (** persistent_map'ed — never reclaimed *)
+  mutable owner : string;  (** guard-attributed owner; "" when no guard *)
+}
+
+(* Optional per-domain window accounting, installed from above (the quota
+   subsystem lives in td_xen, which depends on td_svm): [acquire] is
+   called before a pair is allocated and returns the owner tag the
+   matching [release] gets when the pair is evicted, invalidated or
+   flushed. [acquire] may raise (a typed quota fault) — nothing has been
+   evicted or mapped yet at that point. *)
+type window_guard = {
+  acquire : pages:int -> string;
+  release : owner:string -> pages:int -> unit;
 }
 
 type t = {
@@ -25,6 +37,7 @@ type t = {
   mutable clock_hand : int;
   mutable reclaim_count : int;
   mutable reclaim_hook : (unit -> unit) option;
+  mutable window_guard : window_guard option;
   mutable miss_count : int;
   mutable collision_count : int;
   mutable fault_count : int;
@@ -49,6 +62,7 @@ let create_hypervisor ?(map_pairs = true)
     clock_hand = 0;
     reclaim_count = 0;
     reclaim_hook = None;
+    window_guard = None;
     miss_count = 0;
     collision_count = 0;
     fault_count = 0;
@@ -70,6 +84,7 @@ let create_identity ~dom0 ~stlb_vaddr =
     clock_hand = 0;
     reclaim_count = 0;
     reclaim_hook = None;
+    window_guard = None;
     miss_count = 0;
     collision_count = 0;
     fault_count = 0;
@@ -81,6 +96,12 @@ let window_pages t = t.window_pages
 let window_reclaims t = t.reclaim_count
 let window_pages_in_use t = 2 * Hashtbl.length t.slot_of_page
 let set_reclaim_hook t f = t.reclaim_hook <- Some f
+let set_window_guard t g = t.window_guard <- Some g
+
+let guard_release t s =
+  match t.window_guard with
+  | Some g when s.owner <> "" -> g.release ~owner:s.owner ~pages:2
+  | _ -> ()
 
 let fault t addr reason =
   t.fault_count <- t.fault_count + 1;
@@ -117,6 +138,7 @@ let update_inuse_gauge t =
    TLB shootdown, charged through the reclaim hook. *)
 let evict_slot t idx =
   let s = match t.slots.(idx) with Some s -> s | None -> assert false in
+  guard_release t s;
   let victim = s.dom0_page in
   Hashtbl.remove t.chain victim;
   Hashtbl.remove t.slot_of_page victim;
@@ -188,6 +210,11 @@ let poison_device t succ_page =
 (* Allocate window pages mapping dom0 [page] (and its successor, because
    unaligned accesses may straddle a page boundary). *)
 let map_pair t page =
+  (* the guard admits (or typed-faults) before any slot is taken, so a
+     denied domain cannot force an eviction of someone else's pair *)
+  let owner =
+    match t.window_guard with Some g -> g.acquire ~pages:2 | None -> ""
+  in
   let idx = take_slot t in
   let mapped = mapped_base idx in
   let vpage = Td_mem.Layout.page_of mapped in
@@ -206,7 +233,8 @@ let map_pair t page =
   | None ->
       Td_mem.Addr_space.map_device t.target ~vpage:(vpage + 1)
         (poison_device t succ_page));
-  t.slots.(idx) <- Some { dom0_page = page; referenced = true; pinned = false };
+  t.slots.(idx) <-
+    Some { dom0_page = page; referenced = true; pinned = false; owner };
   Hashtbl.replace t.slot_of_page page idx;
   update_inuse_gauge t;
   mapped
@@ -295,6 +323,7 @@ let invalidate_page t addr =
      NEWER translation of the same page *)
   (match Hashtbl.find_opt t.slot_of_page page with
   | Some i ->
+      (match t.slots.(i) with Some s -> guard_release t s | None -> ());
       Hashtbl.remove t.slot_of_page page;
       let vpage = Td_mem.Layout.page_of (mapped_base i) in
       Td_mem.Addr_space.unmap t.target ~vpage;
@@ -315,7 +344,8 @@ let flush t =
     (fun i slot ->
       match slot with
       | None -> ()
-      | Some _ ->
+      | Some s ->
+          guard_release t s;
           let vpage = Td_mem.Layout.page_of (mapped_base i) in
           Td_mem.Addr_space.unmap t.target ~vpage;
           Td_mem.Addr_space.unmap t.target ~vpage:(vpage + 1);

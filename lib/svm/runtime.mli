@@ -98,6 +98,20 @@ val set_reclaim_hook : t -> (unit -> unit) -> unit
     ({!Td_xen.Sys_costs}.[window_reclaim]) to the cycle ledger here, since
     this library cannot depend on the ledger. *)
 
+type window_guard = {
+  acquire : pages:int -> string;
+      (** called before a window pair is allocated; returns the owner tag
+          stored with the slot. May raise (a typed quota fault) — nothing
+          has been evicted or mapped yet at that point. *)
+  release : owner:string -> pages:int -> unit;
+      (** called when the pair is evicted, invalidated or flushed *)
+}
+
+val set_window_guard : t -> window_guard -> unit
+(** Install per-domain window accounting. The quota subsystem lives in
+    [td_xen] (which depends on this library), so the world wires the guard
+    from above rather than this module calling quotas directly. *)
+
 (* statistics *)
 
 val misses : t -> int

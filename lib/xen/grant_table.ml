@@ -1,21 +1,39 @@
 type grant_ref = int
 
-type entry = { frame : Td_mem.Phys_mem.frame; mutable mapped : int }
+(* Every active mapping of an entry is recorded as (space, vpage) so that
+   revocation can tear each one down and later accessors fault
+   deterministically instead of aliasing a page the guest took back. *)
+type entry = {
+  frame : Td_mem.Phys_mem.frame;
+  mutable mappings : (Td_mem.Addr_space.t * int) list;
+}
 
 type t = {
   owner : Domain.t;
   entries : (grant_ref, entry) Hashtbl.t;
+  revoked : (grant_ref, unit) Hashtbl.t;
+      (** tombstones: refs that once existed; using one is a typed fault
+          ("revoked grant ref"), distinct from a never-issued ref *)
   mutable next : grant_ref;
   mutable map_count : int;
 }
 
 let create ~owner =
-  { owner; entries = Hashtbl.create 64; next = 1; map_count = 0 }
+  {
+    owner;
+    entries = Hashtbl.create 64;
+    revoked = Hashtbl.create 16;
+    next = 1;
+    map_count = 0;
+  }
+
+let owner_name t = Domain.name t.owner
 
 let grant t ~frame =
+  Quota.acquire ~domain:(owner_name t) Quota.Grant_entries 1;
   let r = t.next in
   t.next <- t.next + 1;
-  Hashtbl.replace t.entries r { frame; mapped = 0 };
+  Hashtbl.replace t.entries r { frame; mappings = [] };
   r
 
 (* a bad ref is guest-controlled input, not an invariant violation: the
@@ -23,20 +41,62 @@ let grant t ~frame =
 let find t ~op r =
   match Hashtbl.find_opt t.entries r with
   | Some e -> e
-  | None -> Guest_fault.fail ~op "bad grant ref %d" r
+  | None ->
+      if Hashtbl.mem t.revoked r then
+        Guest_fault.fail ~domain:(owner_name t) ~op "revoked grant ref %d" r
+      else Guest_fault.fail ~domain:(owner_name t) ~op "bad grant ref %d" r
+
+(* Device page installed over a stale mapping when its grant is revoked
+   while still mapped: the guest reclaimed the frame, so whoever touches
+   the old window address next gets a deterministic typed fault instead of
+   silently reading the guest's (possibly reused) page. *)
+let revoked_poison t r =
+  {
+    Td_mem.Addr_space.dev_read =
+      (fun _off _w ->
+        Guest_fault.fail ~domain:(owner_name t)
+          ~op:"Grant_table.access_revoked"
+          "access through stale mapping of revoked grant ref %d" r);
+    dev_write =
+      (fun _off _w _v ->
+        Guest_fault.fail ~domain:(owner_name t)
+          ~op:"Grant_table.access_revoked"
+          "access through stale mapping of revoked grant ref %d" r);
+  }
 
 let revoke t r =
   let e = find t ~op:"Grant_table.revoke" r in
-  if e.mapped > 0 then
-    Guest_fault.fail ~op:"Grant_table.revoke"
-      "revoking grant ref %d while mapped %d time(s)" r e.mapped;
-  Hashtbl.remove t.entries r
+  (* Forced revocation: the guest may always take its page back. Any
+     mapping still active is torn down and the window vpage poisoned so
+     the *later accessor* faults deterministically. *)
+  if e.mappings <> [] then begin
+    if Td_obs.Control.enabled () then
+      Td_obs.Metrics.bump_by "grant.revoke_forced" (List.length e.mappings);
+    List.iter
+      (fun (space, vpage) ->
+        Td_mem.Addr_space.unmap space ~vpage;
+        Td_mem.Addr_space.map_device space ~vpage (revoked_poison t r);
+        Quota.release ~domain:(owner_name t) Quota.Grant_maps 1)
+      e.mappings;
+    e.mappings <- []
+  end;
+  Hashtbl.remove t.entries r;
+  Hashtbl.replace t.revoked r ();
+  Quota.release ~domain:(owner_name t) Quota.Grant_entries 1
 
 let map t ~hyp ~into ~at_vpage r =
   let e = find t ~op:"Grant_table.map" r in
-  Hypervisor.charge_xen hyp (Hypervisor.costs hyp).Sys_costs.grant_map;
-  Td_mem.Addr_space.map (Domain.space into) ~vpage:at_vpage e.frame;
-  e.mapped <- e.mapped + 1;
+  let space = Domain.space into in
+  (* refuse to clobber: mapping over a live page would let a guest-chosen
+     vpage redirect what the driver domain already sees there *)
+  if Td_mem.Addr_space.is_mapped space ~vpage:at_vpage then
+    Guest_fault.fail ~domain:(owner_name t) ~op:"Grant_table.map"
+      "grant ref %d: vpage 0x%x is already mapped" r at_vpage;
+  Quota.acquire ~domain:(owner_name t) Quota.Grant_maps 1;
+  Hypervisor.charge_xen_for hyp ~domain:(owner_name t)
+    (Hypervisor.costs hyp).Sys_costs.grant_map;
+  Td_mem.Addr_space.map space ~vpage:at_vpage e.frame;
+  e.mappings <- (space, at_vpage) :: e.mappings;
   t.map_count <- t.map_count + 1;
   if Td_obs.Control.enabled () then begin
     Td_obs.Metrics.bump "grant.map";
@@ -45,9 +105,27 @@ let map t ~hyp ~into ~at_vpage r =
 
 let unmap t ~hyp ~from ~at_vpage r =
   let e = find t ~op:"Grant_table.unmap" r in
-  Hypervisor.charge_xen hyp (Hypervisor.costs hyp).Sys_costs.grant_unmap;
-  Td_mem.Addr_space.unmap (Domain.space from) ~vpage:at_vpage;
-  if e.mapped > 0 then e.mapped <- e.mapped - 1;
+  let space = Domain.space from in
+  (* the ref must actually be mapped at this vpage — otherwise an
+     attacker-chosen vpage could silently unmap someone else's page *)
+  if not (List.exists (fun (s, v) -> s == space && v = at_vpage) e.mappings)
+  then
+    Guest_fault.fail ~domain:(owner_name t) ~op:"Grant_table.unmap"
+      "grant ref %d is not mapped at vpage 0x%x" r at_vpage;
+  Hypervisor.charge_xen_for hyp ~domain:(owner_name t)
+    (Hypervisor.costs hyp).Sys_costs.grant_unmap;
+  Td_mem.Addr_space.unmap space ~vpage:at_vpage;
+  let dropped = ref false in
+  e.mappings <-
+    List.filter
+      (fun (s, v) ->
+        if (not !dropped) && s == space && v = at_vpage then begin
+          dropped := true;
+          false
+        end
+        else true)
+      e.mappings;
+  Quota.release ~domain:(owner_name t) Quota.Grant_maps 1;
   if Td_obs.Control.enabled () then begin
     Td_obs.Metrics.bump "grant.unmap";
     Td_obs.Trace.emit (Td_obs.Trace.Grant_unmap { gref = r })
@@ -55,14 +133,22 @@ let unmap t ~hyp ~from ~at_vpage r =
 
 let phys t = Td_mem.Addr_space.phys (Domain.space t.owner)
 
+let check_copy_bounds t ~op ~offset ~len r =
+  if offset < 0 || len < 0 || offset + len > Td_mem.Layout.page_size then
+    Guest_fault.fail ~domain:(owner_name t) ~op
+      "grant ref %d: copy of %d bytes at offset %d exceeds the page" r len
+      offset
+
 let copy_to t ~hyp r ~offset ~src =
   let e = find t ~op:"Grant_table.copy_to" r in
+  check_copy_bounds t ~op:"Grant_table.copy_to" ~offset
+    ~len:(Bytes.length src) r;
   let cost =
     int_of_float
       (float_of_int (Bytes.length src)
       *. (Hypervisor.costs hyp).Sys_costs.grant_copy_per_byte)
   in
-  Hypervisor.charge_xen hyp cost;
+  Hypervisor.charge_xen_for hyp ~domain:(owner_name t) cost;
   if Td_obs.Control.enabled () then begin
     Td_obs.Metrics.bump_by "grant.copy_bytes" (Bytes.length src);
     Td_obs.Trace.emit
@@ -72,11 +158,12 @@ let copy_to t ~hyp r ~offset ~src =
 
 let copy_from t ~hyp r ~offset ~len =
   let e = find t ~op:"Grant_table.copy_from" r in
+  check_copy_bounds t ~op:"Grant_table.copy_from" ~offset ~len r;
   let cost =
     int_of_float
       (float_of_int len *. (Hypervisor.costs hyp).Sys_costs.grant_copy_per_byte)
   in
-  Hypervisor.charge_xen hyp cost;
+  Hypervisor.charge_xen_for hyp ~domain:(owner_name t) cost;
   if Td_obs.Control.enabled () then begin
     Td_obs.Metrics.bump_by "grant.copy_bytes" len;
     Td_obs.Trace.emit (Td_obs.Trace.Grant_copy { gref = r; bytes = len })

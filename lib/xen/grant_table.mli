@@ -10,15 +10,28 @@ type t
 val create : owner:Domain.t -> t
 
 val grant : t -> frame:Td_mem.Phys_mem.frame -> grant_ref
-(** Guest-side: make a frame available. *)
+(** Guest-side: make a frame available. Subject to the
+    {!Quota.Grant_entries} cap when quotas are installed. *)
 
 val revoke : t -> grant_ref -> unit
-(** Raises [Failure] if the grant is still mapped. *)
+(** Guest-side: take the page back — always succeeds for a live ref.
+    Mappings still active are forcibly torn down and their window vpages
+    poisoned, so the {e later accessor} (a stale read/write through the
+    old mapping, a stale {!unmap}) gets a deterministic typed
+    {!Guest_fault.Fault} instead of silently aliasing the reclaimed page.
+    The ref is tombstoned: any subsequent use faults as
+    ["revoked grant ref"]. *)
 
 val map : t -> hyp:Hypervisor.t -> into:Domain.t -> at_vpage:int -> grant_ref -> unit
-(** dom0-side: map the granted frame; charges {!Sys_costs.grant_map}. *)
+(** dom0-side: map the granted frame; charges {!Sys_costs.grant_map},
+    attributed to the owner domain's ledger row. Faults (typed) on a bad
+    or revoked ref, or if [at_vpage] is already mapped in [into] — a
+    guest-chosen vpage must never clobber an existing mapping. *)
 
 val unmap : t -> hyp:Hypervisor.t -> from:Domain.t -> at_vpage:int -> grant_ref -> unit
+(** Faults (typed) unless [r] is currently mapped at exactly
+    [at_vpage] in [from] — an arbitrary vpage must never silently unmap
+    another grant's (or the kernel's) page. *)
 
 val copy_to :
   t ->
@@ -28,7 +41,9 @@ val copy_to :
   src:bytes ->
   unit
 (** Hypervisor-mediated [gnttab_copy] into the granted frame; charges
-    per-byte copy cost to Xen. *)
+    per-byte copy cost to Xen (attributed to the owner). Faults (typed)
+    when [offset]/length run past the page — guest-controlled bounds are
+    validated, never trusted. *)
 
 val copy_from :
   t -> hyp:Hypervisor.t -> grant_ref -> offset:int -> len:int -> bytes

@@ -34,7 +34,12 @@ let category_of d =
   | Domain.Guest -> Ledger.DomU
 
 let charge_xen t n = Ledger.charge t.ledger Ledger.Xen n
-let charge_domain t d n = Ledger.charge t.ledger (category_of d) n
+
+let charge_xen_for t ~domain n =
+  Ledger.charge_for t.ledger Ledger.Xen ~domain n
+
+let charge_domain t d n =
+  Ledger.charge_for t.ledger (category_of d) ~domain:(Domain.name d) n
 
 let switch_to t target =
   match t.current with
@@ -61,7 +66,10 @@ let hypercall t ?cost () =
     Td_obs.Metrics.bump "xen.hypercall";
     Td_obs.Trace.emit (Td_obs.Trace.Hypercall { cost })
   end;
-  charge_xen t cost
+  (* the hypercall was issued by the current domain: its row pays *)
+  match t.current with
+  | Some d -> charge_xen_for t ~domain:(Domain.name d) cost
+  | None -> charge_xen t cost
 
 let run_in t dom f =
   let prev = current ~op:"run_in" t in

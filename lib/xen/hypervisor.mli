@@ -36,10 +36,18 @@ val switch_to : t -> Domain.t -> unit
     already current. *)
 
 val hypercall : t -> ?cost:int -> unit -> unit
-(** Charge a hypercall entry/exit to Xen. *)
+(** Charge a hypercall entry/exit to Xen, attributed to the current
+    domain's {!Ledger} row (the issuer pays). *)
 
 val charge_xen : t -> int -> unit
+
+val charge_xen_for : t -> domain:string -> int -> unit
+(** Xen-category work performed on behalf of the named domain: charged to
+    the [Xen] cell {e and} attributed to that domain's row. *)
+
 val charge_domain : t -> Domain.t -> int -> unit
+(** Charges the domain's category cell and attributes the cycles to its
+    per-domain row. *)
 
 val send_virq : t -> Domain.t -> (unit -> unit) -> unit
 (** Deliver a virtual interrupt to a domain: charges event-channel cost;

@@ -10,7 +10,11 @@ let category_name = function
 
 let index = function Dom0 -> 0 | DomU -> 1 | Xen -> 2 | Driver -> 3
 
-type t = { cells : int array }
+(* [domains] is a second, finer-grained axis: cycles attributed to the
+   named domain that {e caused} the work, including Xen work done on its
+   behalf. Plain ints with no metric mirrors, so runs that never read
+   them are bit-identical with or without the rows. *)
+type t = { cells : int array; domains : (string, int ref) Hashtbl.t }
 
 (* mirror counter names, indexed like [cells]; the registry copy lets
    Measure cross-check instrumentation against the authoritative ledger *)
@@ -27,7 +31,7 @@ let create () =
     Array.iter
       (fun name -> ignore (Td_obs.Metrics.counter name))
       metric_names;
-  { cells = Array.make 4 0 }
+  { cells = Array.make 4 0; domains = Hashtbl.create 8 }
 
 let charge t c n =
   let i = index c in
@@ -35,11 +39,25 @@ let charge t c n =
   if Td_obs.Control.enabled () then
     Td_obs.Metrics.bump_by metric_names.(i) n
 
+let charge_for t c ~domain n =
+  charge t c n;
+  match Hashtbl.find_opt t.domains domain with
+  | Some r -> r := !r + n
+  | None -> Hashtbl.replace t.domains domain (ref n)
+
+let domain_total t domain =
+  match Hashtbl.find_opt t.domains domain with Some r -> !r | None -> 0
+
+let domain_snapshot t =
+  Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.domains []
+  |> List.sort compare
+
 let total t c = t.cells.(index c)
 let grand_total t = Array.fold_left ( + ) 0 t.cells
 
 let reset t =
   Array.fill t.cells 0 4 0;
+  Hashtbl.reset t.domains;
   if Td_obs.Control.enabled () then
     Array.iter Td_obs.Metrics.reset metric_names
 let snapshot t = List.map (fun c -> (c, total t c)) categories

@@ -18,6 +18,19 @@ type t
 
 val create : unit -> t
 val charge : t -> category -> int -> unit
+
+val charge_for : t -> category -> domain:string -> int -> unit
+(** {!charge}, additionally attributing the cycles to the named domain's
+    row — the per-tenant axis the adversarial harness asserts on ("every
+    injected op's cost lands in the attacker's row"). Xen work done {e on
+    behalf of} a guest is attributed to that guest, not to Xen. *)
+
+val domain_total : t -> string -> int
+(** Cycles attributed to the named domain since the last {!reset}. *)
+
+val domain_snapshot : t -> (string * int) list
+(** All per-domain rows, sorted by domain name. *)
+
 val total : t -> category -> int
 val grand_total : t -> int
 val reset : t -> unit

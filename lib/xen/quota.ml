@@ -1,0 +1,252 @@
+(* Per-domain resource quotas. Process-global like Td_fault.Engine: not
+   installed means every check is a no-op, keeping zero-quota runs
+   bit-identical to the seed. Rate buckets refill on the simulated clock
+   supplied at install time, so enforcement is deterministic. *)
+
+type limits = {
+  map_window_pages : int;
+  grant_entries : int;
+  grant_maps : int;
+  upcalls_per_s : float;
+  notifications_per_s : float;
+  doorbells_per_s : float;
+  burst : float;
+}
+
+let unlimited =
+  {
+    map_window_pages = 0;
+    grant_entries = 0;
+    grant_maps = 0;
+    upcalls_per_s = 0.;
+    notifications_per_s = 0.;
+    doorbells_per_s = 0.;
+    burst = 1.;
+  }
+
+let default_limits =
+  {
+    map_window_pages = 64;
+    grant_entries = 256;
+    grant_maps = 64;
+    upcalls_per_s = 200_000.;
+    notifications_per_s = 500_000.;
+    doorbells_per_s = 1_000_000.;
+    burst = 8.;
+  }
+
+type resource =
+  | Map_window_pages
+  | Grant_entries
+  | Grant_maps
+  | Upcalls
+  | Notifications
+  | Doorbells
+
+let all_resources =
+  [ Map_window_pages; Grant_entries; Grant_maps; Upcalls; Notifications;
+    Doorbells ]
+
+let resource_name = function
+  | Map_window_pages -> "map_window_pages"
+  | Grant_entries -> "grant_entries"
+  | Grant_maps -> "grant_maps"
+  | Upcalls -> "upcalls"
+  | Notifications -> "notifications"
+  | Doorbells -> "doorbells"
+
+exception Quota_exceeded of { domain : string; resource : string }
+
+let () =
+  Printexc.register_printer (function
+    | Quota_exceeded { domain; resource } ->
+        Some
+          (Printf.sprintf "Td_xen.Quota.Quota_exceeded(%s: %s)" domain resource)
+    | _ -> None)
+
+(* Per-(domain, resource) state: a held-units count for concurrency caps,
+   a token bucket for rate caps. *)
+type bucket = { mutable tokens : float; mutable last : float }
+
+type dom_state = {
+  held : int array;  (** indexed like [all_resources]; rate slots unused *)
+  buckets : bucket option array;
+  throttles : int array;
+}
+
+type state = {
+  lim : limits;
+  now : unit -> float;
+  exempt : (string, unit) Hashtbl.t;
+  doms : (string, dom_state) Hashtbl.t;
+  mutable throttled : int;
+}
+
+let engine : state option ref = ref None
+
+let resource_index = function
+  | Map_window_pages -> 0
+  | Grant_entries -> 1
+  | Grant_maps -> 2
+  | Upcalls -> 3
+  | Notifications -> 4
+  | Doorbells -> 5
+
+let n_resources = List.length all_resources
+
+let cap lim = function
+  | Map_window_pages -> lim.map_window_pages
+  | Grant_entries -> lim.grant_entries
+  | Grant_maps -> lim.grant_maps
+  | Upcalls | Notifications | Doorbells -> 0
+
+let rate lim = function
+  | Upcalls -> lim.upcalls_per_s
+  | Notifications -> lim.notifications_per_s
+  | Doorbells -> lim.doorbells_per_s
+  | Map_window_pages | Grant_entries | Grant_maps -> 0.
+
+let install ?(now = fun () -> 0.) ?(exempt = []) lim =
+  let ex = Hashtbl.create 4 in
+  List.iter (fun d -> Hashtbl.replace ex d ()) exempt;
+  engine :=
+    Some
+      { lim; now; exempt = ex; doms = Hashtbl.create 8; throttled = 0 }
+
+let clear () = engine := None
+let active () = Option.is_some !engine
+let limits () = Option.map (fun e -> e.lim) !engine
+
+let dom_state e domain =
+  match Hashtbl.find_opt e.doms domain with
+  | Some d -> d
+  | None ->
+      let d =
+        {
+          held = Array.make n_resources 0;
+          buckets = Array.make n_resources None;
+          throttles = Array.make n_resources 0;
+        }
+      in
+      Hashtbl.replace e.doms domain d;
+      d
+
+let inuse_gauge domain res v =
+  if Td_obs.Control.enabled () then
+    Td_obs.Metrics.set
+      (Td_obs.Metrics.gauge
+         (Printf.sprintf "xen.quota_inuse.%s.%s" domain (resource_name res)))
+      (float_of_int v)
+
+let note_throttle e d domain res =
+  e.throttled <- e.throttled + 1;
+  d.throttles.(resource_index res) <- d.throttles.(resource_index res) + 1;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "xen.quota_throttled";
+    Td_obs.Metrics.bump (Printf.sprintf "xen.quota_throttled.%s" domain);
+    Td_obs.Trace.emit
+      (Td_obs.Trace.Custom
+         {
+           name = Printf.sprintf "quota.throttle.%s" (resource_name res);
+           value = e.throttled;
+         })
+  end
+
+let exceeded domain res =
+  raise (Quota_exceeded { domain; resource = resource_name res })
+
+let acquire ~domain res n =
+  match !engine with
+  | None -> ()
+  | Some e ->
+      if not (Hashtbl.mem e.exempt domain) then begin
+        let limit = cap e.lim res in
+        let d = dom_state e domain in
+        let i = resource_index res in
+        if limit > 0 && d.held.(i) + n > limit then begin
+          note_throttle e d domain res;
+          exceeded domain res
+        end;
+        d.held.(i) <- d.held.(i) + n;
+        inuse_gauge domain res d.held.(i)
+      end
+
+let release ~domain res n =
+  match !engine with
+  | None -> ()
+  | Some e ->
+      if not (Hashtbl.mem e.exempt domain) then begin
+        let d = dom_state e domain in
+        let i = resource_index res in
+        d.held.(i) <- max 0 (d.held.(i) - n);
+        inuse_gauge domain res d.held.(i)
+      end
+
+let try_take ~domain res =
+  match !engine with
+  | None -> true
+  | Some e ->
+      Hashtbl.mem e.exempt domain
+      ||
+      let r = rate e.lim res in
+      if r <= 0. then true
+      else begin
+        let d = dom_state e domain in
+        let i = resource_index res in
+        let b =
+          match d.buckets.(i) with
+          | Some b -> b
+          | None ->
+              let b = { tokens = e.lim.burst; last = e.now () } in
+              d.buckets.(i) <- Some b;
+              b
+        in
+        let t = e.now () in
+        if t > b.last then begin
+          b.tokens <- Float.min e.lim.burst (b.tokens +. ((t -. b.last) *. r));
+          b.last <- t
+        end;
+        if b.tokens >= 1. then begin
+          b.tokens <- b.tokens -. 1.;
+          true
+        end
+        else begin
+          note_throttle e d domain res;
+          false
+        end
+      end
+
+let take ~domain res = if not (try_take ~domain res) then exceeded domain res
+
+let inuse ~domain res =
+  match !engine with
+  | None -> 0
+  | Some e -> (
+      match Hashtbl.find_opt e.doms domain with
+      | None -> 0
+      | Some d -> d.held.(resource_index res))
+
+let throttled () = match !engine with None -> 0 | Some e -> e.throttled
+
+let throttled_for ~domain res =
+  match !engine with
+  | None -> 0
+  | Some e -> (
+      match Hashtbl.find_opt e.doms domain with
+      | None -> 0
+      | Some d -> d.throttles.(resource_index res))
+
+let domains () =
+  match !engine with
+  | None -> []
+  | Some e ->
+      Hashtbl.fold (fun k _ acc -> k :: acc) e.doms [] |> List.sort compare
+
+let reset_counters () =
+  match !engine with
+  | None -> ()
+  | Some e ->
+      e.throttled <- 0;
+      Hashtbl.iter
+        (fun _ d -> Array.fill d.throttles 0 n_resources 0)
+        e.doms

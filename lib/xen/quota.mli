@@ -1,0 +1,90 @@
+(** Per-domain resource quotas: the multi-tenant guard rails that stop one
+    hostile guest from starving the others.
+
+    Two families of resource are policed, both keyed by domain name:
+
+    - {b Concurrency caps} (map-window page pairs, grant-table entries,
+      active grant mappings): a plain high-water limit. {!acquire} admits
+      or raises; {!release} returns the units.
+    - {b Rate caps} (upcalls, channel notifications, doorbell kicks): a
+      token bucket per (domain, resource) refilled on {e simulated} time —
+      the clock passed to {!install}, typically ledger cycles divided by
+      the simulated CPU frequency — so enforcement is deterministic and
+      bit-identical across runs.
+
+    Like {!Td_fault.Engine}, the engine is process-global and {e off} by
+    default: until {!install} every check is a no-op costing nothing, so
+    zero-quota runs are bit-identical to the seed. Denials raise the typed
+    {!Quota_exceeded} (contained by callers exactly like
+    {!Guest_fault.Fault}) and are counted — always in plain counters,
+    additionally in the [xen.quota_throttled]/[xen.quota_inuse.*] metrics
+    while observability is on. *)
+
+type limits = {
+  map_window_pages : int;
+      (** concurrent SVM map-window pages per domain; [<= 0] = unlimited *)
+  grant_entries : int;
+      (** concurrent grant-table entries per domain; [<= 0] = unlimited *)
+  grant_maps : int;
+      (** concurrent grant mappings per domain; [<= 0] = unlimited *)
+  upcalls_per_s : float;  (** upcall rate; [<= 0.] = unlimited *)
+  notifications_per_s : float;
+      (** I/O-channel notification (staged-frame) rate; [<= 0.] =
+          unlimited *)
+  doorbells_per_s : float;  (** doorbell kick rate; [<= 0.] = unlimited *)
+  burst : float;  (** token-bucket depth (initial and maximum tokens) *)
+}
+
+val unlimited : limits
+(** Every cap disabled — installing this is equivalent to not installing. *)
+
+val default_limits : limits
+(** Finite caps sized for the bench/tdctl demos. *)
+
+type resource =
+  | Map_window_pages
+  | Grant_entries
+  | Grant_maps
+  | Upcalls
+  | Notifications
+  | Doorbells
+
+val all_resources : resource list
+val resource_name : resource -> string
+
+exception Quota_exceeded of { domain : string; resource : string }
+
+val install : ?now:(unit -> float) -> ?exempt:string list -> limits -> unit
+(** Arm the engine. [now] is the simulated clock in seconds (default: a
+    frozen clock, so rate buckets never refill past [burst]); [exempt]
+    domains (typically dom0) pass every check. Resets all counters. *)
+
+val clear : unit -> unit
+val active : unit -> bool
+val limits : unit -> limits option
+
+val acquire : domain:string -> resource -> int -> unit
+(** Claim [n] units of a concurrency-capped resource; raises
+    {!Quota_exceeded} (and counts the throttle) if the domain would
+    exceed its cap. No-op while inactive. *)
+
+val release : domain:string -> resource -> int -> unit
+
+val try_take : domain:string -> resource -> bool
+(** Draw one token from a rate bucket. [false] (counted as a throttle)
+    when the bucket is dry — for callers that degrade gracefully (skip
+    the kick, leave the frame staged). Always [true] while inactive. *)
+
+val take : domain:string -> resource -> unit
+(** {!try_take} for callers that cannot proceed: raises
+    {!Quota_exceeded} when the bucket is dry. *)
+
+val inuse : domain:string -> resource -> int
+(** Current units held (concurrency resources; 0 for rate resources). *)
+
+val throttled : unit -> int
+(** Total denials since {!install} (or {!reset_counters}). *)
+
+val throttled_for : domain:string -> resource -> int
+val domains : unit -> string list
+val reset_counters : unit -> unit

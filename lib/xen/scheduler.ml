@@ -7,12 +7,17 @@ let create ?(initial_credit = 100) () = { initial = initial_credit; entries = []
 let add t dom =
   t.entries <- t.entries @ [ { dom; credit = t.initial; slices = 0 } ]
 
+(* an unknown domain is guest-reachable input (a stale or forged domain
+   handle in a scheduling hypercall), so it faults typed and attributed,
+   not with a process-killing invalid_arg *)
 let find t dom =
   match
     List.find_opt (fun e -> Domain.id e.dom = Domain.id dom) t.entries
   with
   | Some e -> e
-  | None -> invalid_arg "Scheduler: unknown domain"
+  | None ->
+      Guest_fault.fail ~domain:(Domain.name dom) ~op:"Scheduler.find"
+        "unknown domain %d (%s)" (Domain.id dom) (Domain.name dom)
 
 let refill t =
   Td_obs.Metrics.bump "sched.refills";

@@ -21,9 +21,11 @@ let make_stub ~hyp ~dom0 ~name ~impl stats : Td_cpu.Native.fn =
   stats.invocations <- stats.invocations + 1;
   let costs = Hypervisor.costs hyp in
   (* the stub saves parameters and switches off the hypervisor stack
-     (whose contents are not preserved across the domain transition) *)
-  Hypervisor.charge_xen hyp costs.Sys_costs.upcall_stack_switch;
+     (whose contents are not preserved across the domain transition);
+     the Xen work is attributed to the domain whose driver invoked it *)
   let prev = Hypervisor.current ~op:"upcall" hyp in
+  Hypervisor.charge_xen_for hyp ~domain:(Domain.name prev)
+    costs.Sys_costs.upcall_stack_switch;
   let needs_switch = Domain.id prev <> Domain.id dom0 in
   if needs_switch then stats.switches_incurred <- stats.switches_incurred + 2;
   if Td_obs.Control.enabled () then begin
@@ -37,10 +39,15 @@ let make_stub ~hyp ~dom0 ~name ~impl stats : Td_cpu.Native.fn =
   if
     Td_fault.Engine.active () && Td_fault.Engine.fire Td_fault.Upcall_fail
   then raise (Upcall_failed { routine = name });
+  (* quota gate: each upcall draws a token from the invoking domain's
+     bucket — one tenant hammering support routines cannot monopolise
+     dom0 (raises the typed Quota_exceeded when dry) *)
+  if Quota.active () then Quota.take ~domain:(Domain.name prev) Quota.Upcalls;
   Hypervisor.run_in hyp dom0 (fun () ->
       (* synchronous virtual interrupt into dom0: the registered handler
          recovers parameters and invokes the support routine *)
-      Hypervisor.charge_xen hyp costs.Sys_costs.event_channel;
+      Hypervisor.charge_xen_for hyp ~domain:(Domain.name prev)
+        costs.Sys_costs.event_channel;
       Hypervisor.charge_domain hyp dom0 costs.Sys_costs.support_routine;
       impl st;
       (* 'return' to the stub via hypercall *)

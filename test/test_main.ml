@@ -25,4 +25,5 @@ let () =
       ("experiments", Test_experiments.suite);
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
+      ("adv", Test_adv.suite);
     ]

@@ -112,7 +112,9 @@ let test_oversized_frame_rejected () =
     (match
        Xen_netio.guest_transmit rig.netio (String.make 5000 'x')
      with
-    | exception Invalid_argument _ -> true
+    | exception
+        Guest_fault.Fault { op = "Xen_netio.guest_transmit"; _ } ->
+        true
     | _ -> false)
 
 let suite =

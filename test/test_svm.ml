@@ -138,6 +138,54 @@ let test_call_table () =
     | _ -> false);
   check bool_c "hits counted" true (Call_table.hits ct >= 1)
 
+(* Window-guard probe: per-domain accounting of map-window pages is wired
+   from above (quotas live in td_xen), so the runtime must call acquire
+   before anything is evicted or mapped, release on invalidate/flush, and
+   abandon the miss cleanly when acquire raises. *)
+let test_window_guard () =
+  let m = Harness.make_machine () in
+  let rt = Runtime.create_hypervisor ~dom0:m.Harness.dom0 ~hyp:m.Harness.hyp () in
+  let held = ref 0 and acquires = ref 0 and deny = ref false in
+  Runtime.set_window_guard rt
+    {
+      Runtime.acquire =
+        (fun ~pages ->
+          if !deny then failwith "window quota exceeded";
+          incr acquires;
+          held := !held + pages;
+          "guest");
+      release = (fun ~owner ~pages ->
+          check bool_c "owner tag round-trips" true (owner = "guest");
+          held := !held - pages);
+    };
+  let va = Addr_space.heap_alloc m.Harness.dom0 (2 * Layout.page_size) in
+  ignore (Runtime.translate rt va);
+  check int_c "miss acquired a pair" 2 !held;
+  check int_c "one acquire per pair" 1 !acquires;
+  (* an stlb hit must not re-acquire *)
+  ignore (Runtime.translate rt (va + 8));
+  check int_c "hit does not acquire" 1 !acquires;
+  Runtime.invalidate_page rt va;
+  Runtime.invalidate_page rt (va + Layout.page_size);
+  check int_c "invalidate released" 0 !held;
+  (* a denied acquire aborts the miss before any slot is consumed *)
+  deny := true;
+  let va2 = Addr_space.heap_alloc m.Harness.dom0 (2 * Layout.page_size) in
+  let mapped_before = Runtime.pages_mapped rt in
+  check bool_c "acquire failure propagates" true
+    (match Runtime.translate rt va2 with
+    | exception Failure _ -> true
+    | _ -> false);
+  check int_c "nothing mapped on denial" mapped_before
+    (Runtime.pages_mapped rt);
+  check int_c "nothing held on denial" 0 !held;
+  (* flush releases everything still held *)
+  deny := false;
+  ignore (Runtime.translate rt va);
+  check int_c "re-acquired" 2 !held;
+  Runtime.flush rt;
+  check int_c "flush released" 0 !held
+
 let suite =
   [
     Alcotest.test_case "stlb index bits" `Quick test_index_bits;
@@ -150,4 +198,5 @@ let suite =
     Alcotest.test_case "persistent map/invalidate" `Quick
       test_persistent_map_and_invalidate;
     Alcotest.test_case "call table" `Quick test_call_table;
+    Alcotest.test_case "window guard" `Quick test_window_guard;
   ]

@@ -106,22 +106,85 @@ let test_grant_map_copy () =
   Grant_table.map gt ~hyp ~into:dom0 ~at_vpage r;
   check int_c "shared via grant" 0xFEED
     (Td_mem.Addr_space.read m.Harness.dom0 (at_vpage * 4096) Td_misa.Width.W32);
-  let faults_before = Guest_fault.total () in
-  check bool_c "revoke while mapped fails" true
-    (match Grant_table.revoke gt r with
-    | exception Guest_fault.Fault { op = "Grant_table.revoke"; _ } -> true
-    | _ -> false);
-  check int_c "guest fault counted" (faults_before + 1) (Guest_fault.total ());
-  Grant_table.unmap gt ~hyp ~from:dom0 ~at_vpage r;
-  (* gnttab_copy moves data and charges Xen *)
+  (* a second grant exercises gnttab_copy while the first stays mapped *)
+  let r2 = Grant_table.grant gt ~frame in
   let before = Ledger.total (Hypervisor.ledger hyp) Ledger.Xen in
-  Grant_table.copy_to gt ~hyp r ~offset:100 ~src:(Bytes.of_string "hello");
+  Grant_table.copy_to gt ~hyp r2 ~offset:100 ~src:(Bytes.of_string "hello");
   check bool_c "copy charged" true
     (Ledger.total (Hypervisor.ledger hyp) Ledger.Xen > before);
-  let back = Grant_table.copy_from gt ~hyp r ~offset:100 ~len:5 in
+  let back = Grant_table.copy_from gt ~hyp r2 ~offset:100 ~len:5 in
   check bool_c "copy roundtrip" true (Bytes.to_string back = "hello");
+  Grant_table.revoke gt r2;
+  (* forced revocation: the guest takes its page back even while dom0
+     still has it mapped — the stale window vpage is poisoned, so the
+     LATER ACCESSOR faults deterministically instead of aliasing *)
   Grant_table.revoke gt r;
-  check int_c "no active grants" 0 (Grant_table.active gt)
+  check int_c "no active grants" 0 (Grant_table.active gt);
+  check bool_c "stale access through revoked mapping faults" true
+    (match
+       Td_mem.Addr_space.read m.Harness.dom0 (at_vpage * 4096)
+         Td_misa.Width.W32
+     with
+    | exception Guest_fault.Fault { op = "Grant_table.access_revoked"; _ } ->
+        true
+    | _ -> false);
+  check bool_c "stale unmap after revoke faults as revoked" true
+    (match Grant_table.unmap gt ~hyp ~from:dom0 ~at_vpage r with
+    | exception Guest_fault.Fault { op = "Grant_table.unmap"; reason } ->
+        String.length reason > 0
+        && String.sub reason 0 7 = "revoked"
+    | _ -> false)
+
+(* Cross-domain isolation probe: mapping one guest's grant must never make
+   another guest's frames reachable, a guest-chosen vpage must never
+   clobber an existing mapping, and an arbitrary vpage must never unmap
+   someone else's page. *)
+let test_grant_isolation () =
+  let m, hyp, dom0, guest = make_xen () in
+  let other_space = Td_mem.Addr_space.create ~name:"other" m.Harness.phys in
+  Td_mem.Addr_space.heap_init other_space ~base:Td_mem.Layout.guest_heap_base
+    ~limit:Td_mem.Layout.guest_heap_limit;
+  let other_page = Td_mem.Addr_space.heap_alloc other_space 4096 in
+  let other_frame =
+    Option.get
+      (Td_mem.Addr_space.frame_of_vpage other_space
+         ~vpage:(Td_mem.Layout.page_of other_page))
+  in
+  let gt = Grant_table.create ~owner:guest in
+  let gpage = Td_mem.Addr_space.heap_alloc (Domain.space guest) 4096 in
+  let gframe =
+    Option.get
+      (Td_mem.Addr_space.frame_of_vpage (Domain.space guest)
+         ~vpage:(Td_mem.Layout.page_of gpage))
+  in
+  let r = Grant_table.grant gt ~frame:gframe in
+  let at_vpage = 0xC7F20 in
+  Grant_table.map gt ~hyp ~into:dom0 ~at_vpage r;
+  (* the mapping resolves to the granter's frame, nobody else's *)
+  check bool_c "mapped frame is the granter's" true
+    (Td_mem.Addr_space.frame_of_vpage m.Harness.dom0 ~vpage:at_vpage
+    = Some gframe);
+  check bool_c "mapped frame is not the other guest's" true
+    (Td_mem.Addr_space.frame_of_vpage m.Harness.dom0 ~vpage:at_vpage
+    <> Some other_frame);
+  (* a second grant aimed at the same (occupied) vpage is refused *)
+  let r2 = Grant_table.grant gt ~frame:gframe in
+  check bool_c "map over occupied vpage refused" true
+    (match Grant_table.map gt ~hyp ~into:dom0 ~at_vpage r2 with
+    | exception Guest_fault.Fault _ -> true
+    | _ -> false);
+  (* unmap with a guest-chosen wrong vpage is refused *)
+  check bool_c "unmap at wrong vpage refused" true
+    (match
+       Grant_table.unmap gt ~hyp ~from:dom0 ~at_vpage:(at_vpage + 1) r
+     with
+    | exception Guest_fault.Fault _ -> true
+    | _ -> false);
+  (* the refusals left the real mapping intact *)
+  check bool_c "mapping survived the attacks" true
+    (Td_mem.Addr_space.frame_of_vpage m.Harness.dom0 ~vpage:at_vpage
+    = Some gframe);
+  Grant_table.unmap gt ~hyp ~from:dom0 ~at_vpage r
 
 let test_upcall_mechanism () =
   let _, hyp, dom0, guest = make_xen () in
@@ -202,6 +265,7 @@ let suite =
     Alcotest.test_case "virq masking" `Quick test_virq_masking;
     Alcotest.test_case "vif shared memory" `Quick test_vif_is_shared_memory;
     Alcotest.test_case "grant map/copy" `Quick test_grant_map_copy;
+    Alcotest.test_case "grant isolation" `Quick test_grant_isolation;
     Alcotest.test_case "upcall mechanism" `Quick test_upcall_mechanism;
     Alcotest.test_case "scheduler fairness" `Quick test_scheduler_fairness;
     Alcotest.test_case "event queue order" `Quick test_event_queue;
