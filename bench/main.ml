@@ -782,16 +782,18 @@ let doorbell () =
     "Doorbell + adaptive polling: hypercalls and cycles per packet vs \
      offered load";
   let points = Experiments.doorbell () in
-  Printf.printf "%12s %6s %8s %12s %10s %10s %7s %8s %9s\n" "mode" "load"
-    "packets" "cyc/pkt" "hcall/pkt" "virq/pkt" "polls" "suppr" "final";
+  Printf.printf "%12s %6s %8s %12s %10s %10s %7s %8s %9s %9s %9s\n" "mode"
+    "load" "packets" "cyc/pkt" "hcall/pkt" "virq/pkt" "polls" "suppr" "final"
+    "tx-p99" "rx-p99";
   List.iter
     (fun (p : Experiments.doorbell_point) ->
-      Printf.printf "%12s %6d %8d %12.0f %10.4f %10.4f %7d %8d %9s\n"
+      Printf.printf "%12s %6d %8d %12.0f %10.4f %10.4f %7d %8d %9s %9.0f %9.0f\n"
         p.Experiments.db_mode p.Experiments.offered_per_window
         p.Experiments.db_packets p.Experiments.db_cycles_per_packet
         p.Experiments.hypercalls_per_packet p.Experiments.virqs_per_packet
         p.Experiments.db_doorbell_polls
-        p.Experiments.db_suppressed_hypercalls p.Experiments.final_tx_mode)
+        p.Experiments.db_suppressed_hypercalls p.Experiments.final_tx_mode
+        p.Experiments.db_tx_p99 p.Experiments.db_rx_p99)
     points;
   print_endline
     "\nadaptive stays interrupt-driven (and cycle-identical) at idle, crosses\n\
@@ -824,8 +826,80 @@ let doorbell () =
                      Json.Int p.Experiments.db_suppressed_virqs );
                    ("mode_switches", Json.Int p.Experiments.db_mode_switches);
                    ("final_tx_mode", Json.String p.Experiments.final_tx_mode);
+                   ( "tx_lat_samples",
+                     Json.Int p.Experiments.db_tx_lat_samples );
+                   ( "rx_lat_samples",
+                     Json.Int p.Experiments.db_rx_lat_samples );
+                   ("tx_lat_p50", Json.Float p.Experiments.db_tx_p50);
+                   ("tx_lat_p99", Json.Float p.Experiments.db_tx_p99);
+                   ("rx_lat_p50", Json.Float p.Experiments.db_rx_p50);
+                   ("rx_lat_p99", Json.Float p.Experiments.db_rx_p99);
                  ])
              points) );
+    ]
+
+let multiqueue () =
+  header
+    "Multi-queue NICs + sharded simulation: RSS scaling and \
+     OCaml-domain parallel speedup";
+  let host_cpus = Twindrivers.Shard.available_parallelism () in
+  let r = Experiments.multiqueue ~clock:Unix.gettimeofday () in
+  Printf.printf "host cpus: %d\n\n%8s %8s %14s %14s %12s\n" host_cpus "queues"
+    "frames" "elapsed-cyc" "total-cyc" "sim Mb/s";
+  List.iter
+    (fun (p : Experiments.mq_queue_point) ->
+      Printf.printf "%8d %8d %14d %14d %12.0f\n" p.Experiments.mq_queues
+        p.Experiments.mq_wire_frames p.Experiments.mq_elapsed_cycles
+        p.Experiments.mq_total_cycles p.Experiments.mq_sim_mbps)
+    r.Experiments.mq_points_queues;
+  Printf.printf "\n%8s %12s  %s\n" "shards" "wall s" "merged-ledger digest";
+  List.iter
+    (fun (p : Experiments.mq_shard_point) ->
+      Printf.printf "%8d %12.3f  %s\n" p.Experiments.mq_shards
+        p.Experiments.mq_wall_s
+        (String.sub p.Experiments.mq_digest 0
+           (min 56 (String.length p.Experiments.mq_digest))))
+    r.Experiments.mq_points_shards;
+  Printf.printf
+    "\nledger bit-identical across shard counts: %b\n\
+     single-queue aggregate identical to plain world: %b\n\
+     wall-clock speedup at 4 shards: %.2fx (meaningful only with >= 4 host \
+     cores)\n"
+    r.Experiments.mq_ledger_bit_identical r.Experiments.mq_single_queue_identical
+    r.Experiments.mq_speedup_at_4;
+  bench_json "multiqueue"
+    [
+      ("host_cpus", Json.Int host_cpus);
+      ( "points_queues",
+        Json.List
+          (List.map
+             (fun (p : Experiments.mq_queue_point) ->
+               Json.Obj
+                 [
+                   ("queues", Json.Int p.Experiments.mq_queues);
+                   ("wire_frames", Json.Int p.Experiments.mq_wire_frames);
+                   ("wire_bytes", Json.Int p.Experiments.mq_wire_bytes);
+                   ("elapsed_cycles", Json.Int p.Experiments.mq_elapsed_cycles);
+                   ("total_cycles", Json.Int p.Experiments.mq_total_cycles);
+                   ("sim_mbps", Json.Float p.Experiments.mq_sim_mbps);
+                 ])
+             r.Experiments.mq_points_queues) );
+      ( "points_shards",
+        Json.List
+          (List.map
+             (fun (p : Experiments.mq_shard_point) ->
+               Json.Obj
+                 [
+                   ("shards", Json.Int p.Experiments.mq_shards);
+                   ("wall_s", Json.Float p.Experiments.mq_wall_s);
+                   ("digest", Json.String p.Experiments.mq_digest);
+                 ])
+             r.Experiments.mq_points_shards) );
+      ("speedup_at_4", Json.Float r.Experiments.mq_speedup_at_4);
+      ( "ledger_bit_identical",
+        Json.Bool r.Experiments.mq_ledger_bit_identical );
+      ( "single_queue_identical",
+        Json.Bool r.Experiments.mq_single_queue_identical );
     ]
 
 let adversary () =
@@ -953,6 +1027,7 @@ let experiments =
     ("ablations", ablations);
     ("window_batch", window_batch);
     ("doorbell", doorbell);
+    ("multiqueue", multiqueue);
     ("recovery", recovery);
     ("interp", interp);
     ("adversary", adversary);

@@ -42,6 +42,9 @@ type tuning = {
   idle_hysteresis : int;
   poll_budget : int;
   quota : Td_xen.Quota.limits option;
+  queues : int;
+  shards : int;
+  rss_seed : int;
 }
 
 let default_tuning =
@@ -57,4 +60,7 @@ let default_tuning =
     idle_hysteresis = 3;
     poll_budget = 16;
     quota = None;
+    queues = 1;
+    shards = 1;
+    rss_seed = 0x2A8F;
   }

@@ -73,10 +73,24 @@ type tuning = {
           unless [doorbell]. *)
   quota : Td_xen.Quota.limits option;
       (** Per-domain resource quotas (map-window pages, grant entries and
-          maps, upcall/notification/doorbell rates), enforced against
-          every domain except dom0. [None] (the default) installs
-          nothing: all checks are no-ops and runs are bit-identical to
-          the pre-quota system. *)
+          maps, upcall/notification/doorbell rates, rx deliveries,
+          grant-copy bytes), enforced against every domain except dom0.
+          [None] (the default) installs nothing: all checks are no-ops
+          and runs are bit-identical to the pre-quota system. *)
+  queues : int;
+      (** tx/rx ring pairs per NIC (MSI-X style, default 1). Queue 0
+          keeps the legacy register block and legacy INTx cause bits, so
+          [queues = 1] is bit-identical to the single-queue model. With
+          more queues the device steers rx frames with the RSS demux and
+          raises one interrupt vector per queue. *)
+  shards : int;
+      (** OCaml domains used by {!Mq} to advance independent
+          (guest, queue) execution contexts in parallel (default 1 =
+          sequential). The merged cycle ledger is bit-identical for any
+          shard count — sharding changes host wall-clock only. *)
+  rss_seed : int;
+      (** Seed expanded into the 40-byte Toeplitz key of the RSS demux;
+          the same seed and 4-tuple always select the same queue. *)
 }
 
 val default_tuning : tuning

@@ -123,6 +123,15 @@ type doorbell_point = {
   db_suppressed_virqs : int;
   db_mode_switches : int;
   final_tx_mode : string;  (** tx direction's mode when the run ended *)
+  db_tx_lat_samples : int;  (** per-direction latency samples recorded *)
+  db_rx_lat_samples : int;
+  db_tx_p50 : float;
+      (** nearest-rank percentiles over the per-direction channel
+          latencies (simulated cycles, staging to delivery); 0 when no
+          samples were recorded *)
+  db_tx_p99 : float;
+  db_rx_p50 : float;
+  db_rx_p99 : float;
 }
 
 val doorbell :
@@ -131,6 +140,50 @@ val doorbell :
   ?loads:int list ->
   unit ->
   doorbell_point list
+
+(** Multi-queue / sharded-simulation bench (docs/MULTIQUEUE.md): leg A
+    sweeps the queue count with sequential execution and reports
+    simulated transmit throughput (near-linear scaling expected — the
+    contexts advance concurrently in simulated time, so elapsed cycles
+    are the max per-context total); leg B fixes eight queues and sweeps
+    the shard count, measuring host wall-clock with [clock] (pass
+    [Unix.gettimeofday]; simulated results must digest identically for
+    every shard count); leg C checks the feature-off aggregate is
+    indistinguishable from a plain unsharded world. *)
+
+type mq_queue_point = {
+  mq_queues : int;
+  mq_wire_frames : int;
+  mq_wire_bytes : int;
+  mq_elapsed_cycles : int;  (** max over the per-context ledgers *)
+  mq_total_cycles : int;  (** sum over the per-context ledgers *)
+  mq_sim_mbps : float;  (** wire bits over elapsed simulated seconds *)
+}
+
+type mq_shard_point = {
+  mq_shards : int;
+  mq_wall_s : float;  (** host wall-clock of the sharded run only *)
+  mq_digest : string;  (** canonical merged-ledger digest *)
+}
+
+type mq_report = {
+  mq_points_queues : mq_queue_point list;
+  mq_points_shards : mq_shard_point list;
+  mq_speedup_at_4 : float;
+      (** wall(1 shard) / wall(4 shards); 0 when either point is
+          missing. Only meaningful on a host with >= 4 cores. *)
+  mq_ledger_bit_identical : bool;
+      (** every shard count produced the same merged-ledger digest *)
+  mq_single_queue_identical : bool;  (** leg C *)
+}
+
+val multiqueue :
+  ?frames:int ->
+  ?queue_counts:int list ->
+  ?shard_counts:int list ->
+  ?clock:(unit -> float) ->
+  unit ->
+  mq_report
 
 (** Ablations (DESIGN.md §5). *)
 

@@ -1,0 +1,21 @@
+(** Deterministic fan-out of independent simulation jobs over OCaml 5
+    domains.
+
+    [run ~shards jobs] evaluates every job and returns their results in
+    job order. With [shards <= 1] (or a single job) the jobs run
+    sequentially on the calling domain; otherwise they are distributed
+    round-robin over [min shards (Array.length jobs)] spawned domains.
+    Both paths produce identical results for jobs that are deterministic
+    and share no mutable state — the contract {!Mq} builds its
+    bit-identical ledger merge on.
+
+    Observability ({!Td_obs.Control}) is disabled for the duration of
+    the run on both paths (the metric registry is not thread-safe, and
+    the sequential engine must match the parallel one), and restored
+    afterwards. *)
+
+val run : shards:int -> (unit -> 'a) array -> 'a array
+
+val available_parallelism : unit -> int
+(** [Stdlib.Domain.recommended_domain_count ()] — how many shards the
+    host can actually run at once. *)

@@ -21,6 +21,7 @@ val create :
   ?rewrite_style:Td_rewriter.Rewrite.style ->
   ?cache_probes:bool ->
   ?map_pairs:bool ->
+  ?shard:int ->
   ?tuning:Config.tuning ->
   Config.t ->
   t
@@ -33,9 +34,21 @@ val create :
     DESIGN.md ablations (Xen_twin only). [tuning] (default
     {!Config.default_tuning}) sets the SVM map-window size and the
     notification batch factor; batching changes only when notifications
-    are sent, never the frame payloads or their order. *)
+    are sent, never the frame payloads or their order.
+
+    [shard] (default 0) marks this world as one (guest, queue) execution
+    context of a sharded simulation ({!Mq}): it selects the world's stlb
+    partition (32 KiB tables packed between [Layout.stlb_base] and the
+    hypervisor scratch page, partition [shard mod 32]) and the per-queue
+    doorbell words of its I/O channels. Shard 0 uses the historical
+    table base and is bit-identical to an unsharded world. *)
 
 val config : t -> Config.t
+
+(** [shard t] is the shard index this world was created with (0 by
+    default). *)
+
+val shard : t -> int
 val nic_count : t -> int
 val ledger : t -> Td_xen.Ledger.t
 val support : t -> Td_kernel.Support.t

@@ -12,7 +12,15 @@ type t = {
   mutable generation : int;
 }
 
-let create () = { programs = [||]; linear = []; generation = 1 }
+(* Generation stamps are drawn from one process-global atomic counter,
+   not a per-registry counter: two registries that happen to perform the
+   same number of mutations must never present the same stamp, or an
+   interpreter instance migrated between shards (each shard owns its own
+   registry) could accept another shard's cached blocks as fresh. The
+   interpreter's unfilled-cache sentinel is 0; stamps start at 1. *)
+let stamp = Atomic.make 1
+let next_stamp () = Atomic.fetch_and_add stamp 1
+let create () = { programs = [||]; linear = []; generation = next_stamp () }
 let generation t = t.generation
 
 let overlaps (a : Td_misa.Program.t) (b : Td_misa.Program.t) =
@@ -40,7 +48,7 @@ let insert_sorted t p =
     arr.(j + 1) <- old.(j)
   done;
   t.programs <- arr;
-  t.generation <- t.generation + 1
+  t.generation <- next_stamp ()
 
 let register t p =
   (match find_overlap t p with

@@ -23,7 +23,12 @@ val replace : t -> Td_misa.Program.t -> unit
 val generation : t -> int
 (** Monotonic stamp, bumped by {!register} and {!replace}. Consumers
     holding resolutions across calls (the interpreter's block cache)
-    compare stamps and re-resolve on mismatch. *)
+    compare stamps and re-resolve on mismatch. Stamps are drawn from a
+    process-global atomic counter, so they are unique across registry
+    instances: distinct registries (one per simulation shard) never
+    alias, and an interpreter can never mistake another registry's
+    cached blocks for its own. Never 0 (the block cache's unfilled
+    sentinel). *)
 
 val find : t -> int -> Td_misa.Program.t option
 (** Program containing the given code address (binary search). *)

@@ -29,6 +29,8 @@ type doorbell = {
   page : int;  (** guest vaddr of the shared doorbell page *)
   dom0_vaddr : int;  (** persistent dom0 mapping of the same frame *)
   db_gref : Grant_table.grant_ref;
+  tx_off : int;  (** byte offset of this queue's tx sequence word *)
+  rx_off : int;  (** byte offset of this queue's rx sequence word *)
   tx : dir_state;
   rx : dir_state;
 }
@@ -45,17 +47,22 @@ type t = {
       (** granted guest pages used to stage transmitted frames; sized
           [batch] without a doorbell, wider with one so budget-limited
           drains never reuse a still-staged slot *)
-  tx_staged : (int * Grant_table.grant_ref * int) Queue.t;
-      (** (guest vaddr, grant, length) pushed on the ring, kick pending *)
+  queue : int;  (** queue index: selects this channel's doorbell words *)
+  tx_staged : (int * Grant_table.grant_ref * int * int) Queue.t;
+      (** (guest vaddr, grant, length, stage stamp) pushed on the ring,
+          kick pending; the stamp is the simulated clock at staging, for
+          the per-direction latency samples *)
   mutable tx_prod : int;  (** producer cursor into [tx_pages] *)
   mutable map_cursor : int;  (** dom0 vaddr window for grant maps *)
   rx_posted : (Grant_table.grant_ref * int) Queue.t;
-  rx_staged : (Grant_table.grant_ref * int * int) Queue.t;
-      (** (grant, guest vaddr, length) copied in, notification pending *)
+  rx_staged : (Grant_table.grant_ref * int * int * int) Queue.t;
+      (** (grant, guest vaddr, length, stage stamp) copied in,
+          notification pending *)
   mutable guest_rx : string -> unit;
   mutable tx_count : int;
   mutable rx_count : int;
   mutable rx_dropped : int;
+  mutable rx_throttled : int;  (** deliveries denied by the rx quota *)
   mutable flush_count : int;
   mutable tx_staged_total : int;
   mutable rx_staged_total : int;
@@ -69,9 +76,13 @@ let grant_map_base = 0xC7F0_0000
    transient grant-map window; one page per channel *)
 let doorbell_map_base = 0xC7E0_0000
 
-(* doorbell page layout: two little-endian 32-bit sequence words *)
-let tx_seq_off = 0 (* guest stores, dom0 loads *)
-let rx_seq_off = 4 (* dom0 stores, guest loads *)
+(* doorbell page layout: one pair of little-endian 32-bit sequence words
+   per queue — queue [q] owns bytes [8q .. 8q+7]: the tx word (guest
+   stores, dom0 loads) at [8q], the rx word (dom0 stores, guest loads)
+   at [8q + 4]. Queue 0 therefore keeps the historical 0/4 layout. *)
+let tx_word_off ~queue = 8 * queue
+let rx_word_off ~queue = (8 * queue) + 4
+let max_queue_index = (Td_mem.Layout.page_size / 8) - 1
 
 (* window exhaustion is reachable by a guest opening channels in a loop,
    so it faults typed and attributed instead of invalid_arg *)
@@ -100,8 +111,11 @@ let grant_guest_page gspace grants =
   in
   (page, Grant_table.grant grants ~frame)
 
-let create ?(batch = 1) ?doorbell ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
+let create ?(batch = 1) ?(queue = 0) ?doorbell ~hyp ~dom0 ~guest ~kmem
+    ~driver_tx () =
   if batch < 1 then invalid_arg "Xen_netio: batch must be >= 1";
+  if queue < 0 || queue > max_queue_index then
+    invalid_arg "Xen_netio: queue out of range";
   let gspace = Domain.space guest in
   let grants = Grant_table.create ~owner:guest in
   (* Without a doorbell the staging ring is exactly [batch] pages and the
@@ -124,8 +138,9 @@ let create ?(batch = 1) ?doorbell ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
         if cfg.idle_hysteresis < 1 then
           invalid_arg "Xen_netio: idle_hysteresis must be >= 1";
         let page, db_gref = grant_guest_page gspace grants in
-        Td_mem.Addr_space.write gspace (page + tx_seq_off) Td_misa.Width.W32 0;
-        Td_mem.Addr_space.write gspace (page + rx_seq_off) Td_misa.Width.W32 0;
+        let tx_off = tx_word_off ~queue and rx_off = rx_word_off ~queue in
+        Td_mem.Addr_space.write gspace (page + tx_off) Td_misa.Width.W32 0;
+        Td_mem.Addr_space.write gspace (page + rx_off) Td_misa.Width.W32 0;
         let dom0_vaddr = alloc_doorbell_vaddr ~guest (Domain.space dom0) in
         Grant_table.map grants ~hyp ~into:dom0
           ~at_vpage:(Td_mem.Layout.page_of dom0_vaddr)
@@ -147,7 +162,17 @@ let create ?(batch = 1) ?doorbell ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
             mode_switches = 0;
           }
         in
-        Some { cfg; page; dom0_vaddr; db_gref; tx = mk "tx"; rx = mk "rx" }
+        Some
+          {
+            cfg;
+            page;
+            dom0_vaddr;
+            db_gref;
+            tx_off;
+            rx_off;
+            tx = mk "tx";
+            rx = mk "rx";
+          }
   in
   {
     hyp;
@@ -158,6 +183,7 @@ let create ?(batch = 1) ?doorbell ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
     grants;
     batch;
     tx_pages;
+    queue;
     tx_staged = Queue.create ();
     tx_prod = 0;
     map_cursor = grant_map_base;
@@ -167,6 +193,7 @@ let create ?(batch = 1) ?doorbell ~hyp ~dom0 ~guest ~kmem ~driver_tx () =
     tx_count = 0;
     rx_count = 0;
     rx_dropped = 0;
+    rx_throttled = 0;
     flush_count = 0;
     tx_staged_total = 0;
     rx_staged_total = 0;
@@ -178,10 +205,13 @@ let set_guest_rx t fn = t.guest_rx <- fn
 let charge_dom0 t n = Hypervisor.charge_domain t.hyp t.dom0 n
 let charge_guest t n = Hypervisor.charge_domain t.hyp t.guest n
 
+(* simulated clock for the latency samples: total cycles charged so far *)
+let now t = Ledger.grand_total (Hypervisor.ledger t.hyp)
+
 (* The backend's per-frame work, always run in dom0: map the granted
    frame, rebuild a dom0 sk_buff, hand it to the NIC driver, unmap. *)
 let backend_tx_one t costs =
-  let gvaddr, gref, len = Queue.pop t.tx_staged in
+  let gvaddr, gref, len, stamp = Queue.pop t.tx_staged in
   ignore gvaddr;
   let vaddr = t.map_cursor in
   Grant_table.map t.grants ~hyp:t.hyp ~into:t.dom0
@@ -196,6 +226,7 @@ let backend_tx_one t costs =
     ~at_vpage:(Td_mem.Layout.page_of vaddr)
     gref;
   t.tx_count <- t.tx_count + 1;
+  Ledger.note_latency (Hypervisor.ledger t.hyp) `Tx (now t - stamp);
   if Td_obs.Control.enabled () then begin
     Td_obs.Metrics.bump "netio.tx";
     Td_obs.Trace.emit (Td_obs.Trace.Netio_tx { bytes = len })
@@ -256,7 +287,7 @@ let poll_tx t db =
   if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.doorbell_polls";
   let seq =
     Td_mem.Addr_space.read (Domain.space t.dom0)
-      (db.dom0_vaddr + tx_seq_off) Td_misa.Width.W32
+      (db.dom0_vaddr + db.tx_off) Td_misa.Width.W32
   in
   if seq <> db.tx.seen || not (Queue.is_empty t.tx_staged) then begin
     db.tx.seen <- seq;
@@ -293,7 +324,7 @@ let guest_transmit t frame =
     (Bytes.of_string frame);
   Hypervisor.charge_xen_for t.hyp ~domain:(Domain.name t.guest)
     costs.Sys_costs.io_channel;
-  Queue.push (page, gref, len) t.tx_staged;
+  Queue.push (page, gref, len, now t) t.tx_staged;
   t.tx_staged_total <- t.tx_staged_total + 1;
   match t.doorbell with
   | Some db when db.tx.mode = Polling ->
@@ -305,7 +336,7 @@ let guest_transmit t frame =
         || Quota.try_take ~domain:(Domain.name t.guest) Quota.Doorbells
       then
         ring_doorbell t db.tx ~space:(Domain.space t.guest)
-          ~vaddr:(db.page + tx_seq_off) ~charge:charge_guest;
+          ~vaddr:(db.page + db.tx_off) ~charge:charge_guest;
       note_suppressed t db.tx ~metric:"netio.suppressed_hypercalls"
   | _ ->
       if Queue.length t.tx_staged >= t.batch then flush_tx t
@@ -324,7 +355,7 @@ let rx_buffers_posted t = Queue.length t.rx_posted
 
 (* The frontend's per-completion work, run in the guest: read the frame
    out of the granted buffer, hand it to the stack, re-post the buffer. *)
-let frontend_rx_deliver t costs (gref, gvaddr, len) =
+let frontend_rx_deliver t costs (gref, gvaddr, len, stamp) =
   charge_guest t costs.Sys_costs.netfront;
   let frame = Td_mem.Addr_space.read_block (Domain.space t.guest) gvaddr len in
   t.rx_count <- t.rx_count + 1;
@@ -333,6 +364,7 @@ let frontend_rx_deliver t costs (gref, gvaddr, len) =
     Td_obs.Trace.emit (Td_obs.Trace.Netio_rx { bytes = len })
   end;
   t.guest_rx (Bytes.to_string frame);
+  Ledger.note_latency (Hypervisor.ledger t.hyp) `Rx (now t - stamp);
   Queue.push (gref, gvaddr) t.rx_posted
 
 let frontend_drain_rx t ~budget =
@@ -373,12 +405,24 @@ let poll_rx t db =
   if Td_obs.Control.enabled () then Td_obs.Metrics.bump "netio.doorbell_polls";
   let seq =
     Td_mem.Addr_space.read (Domain.space t.guest)
-      (db.page + rx_seq_off) Td_misa.Width.W32
+      (db.page + db.rx_off) Td_misa.Width.W32
   in
   if seq <> db.rx.seen || not (Queue.is_empty t.rx_staged) then begin
     db.rx.seen <- seq;
     frontend_drain_rx t ~budget:db.cfg.poll_budget
   end
+
+(* a delivery denied by the rx or grant-copy quota is dropped here, at
+   the netback boundary, before the expensive copy: the wire has no one
+   to fault to, so the frame is counted and freed — never an exception
+   out of the rx path (which would read as a driver abort upstream) *)
+let rx_throttle_drop t skb =
+  t.rx_throttled <- t.rx_throttled + 1;
+  if Td_obs.Control.enabled () then begin
+    Td_obs.Metrics.bump "netio.rx_throttled";
+    Td_obs.Trace.emit (Td_obs.Trace.Nic_drop { reason = "rx quota throttled" })
+  end;
+  Skb.free t.kmem skb
 
 let deliver_to_guest t skb =
   let costs = Hypervisor.costs t.hyp in
@@ -392,28 +436,38 @@ let deliver_to_guest t skb =
     end;
     Skb.free t.kmem skb
   end
+  else if
+    Quota.active ()
+    && not (Quota.try_take ~domain:(Domain.name t.guest) Quota.Rx_deliveries)
+  then rx_throttle_drop t skb
   else begin
     let gref, gvaddr = Queue.pop t.rx_posted in
     let payload = Skb.contents skb in
-    (* hypervisor-mediated copy into the guest's granted frame *)
-    Grant_table.copy_to t.grants ~hyp:t.hyp gref ~offset:0 ~src:payload;
-    Hypervisor.charge_xen_for t.hyp ~domain:(Domain.name t.guest)
-      costs.Sys_costs.io_channel;
-    Skb.free t.kmem skb;
-    Queue.push (gref, gvaddr, Bytes.length payload) t.rx_staged;
-    t.rx_staged_total <- t.rx_staged_total + 1;
-    match t.doorbell with
-    | Some db when db.rx.mode = Polling ->
-        (* rx doorbell is dom0-produced service work, never throttled —
-           consumer-side paths must always make progress (teardown loops) *)
-        ring_doorbell t db.rx ~space:(Domain.space t.dom0)
-          ~vaddr:(db.dom0_vaddr + rx_seq_off) ~charge:charge_dom0;
-        note_suppressed t db.rx ~metric:"netio.suppressed_virqs"
-    | _ ->
-        if Queue.length t.rx_staged >= t.batch then flush_rx t
-        else
-          Hypervisor.charge_xen_for t.hyp ~domain:(Domain.name t.guest)
-            costs.Sys_costs.notify_coalesce
+    (* hypervisor-mediated copy into the guest's granted frame; a dry
+       grant-copy byte bucket re-posts the untouched buffer and drops *)
+    match Grant_table.copy_to t.grants ~hyp:t.hyp gref ~offset:0 ~src:payload with
+    | exception Quota.Quota_exceeded _ ->
+        Queue.push (gref, gvaddr) t.rx_posted;
+        rx_throttle_drop t skb
+    | () -> (
+        Hypervisor.charge_xen_for t.hyp ~domain:(Domain.name t.guest)
+          costs.Sys_costs.io_channel;
+        Skb.free t.kmem skb;
+        Queue.push (gref, gvaddr, Bytes.length payload, now t) t.rx_staged;
+        t.rx_staged_total <- t.rx_staged_total + 1;
+        match t.doorbell with
+        | Some db when db.rx.mode = Polling ->
+            (* rx doorbell is dom0-produced service work, never throttled —
+               consumer-side paths must always make progress (teardown
+               loops) *)
+            ring_doorbell t db.rx ~space:(Domain.space t.dom0)
+              ~vaddr:(db.dom0_vaddr + db.rx_off) ~charge:charge_dom0;
+            note_suppressed t db.rx ~metric:"netio.suppressed_virqs"
+        | _ ->
+            if Queue.length t.rx_staged >= t.batch then flush_rx t
+            else
+              Hypervisor.charge_xen_for t.hyp ~domain:(Domain.name t.guest)
+                costs.Sys_costs.notify_coalesce)
   end
 
 let flush t =
@@ -503,6 +557,8 @@ let staged t = Queue.length t.tx_staged + Queue.length t.rx_staged
 let tx_count t = t.tx_count
 let rx_count t = t.rx_count
 let rx_dropped t = t.rx_dropped
+let rx_throttled t = t.rx_throttled
+let queue t = t.queue
 let flushes t = t.flush_count
 let tx_staged_total t = t.tx_staged_total
 let rx_staged_total t = t.rx_staged_total

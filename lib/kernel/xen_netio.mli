@@ -56,6 +56,7 @@ type t
 
 val create :
   ?batch:int ->
+  ?queue:int ->
   ?doorbell:doorbell_cfg ->
   hyp:Td_xen.Hypervisor.t ->
   dom0:Td_xen.Domain.t ->
@@ -68,7 +69,13 @@ val create :
     dom0-built sk_buff. [batch] (default 1) is the number of frames
     staged per notification; raises [Invalid_argument] if < 1. [doorbell]
     enables the shared doorbell page and adaptive mode switching; omitted,
-    the channel is bit-identical to the pre-doorbell implementation. *)
+    the channel is bit-identical to the pre-doorbell implementation.
+
+    [queue] (default 0) is this channel's queue index on a multi-queue
+    NIC: it selects which pair of doorbell sequence words the channel
+    owns — queue [q] uses bytes [8q]/[8q + 4] — so the per-queue words
+    ring independently. Queue 0 keeps the historical 0/4 layout and is
+    bit-identical to a pre-multi-queue channel. *)
 
 val set_guest_rx : t -> (string -> unit) -> unit
 (** Guest-side consumer of received frames. *)
@@ -120,6 +127,14 @@ val staged : t -> int
 val tx_count : t -> int
 val rx_count : t -> int
 val rx_dropped : t -> int
+
+val rx_throttled : t -> int
+(** Deliveries denied by the per-domain rx or grant-copy quota and
+    dropped at the netback boundary (before the grant copy — a flooded
+    guest costs dom0 almost nothing). Not counted in {!rx_dropped}. *)
+
+val queue : t -> int
+(** The channel's queue index (0 without multi-queue). *)
 
 val flushes : t -> int
 (** Notifications actually sent (tx kicks + rx interrupts). *)

@@ -6,12 +6,18 @@ type t = {
       (** attributes guest-reachable faults (ring contents are guest
           memory when the device is driven by a domU) *)
   ring_entries : int;
+  queues : int;  (** tx/rx ring pairs; queue 0 is the legacy block *)
+  rss : Rss.t option;  (** steers unqueued rx frames when [queues > 1] *)
   regs : int array;  (** 1024 32-bit registers = one 4 KiB page *)
   mutable irq_handler : (unit -> unit) option;
+  msix : (unit -> unit) option array;
+      (** per-queue MSI-X vectors; vector 0 falls back to [irq_handler] *)
   mutable itr_pending : int;  (** cause events since the last assertion *)
-  mutable tx_acc : Buffer.t;  (** frame assembled across descriptors *)
+  tx_accs : Buffer.t array;  (** per-queue frame assembled across descriptors *)
   mutable tx_count : int;
   mutable rx_count : int;
+  txq_counts : int array;
+  rxq_counts : int array;
   mutable dropped : int;
   mutable irq_count : int;
   mutable dma_stuck : bool;  (** injected: TX DMA engine wedged *)
@@ -43,9 +49,11 @@ let set t off v = t.regs.(word t off) <- v land 0xFFFFFFFF
    unvalidated 32-bit value from guest memory must not size an allocation *)
 let max_desc_len = 16384
 
-let create ?(ring_entries = 256) ?(fault_domain = fun () -> None) ~dma ~mac
-    ~tx_frame () =
+let create ?(ring_entries = 256) ?(fault_domain = fun () -> None) ?(queues = 1)
+    ?(rss_seed = 0x2A8F) ~dma ~mac ~tx_frame () =
   if String.length mac <> 6 then invalid_arg "E1000_dev.create: mac must be 6 bytes";
+  if queues < 1 || queues > Regs.max_queues then
+    invalid_arg "E1000_dev.create: queues out of range";
   let t =
     {
       dma;
@@ -53,12 +61,17 @@ let create ?(ring_entries = 256) ?(fault_domain = fun () -> None) ~dma ~mac
       tx_frame;
       fault_domain;
       ring_entries;
+      queues;
+      rss = (if queues > 1 then Some (Rss.of_seed rss_seed) else None);
       regs = Array.make 1024 0;
       irq_handler = None;
+      msix = Array.make Regs.max_queues None;
       itr_pending = 0;
-      tx_acc = Buffer.create 2048;
+      tx_accs = Array.init queues (fun _ -> Buffer.create 2048);
       tx_count = 0;
       rx_count = 0;
+      txq_counts = Array.make queues 0;
+      rxq_counts = Array.make queues 0;
       dropped = 0;
       irq_count = 0;
       dma_stuck = false;
@@ -72,25 +85,38 @@ let create ?(ring_entries = 256) ?(fault_domain = fun () -> None) ~dma ~mac
   t
 
 let set_irq_handler t fn = t.irq_handler <- Some fn
+
+let set_msix_handler t ~vector fn =
+  if vector < 1 || vector >= t.queues then
+    invalid_arg "E1000_dev.set_msix_handler: vector out of range";
+  t.msix.(vector) <- Some fn
+
 let mac t = t.mac
+let queues t = t.queues
 let tx_count t = t.tx_count
 let rx_count t = t.rx_count
+let txq_count t q = t.txq_counts.(q)
+let rxq_count t q = t.rxq_counts.(q)
+
+let rx_queue_of t frame =
+  match t.rss with
+  | Some rss when t.queues > 1 -> Rss.queue_of_frame rss ~queues:t.queues frame
+  | _ -> 0
+
 let dropped t = t.dropped
 let irq_count t = t.irq_count
 let dma_stuck t = t.dma_stuck
 
 let irq_pending t = get t Regs.icr land get t Regs.ims <> 0
 
-let raise_cause t cause =
+let raise_cause ?(vector = 0) t cause =
   set t Regs.icr (get t Regs.icr lor cause);
-  if get t Regs.icr land get t Regs.ims <> 0 then begin
-    t.itr_pending <- t.itr_pending + 1;
-    let throttle = get t Regs.itr in
-    if throttle = 0 || t.itr_pending >= throttle then begin
-      t.itr_pending <- 0;
-      (* fault-injection site: the assertion edge is dropped on the
-         floor — the cause stays latched in ICR ([irq_pending]), so a
-         poll can still find and service it, as real drivers do *)
+  match (if vector > 0 then t.msix.(vector) else None) with
+  | Some fn ->
+      (* MSI-X vector: not subject to the legacy IMS mask or ITR
+         throttle (each queue has its own moderation on real silicon —
+         unmodelled). The lost-irq injection site stays symmetric with
+         the legacy path; the cause is latched in ICR either way. *)
       if
         Td_fault.Engine.active ()
         && Td_fault.Engine.fire Td_fault.Nic_lost_irq
@@ -98,10 +124,28 @@ let raise_cause t cause =
       else begin
         t.irq_count <- t.irq_count + 1;
         Td_obs.Metrics.bump "nic.irq";
-        match t.irq_handler with Some fn -> fn () | None -> ()
+        fn ()
       end
-    end
-  end
+  | None ->
+      if get t Regs.icr land get t Regs.ims <> 0 then begin
+        t.itr_pending <- t.itr_pending + 1;
+        let throttle = get t Regs.itr in
+        if throttle = 0 || t.itr_pending >= throttle then begin
+          t.itr_pending <- 0;
+          (* fault-injection site: the assertion edge is dropped on the
+             floor — the cause stays latched in ICR ([irq_pending]), so a
+             poll can still find and service it, as real drivers do *)
+          if
+            Td_fault.Engine.active ()
+            && Td_fault.Engine.fire Td_fault.Nic_lost_irq
+          then ()
+          else begin
+            t.irq_count <- t.irq_count + 1;
+            Td_obs.Metrics.bump "nic.irq";
+            match t.irq_handler with Some fn -> fn () | None -> ()
+          end
+        end
+      end
 
 (* --- DMA helpers (bus address = dom0 kernel virtual address) --- *)
 
@@ -112,7 +156,7 @@ let desc_addr base i = base + (i * Regs.desc_bytes)
 
 (* --- transmit path --- *)
 
-let process_tx t =
+let process_tx ?(queue = 0) t =
   (* fault-injection site: the DMA engine wedges — doorbells are ignored
      until the supervisor resets the device, and the frames queued in
      the ring never reach the wire *)
@@ -123,18 +167,23 @@ let process_tx t =
   then t.dma_stuck <- true;
   if t.dma_stuck then ()
   else begin
-  let base = get t Regs.tdbal in
-  let tail = get t Regs.tdt in
-  let entries = min t.ring_entries (max 1 (get t Regs.tdlen / Regs.desc_bytes)) in
+  let r_tdbal = Regs.tdbal_q queue
+  and r_tdlen = Regs.tdlen_q queue
+  and r_tdh = Regs.tdh_q queue
+  and r_tdt = Regs.tdt_q queue in
+  let base = get t r_tdbal in
+  let tail = get t r_tdt in
+  let entries = min t.ring_entries (max 1 (get t r_tdlen / Regs.desc_bytes)) in
   (* head/tail are guest-reachable ring state: an out-of-range cursor
      would index descriptors past the programmed ring *)
   if tail >= entries then
     guest_err t ~op:"E1000_dev.process_tx" "TDT %d outside ring of %d entries"
       tail entries;
-  if get t Regs.tdh >= entries then
+  if get t r_tdh >= entries then
     guest_err t ~op:"E1000_dev.process_tx" "TDH %d outside ring of %d entries"
-      (get t Regs.tdh) entries;
-  let head = ref (get t Regs.tdh) in
+      (get t r_tdh) entries;
+  let tx_acc = t.tx_accs.(queue) in
+  let head = ref (get t r_tdh) in
   let any = ref false in
   (* a corrupted TDT (e.g. an injected bit-flip upstream of the doorbell
      write) may never equal any in-range head value: bound the walk to
@@ -161,19 +210,22 @@ let process_tx t =
          guest_err t ~op:"E1000_dev.process_tx"
            "descriptor %d buffer DMA faulted at 0x%x" !head addr
      in
-     Buffer.add_bytes t.tx_acc payload);
+     Buffer.add_bytes tx_acc payload);
     if Td_obs.Control.enabled () then begin
       Td_obs.Metrics.bump_by "nic.dma.read_bytes" len;
       Td_obs.Trace.emit (Td_obs.Trace.Nic_dma { dir = `Read; bytes = len })
     end;
     if cmd land Regs.cmd_eop <> 0 then begin
-      let frame_bytes = Buffer.length t.tx_acc in
-      t.tx_frame (Buffer.contents t.tx_acc);
-      Buffer.clear t.tx_acc;
+      let frame_bytes = Buffer.length tx_acc in
+      t.tx_frame (Buffer.contents tx_acc);
+      Buffer.clear tx_acc;
       t.tx_count <- t.tx_count + 1;
+      t.txq_counts.(queue) <- t.txq_counts.(queue) + 1;
       if Td_obs.Control.enabled () then begin
         Td_obs.Metrics.bump "nic.tx.frames";
         Td_obs.Metrics.bump_by "nic.tx.bytes" frame_bytes;
+        if t.queues > 1 then
+          Td_obs.Metrics.bump (Printf.sprintf "nic.queue%d.tx" queue);
         Td_obs.Metrics.observe
           (Td_obs.Metrics.histogram "nic.tx.frame_bytes")
           frame_bytes;
@@ -190,17 +242,27 @@ let process_tx t =
     head := (!head + 1) mod entries;
     any := true
   done;
-  set t Regs.tdh !head;
-  if !any then raise_cause t Regs.icr_txdw
+  set t r_tdh !head;
+  if !any then raise_cause ~vector:queue t (Regs.icr_txq queue)
   end
 
 (* --- receive path --- *)
 
-let receive_frame t frame =
-  let base = get t Regs.rdbal in
-  let entries = min t.ring_entries (max 1 (get t Regs.rdlen / Regs.desc_bytes)) in
-  let head = get t Regs.rdh in
-  let tail = get t Regs.rdt in
+let receive_frame ?queue t frame =
+  (* steering: an explicit queue wins (tests/benches); otherwise the RSS
+     demux hashes the frame's 4-tuple, and a single-queue device always
+     lands on the legacy ring *)
+  let queue = match queue with Some q -> q | None -> rx_queue_of t frame in
+  if queue < 0 || queue >= t.queues then
+    guest_err t ~op:"E1000_dev.receive_frame" "queue %d out of range" queue;
+  let r_rdbal = Regs.rdbal_q queue
+  and r_rdlen = Regs.rdlen_q queue
+  and r_rdh = Regs.rdh_q queue
+  and r_rdt = Regs.rdt_q queue in
+  let base = get t r_rdbal in
+  let entries = min t.ring_entries (max 1 (get t r_rdlen / Regs.desc_bytes)) in
+  let head = get t r_rdh in
+  let tail = get t r_rdt in
   if head = tail || base = 0 then begin
     (* no free descriptors: missed packet *)
     t.dropped <- t.dropped + 1;
@@ -237,17 +299,20 @@ let receive_frame t frame =
       dma_write32 t (d + Regs.d_sta) (Regs.sta_dd lor Regs.sta_eop)
     with
     | () ->
-        set t Regs.rdh ((head + 1) mod entries);
+        set t r_rdh ((head + 1) mod entries);
         t.rx_count <- t.rx_count + 1;
+        t.rxq_counts.(queue) <- t.rxq_counts.(queue) + 1;
         if Td_obs.Control.enabled () then begin
           Td_obs.Metrics.bump "nic.rx.frames";
           Td_obs.Metrics.bump_by "nic.dma.write_bytes" (String.length frame);
+          if t.queues > 1 then
+            Td_obs.Metrics.bump (Printf.sprintf "nic.queue%d.rx" queue);
           Td_obs.Trace.emit
             (Td_obs.Trace.Nic_dma { dir = `Write; bytes = String.length frame });
           Td_obs.Trace.emit (Td_obs.Trace.Nic_rx { bytes = String.length frame })
         end;
         set t Regs.gprc (get t Regs.gprc + 1);
-        raise_cause t Regs.icr_rxt0
+        raise_cause ~vector:queue t (Regs.icr_rxq queue)
     | exception Td_mem.Addr_space.Page_fault _ ->
         t.dropped <- t.dropped + 1;
         if Td_obs.Control.enabled () then begin
@@ -263,25 +328,29 @@ let receive_frame t frame =
    between descriptor writes and doorbell service): these are the
    in-flight frames a device reset discards. *)
 let pending_tx_frames t =
-  let base = get t Regs.tdbal in
-  let entries = min t.ring_entries (max 1 (get t Regs.tdlen / Regs.desc_bytes)) in
-  let tail = get t Regs.tdt in
-  let head = ref (get t Regs.tdh) in
   let frames = ref 0 in
-  let budget = ref entries in
-  if base <> 0 then
-    while !head <> tail && !budget > 0 do
-      decr budget;
-      (* tolerant of torn ring state: this runs during supervisor reset
-         of a possibly-hostile or wedged device — an unreadable
-         descriptor counts as no frame rather than aborting recovery *)
-      let cmd =
-        try dma_read32 t (desc_addr base !head + Regs.d_cmd)
-        with Td_mem.Addr_space.Page_fault _ -> 0
-      in
-      if cmd land Regs.cmd_eop <> 0 then incr frames;
-      head := (!head + 1) mod entries
-    done;
+  for q = 0 to t.queues - 1 do
+    let base = get t (Regs.tdbal_q q) in
+    let entries =
+      min t.ring_entries (max 1 (get t (Regs.tdlen_q q) / Regs.desc_bytes))
+    in
+    let tail = get t (Regs.tdt_q q) in
+    let head = ref (get t (Regs.tdh_q q)) in
+    let budget = ref entries in
+    if base <> 0 then
+      while !head <> tail && !budget > 0 do
+        decr budget;
+        (* tolerant of torn ring state: this runs during supervisor reset
+           of a possibly-hostile or wedged device — an unreadable
+           descriptor counts as no frame rather than aborting recovery *)
+        let cmd =
+          try dma_read32 t (desc_addr base !head + Regs.d_cmd)
+          with Td_mem.Addr_space.Page_fault _ -> 0
+        in
+        if cmd land Regs.cmd_eop <> 0 then incr frames;
+        head := (!head + 1) mod entries
+      done
+  done;
   !frames
 
 let reset t =
@@ -293,7 +362,7 @@ let reset t =
   set t Regs.rah (b 4 lor (b 5 lsl 8) lor 0x8000_0000);
   t.itr_pending <- 0;
   t.dma_stuck <- false;
-  Buffer.clear t.tx_acc;
+  Array.iter Buffer.clear t.tx_accs;
   lost
 
 (* --- MMIO dispatch --- *)
@@ -323,6 +392,12 @@ let mmio_write t off (w : Td_misa.Width.t) v =
   else begin
     set t off v;
     if off = Regs.tdt then process_tx t
+    else if
+      t.queues > 1
+      && off >= Regs.txq_base
+      && off < Regs.txq_base + ((t.queues - 1) * Regs.q_stride)
+      && (off - Regs.txq_base) mod Regs.q_stride = 0x18
+    then process_tx ~queue:(((off - Regs.txq_base) / Regs.q_stride) + 1) t
   end
 
 let device_page t =

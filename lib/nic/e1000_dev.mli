@@ -30,6 +30,8 @@ val effective_rate_bps : packet_bytes:int -> float
 val create :
   ?ring_entries:int ->
   ?fault_domain:(unit -> string option) ->
+  ?queues:int ->
+  ?rss_seed:int ->
   dma:Td_mem.Addr_space.t ->
   mac:string ->
   tx_frame:(string -> unit) ->
@@ -41,7 +43,16 @@ val create :
     validation faults (bad register offsets, out-of-range ring cursors,
     descriptors pointing outside mapped memory) are attributed; they
     raise the typed {!Td_xen.Guest_fault.Fault} instead of
-    [Invalid_argument]. *)
+    [Invalid_argument].
+
+    [queues] (default 1, max {!Regs.max_queues}) enables MSI-X-style
+    multi-queue: each queue gets its own tx/rx descriptor ring pair
+    (queue 0 on the legacy registers, the rest at
+    {!Regs.txq_base}/{!Regs.rxq_base}), its own interrupt cause bits
+    and, once registered via {!set_msix_handler}, its own vector. With
+    [queues > 1] the RSS demux — a Toeplitz hash keyed from [rss_seed]
+    (see {!Rss}) — steers arriving frames onto rx queues. A one-queue
+    device is bit-identical to the pre-multi-queue model. *)
 
 val device_page : t -> Td_mem.Addr_space.device
 (** The MMIO register page, for mapping at {!mmio_vaddr}. *)
@@ -55,10 +66,23 @@ val set_irq_handler : t -> (unit -> unit) -> unit
     the {!Regs.itr} throttle. Causes latched in ICR are never lost; a
     throttled handler drains them all on its next run. *)
 
-val receive_frame : t -> string -> unit
-(** A frame arrives from the wire. *)
+val set_msix_handler : t -> vector:int -> (unit -> unit) -> unit
+(** Register the MSI-X handler for queue [vector] (1 ≤ vector <
+    [queues]). MSI-X vectors bypass the legacy IMS mask and ITR
+    throttle; their causes still latch in ICR. Queue 0 always signals
+    through the legacy {!set_irq_handler} path. *)
+
+val receive_frame : ?queue:int -> t -> string -> unit
+(** A frame arrives from the wire. Without [?queue] the RSS demux
+    steers it (queue 0 on a single-queue device); an explicit [queue]
+    overrides steering — out-of-range values are a guest fault. *)
 
 val mac : t -> string
+val queues : t -> int
+
+val rx_queue_of : t -> string -> int
+(** The queue RSS would steer this frame to — the pure steering
+    decision, no delivery. *)
 
 (* fault handling (driver supervisor interface) *)
 
@@ -83,5 +107,10 @@ val reset : t -> int
 
 val tx_count : t -> int
 val rx_count : t -> int
+
+val txq_count : t -> int -> int
+(** Frames transmitted from / received onto one queue. *)
+
+val rxq_count : t -> int -> int
 val dropped : t -> int
 val irq_count : t -> int

@@ -44,7 +44,8 @@ type t = {
 }
 
 let create_hypervisor ?(map_pairs = true)
-    ?(window_pages = Td_mem.Layout.map_window_pages) ~dom0 ~hyp () =
+    ?(window_pages = Td_mem.Layout.map_window_pages)
+    ?(stlb_vaddr = Td_mem.Layout.stlb_base) ~dom0 ~hyp () =
   if window_pages < 2 || window_pages land 1 <> 0 then
     invalid_arg "Svm.Runtime: window_pages must be even and >= 2";
   {
@@ -52,7 +53,7 @@ let create_hypervisor ?(map_pairs = true)
     map_pairs;
     dom0;
     target = hyp;
-    stlb = Stlb.create ~space:hyp ~vaddr:Td_mem.Layout.stlb_base;
+    stlb = Stlb.create ~space:hyp ~vaddr:stlb_vaddr;
     chain = Hashtbl.create 256;
     window_pages;
     slots = Array.make (window_pages / 2) None;

@@ -143,6 +143,11 @@ let copy_to t ~hyp r ~offset ~src =
   let e = find t ~op:"Grant_table.copy_to" r in
   check_copy_bounds t ~op:"Grant_table.copy_to" ~offset
     ~len:(Bytes.length src) r;
+  (* grant-copy bandwidth is billed to the granting domain (the guest
+     whose buffer is being filled/drained), before any cycle is charged:
+     a throttled copy costs dom0 nothing *)
+  Quota.take_n ~domain:(owner_name t) Quota.Grant_copy_bytes
+    (Bytes.length src);
   let cost =
     int_of_float
       (float_of_int (Bytes.length src)
@@ -159,6 +164,7 @@ let copy_to t ~hyp r ~offset ~src =
 let copy_from t ~hyp r ~offset ~len =
   let e = find t ~op:"Grant_table.copy_from" r in
   check_copy_bounds t ~op:"Grant_table.copy_from" ~offset ~len r;
+  Quota.take_n ~domain:(owner_name t) Quota.Grant_copy_bytes len;
   let cost =
     int_of_float
       (float_of_int len *. (Hypervisor.costs hyp).Sys_costs.grant_copy_per_byte)

@@ -14,7 +14,29 @@ let index = function Dom0 -> 0 | DomU -> 1 | Xen -> 2 | Driver -> 3
    named domain that {e caused} the work, including Xen work done on its
    behalf. Plain ints with no metric mirrors, so runs that never read
    them are bit-identical with or without the rows. *)
-type t = { cells : int array; domains : (string, int ref) Hashtbl.t }
+
+(* growable append-only sample log (per-direction I/O latencies, in
+   simulated cycles); plain arrays, no metric mirrors, deterministic *)
+type samples = { mutable buf : int array; mutable len : int }
+
+let samples_create () = { buf = [||]; len = 0 }
+
+let samples_push s v =
+  if s.len = Array.length s.buf then begin
+    let cap = max 64 (2 * Array.length s.buf) in
+    let nb = Array.make cap 0 in
+    Array.blit s.buf 0 nb 0 s.len;
+    s.buf <- nb
+  end;
+  s.buf.(s.len) <- v;
+  s.len <- s.len + 1
+
+type t = {
+  cells : int array;
+  domains : (string, int ref) Hashtbl.t;
+  tx_lat : samples;
+  rx_lat : samples;
+}
 
 (* mirror counter names, indexed like [cells]; the registry copy lets
    Measure cross-check instrumentation against the authoritative ledger *)
@@ -31,7 +53,29 @@ let create () =
     Array.iter
       (fun name -> ignore (Td_obs.Metrics.counter name))
       metric_names;
-  { cells = Array.make 4 0; domains = Hashtbl.create 8 }
+  {
+    cells = Array.make 4 0;
+    domains = Hashtbl.create 8;
+    tx_lat = samples_create ();
+    rx_lat = samples_create ();
+  }
+
+let lat t = function `Tx -> t.tx_lat | `Rx -> t.rx_lat
+let note_latency t dir v = samples_push (lat t dir) v
+let latency_count t dir = (lat t dir).len
+
+(* nearest-rank percentile over a sorted copy; None when no samples *)
+let latency_percentile t dir p =
+  let s = lat t dir in
+  if s.len = 0 then None
+  else begin
+    let a = Array.sub s.buf 0 s.len in
+    Array.sort compare a;
+    let rank =
+      int_of_float (ceil (p /. 100. *. float_of_int s.len)) - 1
+    in
+    Some (float_of_int a.(max 0 (min (s.len - 1) rank)))
+  end
 
 let charge t c n =
   let i = index c in
@@ -55,9 +99,33 @@ let domain_snapshot t =
 let total t c = t.cells.(index c)
 let grand_total t = Array.fold_left ( + ) 0 t.cells
 
+(* Deterministic shard merge: cell and row sums are order-independent,
+   and latency samples are appended in the caller's iteration order —
+   callers iterate shards by index, so the merged ledger is identical no
+   matter how the host scheduled the shards. Metric mirrors are not
+   touched: per-shard charges run with observability disabled, and the
+   merge must equal the plain sum of what the shards recorded. *)
+let merge_into ~into src =
+  Array.iteri (fun i v -> into.cells.(i) <- into.cells.(i) + v) src.cells;
+  Hashtbl.iter
+    (fun dom r ->
+      match Hashtbl.find_opt into.domains dom with
+      | Some acc -> acc := !acc + !r
+      | None -> Hashtbl.replace into.domains dom (ref !r))
+    src.domains;
+  List.iter
+    (fun dir ->
+      let s = lat src dir in
+      for i = 0 to s.len - 1 do
+        samples_push (lat into dir) s.buf.(i)
+      done)
+    [ `Tx; `Rx ]
+
 let reset t =
   Array.fill t.cells 0 4 0;
   Hashtbl.reset t.domains;
+  t.tx_lat.len <- 0;
+  t.rx_lat.len <- 0;
   if Td_obs.Control.enabled () then
     Array.iter Td_obs.Metrics.reset metric_names
 let snapshot t = List.map (fun c -> (c, total t c)) categories

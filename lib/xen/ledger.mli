@@ -33,6 +33,27 @@ val domain_snapshot : t -> (string * int) list
 
 val total : t -> category -> int
 val grand_total : t -> int
+
+val note_latency : t -> [ `Tx | `Rx ] -> int -> unit
+(** Record one per-direction I/O latency sample (simulated cycles from a
+    frame entering the channel to its delivery). Plain arrays with no
+    metric mirror — recording is deterministic and invisible to runs
+    that never read the samples. *)
+
+val latency_count : t -> [ `Tx | `Rx ] -> int
+
+val latency_percentile : t -> [ `Tx | `Rx ] -> float -> float option
+(** Nearest-rank percentile (e.g. [50.], [99.]) over the recorded
+    samples; [None] when none were recorded. *)
+
+val merge_into : into:t -> t -> unit
+(** Fold [src]'s cells, per-domain rows and latency samples into [into].
+    Sums are order-independent and samples append in call order, so
+    merging per-shard ledgers by ascending shard index yields a
+    bit-identical result regardless of host scheduling. Metric mirrors
+    are deliberately untouched (shards charge with observability
+    disabled). *)
+
 val reset : t -> unit
 
 val snapshot : t -> (category * int) list

@@ -10,7 +10,10 @@ type limits = {
   upcalls_per_s : float;
   notifications_per_s : float;
   doorbells_per_s : float;
+  rx_per_s : float;
+  grant_copy_bytes_per_s : float;
   burst : float;
+  grant_copy_burst_bytes : float;
 }
 
 let unlimited =
@@ -21,7 +24,10 @@ let unlimited =
     upcalls_per_s = 0.;
     notifications_per_s = 0.;
     doorbells_per_s = 0.;
+    rx_per_s = 0.;
+    grant_copy_bytes_per_s = 0.;
     burst = 1.;
+    grant_copy_burst_bytes = 65536.;
   }
 
 let default_limits =
@@ -32,7 +38,10 @@ let default_limits =
     upcalls_per_s = 200_000.;
     notifications_per_s = 500_000.;
     doorbells_per_s = 1_000_000.;
+    rx_per_s = 500_000.;
+    grant_copy_bytes_per_s = 1e9;
     burst = 8.;
+    grant_copy_burst_bytes = 65536.;
   }
 
 type resource =
@@ -42,10 +51,12 @@ type resource =
   | Upcalls
   | Notifications
   | Doorbells
+  | Rx_deliveries
+  | Grant_copy_bytes
 
 let all_resources =
   [ Map_window_pages; Grant_entries; Grant_maps; Upcalls; Notifications;
-    Doorbells ]
+    Doorbells; Rx_deliveries; Grant_copy_bytes ]
 
 let resource_name = function
   | Map_window_pages -> "map_window_pages"
@@ -54,6 +65,8 @@ let resource_name = function
   | Upcalls -> "upcalls"
   | Notifications -> "notifications"
   | Doorbells -> "doorbells"
+  | Rx_deliveries -> "rx_deliveries"
+  | Grant_copy_bytes -> "grant_copy_bytes"
 
 exception Quota_exceeded of { domain : string; resource : string }
 
@@ -91,6 +104,8 @@ let resource_index = function
   | Upcalls -> 3
   | Notifications -> 4
   | Doorbells -> 5
+  | Rx_deliveries -> 6
+  | Grant_copy_bytes -> 7
 
 let n_resources = List.length all_resources
 
@@ -98,13 +113,21 @@ let cap lim = function
   | Map_window_pages -> lim.map_window_pages
   | Grant_entries -> lim.grant_entries
   | Grant_maps -> lim.grant_maps
-  | Upcalls | Notifications | Doorbells -> 0
+  | Upcalls | Notifications | Doorbells | Rx_deliveries | Grant_copy_bytes -> 0
 
 let rate lim = function
   | Upcalls -> lim.upcalls_per_s
   | Notifications -> lim.notifications_per_s
   | Doorbells -> lim.doorbells_per_s
+  | Rx_deliveries -> lim.rx_per_s
+  | Grant_copy_bytes -> lim.grant_copy_bytes_per_s
   | Map_window_pages | Grant_entries | Grant_maps -> 0.
+
+(* byte-denominated buckets need a byte-denominated depth: an 8-token
+   burst would deny every >8-byte grant copy outright *)
+let burst_of lim = function
+  | Grant_copy_bytes -> lim.grant_copy_burst_bytes
+  | _ -> lim.burst
 
 let install ?(now = fun () -> 0.) ?(exempt = []) lim =
   let ex = Hashtbl.create 4 in
@@ -182,7 +205,7 @@ let release ~domain res n =
         inuse_gauge domain res d.held.(i)
       end
 
-let try_take ~domain res =
+let try_take_n ~domain res n =
   match !engine with
   | None -> true
   | Some e ->
@@ -191,23 +214,25 @@ let try_take ~domain res =
       let r = rate e.lim res in
       if r <= 0. then true
       else begin
+        let burst = burst_of e.lim res in
         let d = dom_state e domain in
         let i = resource_index res in
         let b =
           match d.buckets.(i) with
           | Some b -> b
           | None ->
-              let b = { tokens = e.lim.burst; last = e.now () } in
+              let b = { tokens = burst; last = e.now () } in
               d.buckets.(i) <- Some b;
               b
         in
         let t = e.now () in
         if t > b.last then begin
-          b.tokens <- Float.min e.lim.burst (b.tokens +. ((t -. b.last) *. r));
+          b.tokens <- Float.min burst (b.tokens +. ((t -. b.last) *. r));
           b.last <- t
         end;
-        if b.tokens >= 1. then begin
-          b.tokens <- b.tokens -. 1.;
+        let want = float_of_int n in
+        if b.tokens >= want then begin
+          b.tokens <- b.tokens -. want;
           true
         end
         else begin
@@ -216,7 +241,12 @@ let try_take ~domain res =
         end
       end
 
-let take ~domain res = if not (try_take ~domain res) then exceeded domain res
+let try_take ~domain res = try_take_n ~domain res 1
+
+let take_n ~domain res n =
+  if not (try_take_n ~domain res n) then exceeded domain res
+
+let take ~domain res = take_n ~domain res 1
 
 let inuse ~domain res =
   match !engine with

@@ -32,7 +32,18 @@ type limits = {
       (** I/O-channel notification (staged-frame) rate; [<= 0.] =
           unlimited *)
   doorbells_per_s : float;  (** doorbell kick rate; [<= 0.] = unlimited *)
+  rx_per_s : float;
+      (** netback→guest rx delivery rate (frames/s); [<= 0.] = unlimited.
+          A denied delivery is dropped by netback before the grant copy,
+          so a flooded guest costs dom0 almost nothing. *)
+  grant_copy_bytes_per_s : float;
+      (** grant-copy bandwidth (bytes/s, both directions), charged to the
+          granting domain; [<= 0.] = unlimited *)
   burst : float;  (** token-bucket depth (initial and maximum tokens) *)
+  grant_copy_burst_bytes : float;
+      (** bucket depth for the byte-denominated [Grant_copy_bytes]
+          bucket — must cover at least one full frame or every copy is
+          denied *)
 }
 
 val unlimited : limits
@@ -48,6 +59,8 @@ type resource =
   | Upcalls
   | Notifications
   | Doorbells
+  | Rx_deliveries  (** rate: netback rx pushes toward a guest *)
+  | Grant_copy_bytes  (** rate: grant-copy bandwidth in bytes *)
 
 val all_resources : resource list
 val resource_name : resource -> string
@@ -78,6 +91,14 @@ val try_take : domain:string -> resource -> bool
 val take : domain:string -> resource -> unit
 (** {!try_take} for callers that cannot proceed: raises
     {!Quota_exceeded} when the bucket is dry. *)
+
+val try_take_n : domain:string -> resource -> int -> bool
+(** Draw [n] tokens at once — the whole draw succeeds or none of it
+    does. Byte-denominated resources ([Grant_copy_bytes]) refill into a
+    [grant_copy_burst_bytes]-deep bucket. *)
+
+val take_n : domain:string -> resource -> int -> unit
+(** {!try_take_n} raising {!Quota_exceeded} on a dry bucket. *)
 
 val inuse : domain:string -> resource -> int
 (** Current units held (concurrency resources; 0 for rate resources). *)

@@ -20,6 +20,7 @@ let () =
       ("world", Test_world.suite);
       ("netio", Test_netio.suite);
       ("doorbell", Test_doorbell.suite);
+      ("multiqueue", Test_multiqueue.suite);
       ("window", Test_window.suite);
       ("netchannel", Test_netchannel.suite);
       ("experiments", Test_experiments.suite);
