@@ -566,6 +566,62 @@ let recovery () =
       ("headline", json_of_recovery_point headline);
     ]
 
+(* ---- fleet: N-domain registry scenario suite (docs/FLEET.md) ---- *)
+
+let fleet () =
+  header "N-domain fleet soak (docs/FLEET.md)";
+  (* the acceptance soak: 200 domains, >= 1M frames of mixed traffic
+     under quotas + a fault plan with runtime churn, run twice — the CI
+     gate reads availability, conservation and the determinism bit *)
+  let r = Experiments.fleet () in
+  Printf.printf
+    "%d domains (%d live at end), %d frames (%d tx offered, %d rx \
+     injected)\n"
+    r.Experiments.fl_domains r.Experiments.fl_live_at_end
+    r.Experiments.fl_frames r.Experiments.fl_offered_tx
+    r.Experiments.fl_rx_injected;
+  Printf.printf
+    "availability %.4f  throttled %d  faults %d  recoveries %d  churn %d\n"
+    r.Experiments.fl_availability r.Experiments.fl_throttled
+    r.Experiments.fl_injected r.Experiments.fl_recoveries
+    r.Experiments.fl_churned;
+  Printf.printf "tx latency p50/p99/p99.9: %.0f / %.0f / %.0f cycles\n"
+    r.Experiments.fl_tx_p50 r.Experiments.fl_tx_p99 r.Experiments.fl_tx_p999;
+  Printf.printf "rx latency p50/p99/p99.9: %.0f / %.0f / %.0f cycles\n"
+    r.Experiments.fl_rx_p50 r.Experiments.fl_rx_p99 r.Experiments.fl_rx_p999;
+  Printf.printf
+    "conserved %b  staged-after-shutdown %d  dangling doorbells %d\n"
+    r.Experiments.fl_conserved r.Experiments.fl_staged_after_shutdown
+    r.Experiments.fl_dangling_doorbells;
+  Printf.printf "deterministic across runs: %b  digest %s\n"
+    r.Experiments.fl_deterministic r.Experiments.fl_digest;
+  bench_json "fleet"
+    [
+      ("domains", Json.Int r.Experiments.fl_domains);
+      ("live_at_end", Json.Int r.Experiments.fl_live_at_end);
+      ("frames", Json.Int r.Experiments.fl_frames);
+      ("offered_tx", Json.Int r.Experiments.fl_offered_tx);
+      ("delivered_tx", Json.Int r.Experiments.fl_delivered_tx);
+      ("rx_injected", Json.Int r.Experiments.fl_rx_injected);
+      ("rx_delivered", Json.Int r.Experiments.fl_rx_delivered);
+      ("availability", Json.Float r.Experiments.fl_availability);
+      ("throttled", Json.Int r.Experiments.fl_throttled);
+      ("faults_injected", Json.Int r.Experiments.fl_injected);
+      ("recoveries", Json.Int r.Experiments.fl_recoveries);
+      ("churned", Json.Int r.Experiments.fl_churned);
+      ("tx_p50", Json.Float r.Experiments.fl_tx_p50);
+      ("tx_p99", Json.Float r.Experiments.fl_tx_p99);
+      ("tx_p999", Json.Float r.Experiments.fl_tx_p999);
+      ("rx_p50", Json.Float r.Experiments.fl_rx_p50);
+      ("rx_p99", Json.Float r.Experiments.fl_rx_p99);
+      ("rx_p999", Json.Float r.Experiments.fl_rx_p999);
+      ("conserved", Json.Bool r.Experiments.fl_conserved);
+      ("staged_after_shutdown", Json.Int r.Experiments.fl_staged_after_shutdown);
+      ("dangling_doorbells", Json.Int r.Experiments.fl_dangling_doorbells);
+      ("deterministic", Json.Bool r.Experiments.fl_deterministic);
+      ("digest", Json.String r.Experiments.fl_digest);
+    ]
+
 (* ---- interp: host wall-clock throughput of the execution engine ---- *)
 
 (* A self-contained interpreter rig: a register-mix hot loop plus filler
@@ -921,10 +977,10 @@ let adversary () =
   in
   Printf.printf
     "fuzz: %d ops (seed %d)  ok %d  guest-faults %d  svm-faults %d  \
-     quota-denials %d\n\
+     quota-denials %d  churned %d\n\
      checksum 0x%x  replay bit-identical: %b  violations: %d\n"
     r.Td_adv.Fuzz.ops seed r.Td_adv.Fuzz.ok r.Td_adv.Fuzz.guest_faults
-    r.Td_adv.Fuzz.svm_faults r.Td_adv.Fuzz.quota_denials
+    r.Td_adv.Fuzz.svm_faults r.Td_adv.Fuzz.quota_denials r.Td_adv.Fuzz.churned
     r.Td_adv.Fuzz.checksum deterministic
     (List.length r.Td_adv.Fuzz.violations);
   List.iter (Printf.printf "  VIOLATION: %s\n") r.Td_adv.Fuzz.violations;
@@ -992,6 +1048,7 @@ let adversary () =
             ("guest_faults", Json.Int r.Td_adv.Fuzz.guest_faults);
             ("svm_faults", Json.Int r.Td_adv.Fuzz.svm_faults);
             ("quota_denials", Json.Int r.Td_adv.Fuzz.quota_denials);
+            ("churned", Json.Int r.Td_adv.Fuzz.churned);
             ("checksum", Json.String (Printf.sprintf "0x%x" r.Td_adv.Fuzz.checksum));
             ("replay_bit_identical", Json.Bool deterministic);
             ( "violations",
@@ -1029,6 +1086,7 @@ let experiments =
     ("doorbell", doorbell);
     ("multiqueue", multiqueue);
     ("recovery", recovery);
+    ("fleet", fleet);
     ("interp", interp);
     ("adversary", adversary);
     ("bechamel", bechamel);

@@ -7,6 +7,7 @@ type report = {
   guest_faults : int;  (** contained [Guest_fault.Fault] *)
   svm_faults : int;  (** contained [Td_svm.Runtime.Fault] *)
   quota_denials : int;  (** contained [Quota.Quota_exceeded] *)
+  churned : int;  (** ephemeral domains created (and later destroyed) *)
   checksum : int;  (** deterministic fold over (surface, outcome) *)
   violations : string list;  (** empty on a clean run *)
 }
@@ -37,8 +38,9 @@ let s_hyp = 0
 let s_grant = 1
 let s_nic = 2
 let s_netio = 3
-let s_master = 4
-let n_streams = 5
+let s_churn = 4
+let s_master = 5
+let n_streams = 6
 
 (* Mutable view of the attacker's grant refs so later ops can hit live,
    mapped and revoked refs on purpose. Bounded: revoking trims [live],
@@ -275,12 +277,101 @@ let op_netio (env : Harness.env) streams =
           ignore (Td_mem.Addr_space.read env.att_space page Td_misa.Width.W32)
       | None -> Hypervisor.hypercall env.hyp ())
 
+(* ---- surface 4: domain lifecycle churn ---- *)
+
+(* Ephemeral guests booted and destroyed mid-run, each with its own
+   address space and I/O channel — the create/destroy path the N-domain
+   registry exposes. Bounded: at most [churn_cap] live at once, and the
+   dead list keeps only the newest few closed channels so later ops can
+   hit them use-after-close. *)
+type cstate = {
+  mutable churn_live : (Domain.t * Td_mem.Addr_space.t * Xen_netio.t) list;
+  mutable churn_dead : Xen_netio.t list;  (** closed channels, for stale ops *)
+  mutable churn_next : int;  (** next ephemeral domain id *)
+  mutable churn_count : int;  (** total ephemeral domains booted *)
+}
+
+let churn_cap = 6
+
+let churn_destroy (env : Harness.env) cs ((dom, space, io) as entry) violations
+    =
+  Xen_netio.close io;
+  (* the "no dangling grant" registry invariant, checked at every
+     destroy, not just at the end *)
+  if Xen_netio.grants_active io <> 0 then
+    violations :=
+      Printf.sprintf "churn %s: %d grants dangling after close"
+        (Domain.name dom) (Xen_netio.grants_active io)
+      :: !violations;
+  Hypervisor.remove_domain env.hyp dom;
+  Quota.forget ~domain:(Domain.name dom);
+  Td_mem.Addr_space.release space;
+  cs.churn_live <- List.filter (fun e -> e != entry) cs.churn_live;
+  cs.churn_dead <- keep 8 (io :: cs.churn_dead)
+
+let op_churn (env : Harness.env) streams cs violations =
+  match Rng.below streams s_churn 8 with
+  | (0 | 1) when List.length cs.churn_live < churn_cap ->
+      (* boot an ephemeral guest: own space + heap + I/O channel *)
+      let id = cs.churn_next in
+      cs.churn_next <- id + 1;
+      cs.churn_count <- cs.churn_count + 1;
+      let name = Printf.sprintf "churn%d" id in
+      let space = Td_mem.Addr_space.create ~name env.phys in
+      Td_mem.Addr_space.heap_init space ~base:Td_mem.Layout.guest_heap_base
+        ~limit:Td_mem.Layout.guest_heap_limit;
+      let dom = Domain.create ~id ~name ~kind:Domain.Guest ~space in
+      Hypervisor.add_domain env.hyp dom;
+      let io =
+        Xen_netio.create ~hyp:env.hyp ~dom0:env.dom0 ~guest:dom ~kmem:env.kmem
+          ~driver_tx:(fun skb -> Skb.free env.kmem skb)
+          ()
+      in
+      Xen_netio.post_rx_buffers io 2;
+      cs.churn_live <- (dom, space, io) :: cs.churn_live
+  | 0 | 1 -> Hypervisor.hypercall env.hyp ()
+  | 2 -> (
+      (* full destroy: close the channel, drop the domain, free frames *)
+      match pick streams s_churn cs.churn_live with
+      | None -> Hypervisor.hypercall env.hyp ()
+      | Some entry -> churn_destroy env cs entry violations)
+  | 3 -> (
+      (* frontend entry on a closed channel: typed, attributed fault *)
+      match pick streams s_churn cs.churn_dead with
+      | None -> Hypervisor.hypercall env.hyp ()
+      | Some io ->
+          Xen_netio.guest_transmit io
+            (String.make (60 + Rng.below streams s_churn 200) 'c'))
+  | 4 -> (
+      match pick streams s_churn cs.churn_dead with
+      | None -> Hypervisor.hypercall env.hyp ()
+      | Some io -> Xen_netio.post_rx_buffers io 1)
+  | 5 -> (
+      (* traffic on a live ephemeral channel *)
+      match pick streams s_churn cs.churn_live with
+      | None -> Hypervisor.hypercall env.hyp ()
+      | Some (_, _, io) ->
+          Xen_netio.guest_transmit io
+            (String.make (60 + Rng.below streams s_churn 1000) 'c'))
+  | 6 -> (
+      match pick streams s_churn cs.churn_live with
+      | None -> Hypervisor.hypercall env.hyp ()
+      | Some (_, _, io) -> Xen_netio.service io)
+  | _ -> (
+      (* double close must stay an idempotent no-op *)
+      match pick streams s_churn cs.churn_dead with
+      | None -> Hypervisor.hypercall env.hyp ()
+      | Some io -> Xen_netio.close io)
+
 (* ---- the loop ---- *)
 
 let run ?(seed = 1) ?quota ~ops () =
   let env = Harness.make ?quota () in
   let streams = Array.init n_streams (Rng.seed_stream seed) in
   let gs = { live = []; revoked = []; poisoned = [] } in
+  let cs =
+    { churn_live = []; churn_dead = []; churn_next = 100; churn_count = 0 }
+  in
   let ok = ref 0
   and guest_faults = ref 0
   and svm_faults = ref 0
@@ -290,7 +381,7 @@ let run ?(seed = 1) ?quota ~ops () =
   let att_row () = Ledger.domain_total env.ledger "attacker" in
   let vic_row () = Ledger.domain_total env.ledger "victim" in
   for i = 1 to ops do
-    let surface = Rng.below streams s_master 4 in
+    let surface = Rng.below streams s_master 5 in
     let att_before = att_row () and vic_before = vic_row () in
     let outcome =
       (* every op enters through a hypercall in the attacker's context, so
@@ -303,7 +394,8 @@ let run ?(seed = 1) ?quota ~ops () =
             | 0 -> op_hypercall env streams
             | 1 -> op_grant env streams gs
             | 2 -> op_nic env streams
-            | _ -> op_netio env streams)
+            | 3 -> op_netio env streams
+            | _ -> op_churn env streams cs violations)
       with
       | () ->
           incr ok;
@@ -340,10 +432,15 @@ let run ?(seed = 1) ?quota ~ops () =
     if i mod 1024 = 0 then
       violations := Harness.isolation_violations env @ !violations
   done;
-  (* quiesce: a teardown here must conserve every staged frame *)
+  (* quiesce: a teardown here must conserve every staged frame, and the
+     surviving ephemeral guests must destroy cleanly (no dangling
+     grants) *)
   (match
      Hypervisor.run_in env.hyp env.attacker (fun () ->
-         Xen_netio.teardown env.att_netio)
+         Xen_netio.teardown env.att_netio;
+         List.iter
+           (fun entry -> churn_destroy env cs entry violations)
+           cs.churn_live)
    with
   | () -> ()
   | exception e ->
@@ -361,6 +458,7 @@ let run ?(seed = 1) ?quota ~ops () =
       guest_faults = !guest_faults;
       svm_faults = !svm_faults;
       quota_denials = !quota_denials;
+      churned = cs.churn_count;
       checksum = !checksum;
       violations = List.rev !violations;
     }
@@ -371,6 +469,7 @@ let run ?(seed = 1) ?quota ~ops () =
     Td_obs.Metrics.bump_by "adv.guest_faults" report.guest_faults;
     Td_obs.Metrics.bump_by "adv.svm_faults" report.svm_faults;
     Td_obs.Metrics.bump_by "adv.quota_denials" report.quota_denials;
+    Td_obs.Metrics.bump_by "adv.churned" report.churned;
     Td_obs.Metrics.bump_by "adv.violations" (List.length report.violations)
   end;
   report

@@ -1,6 +1,6 @@
 (** Deterministic adversarial-guest fuzzer. Drives a seeded stream of
     malformed guest operations from the unprivileged attacker domain of a
-    {!Harness.env} against four surfaces:
+    {!Harness.env} against five surfaces:
 
     - {b hypercalls / SVM translation} — wild addresses at
       {!Td_svm.Runtime.translate} and {!Td_svm.Call_table.translate};
@@ -10,7 +10,11 @@
     - {b NIC descriptor rings} — guest-writable descriptor scribbles,
       hostile ring geometry, misaligned MMIO;
     - {b I/O channel / doorbell} — oversized frames, sequence-word
-      scribbles, pump entry points at arbitrary moments.
+      scribbles, pump entry points at arbitrary moments;
+    - {b domain lifecycle churn} — ephemeral guests booted and destroyed
+      mid-run (own address space and I/O channel each), frontend entry
+      points poked after {!Td_kernel.Xen_netio.close}, double closes —
+      every destroy asserts the channel left zero dangling grants.
 
     After {e every} op it asserts containment (only the typed
     {!Td_xen.Guest_fault.Fault}, {!Td_svm.Runtime.Fault},
@@ -27,6 +31,7 @@ type report = {
   guest_faults : int;  (** contained [Guest_fault.Fault] *)
   svm_faults : int;  (** contained [Td_svm.Runtime.Fault] *)
   quota_denials : int;  (** contained [Quota.Quota_exceeded] *)
+  churned : int;  (** ephemeral domains created (and later destroyed) *)
   checksum : int;  (** deterministic fold over (surface, outcome) *)
   violations : string list;  (** empty on a clean run *)
 }

@@ -42,6 +42,7 @@ type tuning = {
   idle_hysteresis : int;
   poll_budget : int;
   quota : Td_xen.Quota.limits option;
+  fault_plan : Td_fault.plan option;
   queues : int;
   shards : int;
   rss_seed : int;
@@ -60,6 +61,7 @@ let default_tuning =
     idle_hysteresis = 3;
     poll_budget = 16;
     quota = None;
+    fault_plan = None;
     queues = 1;
     shards = 1;
     rss_seed = 0x2A8F;

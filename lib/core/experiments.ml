@@ -740,3 +740,234 @@ let recovery_sweep ?(frames = 2_000) ?(rates = [ 0.0; 0.002; 0.01 ])
     (fun policy ->
       List.map (fun rate -> recovery_soak ~frames ~seed ~policy ~rate ()) rates)
     policies
+
+(* ---- N-domain fleet scenarios (docs/FLEET.md) ---- *)
+
+type fleet_shape = Bulk_stream | Rpc_burst | Incast
+
+let fleet_shape_name = function
+  | Bulk_stream -> "bulk-stream"
+  | Rpc_burst -> "rpc-burst"
+  | Incast -> "incast"
+
+type fleet_report = {
+  fl_domains : int;
+  fl_frames : int;
+  fl_offered_tx : int;
+  fl_delivered_tx : int;
+  fl_rx_injected : int;
+  fl_rx_delivered : int;
+  fl_availability : float;
+  fl_throttled : int;
+  fl_injected : int;
+  fl_recoveries : int;
+  fl_churned : int;
+  fl_live_at_end : int;
+  fl_tx_p50 : float;
+  fl_tx_p99 : float;
+  fl_tx_p999 : float;
+  fl_rx_p50 : float;
+  fl_rx_p99 : float;
+  fl_rx_p999 : float;
+  fl_conserved : bool;
+  fl_staged_after_shutdown : int;
+  fl_dangling_doorbells : int;
+  fl_digest : string;
+  fl_deterministic : bool;
+}
+
+(* every per-run number a reader could gate on goes into the digest, so
+   "bit-identical digests" means the whole observable run matched *)
+let fleet_digest w ~offered_tx ~rx_injected =
+  let led = World.ledger w in
+  let b = Buffer.create 512 in
+  let add fmt = Printf.ksprintf (Buffer.add_string b) fmt in
+  List.iter
+    (fun (c, v) -> add "%s=%d;" (Td_xen.Ledger.category_name c) v)
+    (Td_xen.Ledger.snapshot led);
+  List.iter (fun (d, v) -> add "%s=%d;" d v) (Td_xen.Ledger.domain_snapshot led);
+  List.iter
+    (fun (tag, dir) ->
+      add "%s:%d" tag (Td_xen.Ledger.latency_count led dir);
+      List.iter
+        (fun p ->
+          add "/%s"
+            (match Td_xen.Ledger.latency_percentile led dir p with
+            | None -> "-"
+            | Some v -> Printf.sprintf "%.0f" v))
+        [ 50.; 99.; 99.9 ];
+      add ";")
+    [ ("tx", `Tx); ("rx", `Rx) ];
+  add "wire=%d/%d;" (World.wire_tx_frames w) (World.wire_tx_bytes w);
+  add "rx=%d/%d;" (World.delivered_rx_frames w) (World.delivered_rx_bytes w);
+  add "offered=%d;injected_rx=%d;" offered_tx rx_injected;
+  add "throttled=%d;faults=%d;recoveries=%d;" (World.quota_throttled w)
+    (World.fault_injected w) (World.recoveries w);
+  Digest.to_hex (Digest.string (Buffer.contents b))
+
+(* One fleet soak on a fresh world. All pacing comes from a private
+   xorshift32 stream seeded by [seed], the quota clock is ledger cycles
+   and the fault engine is per-world, so a rerun with the same arguments
+   reproduces the run bit for bit. *)
+let fleet_run ~domains ~frames ~nics ~seed ~churn ~quota ~fault_rate () =
+  let tuning =
+    {
+      Config.default_tuning with
+      Config.recovery = Config.Restart_replay;
+      doorbell = true;
+      quota =
+        (if quota then
+           (* the boot guest carries one channel per NIC (~66 grant
+              entries each), so the fleet raises the concurrency cap the
+              single-channel default assumes; the rate caps that police
+              the soak are unchanged *)
+           Some { Td_xen.Quota.default_limits with grant_entries = 512 }
+         else None);
+      fault_plan =
+        (if fault_rate > 0.0 then Some (soak_plan ~seed fault_rate) else None);
+    }
+  in
+  let w = World.create ~nics ~guests:1 ~tuning Config.Xen_domU in
+  for _ = 2 to domains do
+    ignore (World.create_guest w)
+  done;
+  let rng = ref (seed lor 1) in
+  let rand bound =
+    let x = !rng in
+    let x = x lxor (x lsl 13) in
+    let x = x lxor (x lsr 17) in
+    let x = (x lxor (x lsl 5)) land 0x3FFFFFFF in
+    rng := x;
+    x mod bound
+  in
+  let bulk = String.init 1500 (fun i -> Char.chr (i land 0xff)) in
+  let rpc = String.make 64 'r' in
+  let fanin = String.make 128 'i' in
+  let shape_of g = match g mod 3 with
+    | 0 -> Bulk_stream
+    | 1 -> Rpc_burst
+    | _ -> Incast
+  in
+  let offered_tx = ref 0 and rx_injected = ref 0 and churned = ref 0 in
+  let moved () = !offered_tx + !rx_injected in
+  let contained f =
+    match f () with
+    | (_ : bool) -> ()
+    | exception World.Driver_aborted _ -> ()
+    | exception World.Nic_quarantined _ -> ()
+  in
+  let contained_unit f =
+    try f () with World.Driver_aborted _ | World.Nic_quarantined _ -> ()
+  in
+  let tx g payload =
+    incr offered_tx;
+    contained (fun () -> World.transmit_from w ~guest:g ~payload)
+  in
+  let churn_every =
+    if churn > 0 then max 1 (frames / (churn + 1)) else max_int
+  in
+  let next_churn = ref churn_every in
+  let round = ref 0 in
+  while moved () < frames do
+    incr round;
+    for g = 0 to World.guest_slots w - 1 do
+      if World.guest_alive w ~guest:g then
+        match shape_of g with
+        | Bulk_stream -> tx g bulk
+        | Rpc_burst ->
+            (* bursty RPC: a run of small frames roughly every 4th round *)
+            if rand 4 = 0 then
+              for _ = 1 to 8 do
+                tx g rpc
+              done
+        | Incast ->
+            (* fan-in: two wire arrivals per round converge on this guest *)
+            for _ = 1 to 2 do
+              incr rx_injected;
+              contained_unit (fun () ->
+                  World.inject_rx ~guest:g w ~nic:(g mod nics) ~payload:fanin)
+            done
+    done;
+    contained_unit (fun () -> World.pump w);
+    (* a tick per round keeps the watchdog's hang-detection latency — and
+       with it the frames a wedged TX DMA engine can strand — bounded to
+       a few rounds of traffic *)
+    contained_unit (fun () -> World.tick w);
+    (* domain churn: destroy a random live non-boot guest and (slots
+       permitting — they are never reused) start a replacement *)
+    if moved () >= !next_churn && churn > 0 then begin
+      next_churn := !next_churn + churn_every;
+      let live =
+        List.filter
+          (fun g -> g > 0 && World.guest_alive w ~guest:g)
+          (List.init (World.guest_slots w) Fun.id)
+      in
+      match live with
+      | [] -> ()
+      | _ ->
+          let victim = List.nth live (rand (List.length live)) in
+          World.destroy_guest w ~guest:victim;
+          if World.guest_slots w < 256 then ignore (World.create_guest w);
+          incr churned
+    end
+  done;
+  contained_unit (fun () -> World.pump w);
+  contained_unit (fun () -> World.tick w);
+  contained_unit (fun () -> World.shutdown w);
+  let led = World.ledger w in
+  let pct dir p =
+    Option.value ~default:0.0 (Td_xen.Ledger.latency_percentile led dir p)
+  in
+  let live = World.guest_count w in
+  let live_doorbells =
+    (* one doorbell page per open channel (tuning.doorbell is on) *)
+    World.doorbell_pages_mapped w
+  in
+  let open_channels = ref 0 in
+  for g = 0 to World.guest_slots w - 1 do
+    if World.guest_alive w ~guest:g then
+      open_channels := !open_channels + (if g = 0 then nics else 1)
+  done;
+  {
+    fl_domains = domains;
+    fl_frames = moved ();
+    fl_offered_tx = !offered_tx;
+    fl_delivered_tx = World.wire_tx_frames w;
+    fl_rx_injected = !rx_injected;
+    fl_rx_delivered = World.delivered_rx_frames w;
+    fl_availability =
+      float_of_int (World.wire_tx_frames w) /. float_of_int (max 1 !offered_tx);
+    fl_throttled = World.quota_throttled w;
+    fl_injected = World.fault_injected w;
+    fl_recoveries = World.recoveries w;
+    fl_churned = !churned;
+    fl_live_at_end = live;
+    fl_tx_p50 = pct `Tx 50.;
+    fl_tx_p99 = pct `Tx 99.;
+    fl_tx_p999 = pct `Tx 99.9;
+    fl_rx_p50 = pct `Rx 50.;
+    fl_rx_p99 = pct `Rx 99.;
+    fl_rx_p999 = pct `Rx 99.9;
+    fl_conserved = World.netio_conserved w;
+    fl_staged_after_shutdown = World.staged_frames w;
+    fl_dangling_doorbells = max 0 (live_doorbells - !open_channels);
+    fl_digest = fleet_digest w ~offered_tx:!offered_tx ~rx_injected:!rx_injected;
+    fl_deterministic = true;
+  }
+
+let fleet ?(domains = 200) ?(frames = 1_000_000) ?(nics = 4) ?(seed = 7)
+    ?(churn = 32) ?(quota = true) ?(fault_rate = 2e-5) ?(runs = 2) () =
+  if domains < 1 || domains > 256 then
+    invalid_arg "Experiments.fleet: domains must be 1..256 (slots cap)";
+  let first =
+    fleet_run ~domains ~frames ~nics ~seed ~churn ~quota ~fault_rate ()
+  in
+  let deterministic = ref true in
+  for _ = 2 to max 1 runs do
+    let again =
+      fleet_run ~domains ~frames ~nics ~seed ~churn ~quota ~fault_rate ()
+    in
+    if not (String.equal again.fl_digest first.fl_digest) then
+      deterministic := false
+  done;
+  { first with fl_deterministic = !deterministic }

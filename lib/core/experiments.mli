@@ -228,3 +228,62 @@ val recovery_sweep :
   ?seed:int ->
   unit ->
   recovery_point list
+
+(** N-domain fleet scenarios (docs/FLEET.md): an open-loop soak over a
+    registry of up to 256 guest domains on one world, mixing three
+    heterogeneous traffic shapes — assigned per slot as [slot mod 3] —
+    with per-domain quotas, a fault plan with [Restart_replay] recovery,
+    and runtime domain churn ({!World.destroy_guest} followed by a
+    replacement {!World.create_guest} while traffic flows). *)
+
+type fleet_shape =
+  | Bulk_stream  (** steady 1500-byte transmit stream *)
+  | Rpc_burst  (** bursts of eight 64-byte transmits, bursty pacing *)
+  | Incast  (** receive fan-in: wire arrivals converging on the guest *)
+
+val fleet_shape_name : fleet_shape -> string
+
+type fleet_report = {
+  fl_domains : int;  (** fleet size (live domains at any instant) *)
+  fl_frames : int;  (** frames moved: TX offered + RX injected *)
+  fl_offered_tx : int;
+  fl_delivered_tx : int;  (** TX frames that reached the wire *)
+  fl_rx_injected : int;
+  fl_rx_delivered : int;  (** RX frames delivered into guests *)
+  fl_availability : float;  (** delivered TX / offered TX — the CI gate *)
+  fl_throttled : int;  (** quota denials (this world's engine) *)
+  fl_injected : int;  (** faults fired (this world's engine) *)
+  fl_recoveries : int;
+  fl_churned : int;  (** destroy+replace cycles completed *)
+  fl_live_at_end : int;
+  fl_tx_p50 : float;
+  fl_tx_p99 : float;
+  fl_tx_p999 : float;  (** I/O-channel TX latency percentiles, cycles *)
+  fl_rx_p50 : float;
+  fl_rx_p99 : float;
+  fl_rx_p999 : float;
+  fl_conserved : bool;  (** frame conservation over every channel *)
+  fl_staged_after_shutdown : int;  (** must be 0 *)
+  fl_dangling_doorbells : int;
+      (** doorbell pages mapped in dom0 beyond one per open channel —
+          non-zero means a destroyed guest leaked its mapping *)
+  fl_digest : string;  (** canonical digest of the whole observable run *)
+  fl_deterministic : bool;  (** every run produced [fl_digest] *)
+}
+
+val fleet :
+  ?domains:int ->
+  ?frames:int ->
+  ?nics:int ->
+  ?seed:int ->
+  ?churn:int ->
+  ?quota:bool ->
+  ?fault_rate:float ->
+  ?runs:int ->
+  unit ->
+  fleet_report
+(** Defaults: 200 domains, 1M frames, 4 NICs, 32 churn cycles, quotas
+    on, fault rate 5e-4, [runs = 2] (the second run re-executes the
+    identical soak on a fresh world and must reproduce the digest bit
+    for bit). Raises [Invalid_argument] when [domains] exceeds the
+    256-slot registry cap. The report is the first run's. *)

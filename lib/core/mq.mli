@@ -18,10 +18,12 @@ type t
 val create : ?nics:int -> ?tuning:Config.tuning -> Config.t -> t
 (** One single-queue world per [tuning.queues] (validated against
     {!Td_nic.Regs.max_queues}), context [q] created with
-    [World.create ~shard:q]. Raises [Invalid_argument] when
-    [tuning.shards > 1] is combined with an armed process-global engine
-    (a [tuning.quota] or an active {!Td_fault.Engine} plan) — those
-    are not shard-safe. *)
+    [World.create ~shard:q]. Quota limits and fault plans are per-world
+    (each context owns private engines), so [tuning.quota] and
+    [tuning.fault_plan] compose with any shard count; an ambient
+    (globally installed) engine is lifted into every context's tuning at
+    creation, making sequential and sharded runs bit-identical either
+    way. *)
 
 val config : t -> Config.t
 val queues : t -> int

@@ -49,6 +49,19 @@ type nic_port = {
   shadow : shadow_state;
 }
 
+(* One registered domain: its Xen domain, address space, netfront
+   channel(s) and receive-side state. Slot [g] always holds domain id
+   [g + 1]; slots are never reused, so domain ids are unique for the
+   world's lifetime and a destroyed guest leaves a [None] tombstone. *)
+type guest_slot = {
+  gs_dom : Domain.t;
+  gs_space : Addr_space.t;
+  mutable gs_netios : (int * Xen_netio.t) array;
+      (** (NIC index, channel), in attach order; Xen_domU only *)
+  gs_rx_pending : string Queue.t;  (** demuxed, awaiting guest schedule *)
+  mutable gs_rx_count : int;
+}
+
 type t = {
   cfg : Config.t;
   tuning : Config.tuning;
@@ -59,7 +72,6 @@ type t = {
   phys : Phys_mem.t;
   dom0_space : Addr_space.t;
   xen_space : Addr_space.t;
-  guest_spaces : Addr_space.t array;
   registry : Code_registry.t;
   natives : Native.t;
   km : Kmem.t;
@@ -69,7 +81,16 @@ type t = {
   hyp : Hypervisor.t option;
   dom0 : Domain.t option;
   guest : Domain.t option;  (** first guest, when any *)
-  guests : Domain.t array;
+  mutable slots : guest_slot option array;  (** the domain registry *)
+  quota_engine : Quota.state option;
+      (** this world's private quota engine ({!Config.tuning.quota});
+          scoped ambient around every entry point, so two worlds (e.g.
+          {!Mq} contexts, {!Shard} workers) never share token buckets *)
+  mutable fault_engine : Td_fault.Engine.state option;
+      (** private injection engine ({!Config.tuning.fault_plan}), armed
+          after {!init} so boot is never perturbed; [None] leaves any
+          ambient (globally installed) engine visible — the historical
+          install-after-create pattern *)
   dom0_stack_top : int;
   costs : Sys_costs.t;
   nics : nic_port array;
@@ -87,13 +108,17 @@ type t = {
       (** VM-instance identity runtime and its stlb vaddr, Xen_twin only *)
   twin : Td_rewriter.Twin.t option;
   skb_pool : Skb_pool.t option;
-  mutable netios : Xen_netio.t array;  (** one per NIC, Xen_domU only *)
-  gmac_index : (string, int) Hashtbl.t;  (** guest MAC -> guest index *)
+  vswitch : Bridge.t;
+      (** dom0 software bridge: fdb maps guest vif MACs to backend ports,
+          one port per netfront channel (Xen_domU only) *)
+  mutable demux_skb : Skb.t option;
+      (** the sk_buff dom0's netif_rx is currently forwarding — handed to
+          the bridge port's [tx] closure out of band (ports speak frames,
+          the backend needs the skb) *)
+  gmac_index : (string, int) Hashtbl.t;  (** guest MAC -> guest slot *)
   interp : Interp.t;
   timers : Timer_wheel.t;  (** dom0 kernel timers (watchdog housekeeping) *)
   sched : Scheduler.t;  (** orders guest work (packet delivery, §5.3) *)
-  rx_pending : string Queue.t array;  (** demuxed, awaiting guest schedule *)
-  rx_by_guest : int array;
   mutable rx_frames : int;
   mutable rx_bytes : int;
   mutable rx_last : string option;
@@ -132,6 +157,58 @@ let pool t = t.skb_pool
 let hypervisor t = t.hyp
 let dom0_domain t = t.dom0
 let cpu_state t = t.cpu
+
+(* ---- domain registry helpers ---- *)
+
+let guest_name g = Printf.sprintf "guest%d" g
+
+let slot_opt w g =
+  if g >= 0 && g < Array.length w.slots then w.slots.(g) else None
+
+(* a dead or unknown guest index is guest-reachable input (a stale handle
+   in a control-plane call), so it faults typed and attributed *)
+let slot_exn w g ~op =
+  match slot_opt w g with
+  | Some s -> s
+  | None -> Guest_fault.fail ~domain:(guest_name g) ~op "guest %d is not live" g
+
+let iter_slots w f =
+  Array.iteri (fun g s -> match s with Some s -> f g s | None -> ()) w.slots
+
+(* channels in (slot, attach) order: deterministic, and identical to the
+   historical per-NIC array order for a single boot guest *)
+let iter_netios w f =
+  iter_slots w (fun _ s -> Array.iter (fun (_, io) -> f io) s.gs_netios)
+
+let fold_netios w f acc =
+  let r = ref acc in
+  iter_netios w (fun io -> r := f !r io);
+  !r
+
+(* guest0's channel on [nic] — the historical [netios.(nic)] layout *)
+let netio_on w ~nic =
+  match slot_opt w 0 with
+  | None -> None
+  | Some s ->
+      Array.fold_left
+        (fun acc (n, io) ->
+          match acc with Some _ -> acc | None -> if n = nic then Some io else None)
+        None s.gs_netios
+
+(* Per-world engine scoping: every public entry point runs with this
+   world's private quota/fault engines (when configured) ambient on the
+   calling OCaml domain, restoring whatever was ambient before on exit.
+   Worlds without a private engine leave the ambient one visible — the
+   historical install-after-create composition keeps working. *)
+let scoped w f =
+  let f =
+    match w.fault_engine with
+    | Some st -> fun () -> Td_fault.Engine.with_state st f
+    | None -> f
+  in
+  match w.quota_engine with
+  | Some st -> Quota.with_state st f
+  | None -> f ()
 
 (* ---- construction ---- *)
 
@@ -184,6 +261,7 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
     ?cache_probes ?(map_pairs = true) ?(shard = 0)
     ?(tuning = Config.default_tuning) cfg =
   if guests < 1 then invalid_arg "World.create: guests must be >= 1";
+  if guests > 256 then invalid_arg "World.create: at most 256 guests";
   if shard < 0 then invalid_arg "World.create: shard must be >= 0";
   if tuning.Config.notify_batch < 1 then
     invalid_arg "World.create: notify_batch must be >= 1";
@@ -410,6 +488,25 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
                  ~base:Layout.vm_driver_code_base ~symbols:vm_syms ~registry)),
           Some (fun () -> load_hyp Td_rewriter.Loader.reload) )
   in
+  (* per-domain quotas: a private, per-world engine — scoped ambient
+     around every entry point rather than installed process-globally, so
+     concurrent worlds (Mq contexts, shard workers) cannot share or
+     clobber each other's buckets. dom0 is exempt — throttling the driver
+     domain's service work would deadlock the paths that drain on behalf
+     of throttled guests. Simulated time for the token buckets is ledger
+     cycles at the nominal 3 GHz. *)
+  let quota_engine =
+    match tuning.Config.quota with
+    | Some l ->
+        let exempt =
+          match dom0 with Some d -> [ Domain.name d ] | None -> [ "dom0" ]
+        in
+        Some
+          (Quota.make
+             ~now:(fun () -> float_of_int (Ledger.grand_total led) /. 3e9)
+             ~exempt l)
+    | None -> None
+  in
   let w =
     {
       cfg;
@@ -419,7 +516,6 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
       phys;
       dom0_space;
       xen_space;
-      guest_spaces;
       registry;
       natives;
       km;
@@ -429,7 +525,18 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
       hyp;
       dom0;
       guest;
-      guests = guest_doms;
+      slots =
+        Array.init (Array.length guest_doms) (fun g ->
+            Some
+              {
+                gs_dom = guest_doms.(g);
+                gs_space = guest_spaces.(g);
+                gs_netios = [||];
+                gs_rx_pending = Queue.create ();
+                gs_rx_count = 0;
+              });
+      quota_engine;
+      fault_engine = None;
       dom0_stack_top;
       costs;
       nics = ports;
@@ -444,7 +551,8 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
       svm_vm;
       twin;
       skb_pool;
-      netios = [||];
+      vswitch = Bridge.create ();
+      demux_skb = None;
       gmac_index = Hashtbl.create 8;
       interp =
         (let i = Interp.create cpu registry natives in
@@ -456,8 +564,6 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
         (let sc = Scheduler.create () in
          Array.iter (Scheduler.add sc) guest_doms;
          sc);
-      rx_pending = Array.init (max 1 guests) (fun _ -> Queue.create ());
-      rx_by_guest = Array.make (max 1 guests) 0;
       rx_frames = 0;
       rx_bytes = 0;
       rx_last = None;
@@ -475,20 +581,6 @@ let create ?(nics = 5) ?(guests = 1) ?(upcall_set = []) ?(pool_entries = 1024)
       done;
       ignore i)
     ports;
-  (* per-domain quotas: the engine is process-global, so a quota-less
-     world explicitly clears whatever a previous world installed. dom0 is
-     exempt — throttling the driver domain's service work would deadlock
-     the paths that drain on behalf of throttled guests. Simulated time
-     for the token buckets is ledger cycles at the nominal 3 GHz. *)
-  (match tuning.Config.quota with
-  | Some l ->
-      let exempt =
-        match w.dom0 with Some d -> [ Domain.name d ] | None -> [ "dom0" ]
-      in
-      Quota.install
-        ~now:(fun () -> float_of_int (Ledger.grand_total w.led) /. 3e9)
-        ~exempt l
-  | None -> Quota.clear ());
   w
 
 (* ---- driver invocation ---- *)
@@ -526,7 +618,9 @@ let run_driver w ~entry ~args ~stack =
        states the pristine system never reaches (bogus register numbers,
        unresolved indirect calls); contain them as aborts — but only when
        a plan is installed, so genuine model bugs still crash loudly *)
-    | (Invalid_argument _ | Failure _ | Interp.Fault _) as e
+    | ( Invalid_argument _ | Failure _ | Interp.Fault _
+      | Phys_mem.Bad_frame _ | Phys_mem.Out_of_frames _
+      | Addr_space.Heap_exhausted _ | Hypervisor.No_domains _ ) as e
       when Option.is_some (Td_fault.Engine.plan ()) ->
         abort (Printf.sprintf "model fault: %s" (Printexc.to_string e))
   in
@@ -746,8 +840,9 @@ let charge_xen_cat w n = Ledger.charge w.led Ledger.Xen n
 let count_rx ?(guest = 0) w payload =
   w.rx_frames <- w.rx_frames + 1;
   w.rx_bytes <- w.rx_bytes + String.length payload;
-  if guest < Array.length w.rx_by_guest then
-    w.rx_by_guest.(guest) <- w.rx_by_guest.(guest) + 1;
+  (match slot_opt w guest with
+  | Some s -> s.gs_rx_count <- s.gs_rx_count + 1
+  | None -> ());
   w.rx_last <- Some payload;
   if Queue.length w.rx_queue >= rx_queue_capacity then begin
     w.rx_drops <- w.rx_drops + 1;
@@ -759,6 +854,74 @@ let free_any_skb w skb =
   match w.skb_pool with
   | Some pool when Skb_pool.owns pool skb -> Skb_pool.release pool skb
   | Some _ | None -> Skb.free w.km skb
+
+(* ---- netfront channel attach (Xen_domU) ---- *)
+
+(* Create one netfront/netback channel pair for guest slot [g] on NIC
+   [nic] and register its backend port on the bridge — the per-(guest,
+   NIC) plumbing [init] runs for the boot guest and [create_guest] for
+   runtime ones. Returns the bridge port so the caller can enter the
+   guest's vif MACs into the fdb. *)
+let attach_channel w ~guest:g ~nic =
+  let h = Option.get w.hyp and d0 = Option.get w.dom0 in
+  let s = slot_exn w g ~op:"World.attach_channel" in
+  let p = w.nics.(nic) in
+  let doorbell =
+    if w.tuning.Config.doorbell then
+      Some
+        {
+          Xen_netio.poll_entry_kicks = w.tuning.Config.poll_entry_kicks;
+          idle_hysteresis = w.tuning.Config.idle_hysteresis;
+          poll_budget = w.tuning.Config.poll_budget;
+        }
+    else None
+  in
+  let netio =
+    Xen_netio.create ~batch:w.tuning.Config.notify_batch ~queue:w.shard
+      ?doorbell ~hyp:h ~dom0:d0 ~guest:s.gs_dom ~kmem:w.km
+      ~driver_tx:(fun skb ->
+        (* netback's call into the driver: the sk_buff is kmem memory
+           and survives a restart, so replay can re-run the transmit on
+           the fresh instance *)
+        let attempt () =
+          ignore
+            (run_driver w ~entry:w.dom0_driver.e_xmit
+               ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
+               ~stack:w.dom0_stack_top);
+          true
+        in
+        ignore (run_tx w ~nic attempt))
+      ()
+  in
+  Xen_netio.set_guest_rx netio (fun frame ->
+      charge_domU_cat w w.costs.Sys_costs.kernel_rx_path;
+      let payload =
+        String.sub frame eth_header_bytes
+          (String.length frame - eth_header_bytes)
+      in
+      count_rx ~guest:g w payload);
+  Xen_netio.post_rx_buffers netio 64;
+  s.gs_netios <- Array.append s.gs_netios [| (nic, netio) |];
+  (* backend port: the bridge speaks frames, but the backend needs the
+     sk_buff dom0's netif_rx is holding — handed over via [demux_skb] *)
+  let port =
+    {
+      Bridge.port_name = Printf.sprintf "vif%d.%d" g nic;
+      tx =
+        (fun _frame ->
+          match w.demux_skb with
+          | None -> ()
+          | Some skb ->
+              w.demux_skb <- None;
+              (* netback forwards whole frames: push the MAC header back
+                 (eth_type_trans pulled it) *)
+              Skb.set_data skb (Skb.data skb - eth_header_bytes);
+              Skb.set_len skb (Skb.len skb + eth_header_bytes);
+              Xen_netio.deliver_to_guest netio skb);
+    }
+  in
+  Bridge.add_port w.vswitch port;
+  port
 
 let init (w : t) =
   (* reclaims evict a mapped pair synchronously inside the hypervisor:
@@ -844,9 +1007,7 @@ let init (w : t) =
           count_rx w (Bytes.to_string (Skb.contents skb));
           free_any_skb w skb)
   | Config.Xen_domU ->
-      let h = Option.get w.hyp
-      and d0 = Option.get w.dom0
-      and g = Option.get w.guest in
+      let h = Option.get w.hyp and g = Option.get w.guest in
       (* a domU world without a NIC has no I/O channel to attach the
          frontend to: a configuration error attributed to the guest, not
          a crash on the first transmit *)
@@ -857,49 +1018,24 @@ let init (w : t) =
                domain = Domain.name g;
                reason = "domU configuration without netio (world has no NICs)";
              });
-      let doorbell =
-        if w.tuning.Config.doorbell then
-          Some
-            {
-              Xen_netio.poll_entry_kicks = w.tuning.Config.poll_entry_kicks;
-              idle_hysteresis = w.tuning.Config.idle_hysteresis;
-              poll_budget = w.tuning.Config.poll_budget;
-            }
-        else None
+      (* boot guest 0 attaches one channel per NIC (the historical
+         per-NIC layout); every boot guest's vif MACs enter the fdb
+         pointing at guest0's channel of the same index, reproducing the
+         historical gmac_index -> netios.(g) demux exactly *)
+      let ports0 =
+        Array.mapi (fun i _ -> attach_channel w ~guest:0 ~nic:i) w.nics
       in
-      w.netios <-
-        Array.mapi
-          (fun i p ->
-            let netio =
-              Xen_netio.create ~batch:w.tuning.Config.notify_batch
-                ~queue:w.shard ?doorbell ~hyp:h ~dom0:d0 ~guest:g ~kmem:w.km
-                ~driver_tx:(fun skb ->
-                  (* netback's call into the driver: the sk_buff is kmem
-                     memory and survives a restart, so replay can re-run
-                     the transmit on the fresh instance *)
-                  let attempt () =
-                    ignore
-                      (run_driver w ~entry:w.dom0_driver.e_xmit
-                         ~args:[ skb.Skb.addr; p.nd.Netdev.addr ]
-                         ~stack:w.dom0_stack_top);
-                    true
-                  in
-                  ignore (run_tx w ~nic:i attempt))
-                ()
-            in
-            Xen_netio.set_guest_rx netio (fun frame ->
-                charge_domU_cat w w.costs.Sys_costs.kernel_rx_path;
-                let payload =
-                  String.sub frame eth_header_bytes
-                    (String.length frame - eth_header_bytes)
-                in
-                count_rx w payload);
-            Xen_netio.post_rx_buffers netio 64;
-            ignore i;
-            netio)
-          w.nics;
-      (* dom0's netif_rx: forward to the guest behind the destination
-         MAC's backend interface *)
+      let boot_guests = Array.length w.slots in
+      Array.iteri
+        (fun i _ ->
+          for gi = 0 to boot_guests - 1 do
+            if gi < Array.length ports0 then
+              Bridge.learn w.vswitch ~mac:(vif_mac gi i) ports0.(gi)
+          done)
+        w.nics;
+      (* dom0's netif_rx: forward through the bridge to the backend port
+         behind the destination MAC; unknown MACs terminate in dom0's
+         local stack (no flooding into guests) *)
       Support.set_netif_rx w.sup (fun skb ->
           charge_dom0_cat w w.costs.Sys_costs.dom0_rx_kernel;
           let hdr =
@@ -908,13 +1044,10 @@ let init (w : t) =
               eth_header_bytes
           in
           let dst = Bytes.sub_string hdr 0 6 in
-          match Hashtbl.find_opt w.gmac_index dst with
-          | Some i ->
-              (* netback forwards whole frames: push the MAC header back
-                 (eth_type_trans pulled it) *)
-              Skb.set_data skb (Skb.data skb - eth_header_bytes);
-              Skb.set_len skb (Skb.len skb + eth_header_bytes);
-              Xen_netio.deliver_to_guest w.netios.(i) skb
+          match Bridge.lookup w.vswitch ~mac:dst with
+          | Some _ ->
+              w.demux_skb <- Some skb;
+              Bridge.forward w.vswitch (Bytes.to_string hdr)
           | None ->
               charge_dom0_cat w w.costs.Sys_costs.kernel_rx_path;
               free_any_skb w skb);
@@ -937,8 +1070,13 @@ let init (w : t) =
             in
             let dst = Bytes.sub_string hdr 0 6 in
             (match Hashtbl.find_opt w.gmac_index dst with
-            | Some gi ->
-                Queue.push (Bytes.to_string (Skb.contents skb)) w.rx_pending.(gi)
+            | Some gi -> (
+                match slot_opt w gi with
+                | Some s ->
+                    Queue.push (Bytes.to_string (Skb.contents skb)) s.gs_rx_pending
+                | None ->
+                    (* destroyed since the MAC was learned: dom0-local *)
+                    charge_dom0_cat w w.costs.Sys_costs.kernel_rx_path)
             | None ->
                 (* not for a guest: hand to dom0 like a local packet *)
                 charge_dom0_cat w w.costs.Sys_costs.kernel_rx_path);
@@ -952,13 +1090,27 @@ let init (w : t) =
 
 let create ?nics ?guests ?upcall_set ?pool_entries ?costs ?spill_everything
     ?rewrite_style ?cache_probes ?map_pairs ?shard ?tuning cfg =
-  init
-    (create ?nics ?guests ?upcall_set ?pool_entries ?costs ?spill_everything
-       ?rewrite_style ?cache_probes ?map_pairs ?shard ?tuning cfg)
+  let w =
+    create ?nics ?guests ?upcall_set ?pool_entries ?costs ?spill_everything
+      ?rewrite_style ?cache_probes ?map_pairs ?shard ?tuning cfg
+  in
+  (* init runs under the world's quota engine (grant-table and map-window
+     acquires during channel setup charge the right buckets, as the
+     historical install-before-init did) but never under its fault
+     engine: boot is deterministic, injection arms only afterwards *)
+  let w =
+    match w.quota_engine with
+    | Some st -> Quota.with_state st (fun () -> init w)
+    | None -> init w
+  in
+  w.fault_engine <-
+    Option.map Td_fault.Engine.make w.tuning.Config.fault_plan;
+  w
 
 (* ---- traffic ---- *)
 
 let transmit w ~nic ~payload =
+  scoped w @@ fun () ->
   let p = w.nics.(nic) in
   if p.quarantined then raise (Nic_quarantined { nic });
   let frame = build_frame ~dst:(client_mac nic) ~src:p.mac ~payload in
@@ -980,34 +1132,36 @@ let transmit w ~nic ~payload =
         r = 0
       in
       run_tx w ~nic attempt
-  | Config.Xen_domU ->
+  | Config.Xen_domU -> (
       charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
       charge_dom0_cat w w.costs.Sys_costs.dom0_tx_kernel;
-      if Array.length w.netios = 0 then begin
-        let domain =
-          match w.guest with
-          | Some g -> Domain.name g
-          | None -> Config.name w.cfg
-        in
-        raise
-          (Config_error
-             {
-               domain;
-               reason =
-                 "domU configuration without netio (world not initialised \
-                  or created without NICs)";
-             })
-      end;
+      match netio_on w ~nic with
+      | None ->
+          let domain =
+            match w.guest with
+            | Some g -> Domain.name g
+            | None -> Config.name w.cfg
+          in
+          raise
+            (Config_error
+               {
+                 domain;
+                 reason =
+                   "domU configuration without netio (world not initialised, \
+                    created without NICs, or guest 0 destroyed)";
+               })
       (* the driver runs from netback's flush, already supervised there *)
-      (match Xen_netio.guest_transmit w.netios.(nic) frame with
-      | () -> true
-      | exception Quota.Quota_exceeded _ ->
-          (* throttled tenant: the frame dies at the frontend edge having
-             cost only the guest its own kernel+netfront cycles *)
-          w.tx_drops <- w.tx_drops + 1;
-          if Td_obs.Control.enabled () then
-            Td_obs.Metrics.bump "world.tx_throttled";
-          false)
+      | Some io -> (
+          match Xen_netio.guest_transmit io frame with
+          | () -> true
+          | exception Quota.Quota_exceeded _ ->
+              (* throttled tenant: the frame dies at the frontend edge
+                 having cost only the guest its own kernel+netfront
+                 cycles *)
+              w.tx_drops <- w.tx_drops + 1;
+              if Td_obs.Control.enabled () then
+                Td_obs.Metrics.bump "world.tx_throttled";
+              false))
   | Config.Xen_twin ->
       charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
       let h = Option.get w.hyp in
@@ -1060,12 +1214,14 @@ let transmit w ~nic ~payload =
       run_tx w ~nic attempt
 
 let inject_rx ?(guest = 0) w ~nic ~payload =
+  scoped w @@ fun () ->
   let p = w.nics.(nic) in
   let dst =
     match w.cfg with
     | Config.Native_linux | Config.Xen_dom0 -> p.mac
-    | Config.Xen_domU -> p.gmac
-    | Config.Xen_twin -> vif_mac guest nic
+    (* guest 0's vif MAC is the historical [p.gmac], so the default is
+       bit-identical to the single-guest path *)
+    | Config.Xen_domU | Config.Xen_twin -> vif_mac guest nic
   in
   let frame = build_frame ~dst ~src:(client_mac nic) ~payload in
   Td_nic.E1000_dev.receive_frame p.dev frame
@@ -1104,23 +1260,51 @@ let service_interrupt w ~nic =
         if Domain.interrupts_masked d0 then Domain.defer d0 invoke
         else invoke ()
 
+(* slot behind a scheduled domain: slot [g] always holds domain id
+   [g + 1], so the lookup is O(1) with an identity cross-check *)
+let slot_of_domain w d =
+  let gi = Domain.id d - 1 in
+  match slot_opt w gi with
+  | Some s when Domain.id s.gs_dom = Domain.id d -> Some (gi, s)
+  | Some _ | None -> None
+
+(* Drain one guest's pending twin-path queue: one virtual interrupt
+   announces up to [batch] queued packets; the copies still happen per
+   packet, in queue order. Also the final delivery pass of
+   [destroy_guest] — queued frames belong to the guest while it lives. *)
+let deliver_guest_queue w h dom gi (q : string Queue.t) =
+  let batch = max 1 w.tuning.Config.notify_batch in
+  while not (Queue.is_empty q) do
+    let n = min batch (Queue.length q) in
+    let group = ref [] in
+    for _ = 1 to n do
+      let payload = Queue.pop q in
+      charge_xen_cat w
+        (int_of_float
+           (float_of_int (String.length payload)
+           *. w.costs.Sys_costs.copy_per_byte));
+      group := payload :: !group
+    done;
+    if n > 1 then
+      charge_xen_cat w ((n - 1) * w.costs.Sys_costs.notify_coalesce);
+    let group = List.rev !group in
+    Hypervisor.send_virq h dom (fun () ->
+        List.iter
+          (fun payload ->
+            charge_domU_cat w w.costs.Sys_costs.kernel_rx_path;
+            count_rx ~guest:gi w payload)
+          group)
+  done
+
 (* twin receive completion: each queued packet is copied into its guest's
    buffers and announced with a virtual interrupt once that guest runs *)
 let deliver_pending w =
   match w.hyp with
   | None -> ()
   | Some h ->
-      let guest_index d =
-        let rec go i =
-          if i >= Array.length w.guests then None
-          else if Domain.id w.guests.(i) = Domain.id d then Some i
-          else go (i + 1)
-        in
-        go 0
-      in
       let has_work d =
-        match guest_index d with
-        | Some gi -> not (Queue.is_empty w.rx_pending.(gi))
+        match slot_of_domain w d with
+        | Some (_, s) -> not (Queue.is_empty s.gs_rx_pending)
         | None -> false
       in
       (* the credit scheduler decides which guest runs (and so receives
@@ -1130,35 +1314,12 @@ let deliver_pending w =
         match Scheduler.pick w.sched ~runnable:has_work with
         | None -> continue := false
         | Some dom ->
-            let gi = Option.get (guest_index dom) in
-            let q = w.rx_pending.(gi) in
-            let batch = max 1 w.tuning.Config.notify_batch in
-            (* one virtual interrupt announces up to [batch] queued packets;
-               the copies still happen per packet, in queue order *)
-            while not (Queue.is_empty q) do
-              let n = min batch (Queue.length q) in
-              let group = ref [] in
-              for _ = 1 to n do
-                let payload = Queue.pop q in
-                charge_xen_cat w
-                  (int_of_float
-                     (float_of_int (String.length payload)
-                     *. w.costs.Sys_costs.copy_per_byte));
-                group := payload :: !group
-              done;
-              if n > 1 then
-                charge_xen_cat w ((n - 1) * w.costs.Sys_costs.notify_coalesce);
-              let group = List.rev !group in
-              Hypervisor.send_virq h dom (fun () ->
-                  List.iter
-                    (fun payload ->
-                      charge_domU_cat w w.costs.Sys_costs.kernel_rx_path;
-                      count_rx ~guest:gi w payload)
-                    group)
-            done
+            let gi, s = Option.get (slot_of_domain w dom) in
+            deliver_guest_queue w h dom gi s.gs_rx_pending
       done
 
 let pump w =
+  scoped w @@ fun () ->
   let progress = ref true in
   while !progress do
     progress := false;
@@ -1183,13 +1344,11 @@ let pump w =
     (* ring pressure / end-of-poll service: push out partial notification
        batches (or, in polling mode, visit the doorbell and drain up to
        the poll budget) so frames can never sit staged forever *)
-    Array.iter
-      (fun io ->
+    iter_netios w (fun io ->
         if Xen_netio.staged io > 0 then begin
           progress := true;
           Xen_netio.service io
-        end)
-      w.netios;
+        end);
     deliver_pending w
   done
 
@@ -1202,8 +1361,17 @@ let wire_tx_bytes w =
   Array.fold_left (fun acc p -> acc + p.wire.Td_nic.Wire.bytes) 0 w.nics
 
 let delivered_rx_frames w = w.rx_frames
-let delivered_rx_frames_to w ~guest = w.rx_by_guest.(guest)
-let guest_count w = Array.length w.guests
+
+let delivered_rx_frames_to w ~guest =
+  match slot_opt w guest with Some s -> s.gs_rx_count | None -> 0
+
+let guest_count w =
+  Array.fold_left
+    (fun acc s -> match s with Some _ -> acc + 1 | None -> acc)
+    0 w.slots
+
+let guest_slots w = Array.length w.slots
+let guest_alive w ~guest = Option.is_some (slot_opt w guest)
 let delivered_rx_bytes w = w.rx_bytes
 let rx_last_payload w = w.rx_last
 let rx_pop w = Queue.take_opt w.rx_queue
@@ -1215,6 +1383,7 @@ let shadow_mtu w ~nic = w.nics.(nic).shadow.s_mtu
 let shadow_promisc w ~nic = w.nics.(nic).shadow.s_promisc
 
 let reset_measurement w =
+  scoped w @@ fun () ->
   (* zero the whole registry and trace first, then the ledger (whose reset
      re-zeroes its registry mirrors — keeping both views aligned so the
      Measure cross-check can compare them at the end of the run) *)
@@ -1231,7 +1400,7 @@ let reset_measurement w =
     w.nics;
   w.rx_frames <- 0;
   w.rx_bytes <- 0;
-  Array.fill w.rx_by_guest 0 (Array.length w.rx_by_guest) 0;
+  iter_slots w (fun _ s -> s.gs_rx_count <- 0);
   w.rx_last <- None;
   Queue.clear w.rx_queue;
   w.rx_drops <- 0;
@@ -1260,6 +1429,7 @@ let supervised_retry w ~nic attempt =
           raise (Nic_quarantined { nic }))
 
 let run_watchdog w ~nic =
+  scoped w @@ fun () ->
   if w.nics.(nic).quarantined then raise (Nic_quarantined { nic });
   check_hang w ~nic;
   if not w.nics.(nic).quarantined then
@@ -1269,6 +1439,7 @@ let run_watchdog w ~nic =
              ~args:[ w.nics.(nic).nd.Netdev.addr ]))
 
 let read_stats w ~nic =
+  scoped w @@ fun () ->
   if w.nics.(nic).quarantined then raise (Nic_quarantined { nic });
   supervised_retry w ~nic (fun () ->
       let dest = Kmem.alloc w.km 32 in
@@ -1283,6 +1454,7 @@ let read_stats w ~nic =
       out)
 
 let run_set_rx_mode w ~nic ~promisc =
+  scoped w @@ fun () ->
   let p = w.nics.(nic) in
   if p.quarantined then raise (Nic_quarantined { nic });
   supervised_retry w ~nic (fun () ->
@@ -1293,6 +1465,7 @@ let run_set_rx_mode w ~nic ~promisc =
   p.shadow.s_promisc <- promisc
 
 let run_set_mtu w ~nic ~mtu =
+  scoped w @@ fun () ->
   let p = w.nics.(nic) in
   if p.quarantined then raise (Nic_quarantined { nic });
   supervised_retry w ~nic (fun () ->
@@ -1302,45 +1475,200 @@ let run_set_mtu w ~nic ~mtu =
   p.shadow.s_mtu <- mtu
 
 let tick w =
+  scoped w @@ fun () ->
   (* the timer service bounds how long a partial batch can stay staged;
      it is also the adaptive doorbell's window boundary (poll entry /
      idle-hysteresis fallback) *)
-  Array.iter Xen_netio.on_tick w.netios;
+  iter_netios w Xen_netio.on_tick;
   Timer_wheel.tick w.timers
 
 let shutdown w =
+  scoped w @@ fun () ->
   (* guest quiesce: drain every channel completely — partially staged
      batches must not be dropped on teardown *)
-  Array.iter Xen_netio.teardown w.netios;
+  iter_netios w Xen_netio.teardown;
   deliver_pending w
 
 let staged_frames w =
-  Array.fold_left (fun acc io -> acc + Xen_netio.staged io) 0 w.netios
+  fold_netios w (fun acc io -> acc + Xen_netio.staged io) 0
 
 let netio_conserved w =
-  Array.for_all Xen_netio.conserved w.netios
+  fold_netios w (fun acc io -> acc && Xen_netio.conserved io) true
 
 let netio_suppressed_hypercalls w =
-  Array.fold_left
-    (fun acc io -> acc + Xen_netio.suppressed_hypercalls io)
-    0 w.netios
+  fold_netios w (fun acc io -> acc + Xen_netio.suppressed_hypercalls io) 0
 
 let netio_suppressed_virqs w =
-  Array.fold_left
-    (fun acc io -> acc + Xen_netio.suppressed_virqs io)
-    0 w.netios
+  fold_netios w (fun acc io -> acc + Xen_netio.suppressed_virqs io) 0
 
 let netio_mode_switches w =
-  Array.fold_left
-    (fun acc io -> acc + Xen_netio.mode_switches io)
-    0 w.netios
+  fold_netios w (fun acc io -> acc + Xen_netio.mode_switches io) 0
 
-let netio_tx_mode w ~nic = Xen_netio.tx_mode w.netios.(nic)
-let netio_rx_mode w ~nic = Xen_netio.rx_mode w.netios.(nic)
+let netio_tx_mode w ~nic =
+  match netio_on w ~nic with
+  | Some io -> Xen_netio.tx_mode io
+  | None -> Xen_netio.Interrupt
+
+let netio_rx_mode w ~nic =
+  match netio_on w ~nic with
+  | Some io -> Xen_netio.rx_mode io
+  | None -> Xen_netio.Interrupt
 
 let mask_dom0_interrupts w =
   Option.iter Domain.mask_interrupts w.dom0
 
 let unmask_dom0_interrupts w =
+  scoped w @@ fun () ->
   Option.iter Domain.unmask_interrupts w.dom0;
   deliver_pending w
+
+(* ---- the domain registry: runtime create / destroy / traffic ---- *)
+
+let create_guest ?nic w =
+  scoped w @@ fun () ->
+  if not (needs_guest w.cfg) then
+    raise
+      (Config_error
+         {
+           domain = Config.name w.cfg;
+           reason =
+             "create_guest requires a guest-carrying configuration \
+              (Xen_domU or Xen_twin)";
+         });
+  let h = Option.get w.hyp in
+  let g = Array.length w.slots in
+  if g > 255 then
+    raise
+      (Config_error
+         {
+           domain = guest_name g;
+           reason = "domain registry full (256 slots, never reused)";
+         });
+  (match nic with
+  | Some n when n < 0 || n >= Array.length w.nics ->
+      raise
+        (Config_error
+           {
+             domain = guest_name g;
+             reason = Printf.sprintf "create_guest: no such NIC %d" n;
+           })
+  | Some _ | None -> ());
+  let space = Addr_space.create ~name:(guest_name g) w.phys in
+  Addr_space.heap_init space ~base:Layout.guest_heap_base
+    ~limit:Layout.guest_heap_limit;
+  let dom =
+    Domain.create ~id:(g + 1) ~name:(guest_name g) ~kind:Domain.Guest ~space
+  in
+  Hypervisor.add_domain h dom;
+  Scheduler.add w.sched dom;
+  let s =
+    {
+      gs_dom = dom;
+      gs_space = space;
+      gs_netios = [||];
+      gs_rx_pending = Queue.create ();
+      gs_rx_count = 0;
+    }
+  in
+  w.slots <- Array.append w.slots [| Some s |];
+  (* the guest's vif MACs demux to its slot on every NIC (twin path) *)
+  Array.iteri (fun i _ -> Hashtbl.replace w.gmac_index (vif_mac g i) g) w.nics;
+  (match w.cfg with
+  | Config.Xen_domU when Array.length w.nics > 0 ->
+      (* one netfront channel, striped over the NICs unless pinned; the
+         fdb routes all the guest's vif MACs to its backend port *)
+      let nic =
+        match nic with Some n -> n | None -> g mod Array.length w.nics
+      in
+      let port = attach_channel w ~guest:g ~nic in
+      Array.iteri
+        (fun i _ -> Bridge.learn w.vswitch ~mac:(vif_mac g i) port)
+        w.nics
+  | _ -> ());
+  g
+
+let destroy_guest w ~guest:g =
+  scoped w @@ fun () ->
+  let s = slot_exn w g ~op:"World.destroy_guest" in
+  (* frames queued on the twin path still belong to the guest: deliver
+     them while the slot is alive, before the channels come down *)
+  (match w.hyp with
+  | Some h -> deliver_guest_queue w h s.gs_dom g s.gs_rx_pending
+  | None -> ());
+  (* close drains staged batches (conservation) then unmaps the doorbell
+     and revokes every grant — nothing of the guest's stays in dom0 *)
+  Array.iter (fun (_, io) -> Xen_netio.close io) s.gs_netios;
+  Array.iter
+    (fun (n, _) -> Bridge.remove_port w.vswitch (Printf.sprintf "vif%d.%d" g n))
+    s.gs_netios;
+  Array.iteri
+    (fun i _ ->
+      Bridge.forget w.vswitch ~mac:(vif_mac g i);
+      Hashtbl.remove w.gmac_index (vif_mac g i))
+    w.nics;
+  Scheduler.remove w.sched s.gs_dom;
+  (match w.hyp with Some h -> Hypervisor.remove_domain h s.gs_dom | None -> ());
+  Quota.forget ~domain:(Domain.name s.gs_dom);
+  Ledger.retire_domain w.led ~domain:(Domain.name s.gs_dom);
+  Addr_space.release s.gs_space;
+  w.slots.(g) <- None
+
+let transmit_from ?nic w ~guest:g ~payload =
+  scoped w @@ fun () ->
+  let s = slot_exn w g ~op:"World.transmit_from" in
+  (match w.cfg with
+  | Config.Xen_domU -> ()
+  | _ ->
+      raise
+        (Config_error
+           {
+             domain = Domain.name s.gs_dom;
+             reason = "transmit_from requires the Xen_domU configuration";
+           }));
+  let pick =
+    match nic with
+    | Some n ->
+        Array.fold_left
+          (fun acc ((m, _) as e) ->
+            match acc with
+            | Some _ -> acc
+            | None -> if m = n then Some e else None)
+          None s.gs_netios
+    | None -> if Array.length s.gs_netios > 0 then Some s.gs_netios.(0) else None
+  in
+  match pick with
+  | None ->
+      Guest_fault.fail ~domain:(Domain.name s.gs_dom) ~op:"World.transmit_from"
+        "guest %d has no netfront channel%s" g
+        (match nic with
+        | Some n -> Printf.sprintf " on NIC %d" n
+        | None -> "")
+  | Some (n, io) -> (
+      if w.nics.(n).quarantined then raise (Nic_quarantined { nic = n });
+      charge_domU_cat w w.costs.Sys_costs.kernel_tx_path;
+      charge_dom0_cat w w.costs.Sys_costs.dom0_tx_kernel;
+      let frame =
+        build_frame ~dst:(client_mac n) ~src:(vif_mac g n) ~payload
+      in
+      match Xen_netio.guest_transmit io frame with
+      | () -> true
+      | exception Quota.Quota_exceeded _ ->
+          (* throttled tenant: the frame dies at the frontend edge *)
+          w.tx_drops <- w.tx_drops + 1;
+          if Td_obs.Control.enabled () then
+            Td_obs.Metrics.bump "world.tx_throttled";
+          false)
+
+(* ---- per-world engine observability ---- *)
+
+let fault_injected w = scoped w Td_fault.Engine.injected
+let fault_lost w = scoped w Td_fault.Engine.lost_frames
+let quota_throttled w = scoped w Quota.throttled
+
+let doorbell_pages_mapped w =
+  let base, limit = Xen_netio.doorbell_window in
+  let n = ref 0 in
+  for vpage = Layout.page_of base to Layout.page_of limit - 1 do
+    if Addr_space.is_mapped w.dom0_space ~vpage then incr n
+  done;
+  !n

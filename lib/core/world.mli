@@ -76,6 +76,13 @@ val transmit : t -> nic:int -> payload:string -> bool
     when the driver dropped it. The frame on the wire carries an ethernet
     header around [payload]. *)
 
+val transmit_from : ?nic:int -> t -> guest:int -> payload:string -> bool
+(** Xen_domU only: transmit [payload] from guest slot [guest]'s own
+    netfront channel (its first channel, or the one on [nic] when given).
+    [false] when the frame was dropped or the guest's quota denied it; a
+    dead guest index or a guest with no channel raises a typed, attributed
+    {!Td_xen.Guest_fault.Fault}. *)
+
 val inject_rx : ?guest:int -> t -> nic:int -> payload:string -> unit
 (** A frame arrives from the wire addressed to this configuration's
     consumer (guest [guest]'s vif MAC for Xen_twin). Processing happens
@@ -84,13 +91,48 @@ val inject_rx : ?guest:int -> t -> nic:int -> payload:string -> unit
 val pump : t -> unit
 (** Service pending NIC interrupts (and anything they cascade into). *)
 
+(* the domain registry *)
+
+val create_guest : ?nic:int -> t -> int
+(** Register a new guest domain at runtime and return its slot index:
+    fresh address space and heap, hypervisor entry, credit-scheduler
+    entry, ledger row on first charge, vif MACs on every NIC. For
+    Xen_domU a netfront channel is attached (striped over the NICs as
+    [slot mod nics], or pinned to [nic]) and its backend port enters the
+    bridge fdb. Slots are never reused — at most 256 over a world's
+    lifetime ({!Config_error} beyond that, or for configurations without
+    guests). *)
+
+val destroy_guest : t -> guest:int -> unit
+(** Tear the guest down completely: deliver its queued twin-path frames,
+    drain and {!Td_kernel.Xen_netio.close} its channels (revoking every
+    grant and unmapping its doorbell page from dom0), remove its bridge
+    port and fdb/demux entries, drop it from the scheduler and the
+    hypervisor, forget its quota buckets, fold its ledger row into the
+    [Ledger.retired_row] aggregate, and free its frames. The slot becomes
+    a tombstone: a stale index faults typed
+    ({!Td_xen.Guest_fault.Fault}), and conservation still holds across
+    the destruction. *)
+
+val guest_alive : t -> guest:int -> bool
+
+val guest_slots : t -> int
+(** Slots ever allocated (live + tombstones); slot indices are
+    [0 .. guest_slots - 1]. *)
+
 (* observation *)
 
 val wire_tx_frames : t -> int
 val wire_tx_bytes : t -> int
 val delivered_rx_frames : t -> int
 val delivered_rx_frames_to : t -> guest:int -> int
+(** Frames delivered to the named slot since the last
+    {!reset_measurement} (0 for tombstones — the count dies with the
+    guest). *)
+
 val guest_count : t -> int
+(** Live guest domains (tombstones excluded). *)
+
 val delivered_rx_bytes : t -> int
 
 val rx_last_payload : t -> string option
@@ -144,8 +186,23 @@ val netio_mode_switches : t -> int
 
 val netio_tx_mode : t -> nic:int -> Td_kernel.Xen_netio.mode
 val netio_rx_mode : t -> nic:int -> Td_kernel.Xen_netio.mode
-(** Per-channel adaptive state (always [Interrupt] with the doorbell
-    off). *)
+(** Adaptive state of the boot guest's channel on [nic] (always
+    [Interrupt] with the doorbell off or the channel gone). *)
+
+(* per-world engine observability *)
+
+val fault_injected : t -> int
+val fault_lost : t -> int
+(** This world's injection/lost-frame counters — read under its private
+    fault engine when it has one, the ambient engine otherwise. *)
+
+val quota_throttled : t -> int
+(** Quota denials under this world's engine (ambient when none). *)
+
+val doorbell_pages_mapped : t -> int
+(** Doorbell pages currently mapped in dom0's doorbell window — one per
+    open doorbell channel; the "no dangling mapping" invariant is that
+    this returns to its prior value after a {!destroy_guest}. *)
 
 val run_watchdog : t -> nic:int -> unit
 val read_stats : t -> nic:int -> int array

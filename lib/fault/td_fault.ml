@@ -78,13 +78,14 @@ let rate plan = function
   | Upcall_fail -> plan.upcall_fail
 
 module Engine = struct
-  type state = { plan : plan; streams : int array }
-
-  let engine : state option ref = ref None
-  let suspend_depth = ref 0
-  let injected_total = ref 0
-  let injected_per_site = Array.make n_sites 0
-  let lost = ref 0
+  type state = {
+    plan : plan;
+    streams : int array;
+    mutable suspend_depth : int;
+    mutable injected_total : int;
+    injected_per_site : int array;
+    mutable lost : int;
+  }
 
   (* 63-bit xorshift; the seed mix keeps distinct sites on distinct,
      non-zero streams even for seed 0 *)
@@ -93,6 +94,37 @@ module Engine = struct
   let seed_stream seed i =
     let x = ((seed * 0x9E3779B1) + ((i + 1) * 0x85EBCA77)) land mask in
     if x = 0 then 0x2545F491 + i else x
+
+  let make plan =
+    {
+      plan;
+      streams = Array.init n_sites (seed_stream plan.seed);
+      suspend_depth = 0;
+      injected_total = 0;
+      injected_per_site = Array.make n_sites 0;
+      lost = 0;
+    }
+
+  (* The ambient engine slot is per OCaml domain (DLS), so parallel
+     shards never observe each other's engines: a spawned shard worker
+     starts with no ambient engine, and a World carrying a private
+     engine scopes it around its entry points with [with_state]. *)
+  let slot : state option ref Stdlib.Domain.DLS.key =
+    Stdlib.Domain.DLS.new_key (fun () -> ref None)
+
+  let current () = !(Stdlib.Domain.DLS.get slot)
+
+  let with_state st f =
+    let r = Stdlib.Domain.DLS.get slot in
+    let saved = !r in
+    r := Some st;
+    Fun.protect ~finally:(fun () -> r := saved) f
+
+  (* Lost frames are counted even when no engine is armed (organic
+     aborts under a Restart policy still drop frames); they land in a
+     per-OCaml-domain orphan counter so the accounting stays visible. *)
+  let orphan_lost : int ref Stdlib.Domain.DLS.key =
+    Stdlib.Domain.DLS.new_key (fun () -> ref 0)
 
   let next streams i =
     let x = streams.(i) in
@@ -105,31 +137,33 @@ module Engine = struct
   let uniform streams i = float_of_int (next streams i land 0xFFFFFF) /. 16777216.
 
   let reset_counters () =
-    injected_total := 0;
-    Array.fill injected_per_site 0 n_sites 0;
-    lost := 0
+    (match current () with
+    | Some e ->
+        e.injected_total <- 0;
+        Array.fill e.injected_per_site 0 n_sites 0;
+        e.lost <- 0
+    | None -> ());
+    Stdlib.Domain.DLS.get orphan_lost := 0
 
-  let install plan =
-    engine := Some { plan; streams = Array.init n_sites (seed_stream plan.seed) };
-    suspend_depth := 0;
-    reset_counters ()
+  let install plan = Stdlib.Domain.DLS.get slot := Some (make plan)
+  let clear () = Stdlib.Domain.DLS.get slot := None
+  let plan () = Option.map (fun e -> e.plan) (current ())
 
-  let clear () = engine := None
-  let plan () = Option.map (fun e -> e.plan) !engine
-  let active () = Option.is_some !engine && !suspend_depth = 0
+  let active () =
+    match current () with Some e -> e.suspend_depth = 0 | None -> false
 
   let fire site =
-    match !engine with
+    match current () with
     | None -> false
     | Some e ->
-        !suspend_depth = 0
+        e.suspend_depth = 0
         && rate e.plan site > 0.
         &&
         let i = site_index site in
         uniform e.streams i < rate e.plan site
         &&
-        (injected_total := !injected_total + 1;
-         injected_per_site.(i) <- injected_per_site.(i) + 1;
+        (e.injected_total <- e.injected_total + 1;
+         e.injected_per_site.(i) <- e.injected_per_site.(i) + 1;
          if Td_obs.Control.enabled () then begin
            Td_obs.Metrics.bump "fault.injected";
            Td_obs.Metrics.bump ("fault.injected." ^ site_name site);
@@ -140,23 +174,37 @@ module Engine = struct
 
   let pick site bound =
     if bound <= 0 then invalid_arg "Td_fault.Engine.pick";
-    match !engine with
+    match current () with
     | None -> 0
     | Some e -> next e.streams (site_index site) mod bound
 
   let suspend f =
-    incr suspend_depth;
-    Fun.protect ~finally:(fun () -> decr suspend_depth) f
+    match current () with
+    | None -> f ()
+    | Some e ->
+        e.suspend_depth <- e.suspend_depth + 1;
+        Fun.protect ~finally:(fun () -> e.suspend_depth <- e.suspend_depth - 1) f
 
-  let injected () = !injected_total
-  let injected_at site = injected_per_site.(site_index site)
+  let injected () = match current () with Some e -> e.injected_total | None -> 0
+
+  let injected_at site =
+    match current () with
+    | Some e -> e.injected_per_site.(site_index site)
+    | None -> 0
 
   let note_lost n =
     if n > 0 then begin
-      lost := !lost + n;
+      (match current () with
+      | Some e -> e.lost <- e.lost + n
+      | None ->
+          let r = Stdlib.Domain.DLS.get orphan_lost in
+          r := !r + n);
       if Td_obs.Control.enabled () then
         Td_obs.Metrics.bump_by "fault.lost_frames" n
     end
 
-  let lost_frames () = !lost
+  let lost_frames () =
+    match current () with
+    | Some e -> e.lost
+    | None -> !(Stdlib.Domain.DLS.get orphan_lost)
 end

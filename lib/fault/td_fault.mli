@@ -1,10 +1,16 @@
 (** Deterministic, seeded fault injection for the twin-driver runtime.
 
-    The engine is a process-global singleton, like {!Td_obs.Control}:
-    runtime layers that host an injection site ask {!Engine.fire} on
-    their hot path, guarded by {!Engine.active} so a run without an
-    installed plan executes exactly the pre-fault instruction stream —
-    bit-identical ledgers, wire traffic and traces.
+    Engine state is first-class: {!Engine.make} builds an armed engine
+    from a plan, and each OCaml domain carries an *ambient* engine slot
+    (domain-local storage) that {!Engine.install}/{!Engine.clear} set
+    directly and {!Engine.with_state} scopes around a callback. Runtime
+    layers that host an injection site ask {!Engine.fire} on their hot
+    path, guarded by {!Engine.active}, so a run without a visible
+    engine executes exactly the pre-fault instruction stream —
+    bit-identical ledgers, wire traffic and traces. A [World] that
+    carries a private engine scopes it around its entry points, so N
+    worlds (and N parallel shards — each spawned OCaml domain starts
+    with an empty slot) inject independently.
 
     Each site class draws from its own xorshift stream seeded from
     [plan.seed], so two runs with the same plan and workload inject the
@@ -47,16 +53,34 @@ val uniform_plan : ?seed:int -> float -> plan
 val rate : plan -> site -> float
 
 module Engine : sig
+  type state
+  (** An armed engine: a plan, its per-site xorshift streams, the
+      suspend depth, and the injection/loss counters. *)
+
+  val make : plan -> state
+  (** Build a fresh engine: streams seeded from [plan.seed], all
+      counters zero, not suspended. *)
+
+  val with_state : state -> (unit -> 'a) -> 'a
+  (** Run [f] with [state] as the calling OCaml domain's ambient
+      engine, restoring whatever was visible before on exit
+      (exception-safe). Counters accumulate in [state] across calls, so
+      a [World] can scope its private engine around each entry point
+      and read totals afterwards with e.g.
+      [with_state st Engine.injected]. *)
+
   val install : plan -> unit
-  (** Arm the engine: resets the per-site streams and all counters
-      (including {!lost_frames}) so a soak starts from zero. *)
+  (** Arm the ambient slot with a fresh engine (so streams and all
+      counters, including {!lost_frames}, start from zero). *)
 
   val clear : unit -> unit
-  (** Disarm; counters are kept for post-run reporting. *)
+  (** Empty the ambient slot. The previous engine's counters live on in
+      its [state] (if the caller kept it); module-level readers return
+      zero once the slot is empty. *)
 
   val plan : unit -> plan option
   val active : unit -> bool
-  (** A plan is installed and injection is not {!suspend}ed. *)
+  (** An engine is visible and injection is not {!suspend}ed. *)
 
   val fire : site -> bool
   (** One injection opportunity at [site]. [true] means the caller must
@@ -69,8 +93,10 @@ module Engine : sig
       picking which register/bit to flip after {!fire} said yes. *)
 
   val suspend : (unit -> 'a) -> 'a
-  (** Run [f] with injection masked (re-entrant). The supervisor wraps
-      recovery and replay in this so restarts always make progress. *)
+  (** Run [f] with injection masked on the visible engine (re-entrant).
+      The supervisor wraps recovery and replay in this so restarts
+      always make progress. A no-op wrapper when no engine is
+      visible. *)
 
   val injected : unit -> int
   val injected_at : site -> int
@@ -79,7 +105,8 @@ module Engine : sig
   (** Record frames deliberately dropped (not replayed) by fault
       handling — supervisor drops, stuck-ring discards, corrupt-RX
       losses. Counted (and [fault.lost_frames] bumped) even when no
-      plan is installed, so recovery from organic aborts is visible. *)
+      engine is visible — orphan losses land in a per-OCaml-domain
+      counter — so recovery from organic aborts stays visible. *)
 
   val lost_frames : unit -> int
   val reset_counters : unit -> unit

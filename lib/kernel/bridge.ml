@@ -12,6 +12,14 @@ let create () =
 
 let add_port t p = t.ports <- t.ports @ [ p ]
 let learn t ~mac p = Hashtbl.replace t.fdb mac p
+let lookup t ~mac = Hashtbl.find_opt t.fdb mac
+let forget t ~mac = Hashtbl.remove t.fdb mac
+
+let remove_port t name =
+  t.ports <- List.filter (fun p -> p.port_name <> name) t.ports;
+  Hashtbl.iter
+    (fun mac p -> if p.port_name = name then Hashtbl.remove t.fdb mac)
+    (Hashtbl.copy t.fdb)
 
 let forward t frame =
   if String.length frame < 14 then ()

@@ -18,5 +18,16 @@ val forward : t -> string -> unit
 val learn : t -> mac:string -> port -> unit
 (** Static entry (used when guest MACs are known up front). *)
 
+val lookup : t -> mac:string -> port option
+(** The fdb entry for [mac], if any — lets a caller route only known
+    destinations through {!forward} and keep its own policy (e.g. dom0
+    local delivery) for unknown ones, instead of flooding. *)
+
+val forget : t -> mac:string -> unit
+
+val remove_port : t -> string -> unit
+(** Remove the named port and every fdb entry pointing at it — backend
+    interface teardown when its guest is destroyed. *)
+
 val forwarded : t -> int
 val flooded : t -> int

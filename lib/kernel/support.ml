@@ -302,7 +302,11 @@ let create ~space ~kmem =
   let hyp_wrap f t st =
     match t.hyp_ctx with
     | Some ctx -> f t ctx st
-    | None -> failwith "Support: hypervisor context not initialised"
+    | None ->
+        (* a twin routine ran before attach_hyp_ctx: abort this driver
+           instance with a typed fault instead of killing the run *)
+        Td_xen.Guest_fault.fail ~op:"support.hyp_ctx"
+          "hypervisor context not initialised"
   in
   (* Table 1 *)
   add "netdev_alloc_skb" impl_netdev_alloc_skb

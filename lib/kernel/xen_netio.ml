@@ -67,6 +67,7 @@ type t = {
   mutable tx_staged_total : int;
   mutable rx_staged_total : int;
   doorbell : doorbell option;
+  mutable closed : bool;
 }
 
 (* dom0 virtual window where granted guest pages are temporarily mapped *)
@@ -75,6 +76,7 @@ let grant_map_base = 0xC7F0_0000
 (* dom0 window for persistent doorbell-page mappings, just below the
    transient grant-map window; one page per channel *)
 let doorbell_map_base = 0xC7E0_0000
+let doorbell_window = (doorbell_map_base, grant_map_base)
 
 (* doorbell page layout: one pair of little-endian 32-bit sequence words
    per queue — queue [q] owns bytes [8q .. 8q+7]: the tx word (guest
@@ -107,7 +109,14 @@ let grant_guest_page gspace grants =
         ~vpage:(Td_mem.Layout.page_of page)
     with
     | Some f -> f
-    | None -> assert false
+    | None ->
+        (* heap_alloc maps what it returns, so an unbacked page means the
+           guest's page table was tampered with mid-allocation: a typed,
+           attributed fault, not a simulation crash *)
+        Guest_fault.fail
+          ~domain:(Td_mem.Addr_space.name gspace)
+          ~op:"netio.grant_guest_page" "heap page 0x%x has no backing frame"
+          page
   in
   (page, Grant_table.grant grants ~frame)
 
@@ -198,6 +207,7 @@ let create ?(batch = 1) ?(queue = 0) ?doorbell ~hyp ~dom0 ~guest ~kmem
     tx_staged_total = 0;
     rx_staged_total = 0;
     doorbell;
+    closed = false;
   }
 
 let set_guest_rx t fn = t.guest_rx <- fn
@@ -295,6 +305,9 @@ let poll_tx t db =
   end
 
 let guest_transmit t frame =
+  if t.closed then
+    Guest_fault.fail ~domain:(Domain.name t.guest)
+      ~op:"Xen_netio.guest_transmit" "channel closed";
   let costs = Hypervisor.costs t.hyp in
   let len = String.length frame in
   if len > Td_mem.Layout.page_size then
@@ -345,6 +358,9 @@ let guest_transmit t frame =
           costs.Sys_costs.notify_coalesce
 
 let post_rx_buffers t n =
+  if t.closed then
+    Guest_fault.fail ~domain:(Domain.name t.guest)
+      ~op:"Xen_netio.post_rx_buffers" "channel closed";
   let gspace = Domain.space t.guest in
   for _ = 1 to n do
     let page, r = grant_guest_page gspace t.grants in
@@ -552,6 +568,30 @@ let teardown t =
           | Interrupt -> flush_rx t
           | Polling -> poll_rx t db
       done
+
+(* Channel destruction: drain, then release every dom0-side mapping and
+   guest-side grant the channel ever took — after [close] the grant table
+   holds nothing and the doorbell window page is free for reuse. A closed
+   channel rejects new frontend work (typed, attributed) and its counters
+   stay readable. Idempotent. *)
+let close t =
+  if not t.closed then begin
+    teardown t;
+    (match t.doorbell with
+    | Some db ->
+        Grant_table.unmap t.grants ~hyp:t.hyp ~from:t.dom0
+          ~at_vpage:(Td_mem.Layout.page_of db.dom0_vaddr)
+          db.db_gref;
+        Grant_table.revoke t.grants db.db_gref
+    | None -> ());
+    Array.iter (fun (_page, gref) -> Grant_table.revoke t.grants gref) t.tx_pages;
+    Queue.iter (fun (gref, _gvaddr) -> Grant_table.revoke t.grants gref) t.rx_posted;
+    Queue.clear t.rx_posted;
+    t.closed <- true
+  end
+
+let closed t = t.closed
+let grants_active t = Grant_table.active t.grants
 
 let staged t = Queue.length t.tx_staged + Queue.length t.rx_staged
 let tx_count t = t.tx_count

@@ -121,6 +121,20 @@ val teardown : t -> unit
     guest quiesces must still reach the wire / the guest stack. After
     teardown [staged t = 0] and {!conserved}[ t] holds. Idempotent. *)
 
+val close : t -> unit
+(** Destroy the channel: {!teardown}, then unmap the doorbell page from
+    dom0 and revoke every grant the channel holds (staging ring, doorbell,
+    posted rx buffers). Afterwards {!grants_active}[ t = 0], the doorbell
+    window page is free for a future channel, and frontend entry points
+    ({!guest_transmit}, {!post_rx_buffers}) raise a typed, attributed
+    {!Td_xen.Guest_fault.Fault}; counters remain readable. Idempotent. *)
+
+val closed : t -> bool
+
+val grants_active : t -> int
+(** Outstanding grants in the channel's grant table (0 after {!close} —
+    the "no dangling grant" invariant the registry property checks). *)
+
 val staged : t -> int
 (** Frames currently staged (both directions) awaiting a notification. *)
 
@@ -154,6 +168,11 @@ val conserved : t -> bool
 val tx_mode : t -> mode
 val rx_mode : t -> mode
 (** Current per-direction mode; [Interrupt] when the doorbell is off. *)
+
+val doorbell_window : int * int
+(** [(base, limit)] of the dom0 virtual window holding persistent
+    doorbell-page mappings, one page per open channel. A registry can
+    count mapped pages here to assert no channel leaked its mapping. *)
 
 val doorbell_vaddr : t -> int option
 (** Guest virtual address of the shared doorbell page ([None] without a

@@ -6,6 +6,15 @@ type device = {
 type mapping = Frame of Phys_mem.frame | Device of device
 
 exception Page_fault of { space : string; addr : int }
+exception Heap_exhausted of { space : string; requested : int }
+
+let () =
+  Printexc.register_printer (function
+    | Heap_exhausted { space; requested } ->
+        Some
+          (Printf.sprintf "Td_mem.Addr_space.Heap_exhausted(%s: %d bytes)"
+             space requested)
+    | _ -> None)
 
 type t = {
   name : string;
@@ -123,16 +132,34 @@ let write_block t addr src =
     pos := !pos + chunk
   done
 
+(* Snapshot-and-sort so traversal (and anything built from it, like the
+   free list a bulk release rebuilds) is deterministic regardless of the
+   hash table's internal order. *)
+let iter_frames t f =
+  Hashtbl.fold
+    (fun vpage m acc ->
+      match m with Frame fr -> (vpage, fr) :: acc | Device _ -> acc)
+    t.table []
+  |> List.sort compare
+  |> List.iter (fun (vpage, fr) -> f ~vpage fr)
+
+let release t =
+  iter_frames t (fun ~vpage:_ fr -> Phys_mem.free_frame t.phys fr);
+  Hashtbl.reset t.table;
+  t.heap_next <- 0;
+  t.heap_limit <- 0
+
 let heap_init t ~base ~limit =
   t.heap_next <- base;
   t.heap_limit <- limit
 
 let heap_alloc t bytes =
-  if t.heap_limit = 0 then failwith "Addr_space.heap_alloc: heap not initialised";
+  if t.heap_limit = 0 then
+    invalid_arg "Addr_space.heap_alloc: heap not initialised";
   let pages = max 1 ((bytes + Layout.page_size - 1) / Layout.page_size) in
   let vaddr = t.heap_next in
   if vaddr + (pages * Layout.page_size) > t.heap_limit then
-    failwith (Printf.sprintf "Addr_space.heap_alloc(%s): heap exhausted" t.name);
+    raise (Heap_exhausted { space = t.name; requested = bytes });
   t.heap_next <- vaddr + (pages * Layout.page_size);
   alloc_region t ~vaddr ~pages;
   vaddr

@@ -15,6 +15,11 @@ type mapping = Frame of Phys_mem.frame | Device of device
 
 exception Page_fault of { space : string; addr : int }
 
+exception Heap_exhausted of { space : string; requested : int }
+(** The bump allocator's region is spent. Typed (and attributed to the
+    owning space's name) so a guest whose driver leaks its way through
+    the heap aborts that driver instance instead of the simulation. *)
+
 type t
 
 val create : name:string -> Phys_mem.t -> t
@@ -46,10 +51,23 @@ val write : t -> int -> Td_misa.Width.t -> int -> unit
 val read_block : t -> int -> int -> bytes
 val write_block : t -> int -> bytes -> unit
 
+val iter_frames : t -> (vpage:int -> Phys_mem.frame -> unit) -> unit
+(** Visit every frame-backed mapping in ascending [vpage] order (device
+    pages are skipped). The order is deterministic — independent of hash
+    internals — so bulk teardown reproduces bit-identically. *)
+
+val release : t -> unit
+(** Destroy the space's contents: return every backing frame to the
+    physical allocator (in ascending vpage order), drop all mappings
+    (device pages included) and forget the heap. The space itself stays
+    usable for a fresh {!heap_init}. Frames still mapped elsewhere (e.g.
+    a granted page a backend has not unmapped) must be unmapped there
+    first — this is the last step of domain destruction. *)
+
 val heap_init : t -> base:int -> limit:int -> unit
 (** Initialise the bump allocator for kernel-heap virtual addresses. *)
 
 val heap_alloc : t -> int -> int
 (** [heap_alloc t bytes] reserves (and maps) a fresh, page-padded region and
-    returns its virtual address. Raises [Failure] when the heap region is
-    exhausted. *)
+    returns its virtual address. Raises {!Heap_exhausted} when the heap
+    region is spent, [Invalid_argument] before {!heap_init}. *)

@@ -1,5 +1,16 @@
 type frame = int
 
+exception Bad_frame of { frame : int }
+exception Out_of_frames of { capacity : int }
+
+let () =
+  Printexc.register_printer (function
+    | Bad_frame { frame } ->
+        Some (Printf.sprintf "Td_mem.Phys_mem.Bad_frame(frame %d)" frame)
+    | Out_of_frames { capacity } ->
+        Some (Printf.sprintf "Td_mem.Phys_mem.Out_of_frames(%d frames)" capacity)
+    | _ -> None)
+
 type t = {
   capacity : int;
   pages : (frame, bytes) Hashtbl.t;
@@ -17,7 +28,7 @@ let alloc_frame t =
       Hashtbl.replace t.pages f (Bytes.make Layout.page_size '\000');
       f
   | [] ->
-      if t.next >= t.capacity then failwith "Phys_mem: out of frames";
+      if t.next >= t.capacity then raise (Out_of_frames { capacity = t.capacity });
       let f = t.next in
       t.next <- t.next + 1;
       Hashtbl.replace t.pages f (Bytes.make Layout.page_size '\000');
@@ -34,7 +45,7 @@ let frames_allocated t = Hashtbl.length t.pages
 let page t f =
   match Hashtbl.find_opt t.pages f with
   | Some b -> b
-  | None -> failwith (Printf.sprintf "Phys_mem: access to unallocated frame %d" f)
+  | None -> raise (Bad_frame { frame = f })
 
 let check_bounds off w =
   if off < 0 || off + Td_misa.Width.bytes w > Layout.page_size then

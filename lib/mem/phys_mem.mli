@@ -7,13 +7,22 @@
 type frame = int
 (** Physical frame number. *)
 
+exception Bad_frame of { frame : int }
+(** Access to a frame that is not allocated — a dangling DMA address or
+    a forged grant. Typed so the layer that knows the offending domain
+    can contain and attribute it instead of crashing the simulation. *)
+
+exception Out_of_frames of { capacity : int }
+(** The frame pool is exhausted. *)
+
 type t
 
 val create : ?frames:int -> unit -> t
 (** Fresh memory with the given capacity (default 65536 frames = 256 MiB). *)
 
 val alloc_frame : t -> frame
-(** Allocate a zeroed frame. Raises [Failure] when memory is exhausted. *)
+(** Allocate a zeroed frame. Raises {!Out_of_frames} when memory is
+    exhausted. *)
 
 val free_frame : t -> frame -> unit
 val frames_allocated : t -> int
@@ -24,7 +33,7 @@ val page : t -> frame -> bytes
     just-translated page so repeated accesses through the same base
     register skip the page-table walk; the buffer stays valid (and
     observes concurrent DMA writes) for as long as the frame is
-    allocated. Raises [Failure] on an unallocated frame. *)
+    allocated. Raises {!Bad_frame} on an unallocated frame. *)
 
 val read : t -> frame -> int -> Td_misa.Width.t -> int
 (** [read mem f off w] reads a little-endian value of width [w] at byte

@@ -10,32 +10,40 @@
 
 exception Fault of { op : string; reason : string }
 
-let count = ref 0
-let by_domain : (string, int ref) Hashtbl.t = Hashtbl.create 8
-let total () = !count
+(* The counters stay process-global (they are diagnostics, not engine
+   state), so they must be shard-safe: parallel shard workers fault
+   concurrently once fault plans and quotas are legal across shards. *)
+let count = Atomic.make 0
+let by_domain : (string, int Atomic.t) Hashtbl.t = Hashtbl.create 8
+let by_domain_lock = Mutex.create ()
+let total () = Atomic.get count
 
 let total_for domain =
-  match Hashtbl.find_opt by_domain domain with Some r -> !r | None -> 0
+  Mutex.protect by_domain_lock (fun () ->
+      match Hashtbl.find_opt by_domain domain with
+      | Some r -> Atomic.get r
+      | None -> 0)
 
 let reset () =
-  count := 0;
-  Hashtbl.reset by_domain
+  Atomic.set count 0;
+  Mutex.protect by_domain_lock (fun () -> Hashtbl.reset by_domain)
 
 let fail ?domain ~op fmt =
   Printf.ksprintf
     (fun reason ->
-      incr count;
+      Atomic.incr count;
       (match domain with
       | Some d ->
           let cell =
-            match Hashtbl.find_opt by_domain d with
-            | Some r -> r
-            | None ->
-                let r = ref 0 in
-                Hashtbl.replace by_domain d r;
-                r
+            Mutex.protect by_domain_lock (fun () ->
+                match Hashtbl.find_opt by_domain d with
+                | Some r -> r
+                | None ->
+                    let r = Atomic.make 0 in
+                    Hashtbl.replace by_domain d r;
+                    r)
           in
-          incr cell;
+          Atomic.incr cell;
           if Td_obs.Control.enabled () then
             Td_obs.Metrics.bump (Printf.sprintf "xen.guest_faults.%s" d)
       | None -> ());

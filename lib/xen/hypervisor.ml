@@ -16,14 +16,35 @@ let ledger t = t.ledger
 let xen_space t = t.xen_space
 let cpu t = t.cpu
 
+exception No_domains of { op : string }
+
+let () =
+  Printexc.register_printer (function
+    | No_domains { op } ->
+        Some (Printf.sprintf "Td_xen.Hypervisor.No_domains(op %s)" op)
+    | _ -> None)
+
 let add_domain t d =
   t.domains <- t.domains @ [ d ];
   if t.current = None then t.current <- Some d
 
+let remove_domain t d =
+  let id = Domain.id d in
+  t.domains <- List.filter (fun d' -> Domain.id d' <> id) t.domains;
+  match t.current with
+  | Some c when Domain.id c = id ->
+      (* fall back to the oldest remaining domain (dom0 in practice);
+         no world switch is charged — the departing domain is gone *)
+      t.current <- (match t.domains with d0 :: _ -> Some d0 | [] -> None);
+      (match t.current with
+      | Some d0 -> Td_cpu.State.switch_space t.cpu (Domain.space d0)
+      | None -> ())
+  | _ -> ()
+
 let current ?(op = "current") t =
   match t.current with
   | Some d -> d
-  | None -> failwith (Printf.sprintf "Hypervisor.%s: no domains" op)
+  | None -> raise (No_domains { op })
 
 let domains t = t.domains
 let switches t = t.switches

@@ -17,12 +17,22 @@ val ledger : t -> Ledger.t
 val xen_space : t -> Td_mem.Addr_space.t
 val cpu : t -> Td_cpu.State.t
 
+exception No_domains of { op : string }
+(** An operation needed a current domain but the hypervisor has none —
+    the registry is empty, or every domain was destroyed. Typed so a
+    caller can contain it per-request instead of dying on [Failure]. *)
+
 val add_domain : t -> Domain.t -> unit
 
-(** [current ?op t] is the running domain. Raises
-    [Failure "Hypervisor.<op>: no domains"] before {!add_domain}; pass
-    [op] so the error names the operation that needed a current
-    domain. *)
+val remove_domain : t -> Domain.t -> unit
+(** Drop a domain from the registry (matched by id; unknown domains are
+    ignored). If it was current, the oldest remaining domain — dom0 in
+    practice — becomes current and the CPU switches to its address
+    space; no switch cost is charged to the departed domain. *)
+
+(** [current ?op t] is the running domain. Raises {!No_domains} (naming
+    [op]) before {!add_domain}; pass [op] so the error names the
+    operation that needed a current domain. *)
 val current : ?op:string -> t -> Domain.t
 val domains : t -> Domain.t list
 val switches : t -> int

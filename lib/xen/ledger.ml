@@ -71,8 +71,10 @@ let latency_percentile t dir p =
   else begin
     let a = Array.sub s.buf 0 s.len in
     Array.sort compare a;
+    (* the epsilon keeps an inexact p (99.9 -> 0.99900000000000005) from
+       ceiling one rank past the mathematical nearest rank *)
     let rank =
-      int_of_float (ceil (p /. 100. *. float_of_int s.len)) - 1
+      int_of_float (ceil ((p /. 100. *. float_of_int s.len) -. 1e-9)) - 1
     in
     Some (float_of_int a.(max 0 (min (s.len - 1) rank)))
   end
@@ -91,6 +93,23 @@ let charge_for t c ~domain n =
 
 let domain_total t domain =
   match Hashtbl.find_opt t.domains domain with Some r -> !r | None -> 0
+
+(* Destroyed domains keep their cycles on the books: the row is folded
+   into a single "<retired>" aggregate so grand totals (and hence shard
+   merges and conservation checks) are unchanged by domain churn. *)
+let retired_row = "<retired>"
+
+let retire_domain t ~domain =
+  match Hashtbl.find_opt t.domains domain with
+  | None -> ()
+  | Some r ->
+      let v = !r in
+      Hashtbl.remove t.domains domain;
+      if v <> 0 then begin
+        match Hashtbl.find_opt t.domains retired_row with
+        | Some acc -> acc := !acc + v
+        | None -> Hashtbl.replace t.domains retired_row (ref v)
+      end
 
 let domain_snapshot t =
   Hashtbl.fold (fun k r acc -> (k, !r) :: acc) t.domains []

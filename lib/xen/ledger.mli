@@ -31,6 +31,16 @@ val domain_total : t -> string -> int
 val domain_snapshot : t -> (string * int) list
 (** All per-domain rows, sorted by domain name. *)
 
+val retired_row : string
+(** Name of the aggregate row ("<retired>") that absorbs the rows of
+    destroyed domains. *)
+
+val retire_domain : t -> domain:string -> unit
+(** Fold the named domain's row into {!retired_row} and drop it. Category
+    cells and the grand total are untouched — destroyed domains keep
+    their cycles on the books, so conservation checks and shard merges
+    are invariant under domain churn. Unknown domains are ignored. *)
+
 val total : t -> category -> int
 val grand_total : t -> int
 

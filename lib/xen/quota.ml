@@ -1,7 +1,9 @@
-(* Per-domain resource quotas. Process-global like Td_fault.Engine: not
-   installed means every check is a no-op, keeping zero-quota runs
-   bit-identical to the seed. Rate buckets refill on the simulated clock
-   supplied at install time, so enforcement is deterministic. *)
+(* Per-domain resource quotas. Engine state is first-class (make /
+   with_state), with a per-OCaml-domain ambient slot like
+   Td_fault.Engine: no engine visible means every check is a no-op,
+   keeping zero-quota runs bit-identical to the seed. Rate buckets
+   refill on the simulated clock supplied at construction time, so
+   enforcement is deterministic. *)
 
 type limits = {
   map_window_pages : int;
@@ -95,7 +97,19 @@ type state = {
   mutable throttled : int;
 }
 
-let engine : state option ref = ref None
+(* The ambient engine slot is per OCaml domain (DLS): spawned shard
+   workers start with no ambient engine, and a World carrying a private
+   engine scopes it around its entry points with [with_state]. *)
+let slot : state option ref Stdlib.Domain.DLS.key =
+  Stdlib.Domain.DLS.new_key (fun () -> ref None)
+
+let current () = !(Stdlib.Domain.DLS.get slot)
+
+let with_state st f =
+  let r = Stdlib.Domain.DLS.get slot in
+  let saved = !r in
+  r := Some st;
+  Fun.protect ~finally:(fun () -> r := saved) f
 
 let resource_index = function
   | Map_window_pages -> 0
@@ -129,16 +143,17 @@ let burst_of lim = function
   | Grant_copy_bytes -> lim.grant_copy_burst_bytes
   | _ -> lim.burst
 
-let install ?(now = fun () -> 0.) ?(exempt = []) lim =
+let make ?(now = fun () -> 0.) ?(exempt = []) lim =
   let ex = Hashtbl.create 4 in
   List.iter (fun d -> Hashtbl.replace ex d ()) exempt;
-  engine :=
-    Some
-      { lim; now; exempt = ex; doms = Hashtbl.create 8; throttled = 0 }
+  { lim; now; exempt = ex; doms = Hashtbl.create 8; throttled = 0 }
 
-let clear () = engine := None
-let active () = Option.is_some !engine
-let limits () = Option.map (fun e -> e.lim) !engine
+let install ?now ?exempt lim =
+  Stdlib.Domain.DLS.get slot := Some (make ?now ?exempt lim)
+
+let clear () = Stdlib.Domain.DLS.get slot := None
+let active () = Option.is_some (current ())
+let limits () = Option.map (fun e -> e.lim) (current ())
 
 let dom_state e domain =
   match Hashtbl.find_opt e.doms domain with
@@ -179,7 +194,7 @@ let exceeded domain res =
   raise (Quota_exceeded { domain; resource = resource_name res })
 
 let acquire ~domain res n =
-  match !engine with
+  match current () with
   | None -> ()
   | Some e ->
       if not (Hashtbl.mem e.exempt domain) then begin
@@ -195,7 +210,7 @@ let acquire ~domain res n =
       end
 
 let release ~domain res n =
-  match !engine with
+  match current () with
   | None -> ()
   | Some e ->
       if not (Hashtbl.mem e.exempt domain) then begin
@@ -206,7 +221,7 @@ let release ~domain res n =
       end
 
 let try_take_n ~domain res n =
-  match !engine with
+  match current () with
   | None -> true
   | Some e ->
       Hashtbl.mem e.exempt domain
@@ -249,17 +264,17 @@ let take_n ~domain res n =
 let take ~domain res = take_n ~domain res 1
 
 let inuse ~domain res =
-  match !engine with
+  match current () with
   | None -> 0
   | Some e -> (
       match Hashtbl.find_opt e.doms domain with
       | None -> 0
       | Some d -> d.held.(resource_index res))
 
-let throttled () = match !engine with None -> 0 | Some e -> e.throttled
+let throttled () = match current () with None -> 0 | Some e -> e.throttled
 
 let throttled_for ~domain res =
-  match !engine with
+  match current () with
   | None -> 0
   | Some e -> (
       match Hashtbl.find_opt e.doms domain with
@@ -267,13 +282,27 @@ let throttled_for ~domain res =
       | Some d -> d.throttles.(resource_index res))
 
 let domains () =
-  match !engine with
+  match current () with
   | None -> []
   | Some e ->
       Hashtbl.fold (fun k _ acc -> k :: acc) e.doms [] |> List.sort compare
 
+let forget ~domain =
+  match current () with
+  | None -> ()
+  | Some e ->
+      (match Hashtbl.find_opt e.doms domain with
+      | None -> ()
+      | Some d ->
+          if Td_obs.Control.enabled () then
+            List.iter
+              (fun res ->
+                if d.held.(resource_index res) <> 0 then inuse_gauge domain res 0)
+              all_resources;
+          Hashtbl.remove e.doms domain)
+
 let reset_counters () =
-  match !engine with
+  match current () with
   | None -> ()
   | Some e ->
       e.throttled <- 0;

@@ -12,9 +12,14 @@
       the simulated CPU frequency — so enforcement is deterministic and
       bit-identical across runs.
 
-    Like {!Td_fault.Engine}, the engine is process-global and {e off} by
-    default: until {!install} every check is a no-op costing nothing, so
-    zero-quota runs are bit-identical to the seed. Denials raise the typed
+    Like {!Td_fault.Engine}, engine state is first-class ({!make}) and
+    each OCaml domain carries an ambient slot (domain-local storage)
+    that {!install}/{!clear} set directly and {!with_state} scopes
+    around a callback — a [World] with a private quota engine wraps its
+    entry points in it, so N worlds (and N parallel shards) enforce
+    independently. The slot is {e empty} by default: with no engine
+    visible every check is a no-op costing nothing, so zero-quota runs
+    are bit-identical to the seed. Denials raise the typed
     {!Quota_exceeded} (contained by callers exactly like
     {!Guest_fault.Fault}) and are counted — always in plain counters,
     additionally in the [xen.quota_throttled]/[xen.quota_inuse.*] metrics
@@ -67,12 +72,29 @@ val resource_name : resource -> string
 
 exception Quota_exceeded of { domain : string; resource : string }
 
+type state
+(** A quota engine: limits, simulated clock, exempt set and the
+    per-domain held/bucket/throttle tables. *)
+
+val make : ?now:(unit -> float) -> ?exempt:string list -> limits -> state
+(** Build a fresh engine. [now] is the simulated clock in seconds
+    (default: a frozen clock, so rate buckets never refill past
+    [burst]); [exempt] domains (typically dom0) pass every check. *)
+
+val with_state : state -> (unit -> 'a) -> 'a
+(** Run [f] with [state] as the calling OCaml domain's ambient engine,
+    restoring whatever was visible before on exit (exception-safe).
+    Held units, buckets and throttle counters accumulate in [state]
+    across calls. *)
+
 val install : ?now:(unit -> float) -> ?exempt:string list -> limits -> unit
-(** Arm the engine. [now] is the simulated clock in seconds (default: a
-    frozen clock, so rate buckets never refill past [burst]); [exempt]
-    domains (typically dom0) pass every check. Resets all counters. *)
+(** Arm the ambient slot with a fresh engine ({!make} + set), so all
+    counters start from zero. *)
 
 val clear : unit -> unit
+(** Empties the ambient slot; module-level readers return zero/empty
+    once no engine is visible. *)
+
 val active : unit -> bool
 val limits : unit -> limits option
 
@@ -108,4 +130,11 @@ val throttled : unit -> int
 
 val throttled_for : domain:string -> resource -> int
 val domains : unit -> string list
+
+val forget : domain:string -> unit
+(** Drop the visible engine's state for [domain] — held units, buckets
+    and per-domain throttle counts (aggregate {!throttled} is kept).
+    Called when a domain is destroyed so the registry leaves no
+    dangling quota rows. No-op while inactive. *)
+
 val reset_counters : unit -> unit

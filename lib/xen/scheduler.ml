@@ -19,6 +19,10 @@ let find t dom =
       Guest_fault.fail ~domain:(Domain.name dom) ~op:"Scheduler.find"
         "unknown domain %d (%s)" (Domain.id dom) (Domain.name dom)
 
+let remove t dom =
+  let id = Domain.id dom in
+  t.entries <- List.filter (fun e -> Domain.id e.dom <> id) t.entries
+
 let refill t =
   Td_obs.Metrics.bump "sched.refills";
   List.iter (fun e -> e.credit <- t.initial) t.entries

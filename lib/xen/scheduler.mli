@@ -10,6 +10,11 @@ type t
 val create : ?initial_credit:int -> unit -> t
 val add : t -> Domain.t -> unit
 
+val remove : t -> Domain.t -> unit
+(** Drop a domain from the run queue (matched by id; unknown domains are
+    ignored). Its remaining credit vanishes with it — a destroyed domain
+    must not be picked again. *)
+
 val pick : t -> runnable:(Domain.t -> bool) -> Domain.t option
 (** The runnable domain with the most credit (ties broken by id);
     charges one credit. [None] when nothing is runnable. *)

@@ -32,8 +32,10 @@ let test_replay_bit_identical () =
     r2.Td_adv.Fuzz.svm_faults;
   check int_c "quota denials replay" r1.Td_adv.Fuzz.quota_denials
     r2.Td_adv.Fuzz.quota_denials;
-  (* all four surfaces and all three allowed outcomes were exercised *)
+  (* all five surfaces and all three allowed outcomes were exercised *)
   check bool_c "some ops succeeded" true (r1.Td_adv.Fuzz.ok > 0);
+  check bool_c "domain churn exercised" true (r1.Td_adv.Fuzz.churned > 0);
+  check int_c "churn replays" r1.Td_adv.Fuzz.churned r2.Td_adv.Fuzz.churned;
   check bool_c "guest faults contained" true (r1.Td_adv.Fuzz.guest_faults > 0);
   check bool_c "svm faults contained" true (r1.Td_adv.Fuzz.svm_faults > 0);
   check bool_c "quota denials contained" true

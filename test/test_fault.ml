@@ -256,11 +256,10 @@ let test_no_domains_names_operation () =
   let dom =
     Td_xen.Domain.create ~id:1 ~name:"d" ~kind:Td_xen.Domain.Guest ~space
   in
-  (* dom was never added: the error must say which operation tripped *)
+  (* dom was never added: the typed error must say which operation tripped *)
   check bool_c "error names the operation" true
     (match Td_xen.Hypervisor.run_in h dom (fun () -> ()) with
-    | exception Failure msg ->
-        contains ~sub:"run_in" msg && contains ~sub:"no domains" msg
+    | exception Td_xen.Hypervisor.No_domains { op } -> op = "run_in"
     | _ -> false)
 
 let suite =

@@ -27,4 +27,5 @@ let () =
       ("obs", Test_obs.suite);
       ("fault", Test_fault.suite);
       ("adv", Test_adv.suite);
+      ("fleet", Test_fleet.suite);
     ]

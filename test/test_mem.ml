@@ -39,7 +39,7 @@ let test_phys_exhaustion () =
   ignore (Phys_mem.alloc_frame m);
   check bool_c "exhausted" true
     (match Phys_mem.alloc_frame m with
-    | exception Failure _ -> true
+    | exception Phys_mem.Out_of_frames { capacity = 3 } -> true
     | _ -> false)
 
 let test_phys_rw_widths () =

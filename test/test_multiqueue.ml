@@ -13,6 +13,7 @@ open Twindrivers
 let check = Alcotest.check
 let int_c = Alcotest.int
 let bool_c = Alcotest.bool
+let string_c = Alcotest.string
 
 (* ---- RSS demux ---- *)
 
@@ -456,19 +457,59 @@ let mq_seq_vs_sharded_prop =
       && par_frames = seq_frames
       && String.equal seq_digest par_digest)
 
-let test_mq_rejects_shard_unsafe_config () =
+(* Regression for the historical refusal: quotas and a fault plan used
+   to be process-global singletons, so Mq.create rejected shards > 1
+   with either armed. Engines are per-world now — the same armed
+   configuration must run on 4 shards and merge to a ledger
+   bit-identical to the sequential run. *)
+let mq_armed_run_digest ~shards =
+  let queues = 4 in
   let tuning =
     {
       Config.default_tuning with
-      Config.queues = 2;
-      shards = 2;
+      Config.queues;
+      shards;
       quota = Some Td_xen.Quota.default_limits;
+      fault_plan = Some (Td_fault.uniform_plan ~seed:11 0.002);
+      recovery = Config.Restart_replay;
     }
   in
-  check bool_c "quota + shards > 1 refused" true
-    (match Mq.create ~tuning Config.Xen_domU with
-    | exception Invalid_argument _ -> true
-    | _ -> false)
+  let mq = Mq.create ~nics:1 ~tuning Config.Xen_domU in
+  let payloads =
+    List.init 96 (fun i ->
+        Rss.ipv4_udp_payload ~len:128
+          {
+            Rss.src_ip = 0x0a000002;
+            dst_ip = 0x0a000001;
+            src_port = 1000 + (i * 37 mod 1999);
+            dst_port = 80;
+          })
+  in
+  let buckets = Array.make queues [] in
+  List.iter
+    (fun p ->
+      let q = Mq.queue_of_payload mq p in
+      buckets.(q) <- p :: buckets.(q))
+    payloads;
+  let buckets = Array.map List.rev buckets in
+  ignore
+    (Mq.run mq ~job:(fun ~queue w ->
+         List.iteri
+           (fun i p ->
+             ignore (World.transmit w ~nic:0 ~payload:p);
+             if i mod 8 = 7 then World.pump w)
+           buckets.(queue);
+         World.pump w;
+         World.tick w;
+         World.shutdown w));
+  (digest_of_ledger (Mq.merged_ledger mq), Mq.wire_tx_frames mq)
+
+let test_mq_shards_with_quota_and_faults () =
+  let seq_digest, seq_frames = mq_armed_run_digest ~shards:1 in
+  let par_digest, par_frames = mq_armed_run_digest ~shards:4 in
+  check bool_c "sequential run made progress" true (seq_frames > 0);
+  check int_c "same wire frames" seq_frames par_frames;
+  check string_c "bit-identical merged ledgers" seq_digest par_digest
 
 let suite =
   [
@@ -492,6 +533,6 @@ let suite =
     Alcotest.test_case "registry: reload isolated across shards" `Quick
       test_reload_isolated_across_shards;
     QCheck_alcotest.to_alcotest mq_seq_vs_sharded_prop;
-    Alcotest.test_case "mq: rejects shard-unsafe config" `Quick
-      test_mq_rejects_shard_unsafe_config;
+    Alcotest.test_case "mq: 4 shards with quotas + fault plan" `Quick
+      test_mq_shards_with_quota_and_faults;
   ]
